@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Benchmark harness shared by every figure/table binary.
+ *
+ * Each binary reproduces one column of the paper's Figures 4-6: for
+ * every (algorithm, thread count) cell it runs a timed window of the
+ * workload and emits a CSV row with the throughput (figure row 1) and
+ * the four analysis series (rows 2-5): HTM conflict/capacity aborts
+ * per operation, slow-path restarts per slow-path, slow-path execution
+ * ratio, and the RH prefix/postfix success ratios. A summary block
+ * then prints the paper-style headline ratios (RH NOrec vs Hybrid
+ * NOrec throughput and HTM-conflict reduction).
+ */
+
+#ifndef RHTM_BENCH_HARNESS_H
+#define RHTM_BENCH_HARNESS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/cli.h"
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+namespace bench
+{
+
+/** Factory building a fresh workload instance per cell. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/** Sweep configuration, parsed from the common CLI flags. */
+struct BenchConfig
+{
+    std::vector<int64_t> threads{1, 2, 4, 8};
+    double seconds = 1.0;               //!< Timed window per cell.
+    std::vector<AlgoKind> algos;        //!< Default: all six.
+    RuntimeConfig runtime;              //!< Base runtime config.
+    bool verify = true;                 //!< Check invariants per cell.
+    uint64_t seed = 1;
+
+    BenchConfig();
+};
+
+/**
+ * Parse the common flags:
+ *   --threads=1,2,4,8  --seconds=1.0  --algos=rh-norec,hy-norec
+ *   --seed=N           --no-verify
+ *   --ht-from=8 --ht-scale=2   (HyperThreading capacity model)
+ *   --abort-prob=5e-4          (interrupt-style HTM abort injection)
+ *   --stm-penalty=64           (instrumentation-cost model, cycles)
+ * Exits with a message on unknown algorithms or stray arguments.
+ */
+BenchConfig parseBenchConfig(const CliOptions &opts);
+
+/** One cell's outcome. */
+struct CellResult
+{
+    AlgoKind algo;
+    unsigned threads;
+    double seconds;
+    uint64_t ops;
+    StatsSummary stats;
+    bool verified;
+};
+
+/**
+ * Run the full sweep for one benchmark and print the CSV plus the
+ * headline-summary block to stdout.
+ *
+ * @param bench_name Name for the CSV's first column.
+ * @param make Workload factory (fresh instance per cell).
+ * @param cfg Sweep configuration.
+ * @return All cell results (for binaries that post-process).
+ */
+std::vector<CellResult> runBenchmark(const std::string &bench_name,
+                                     const WorkloadFactory &make,
+                                     const BenchConfig &cfg);
+
+/** Print the CSV header (called by runBenchmark; exposed for reuse). */
+void printCsvHeader();
+
+/** Print one CSV row. */
+void printCsvRow(const std::string &bench_name, const CellResult &cell);
+
+} // namespace bench
+} // namespace rhtm
+
+#endif // RHTM_BENCH_HARNESS_H

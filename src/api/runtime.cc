@@ -1,0 +1,131 @@
+#include "src/api/runtime.h"
+
+#include "src/core/hybrid_norec.h"
+#include "src/core/hybrid_norec_lazy.h"
+#include "src/core/lock_elision.h"
+#include "src/core/rh_norec.h"
+#include "src/core/rh_tl2.h"
+#include "src/stm/norec.h"
+
+namespace rhtm
+{
+
+const char *
+algoKindName(AlgoKind kind)
+{
+    switch (kind) {
+      case AlgoKind::kLockElision: return "lock-elision";
+      case AlgoKind::kNOrec: return "norec";
+      case AlgoKind::kNOrecLazy: return "norec-lazy";
+      case AlgoKind::kTl2: return "tl2";
+      case AlgoKind::kHybridNOrec: return "hy-norec";
+      case AlgoKind::kHybridNOrecLazy: return "hy-norec-lazy";
+      case AlgoKind::kRhNOrec: return "rh-norec";
+      case AlgoKind::kRhTl2: return "rh-tl2";
+    }
+    return "unknown";
+}
+
+bool
+algoKindFromString(const std::string &name, AlgoKind &out)
+{
+    for (AlgoKind k : allAlgoKinds()) {
+        if (name == algoKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<AlgoKind> &
+allAlgoKinds()
+{
+    static const std::vector<AlgoKind> kinds = {
+        AlgoKind::kLockElision,     AlgoKind::kNOrec,
+        AlgoKind::kNOrecLazy,       AlgoKind::kTl2,
+        AlgoKind::kHybridNOrec,     AlgoKind::kHybridNOrecLazy,
+        AlgoKind::kRhNOrec,         AlgoKind::kRhTl2,
+    };
+    return kinds;
+}
+
+TmRuntime::TmRuntime(AlgoKind kind, RuntimeConfig cfg)
+    : kind_(kind), cfg_(cfg), eng_(cfg.htm)
+{
+    if (kind_ == AlgoKind::kTl2)
+        tl2_ = std::make_unique<Tl2Globals>();
+    if (kind_ == AlgoKind::kRhTl2)
+        rhTl2_ = std::make_unique<RhTl2Globals>();
+}
+
+TmRuntime::~TmRuntime() = default;
+
+std::unique_ptr<TxSession>
+TmRuntime::makeSession(ThreadCtx &ctx)
+{
+    ThreadStats *stats = &ctx.stats_;
+    switch (kind_) {
+      case AlgoKind::kLockElision:
+        return std::make_unique<LockElisionSession>(
+            eng_, globals_, *ctx.htm_, stats, cfg_.retry);
+      case AlgoKind::kNOrec:
+        return std::make_unique<NOrecEagerSession>(
+            globals_, stats, cfg_.stmAccessPenalty);
+      case AlgoKind::kNOrecLazy:
+        return std::make_unique<NOrecLazySession>(
+            globals_, stats, cfg_.stmAccessPenalty);
+      case AlgoKind::kTl2:
+        return std::make_unique<Tl2Session>(*tl2_, stats, ctx.tid(),
+                                            cfg_.stmAccessPenalty);
+      case AlgoKind::kHybridNOrec:
+        return std::make_unique<HybridNOrecSession>(
+            eng_, globals_, *ctx.htm_, stats, cfg_.retry,
+            cfg_.stmAccessPenalty);
+      case AlgoKind::kHybridNOrecLazy:
+        return std::make_unique<HybridNOrecLazySession>(
+            eng_, globals_, *ctx.htm_, stats, cfg_.retry,
+            cfg_.stmAccessPenalty);
+      case AlgoKind::kRhNOrec:
+        return std::make_unique<RhNOrecSession>(
+            eng_, globals_, *ctx.htm_, stats, cfg_.retry, cfg_.rh,
+            cfg_.stmAccessPenalty);
+      case AlgoKind::kRhTl2:
+        return std::make_unique<RhTl2Session>(
+            eng_, globals_, *rhTl2_, *ctx.htm_, stats, cfg_.retry,
+            cfg_.stmAccessPenalty);
+    }
+    return nullptr;
+}
+
+ThreadCtx &
+TmRuntime::registerThread()
+{
+    std::lock_guard<std::mutex> guard(registerLock_);
+    ThreadMem &tm = mem_.registerThread();
+    auto ctx =
+        std::unique_ptr<ThreadCtx>(new ThreadCtx(tm.tid(), &tm));
+    ctx->htm_ = std::make_unique<HtmTxn>(eng_, ctx->tid(), &ctx->stats_,
+                                         cfg_.rngSeed + ctx->tid());
+    ctx->session_ = makeSession(*ctx);
+    ctxs_.push_back(std::move(ctx));
+    return *ctxs_.back();
+}
+
+StatsSummary
+TmRuntime::stats() const
+{
+    StatsSummary summary;
+    for (const auto &ctx : ctxs_)
+        summary.accumulate(ctx->stats_);
+    return summary;
+}
+
+void
+TmRuntime::resetStats()
+{
+    for (auto &ctx : ctxs_)
+        ctx->stats_.reset();
+}
+
+} // namespace rhtm

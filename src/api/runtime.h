@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The TM runtime facade: algorithm selection, per-thread contexts, the
+ * transaction retry loop, and statistics collection. This is the
+ * library's main entry point (the role GCC's libitm played for the
+ * paper's implementation).
+ */
+
+#ifndef RHTM_API_RUNTIME_H
+#define RHTM_API_RUNTIME_H
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/api/tx_defs.h"
+#include "src/api/txn.h"
+#include "src/core/globals.h"
+#include "src/core/retry_policy.h"
+#include "src/htm/htm_txn.h"
+#include "src/mem/memory_manager.h"
+#include "src/stats/stats.h"
+#include "src/core/rh_tl2.h"
+#include "src/stm/tl2.h"
+
+namespace rhtm
+{
+
+/** The TM algorithms evaluated by the paper (Section 3.1). */
+enum class AlgoKind
+{
+    kLockElision, //!< HTM + global-lock fallback.
+    kNOrec,       //!< Eager NOrec STM (all software).
+    kNOrecLazy,   //!< Lazy NOrec STM (all software).
+    kTl2,         //!< Eager TL2 STM (all software).
+    kHybridNOrec, //!< Hybrid NOrec HyTM (eager slow path, as evaluated).
+    kHybridNOrecLazy, //!< Hybrid NOrec with the lazy slow path.
+    kRhNOrec,     //!< Reduced Hardware NOrec (this paper).
+    kRhTl2,       //!< RH-TL2, the predecessor design (Section 1.2).
+};
+
+/** Canonical short name ("rh-norec", ...). */
+const char *algoKindName(AlgoKind kind);
+
+/**
+ * Parse a short name back to a kind.
+ * @return true on success.
+ */
+bool algoKindFromString(const std::string &name, AlgoKind &out);
+
+/** All algorithm kinds, in the paper's presentation order. */
+const std::vector<AlgoKind> &allAlgoKinds();
+
+/** Everything configurable about a runtime instance. */
+struct RuntimeConfig
+{
+    HtmConfig htm;      //!< Simulated-HTM model.
+    RetryPolicy retry;  //!< Fallback/retry policy (Section 3.3).
+    RhConfig rh;        //!< RH NOrec feature switches (Section 3.4).
+    uint64_t rngSeed = 1;
+
+    /**
+     * Instrumentation-cost model (DESIGN.md): cycles of busy work per
+     * software-path shared access, standing in for the libitm dynamic
+     * call + logging that the paper's instrumented slow paths pay and
+     * its uninstrumented hardware fast path does not. 0 disables.
+     */
+    unsigned stmAccessPenalty = 64;
+};
+
+class TmRuntime;
+
+/**
+ * Per-thread execution context. Obtain one per worker thread via
+ * TmRuntime::registerThread() and pass it to every run() call from
+ * that thread. Not shareable across threads.
+ */
+class ThreadCtx
+{
+  public:
+    /** Runtime-assigned thread index. */
+    unsigned tid() const { return tid_; }
+
+    /** This thread's statistics block. */
+    const ThreadStats &stats() const { return stats_; }
+
+    /** This thread's session (exposed for white-box tests). */
+    TxSession &session() { return *session_; }
+
+    /** This thread's memory arena. */
+    ThreadMem &mem() { return *mem_; }
+
+  private:
+    friend class TmRuntime;
+
+    ThreadCtx(unsigned tid, ThreadMem *mem) : tid_(tid), mem_(mem) {}
+
+    unsigned tid_;
+    ThreadMem *mem_;
+    ThreadStats stats_;
+    std::unique_ptr<HtmTxn> htm_;
+    std::unique_ptr<TxSession> session_;
+    bool inTxn_ = false;
+};
+
+/**
+ * A transactional-memory runtime: one algorithm, one shared-memory
+ * coordination domain. Threads register once, then execute transaction
+ * bodies through run().
+ *
+ * @code
+ *   TmRuntime rt(AlgoKind::kRhNOrec);
+ *   ThreadCtx &ctx = rt.registerThread();   // per worker thread
+ *   rt.run(ctx, [&](Txn &tx) {
+ *       uint64_t v = tx.load(&counter);
+ *       tx.store(&counter, v + 1);
+ *   });
+ * @endcode
+ */
+class TmRuntime
+{
+  public:
+    explicit TmRuntime(AlgoKind kind, RuntimeConfig cfg = RuntimeConfig());
+    ~TmRuntime();
+
+    TmRuntime(const TmRuntime &) = delete;
+    TmRuntime &operator=(const TmRuntime &) = delete;
+
+    /** Register the calling thread; thread safe. */
+    ThreadCtx &registerThread();
+
+    /**
+     * Execute @p body as one transaction, retrying per the algorithm's
+     * policy until it commits. @p hint may declare the body read-only
+     * (never required; purely an optimization knob mirroring the GCC
+     * static analysis). Exceptions from @p body abort the transaction
+     * and propagate.
+     *
+     * Nested calls flatten (like RTM and GCC TM): a run() issued from
+     * inside a transaction body joins the enclosing transaction, so
+     * library code that opens its own transactions composes freely.
+     */
+    template <typename Body>
+    void
+    run(ThreadCtx &ctx, Body &&body, TxnHint hint = TxnHint::kNone)
+    {
+        if (ctx.inTxn_) {
+            // Flat nesting: execute within the enclosing transaction.
+            Txn tx(ctx.session_.get(), ctx.mem_, ctx.tid());
+            body(tx);
+            return;
+        }
+        EpochManager &ep = mem_.epochs();
+        ep.enterRegion(ctx.tid());
+        ctx.inTxn_ = true;
+        TxSession &s = *ctx.session_;
+        for (;;) {
+            try {
+                s.begin(hint);
+                Txn tx(&s, ctx.mem_, ctx.tid());
+                body(tx);
+                s.commit();
+                break;
+            } catch (const HtmAbort &abort) {
+                ctx.mem_->onAbort();
+                s.onHtmAbort(abort);
+            } catch (const TxRestart &) {
+                ctx.mem_->onAbort();
+                s.onRestart();
+            } catch (...) {
+                s.onUserAbort();
+                ctx.mem_->onAbort();
+                ctx.inTxn_ = false;
+                ep.exitRegion(ctx.tid());
+                throw;
+            }
+        }
+        s.onComplete();
+        ctx.mem_->onCommit();
+        ctx.stats_.inc(Counter::kOperations);
+        ctx.inTxn_ = false;
+        ep.exitRegion(ctx.tid());
+    }
+
+    /** Aggregate statistics over all registered threads. */
+    StatsSummary stats() const;
+
+    /** Zero all per-thread statistics (threads must be quiescent). */
+    void resetStats();
+
+    /** The simulated-HTM engine (shared by all threads). */
+    HtmEngine &engine() { return eng_; }
+
+    /** The memory subsystem. */
+    MemoryManager &memory() { return mem_; }
+
+    /** The hybrid coordination globals (for white-box tests). */
+    TmGlobals &globals() { return globals_; }
+
+    /** Selected algorithm. */
+    AlgoKind kind() const { return kind_; }
+
+    /** Selected algorithm's short name. */
+    const char *algoName() const { return algoKindName(kind_); }
+
+    /** Configuration in effect. */
+    const RuntimeConfig &config() const { return cfg_; }
+
+    /**
+     * Non-transactional read, safe against concurrent transactions
+     * (setup/verification helper).
+     */
+    uint64_t peek(const uint64_t *addr) { return eng_.directLoad(addr); }
+
+    /** Non-transactional write, safe against concurrent transactions. */
+    void poke(uint64_t *addr, uint64_t value)
+    {
+        eng_.directStore(addr, value);
+    }
+
+  private:
+    std::unique_ptr<TxSession> makeSession(ThreadCtx &ctx);
+
+    AlgoKind kind_;
+    RuntimeConfig cfg_;
+    HtmEngine eng_;
+    MemoryManager mem_;
+    TmGlobals globals_;
+    std::unique_ptr<Tl2Globals> tl2_;
+    std::unique_ptr<RhTl2Globals> rhTl2_;
+    std::mutex registerLock_;
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_API_RUNTIME_H

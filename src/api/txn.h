@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The user-facing transaction handle.
+ */
+
+#ifndef RHTM_API_TXN_H
+#define RHTM_API_TXN_H
+
+#include <cstdint>
+#include <type_traits>
+
+#include "src/api/tx_defs.h"
+#include "src/mem/memory_manager.h"
+
+namespace rhtm
+{
+
+/**
+ * Handle passed to a transaction body; every shared-memory access and
+ * every allocation inside the body must go through it.
+ *
+ * Shared state is modelled as 8-byte-aligned 64-bit words. The typed
+ * helpers pack pointers and signed values into words so data structures
+ * read naturally. The handle is only valid during the body invocation
+ * it was passed to.
+ */
+class Txn
+{
+  public:
+    /** Built by the runtime; user code never constructs one. */
+    Txn(TxSession *session, ThreadMem *mem, unsigned tid)
+        : session_(session), mem_(mem), tid_(tid)
+    {}
+
+    /** Transactional load. @p addr must be 8-byte aligned. */
+    uint64_t
+    load(const uint64_t *addr)
+    {
+        return session_->read(addr);
+    }
+
+    /** Transactional store. @p addr must be 8-byte aligned. */
+    void
+    store(uint64_t *addr, uint64_t value)
+    {
+        session_->write(addr, value);
+    }
+
+    /** Load a word as a signed 64-bit value. */
+    int64_t
+    loadI64(const int64_t *addr)
+    {
+        return static_cast<int64_t>(
+            load(reinterpret_cast<const uint64_t *>(addr)));
+    }
+
+    /** Store a signed 64-bit value. */
+    void
+    storeI64(int64_t *addr, int64_t value)
+    {
+        store(reinterpret_cast<uint64_t *>(addr),
+              static_cast<uint64_t>(value));
+    }
+
+    /** Load a pointer-valued word. */
+    template <typename T>
+    T *
+    loadPtr(T *const *slot)
+    {
+        static_assert(sizeof(T *) == sizeof(uint64_t));
+        return reinterpret_cast<T *>(
+            load(reinterpret_cast<const uint64_t *>(slot)));
+    }
+
+    /** Store a pointer-valued word. */
+    template <typename T>
+    void
+    storePtr(T **slot, T *value)
+    {
+        static_assert(sizeof(T *) == sizeof(uint64_t));
+        store(reinterpret_cast<uint64_t *>(slot),
+              reinterpret_cast<uint64_t>(value));
+    }
+
+    /**
+     * Allocate zeroed memory tied to this transaction: kept on commit,
+     * safely recycled on abort.
+     */
+    void *alloc(size_t size) { return mem_->txAlloc(size); }
+
+    /** Typed allocation helper; T must be trivially destructible. */
+    template <typename T>
+    T *
+    allocObject()
+    {
+        static_assert(std::is_trivially_destructible_v<T>);
+        return static_cast<T *>(alloc(sizeof(T)));
+    }
+
+    /**
+     * Free memory tied to this transaction: deferred to commit and a
+     * reclamation grace period; dropped on abort.
+     */
+    void txFree(void *ptr, size_t size) { mem_->txFree(ptr, size); }
+
+    /** Typed free helper. */
+    template <typename T>
+    void
+    freeObject(T *ptr)
+    {
+        txFree(ptr, sizeof(T));
+    }
+
+    /** Explicitly restart this transaction attempt. */
+    [[noreturn]] void
+    retry()
+    {
+        throw TxRestart{};
+    }
+
+    /** Runtime-assigned id of the executing thread. */
+    unsigned tid() const { return tid_; }
+
+  private:
+    TxSession *session_;
+    ThreadMem *mem_;
+    unsigned tid_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_API_TXN_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The hybrid protocol's shared global variables and clock-word helpers.
+ *
+ * The paper's coordination state (Section 2.3): a global clock whose
+ * low bit doubles as the writer lock, the global HTM lock that lets a
+ * failed mixed slow-path abort every hardware transaction, the fallback
+ * counter, plus the serial starvation lock of Section 3.3 and the
+ * single global lock used by Lock Elision. Each word sits on its own
+ * cache line so simulated-HTM conflict tracking treats them
+ * independently, exactly as the real implementation padded them.
+ */
+
+#ifndef RHTM_CORE_GLOBALS_H
+#define RHTM_CORE_GLOBALS_H
+
+#include <cstdint>
+
+namespace rhtm
+{
+
+/** Lock bit stored in the clock's LSB; versions advance by 2. */
+constexpr uint64_t kClockLockBit = 1;
+
+/** True when the clock word carries the writer lock. */
+inline bool
+clockIsLocked(uint64_t clock)
+{
+    return (clock & kClockLockBit) != 0;
+}
+
+/** The clock word with the lock bit set. */
+inline uint64_t
+clockWithLock(uint64_t clock)
+{
+    return clock | kClockLockBit;
+}
+
+/** The next unlocked clock value: clear the lock bit and advance. */
+inline uint64_t
+clockUnlockAndAdvance(uint64_t clock)
+{
+    return (clock & ~kClockLockBit) + 2;
+}
+
+/**
+ * Shared words coordinating fast paths and slow paths. All accesses go
+ * through HtmEngine direct/transactional operations (or RawMem for
+ * pure-software runtimes), never plain loads/stores.
+ */
+struct TmGlobals
+{
+    /** NOrec global clock; LSB is the writer lock (Section 2.3 #1). */
+    alignas(64) uint64_t clock = 0;
+
+    /** Aborts all hardware fast paths when set (Section 2.3 #2). */
+    alignas(64) uint64_t htmLock = 0;
+
+    /** Number of live mixed/software slow paths (Section 2.3 #3). */
+    alignas(64) uint64_t fallbacks = 0;
+
+    /** Serial starvation lock (Section 3.3). */
+    alignas(64) uint64_t serialLock = 0;
+
+    /** Single global lock for the Lock Elision fallback. */
+    alignas(64) uint64_t globalLock = 0;
+
+    /** Pad so the struct's last word owns its line too. */
+    alignas(64) uint64_t pad = 0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_GLOBALS_H

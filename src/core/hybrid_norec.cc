@@ -1,0 +1,251 @@
+#include "src/core/hybrid_norec.h"
+
+#include <cassert>
+
+namespace rhtm
+{
+
+HybridNOrecSession::HybridNOrecSession(HtmEngine &eng, TmGlobals &globals,
+                                       HtmTxn &htm, ThreadStats *stats,
+                                       const RetryPolicy &policy,
+                                       unsigned access_penalty)
+    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
+      retryBudget_(policy), penalty_(access_penalty)
+{
+    undo_.reserve(256);
+}
+
+void
+HybridNOrecSession::beginSoftware()
+{
+    if (mode_ == Mode::kSerial && !serialHeld_) {
+        for (;;) {
+            uint64_t expected = 0;
+            if (eng_.directCas(&g_.serialLock, expected, 1))
+                break;
+            spinUntil([&] { return eng_.directLoad(&g_.serialLock) == 0; });
+        }
+        serialHeld_ = true;
+    }
+    if (!registered_) {
+        // Register once per transaction, not per attempt: every bump of
+        // the fallback counter costs concurrent fast paths a tracked
+        // line, so churn is kept minimal.
+        eng_.directFetchAdd(&g_.fallbacks, 1);
+        registered_ = true;
+    }
+    writeDetected_ = false;
+    undo_.clear();
+    txVersion_ = eng_.directLoad(&g_.clock);
+    if (clockIsLocked(txVersion_))
+        restart(); // A slow-path writer is mid-flight.
+}
+
+void
+HybridNOrecSession::begin(TxnHint hint)
+{
+    (void)hint;
+    if (mode_ == Mode::kFast) {
+        ++attempts_;
+        htm_.begin();
+        // Early subscription (the Hybrid NOrec bottleneck): any slow
+        // path that raises the HTM lock aborts us from this point on.
+        if (htm_.read(&g_.htmLock) != 0)
+            htm_.abortExplicit();
+        return;
+    }
+    beginSoftware();
+}
+
+uint64_t
+HybridNOrecSession::read(const uint64_t *addr)
+{
+    if (mode_ == Mode::kFast)
+        return htm_.read(addr); // Uninstrumented (simulated) load.
+    simDelay(penalty_); // Instrumented slow-path access (DESIGN.md).
+    if (writeDetected_) {
+        // We hold the clock and the HTM lock: nothing can commit.
+        return eng_.directLoad(addr);
+    }
+    uint64_t v = eng_.directLoad(addr);
+    if (eng_.directLoad(&g_.clock) != txVersion_)
+        restart(); // Eager NOrec: no read log, restart on any commit.
+    return v;
+}
+
+void
+HybridNOrecSession::handleFirstWrite()
+{
+    uint64_t expected = txVersion_;
+    if (!eng_.directCas(&g_.clock, expected, clockWithLock(txVersion_)))
+        restart();
+    writeDetected_ = true;
+    // Eager writes are about to become visible: kill every hardware
+    // fast path before the first store (Section 3.1).
+    eng_.directStore(&g_.htmLock, 1);
+    htmLockSet_ = true;
+}
+
+void
+HybridNOrecSession::write(uint64_t *addr, uint64_t value)
+{
+    if (mode_ == Mode::kFast) {
+        htm_.write(addr, value);
+        return;
+    }
+    simDelay(penalty_); // Instrumented slow-path access (DESIGN.md).
+    if (!writeDetected_)
+        handleFirstWrite();
+    undo_.push_back({addr, eng_.directLoad(addr)});
+    eng_.directStore(addr, value);
+}
+
+void
+HybridNOrecSession::commit()
+{
+    if (mode_ == Mode::kFast) {
+        if (htm_.isReadOnly()) {
+            // Read-only fast paths never signal the slow paths (the
+            // GCC static read-only analysis in the paper; here the
+            // write buffer tells us exactly).
+            htm_.commit();
+            if (stats_)
+                stats_->inc(Counter::kReadOnlyCommits);
+            return;
+        }
+        if (htm_.read(&g_.fallbacks) > 0) {
+            uint64_t clock = htm_.read(&g_.clock);
+            if (clockIsLocked(clock))
+                htm_.abortExplicit();
+            if (htm_.read(&g_.serialLock) != 0)
+                htm_.abortExplicit(); // Serialized slow path running.
+            // Notify the slow paths that memory changed.
+            htm_.write(&g_.clock, clock + 2);
+        }
+        htm_.commit();
+        return;
+    }
+    if (!writeDetected_) {
+        if (stats_)
+            stats_->inc(Counter::kReadOnlyCommits);
+        return; // Read-only slow path: validated by every read.
+    }
+    eng_.directStore(&g_.htmLock, 0);
+    htmLockSet_ = false;
+    eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    writeDetected_ = false;
+    // The undo journal is dead once the writes are committed.
+    undo_.clear();
+}
+
+void
+HybridNOrecSession::rollbackWriter()
+{
+    if (!writeDetected_)
+        return;
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+        eng_.directStore(it->addr, it->oldValue);
+    if (htmLockSet_) {
+        eng_.directStore(&g_.htmLock, 0);
+        htmLockSet_ = false;
+    }
+    eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    writeDetected_ = false;
+}
+
+void
+HybridNOrecSession::restart()
+{
+    throw TxRestart{};
+}
+
+void
+HybridNOrecSession::onHtmAbort(const HtmAbort &abort)
+{
+    assert(mode_ == Mode::kFast);
+    // A real abort already reset the hardware transaction; an injected
+    // one (tests, policy probes) may not have.
+    htm_.cancel();
+    if (abort.retryOk && attempts_ < retryBudget_.budget()) {
+        backoff_.pause();
+        return; // Conflict-style abort: retry in hardware.
+    }
+    // Capacity aborts (and exhausted budgets) go to software at once
+    // (Section 3.3).
+    retryBudget_.onFallback(attempts_);
+    mode_ = Mode::kSoftware;
+    if (stats_)
+        stats_->inc(Counter::kFallbacks);
+}
+
+void
+HybridNOrecSession::onRestart()
+{
+    if (mode_ == Mode::kFast) {
+        // User retry() inside the hardware fast path.
+        htm_.cancel();
+        backoff_.pause();
+        return;
+    }
+    rollbackWriter();
+    if (stats_)
+        stats_->inc(Counter::kSlowPathRestarts);
+    if (++slowRestarts_ >= policy_.maxSlowPathRestarts &&
+        mode_ == Mode::kSoftware) {
+        mode_ = Mode::kSerial;
+    }
+    backoff_.pause();
+}
+
+void
+HybridNOrecSession::onUserAbort()
+{
+    htm_.cancel();
+    if (mode_ != Mode::kFast)
+        rollbackWriter();
+    if (registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
+        registered_ = false;
+    }
+    if (serialHeld_) {
+        eng_.directStore(&g_.serialLock, 0);
+        serialHeld_ = false;
+    }
+    mode_ = Mode::kFast;
+    attempts_ = 0;
+    slowRestarts_ = 0;
+}
+
+void
+HybridNOrecSession::onComplete()
+{
+    if (mode_ == Mode::kFast)
+        retryBudget_.onFastCommit(attempts_);
+    if (stats_) {
+        switch (mode_) {
+          case Mode::kFast:
+            stats_->inc(Counter::kCommitsFastPath);
+            break;
+          case Mode::kSoftware:
+            stats_->inc(Counter::kCommitsSoftwarePath);
+            break;
+          case Mode::kSerial:
+            stats_->inc(Counter::kCommitsSerialPath);
+            break;
+        }
+    }
+    if (registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
+        registered_ = false;
+    }
+    if (serialHeld_) {
+        eng_.directStore(&g_.serialLock, 0);
+        serialHeld_ = false;
+    }
+    mode_ = Mode::kFast;
+    attempts_ = 0;
+    slowRestarts_ = 0;
+    backoff_.reset();
+}
+
+} // namespace rhtm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hybrid NOrec of Dalessandro et al., in the optimized eager form the
+ * paper evaluates as "HY-NOrec" (Section 3.1):
+ *
+ *  - Hardware fast path: subscribes to global_htm_lock at start (the
+ *    early subscription RH NOrec removes), runs uninstrumented, and at
+ *    commit -- when slow paths exist -- checks the clock lock and
+ *    increments the global clock to signal them.
+ *  - Software slow path: the eager encounter-time NOrec STM, which on
+ *    its first write locks the clock and raises global_htm_lock,
+ *    aborting all hardware transactions for its whole write phase
+ *    (the source of the false aborts RH NOrec eliminates).
+ *
+ * The serial starvation lock of Section 3.3 backs a slow path that
+ * restarts too often.
+ */
+
+#ifndef RHTM_CORE_HYBRID_NOREC_H
+#define RHTM_CORE_HYBRID_NOREC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/tx_defs.h"
+#include "src/core/globals.h"
+#include "src/core/retry_policy.h"
+#include "src/htm/htm_txn.h"
+#include "src/stats/stats.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/** Per-thread Hybrid NOrec session. */
+class HybridNOrecSession : public TxSession
+{
+  public:
+    HybridNOrecSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
+                       ThreadStats *stats, const RetryPolicy &policy,
+                       unsigned access_penalty = 0);
+
+    void begin(TxnHint hint) override;
+    uint64_t read(const uint64_t *addr) override;
+    void write(uint64_t *addr, uint64_t value) override;
+    void commit() override;
+    void onHtmAbort(const HtmAbort &abort) override;
+    void onRestart() override;
+    void onUserAbort() override;
+    void onComplete() override;
+    const char *name() const override { return "hy-norec"; }
+
+  private:
+    enum class Mode
+    {
+        kFast,     //!< Hardware fast path.
+        kSoftware, //!< Eager NOrec software slow path.
+        kSerial,   //!< Software slow path holding the serial lock.
+    };
+
+    struct UndoEntry
+    {
+        uint64_t *addr;
+        uint64_t oldValue;
+    };
+
+    /** Begin a software (or serial) slow-path attempt. */
+    void beginSoftware();
+
+    /** First slow-path write: lock clock, raise the HTM lock. */
+    void handleFirstWrite();
+
+    /** Undo slow-path writes and drop both locks. */
+    void rollbackWriter();
+
+    [[noreturn]] void restart();
+
+    HtmEngine &eng_;
+    TmGlobals &g_;
+    HtmTxn &htm_;
+    ThreadStats *stats_;
+    RetryPolicy policy_;
+    AdaptiveRetryBudget retryBudget_;
+    unsigned penalty_;
+    Backoff backoff_;
+
+    Mode mode_ = Mode::kFast;
+    unsigned attempts_ = 0;
+    unsigned slowRestarts_ = 0;
+    bool registered_ = false;
+    bool serialHeld_ = false;
+    bool writeDetected_ = false;
+    bool htmLockSet_ = false;
+    uint64_t txVersion_ = 0;
+    std::vector<UndoEntry> undo_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_HYBRID_NOREC_H

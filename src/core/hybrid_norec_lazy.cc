@@ -1,0 +1,258 @@
+#include "src/core/hybrid_norec_lazy.h"
+
+#include <cassert>
+
+namespace rhtm
+{
+
+HybridNOrecLazySession::HybridNOrecLazySession(
+    HtmEngine &eng, TmGlobals &globals, HtmTxn &htm, ThreadStats *stats,
+    const RetryPolicy &policy, unsigned access_penalty)
+    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
+      retryBudget_(policy), penalty_(access_penalty), writes_(12)
+{
+    readLog_.reserve(1024);
+}
+
+uint64_t
+HybridNOrecLazySession::stableClock()
+{
+    for (;;) {
+        uint64_t v = eng_.directLoad(&g_.clock);
+        if (!clockIsLocked(v))
+            return v;
+        backoff_.pause();
+    }
+}
+
+void
+HybridNOrecLazySession::beginSoftware()
+{
+    if (mode_ == Mode::kSerial && !serialHeld_) {
+        for (;;) {
+            uint64_t expected = 0;
+            if (eng_.directCas(&g_.serialLock, expected, 1))
+                break;
+            spinUntil([&] { return eng_.directLoad(&g_.serialLock) == 0; });
+        }
+        serialHeld_ = true;
+    }
+    if (!registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, 1);
+        registered_ = true;
+    }
+    readLog_.clear();
+    writes_.clear();
+    txVersion_ = stableClock();
+}
+
+void
+HybridNOrecLazySession::begin(TxnHint hint)
+{
+    (void)hint;
+    if (mode_ == Mode::kFast) {
+        ++attempts_;
+        htm_.begin();
+        if (htm_.read(&g_.htmLock) != 0)
+            htm_.abortExplicit();
+        return;
+    }
+    beginSoftware();
+}
+
+uint64_t
+HybridNOrecLazySession::validate()
+{
+    for (;;) {
+        uint64_t t = stableClock();
+        for (const ReadEntry &e : readLog_) {
+            if (eng_.directLoad(e.addr) != e.value)
+                restart();
+        }
+        if (eng_.directLoad(&g_.clock) == t)
+            return t;
+    }
+}
+
+uint64_t
+HybridNOrecLazySession::read(const uint64_t *addr)
+{
+    if (mode_ == Mode::kFast)
+        return htm_.read(addr);
+    simDelay(penalty_);
+    uint64_t buffered;
+    if (writes_.lookup(addr, buffered))
+        return buffered;
+    uint64_t v = eng_.directLoad(addr);
+    while (eng_.directLoad(&g_.clock) != txVersion_) {
+        txVersion_ = validate();
+        v = eng_.directLoad(addr);
+    }
+    readLog_.push_back({addr, v});
+    return v;
+}
+
+void
+HybridNOrecLazySession::write(uint64_t *addr, uint64_t value)
+{
+    if (mode_ == Mode::kFast) {
+        htm_.write(addr, value);
+        return;
+    }
+    simDelay(penalty_);
+    writes_.putGrowing(addr, value);
+}
+
+void
+HybridNOrecLazySession::commit()
+{
+    if (mode_ == Mode::kFast) {
+        if (htm_.isReadOnly()) {
+            htm_.commit();
+            if (stats_)
+                stats_->inc(Counter::kReadOnlyCommits);
+            return;
+        }
+        if (htm_.read(&g_.fallbacks) > 0) {
+            uint64_t clock = htm_.read(&g_.clock);
+            if (clockIsLocked(clock))
+                htm_.abortExplicit();
+            if (htm_.read(&g_.serialLock) != 0)
+                htm_.abortExplicit();
+            htm_.write(&g_.clock, clock + 2);
+        }
+        htm_.commit();
+        return;
+    }
+    if (writes_.empty()) {
+        if (stats_)
+            stats_->inc(Counter::kReadOnlyCommits);
+        return;
+    }
+    // Acquire the clock (revalidating on contention), then raise the
+    // HTM lock only for the short write-back window: this is the lazy
+    // design's advantage over the eager one, which holds it from the
+    // first write onward.
+    uint64_t expected = txVersion_;
+    while (!eng_.directCas(&g_.clock, expected,
+                           clockWithLock(txVersion_))) {
+        txVersion_ = validate();
+        expected = txVersion_;
+    }
+    clockHeld_ = true;
+    eng_.directStore(&g_.htmLock, 1);
+    htmLockSet_ = true;
+    writes_.forEach([this](uint64_t *addr, uint64_t value) {
+        eng_.directStore(addr, value);
+    });
+    eng_.directStore(&g_.htmLock, 0);
+    htmLockSet_ = false;
+    eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    clockHeld_ = false;
+}
+
+void
+HybridNOrecLazySession::releaseCommitLocks()
+{
+    if (htmLockSet_) {
+        eng_.directStore(&g_.htmLock, 0);
+        htmLockSet_ = false;
+    }
+    if (clockHeld_) {
+        // Nothing (or everything) was written back before the unwind;
+        // advance to force concurrent readers to revalidate.
+        eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+        clockHeld_ = false;
+    }
+}
+
+void
+HybridNOrecLazySession::restart()
+{
+    throw TxRestart{};
+}
+
+void
+HybridNOrecLazySession::onHtmAbort(const HtmAbort &abort)
+{
+    assert(mode_ == Mode::kFast);
+    htm_.cancel();
+    if (abort.retryOk && attempts_ < retryBudget_.budget()) {
+        backoff_.pause();
+        return;
+    }
+    retryBudget_.onFallback(attempts_);
+    mode_ = Mode::kSoftware;
+    if (stats_)
+        stats_->inc(Counter::kFallbacks);
+}
+
+void
+HybridNOrecLazySession::onRestart()
+{
+    if (mode_ == Mode::kFast) {
+        htm_.cancel();
+        backoff_.pause();
+        return;
+    }
+    releaseCommitLocks();
+    if (stats_)
+        stats_->inc(Counter::kSlowPathRestarts);
+    if (++slowRestarts_ >= policy_.maxSlowPathRestarts &&
+        mode_ == Mode::kSoftware) {
+        mode_ = Mode::kSerial;
+    }
+    backoff_.pause();
+}
+
+void
+HybridNOrecLazySession::onUserAbort()
+{
+    htm_.cancel();
+    releaseCommitLocks();
+    if (registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
+        registered_ = false;
+    }
+    if (serialHeld_) {
+        eng_.directStore(&g_.serialLock, 0);
+        serialHeld_ = false;
+    }
+    mode_ = Mode::kFast;
+    attempts_ = 0;
+    slowRestarts_ = 0;
+}
+
+void
+HybridNOrecLazySession::onComplete()
+{
+    if (mode_ == Mode::kFast)
+        retryBudget_.onFastCommit(attempts_);
+    if (stats_) {
+        switch (mode_) {
+          case Mode::kFast:
+            stats_->inc(Counter::kCommitsFastPath);
+            break;
+          case Mode::kSoftware:
+            stats_->inc(Counter::kCommitsSoftwarePath);
+            break;
+          case Mode::kSerial:
+            stats_->inc(Counter::kCommitsSerialPath);
+            break;
+        }
+    }
+    if (registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
+        registered_ = false;
+    }
+    if (serialHeld_) {
+        eng_.directStore(&g_.serialLock, 0);
+        serialHeld_ = false;
+    }
+    mode_ = Mode::kFast;
+    attempts_ = 0;
+    slowRestarts_ = 0;
+    backoff_.reset();
+}
+
+} // namespace rhtm

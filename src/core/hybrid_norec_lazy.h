@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Hybrid NOrec with the *lazy* software slow path -- the design
+ * alternative the paper evaluated and set aside (Section 3.1: "We
+ * also implemented the lazy design of NOrec that does require read-set
+ * and write-set logging, but we found that for the low concurrency in
+ * our benchmarks, the eager NOrec design delivers better
+ * performance").
+ *
+ * The slow path keeps a value-based read log and a redo write set; the
+ * global HTM lock is raised only for the commit-time write-back window
+ * instead of the whole write phase, so hardware fast paths survive
+ * longer against slow-path writers -- at the price of logging on every
+ * access and commit-time revalidation. The ablation bench quantifies
+ * the trade.
+ */
+
+#ifndef RHTM_CORE_HYBRID_NOREC_LAZY_H
+#define RHTM_CORE_HYBRID_NOREC_LAZY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/tx_defs.h"
+#include "src/core/globals.h"
+#include "src/core/retry_policy.h"
+#include "src/htm/fixed_table.h"
+#include "src/htm/htm_txn.h"
+#include "src/stats/stats.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/** Per-thread lazy Hybrid NOrec session. */
+class HybridNOrecLazySession : public TxSession
+{
+  public:
+    HybridNOrecLazySession(HtmEngine &eng, TmGlobals &globals,
+                           HtmTxn &htm, ThreadStats *stats,
+                           const RetryPolicy &policy,
+                           unsigned access_penalty = 0);
+
+    void begin(TxnHint hint) override;
+    uint64_t read(const uint64_t *addr) override;
+    void write(uint64_t *addr, uint64_t value) override;
+    void commit() override;
+    void onHtmAbort(const HtmAbort &abort) override;
+    void onRestart() override;
+    void onUserAbort() override;
+    void onComplete() override;
+    const char *name() const override { return "hy-norec-lazy"; }
+
+  private:
+    enum class Mode
+    {
+        kFast,
+        kSoftware,
+        kSerial,
+    };
+
+    struct ReadEntry
+    {
+        const uint64_t *addr;
+        uint64_t value;
+    };
+
+    void beginSoftware();
+
+    /**
+     * Value-validate the read log at a stable clock; returns the new
+     * snapshot version or restarts.
+     */
+    uint64_t validate();
+
+    /** Spin until the clock is unlocked; returns the stable value. */
+    uint64_t stableClock();
+
+    /** Drop the clock/HTM locks held during a commit write-back. */
+    void releaseCommitLocks();
+
+    [[noreturn]] void restart();
+
+    HtmEngine &eng_;
+    TmGlobals &g_;
+    HtmTxn &htm_;
+    ThreadStats *stats_;
+    RetryPolicy policy_;
+    AdaptiveRetryBudget retryBudget_;
+    unsigned penalty_;
+    Backoff backoff_;
+
+    Mode mode_ = Mode::kFast;
+    unsigned attempts_ = 0;
+    unsigned slowRestarts_ = 0;
+    bool registered_ = false;
+    bool serialHeld_ = false;
+    bool clockHeld_ = false;
+    bool htmLockSet_ = false;
+    uint64_t txVersion_ = 0;
+    std::vector<ReadEntry> readLog_;
+    WriteBuffer writes_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_HYBRID_NOREC_LAZY_H

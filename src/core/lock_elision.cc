@@ -1,0 +1,123 @@
+#include "src/core/lock_elision.h"
+
+#include <cassert>
+
+namespace rhtm
+{
+
+LockElisionSession::LockElisionSession(HtmEngine &eng, TmGlobals &globals,
+                                       HtmTxn &htm, ThreadStats *stats,
+                                       const RetryPolicy &policy)
+    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy)
+{}
+
+void
+LockElisionSession::begin(TxnHint hint)
+{
+    (void)hint;
+    if (mode_ == Mode::kSerial) {
+        // Take the global lock for real; the store dooms every elided
+        // transaction subscribed to it.
+        for (;;) {
+            uint64_t expected = 0;
+            if (eng_.directCas(&g_.globalLock, expected, 1))
+                break;
+            spinUntil([&] { return eng_.directLoad(&g_.globalLock) == 0; });
+        }
+        lockHeld_ = true;
+        return;
+    }
+    ++attempts_;
+    htm_.begin();
+    // Subscribe: if the lock is held, the elided run cannot be atomic
+    // with respect to the lock holder.
+    if (htm_.read(&g_.globalLock) != 0)
+        htm_.abortExplicit();
+}
+
+uint64_t
+LockElisionSession::read(const uint64_t *addr)
+{
+    if (mode_ == Mode::kSerial)
+        return eng_.directLoad(addr);
+    return htm_.read(addr);
+}
+
+void
+LockElisionSession::write(uint64_t *addr, uint64_t value)
+{
+    if (mode_ == Mode::kSerial) {
+        eng_.directStore(addr, value);
+        return;
+    }
+    htm_.write(addr, value);
+}
+
+void
+LockElisionSession::commit()
+{
+    if (mode_ == Mode::kSerial) {
+        eng_.directStore(&g_.globalLock, 0);
+        lockHeld_ = false;
+        return;
+    }
+    htm_.commit();
+}
+
+void
+LockElisionSession::onHtmAbort(const HtmAbort &abort)
+{
+    assert(mode_ == Mode::kFast);
+    // A real abort already reset the hardware transaction; an injected
+    // one (tests, policy probes) may not have.
+    htm_.cancel();
+    if (abort.cause == HtmAbortCause::kExplicit) {
+        // Subscription abort: the lock is (or was) held. Wait for it
+        // to clear before re-eliding instead of burning the retry
+        // budget against a held lock (standard HLE practice).
+        spinUntil([&] { return eng_.directLoad(&g_.globalLock) == 0; });
+    }
+    if (abort.retryOk && attempts_ < policy_.maxFastPathRetries) {
+        backoff_.pause();
+        return; // Retry in hardware.
+    }
+    mode_ = Mode::kSerial;
+    if (stats_)
+        stats_->inc(Counter::kFallbacks);
+}
+
+void
+LockElisionSession::onRestart()
+{
+    // Lock Elision never throws TxRestart; only a user retry() can land
+    // here. Release the lock so other threads can progress.
+    onUserAbort();
+    backoff_.pause();
+}
+
+void
+LockElisionSession::onUserAbort()
+{
+    htm_.cancel();
+    if (lockHeld_) {
+        // Serial writes happened in place and cannot be rolled back;
+        // like a real elided lock, an exception inside the critical
+        // section leaves its partial updates visible.
+        eng_.directStore(&g_.globalLock, 0);
+        lockHeld_ = false;
+    }
+}
+
+void
+LockElisionSession::onComplete()
+{
+    if (stats_) {
+        stats_->inc(mode_ == Mode::kFast ? Counter::kCommitsFastPath
+                                         : Counter::kCommitsSerialPath);
+    }
+    mode_ = Mode::kFast;
+    attempts_ = 0;
+    backoff_.reset();
+}
+
+} // namespace rhtm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lock Elision baseline (paper Section 3.1): run the body as a pure
+ * hardware transaction subscribed to a single global lock; after the
+ * retry budget, acquire the lock for real, which aborts every hardware
+ * transaction and serializes execution.
+ */
+
+#ifndef RHTM_CORE_LOCK_ELISION_H
+#define RHTM_CORE_LOCK_ELISION_H
+
+#include "src/api/tx_defs.h"
+#include "src/core/globals.h"
+#include "src/core/retry_policy.h"
+#include "src/htm/htm_txn.h"
+#include "src/stats/stats.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/** Per-thread Lock Elision session. */
+class LockElisionSession : public TxSession
+{
+  public:
+    LockElisionSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
+                       ThreadStats *stats, const RetryPolicy &policy);
+
+    void begin(TxnHint hint) override;
+    uint64_t read(const uint64_t *addr) override;
+    void write(uint64_t *addr, uint64_t value) override;
+    void commit() override;
+    void onHtmAbort(const HtmAbort &abort) override;
+    void onRestart() override;
+    void onUserAbort() override;
+    void onComplete() override;
+    const char *name() const override { return "lock-elision"; }
+
+  private:
+    enum class Mode
+    {
+        kFast,   //!< Elided: body in a hardware transaction.
+        kSerial, //!< Holding the global lock.
+    };
+
+    HtmEngine &eng_;
+    TmGlobals &g_;
+    HtmTxn &htm_;
+    ThreadStats *stats_;
+    RetryPolicy policy_;
+    Backoff backoff_;
+    Mode mode_ = Mode::kFast;
+    unsigned attempts_ = 0;
+    bool lockHeld_ = false;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_LOCK_ELISION_H

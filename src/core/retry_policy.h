@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Retry-policy and RH-specific configuration knobs (paper Section 3.3
+ * and 3.4).
+ */
+
+#ifndef RHTM_CORE_RETRY_POLICY_H
+#define RHTM_CORE_RETRY_POLICY_H
+
+#include <cstdint>
+
+namespace rhtm
+{
+
+/**
+ * The paper's static retry policy: up to 10 hardware restarts for
+ * retry-worthy aborts (conflicts), immediate fallback for capacity
+ * aborts; a slow path that restarts 10 times grabs the serial lock;
+ * the two small RH hardware transactions are tried once each.
+ */
+struct RetryPolicy
+{
+    /** Max hardware fast-path attempts per transaction. */
+    unsigned maxFastPathRetries = 10;
+
+    /** Slow-path restarts before serializing via the serial lock. */
+    unsigned maxSlowPathRestarts = 10;
+
+    /** Attempts for each small HTM in the mixed slow path. */
+    unsigned smallHtmAttempts = 1;
+
+    /**
+     * Use a dynamic fast-path budget instead of the static limit
+     * (the dynamic-adaptive policy the paper cites as future work,
+     * Section 3.3 / [11]).
+     */
+    bool adaptive = false;
+
+    /** Bounds for the adaptive budget. */
+    unsigned adaptiveMinRetries = 2;
+    unsigned adaptiveMaxRetries = 24;
+};
+
+/**
+ * EWMA-driven fast-path retry budget (Section 3.3's future-work
+ * direction). Tracks whether hardware retries pay off: a transaction
+ * that commits in hardware after several attempts raises the payoff
+ * score, one that burns its budget and falls back anyway lowers it.
+ * The budget interpolates between the policy's bounds.
+ */
+class AdaptiveRetryBudget
+{
+  public:
+    explicit AdaptiveRetryBudget(const RetryPolicy &policy)
+        : policy_(policy), score_(kScale / 2)
+    {}
+
+    /** Current fast-path attempt budget. */
+    unsigned
+    budget() const
+    {
+        if (!policy_.adaptive)
+            return policy_.maxFastPathRetries;
+        unsigned span =
+            policy_.adaptiveMaxRetries - policy_.adaptiveMinRetries;
+        return policy_.adaptiveMinRetries +
+               static_cast<unsigned>(uint64_t(span) * score_ / kScale);
+    }
+
+    /** A transaction committed in hardware after @p attempts tries. */
+    void
+    onFastCommit(unsigned attempts)
+    {
+        if (attempts > 1) {
+            // Retrying rescued this transaction: worth the budget.
+            score_ += (kScale - score_) / 8;
+        }
+    }
+
+    /** A transaction burned @p attempts tries and fell back anyway. */
+    void
+    onFallback(unsigned attempts)
+    {
+        (void)attempts;
+        score_ -= score_ / 8;
+    }
+
+    /** Raw payoff score (for tests). */
+    uint32_t score() const { return score_; }
+
+  private:
+    static constexpr uint32_t kScale = 1024;
+
+    RetryPolicy policy_;
+    uint32_t score_;
+};
+
+/**
+ * RH NOrec feature switches (the ablation benches toggle these) and
+ * the dynamic prefix-length adjustment parameters (Section 2.4: start
+ * long, halve on failure until it commits with high probability).
+ */
+struct RhConfig
+{
+    /** Run the HTM prefix (Algorithm 3). */
+    bool enablePrefix = true;
+
+    /** Run the HTM postfix (Algorithm 2). */
+    bool enablePostfix = true;
+
+    /** Adapt the prefix length from abort feedback. */
+    bool adaptivePrefix = true;
+
+    /** Initial/maximum expected prefix length, in reads. */
+    uint32_t maxPrefixLength = 4096;
+
+    /** Smallest prefix length the adjustment will try. */
+    uint32_t minPrefixLength = 4;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_RETRY_POLICY_H

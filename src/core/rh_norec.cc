@@ -1,0 +1,420 @@
+#include "src/core/rh_norec.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rhtm
+{
+
+RhNOrecSession::RhNOrecSession(HtmEngine &eng, TmGlobals &globals,
+                               HtmTxn &htm, ThreadStats *stats,
+                               const RetryPolicy &policy,
+                               const RhConfig &rh,
+                               unsigned access_penalty)
+    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
+      retryBudget_(policy), rh_(rh), penalty_(access_penalty),
+      expectedPrefixLen_(rh.maxPrefixLength)
+{
+    undo_.reserve(256);
+}
+
+//
+// Prefix (Algorithm 3)
+//
+
+void
+RhNOrecSession::startPrefix()
+{
+    ++prefixTries_;
+    if (stats_)
+        stats_->inc(Counter::kPrefixAttempts);
+    htm_.begin();
+    prefixActive_ = true;
+    // Subscribe to the HTM lock for opacity, like the fast path.
+    if (htm_.read(&g_.htmLock) != 0)
+        htm_.abortExplicit();
+    maxReads_ = expectedPrefixLen_;
+    prefixReads_ = 0;
+}
+
+void
+RhNOrecSession::commitPrefix()
+{
+    // Register as a fallback and snapshot the clock *inside* the
+    // hardware transaction: the commit validates that neither moved,
+    // so registration and snapshot are one atomic step.
+    htm_.write(&g_.fallbacks, htm_.read(&g_.fallbacks) + 1);
+    uint64_t clock = htm_.read(&g_.clock);
+    if (clockIsLocked(clock))
+        htm_.abortExplicit();
+    htm_.commit();
+    prefixActive_ = false;
+    registered_ = true;
+    writeDetected_ = false;
+    txVersion_ = clock;
+    prefixSucceeded_ = true;
+    if (stats_)
+        stats_->inc(Counter::kPrefixSuccesses);
+}
+
+//
+// Software mixed start (Algorithm 2, lines 1-8)
+//
+
+void
+RhNOrecSession::startSoftwareMixed()
+{
+    if (!registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, 1);
+        registered_ = true;
+    }
+    writeDetected_ = false;
+    undo_.clear();
+    txVersion_ = eng_.directLoad(&g_.clock);
+    if (clockIsLocked(txVersion_))
+        restart();
+}
+
+void
+RhNOrecSession::begin(TxnHint hint)
+{
+    (void)hint;
+    if (mode_ == Mode::kFast) {
+        ++attempts_;
+        htm_.begin();
+        // Algorithm 1: subscribe only to the HTM lock -- the clock is
+        // not touched until commit (the whole point of RH NOrec).
+        if (htm_.read(&g_.htmLock) != 0)
+            htm_.abortExplicit();
+        return;
+    }
+    if (mode_ == Mode::kSerial && !serialHeld_) {
+        for (;;) {
+            uint64_t expected = 0;
+            if (eng_.directCas(&g_.serialLock, expected, 1))
+                break;
+            spinUntil([&] { return eng_.directLoad(&g_.serialLock) == 0; });
+        }
+        serialHeld_ = true;
+    }
+    // Mixed slow path: try the HTM prefix first (once per transaction,
+    // Section 3.4), otherwise the software start.
+    if (rh_.enablePrefix && prefixTries_ < policy_.smallHtmAttempts &&
+        mode_ != Mode::kSerial) {
+        startPrefix();
+        return;
+    }
+    startSoftwareMixed();
+}
+
+uint64_t
+RhNOrecSession::read(const uint64_t *addr)
+{
+    if (mode_ == Mode::kFast)
+        return htm_.read(addr);
+    // Every mixed slow-path access runs through the instrumented
+    // clone, whether it lands in a small HTM or in software.
+    simDelay(penalty_);
+    if (postfixActive_)
+        return htm_.read(addr);
+    if (prefixActive_) {
+        ++prefixReads_;
+        if (prefixReads_ < maxReads_)
+            return htm_.read(addr);
+        // Expected length reached: move to the software phase
+        // (Algorithm 3 lines 33-35) and fall through to a software
+        // read of this address.
+        commitPrefix();
+    }
+    if (writeDetected_) {
+        // We hold the clock: no writer can commit, reads are stable.
+        return eng_.directLoad(addr);
+    }
+    uint64_t v = eng_.directLoad(addr);
+    if (eng_.directLoad(&g_.clock) != txVersion_)
+        restart();
+    return v;
+}
+
+//
+// First slow-path write (Algorithm 2, handle_first_write)
+//
+
+void
+RhNOrecSession::handleFirstWrite()
+{
+    // acquire_clock_lock: lock the clock iff it still matches our
+    // snapshot (lines 47-56).
+    uint64_t expected = txVersion_;
+    if (!eng_.directCas(&g_.clock, expected, clockWithLock(txVersion_)))
+        restart();
+    clockHeld_ = true;
+    writeDetected_ = true;
+    if (rh_.enablePostfix && postfixTries_ < policy_.smallHtmAttempts) {
+        ++postfixTries_;
+        if (stats_)
+            stats_->inc(Counter::kPostfixAttempts);
+        htm_.begin();
+        postfixActive_ = true;
+        // No subscription needed: we hold the clock, so no other
+        // slow-path writer can run, and fast paths never raise the
+        // HTM lock.
+        return;
+    }
+    // Postfix budget exhausted: abort all hardware transactions and
+    // execute the writes in software (lines 28-30).
+    eng_.directStore(&g_.htmLock, 1);
+    htmLockSet_ = true;
+}
+
+void
+RhNOrecSession::write(uint64_t *addr, uint64_t value)
+{
+    if (mode_ == Mode::kFast) {
+        htm_.write(addr, value);
+        return;
+    }
+    simDelay(penalty_);
+    if (postfixActive_) {
+        htm_.write(addr, value);
+        return;
+    }
+    if (prefixActive_)
+        commitPrefix(); // Algorithm 3 lines 40-43.
+    if (!writeDetected_) {
+        handleFirstWrite();
+        if (postfixActive_) {
+            htm_.write(addr, value);
+            return;
+        }
+    }
+    undo_.push_back({addr, eng_.directLoad(addr)});
+    eng_.directStore(addr, value);
+}
+
+void
+RhNOrecSession::commit()
+{
+    if (mode_ == Mode::kFast) {
+        // Algorithm 1, fast_path_commit.
+        if (htm_.isReadOnly()) {
+            htm_.commit();
+            if (stats_)
+                stats_->inc(Counter::kReadOnlyCommits);
+            return;
+        }
+        if (htm_.read(&g_.fallbacks) > 0) {
+            uint64_t clock = htm_.read(&g_.clock);
+            if (clockIsLocked(clock))
+                htm_.abortExplicit();
+            if (htm_.read(&g_.serialLock) != 0)
+                htm_.abortExplicit(); // Section 3.3.
+            htm_.write(&g_.clock, clock + 2);
+        }
+        htm_.commit();
+        return;
+    }
+    if (prefixActive_) {
+        // The whole body fit in the prefix (Algorithm 3 lines 59-62):
+        // a purely hardware, read-only mixed slow path.
+        htm_.commit();
+        prefixActive_ = false;
+        prefixSucceeded_ = true;
+        if (stats_) {
+            stats_->inc(Counter::kPrefixSuccesses);
+            stats_->inc(Counter::kReadOnlyCommits);
+        }
+        return;
+    }
+    if (!writeDetected_) {
+        if (stats_)
+            stats_->inc(Counter::kReadOnlyCommits);
+        return; // Read-only software phase: validated by every read.
+    }
+    if (postfixActive_) {
+        // Publish every slow-path write atomically; a concurrent fast
+        // path can never observe a partial update (Figure 2).
+        htm_.commit();
+        postfixActive_ = false;
+        if (stats_)
+            stats_->inc(Counter::kPostfixSuccesses);
+    }
+    if (htmLockSet_) {
+        eng_.directStore(&g_.htmLock, 0);
+        htmLockSet_ = false;
+    }
+    eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    clockHeld_ = false;
+    writeDetected_ = false;
+    // The undo journal is dead once the writes are committed; a later
+    // attempt's rollback must never replay it.
+    undo_.clear();
+}
+
+void
+RhNOrecSession::rollbackWriter()
+{
+    // Replay the undo journal only while its writes are live (pushed
+    // between the first software write and commit/rollback).
+    if (writeDetected_) {
+        for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+            eng_.directStore(it->addr, it->oldValue);
+    }
+    undo_.clear();
+    if (htmLockSet_) {
+        eng_.directStore(&g_.htmLock, 0);
+        htmLockSet_ = false;
+    }
+    if (clockHeld_) {
+        // Nothing (visible) was published; restore the snapshot if no
+        // in-place writes happened, otherwise advance to force
+        // concurrent readers that glimpsed undone values to restart.
+        eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+        clockHeld_ = false;
+    }
+    writeDetected_ = false;
+}
+
+void
+RhNOrecSession::adaptPrefixDown()
+{
+    // Abort feedback (Section 2.4): shrink toward the point where the
+    // prefix commits with high probability. Shrinking below the reads
+    // actually reached aborts faster next time, so cap by that too.
+    uint32_t reached = std::max<uint32_t>(prefixReads_, 1);
+    uint32_t next = std::min(expectedPrefixLen_, reached) / 2;
+    expectedPrefixLen_ = std::max(rh_.minPrefixLength, next);
+}
+
+void
+RhNOrecSession::adaptPrefixUp()
+{
+    if (!rh_.adaptivePrefix)
+        return;
+    uint32_t next = expectedPrefixLen_ + expectedPrefixLen_ / 4 + 1;
+    expectedPrefixLen_ = std::min(rh_.maxPrefixLength, next);
+}
+
+void
+RhNOrecSession::restart()
+{
+    throw TxRestart{};
+}
+
+void
+RhNOrecSession::onHtmAbort(const HtmAbort &abort)
+{
+    // A real abort already reset the hardware transaction; an injected
+    // one (tests, policy probes) may not have.
+    htm_.cancel();
+    if (mode_ == Mode::kFast) {
+        if (abort.retryOk && attempts_ < retryBudget_.budget()) {
+            backoff_.pause();
+            return; // Retry in hardware.
+        }
+        retryBudget_.onFallback(attempts_);
+        mode_ = Mode::kMixed;
+        if (stats_)
+            stats_->inc(Counter::kFallbacks);
+        return;
+    }
+    // A small HTM (prefix or postfix) aborted mid-attempt. Real
+    // hardware would resume at its checkpoint; we restart the attempt
+    // with that small HTM's budget spent (see file comment).
+    if (prefixActive_) {
+        prefixActive_ = false;
+        if (rh_.adaptivePrefix)
+            adaptPrefixDown();
+    }
+    if (postfixActive_)
+        postfixActive_ = false;
+    rollbackWriter();
+    backoff_.pause();
+}
+
+void
+RhNOrecSession::onRestart()
+{
+    if (mode_ == Mode::kFast) {
+        // User retry() inside the hardware fast path: discard the
+        // hardware transaction and re-execute.
+        htm_.cancel();
+        backoff_.pause();
+        return;
+    }
+    if (prefixActive_ || postfixActive_) {
+        htm_.cancel();
+        prefixActive_ = false;
+        postfixActive_ = false;
+    }
+    rollbackWriter();
+    if (stats_)
+        stats_->inc(Counter::kSlowPathRestarts);
+    if (++slowRestarts_ >= policy_.maxSlowPathRestarts &&
+        mode_ == Mode::kMixed) {
+        mode_ = Mode::kSerial;
+    }
+    backoff_.pause();
+}
+
+void
+RhNOrecSession::onUserAbort()
+{
+    htm_.cancel(); // Covers the fast path and both small HTMs.
+    prefixActive_ = false;
+    postfixActive_ = false;
+    rollbackWriter();
+    if (registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
+        registered_ = false;
+    }
+    if (serialHeld_) {
+        eng_.directStore(&g_.serialLock, 0);
+        serialHeld_ = false;
+    }
+    mode_ = Mode::kFast;
+    attempts_ = 0;
+    slowRestarts_ = 0;
+    prefixTries_ = 0;
+    postfixTries_ = 0;
+    prefixSucceeded_ = false;
+}
+
+void
+RhNOrecSession::onComplete()
+{
+    if (mode_ == Mode::kFast)
+        retryBudget_.onFastCommit(attempts_);
+    if (stats_) {
+        switch (mode_) {
+          case Mode::kFast:
+            stats_->inc(Counter::kCommitsFastPath);
+            break;
+          case Mode::kMixed:
+            stats_->inc(Counter::kCommitsMixedPath);
+            break;
+          case Mode::kSerial:
+            stats_->inc(Counter::kCommitsSerialPath);
+            break;
+        }
+    }
+    if (registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
+        registered_ = false;
+    }
+    if (serialHeld_) {
+        eng_.directStore(&g_.serialLock, 0);
+        serialHeld_ = false;
+    }
+    if (prefixSucceeded_)
+        adaptPrefixUp();
+    mode_ = Mode::kFast;
+    attempts_ = 0;
+    slowRestarts_ = 0;
+    prefixTries_ = 0;
+    postfixTries_ = 0;
+    prefixSucceeded_ = false;
+    backoff_.reset();
+}
+
+} // namespace rhtm

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Reduced Hardware NOrec (the paper's contribution, Algorithms 1-3).
+ *
+ * The hardware fast path runs fully uninstrumented and defers every
+ * interaction with the shared metadata to its commit point: it
+ * subscribes only to global_htm_lock at start, and touches
+ * num_of_fallbacks / global_clock just before the hardware commit
+ * (Algorithm 1) -- eliminating Hybrid NOrec's start-time clock
+ * subscription and its false aborts.
+ *
+ * The slow path is *mixed* software/hardware:
+ *
+ *  - HTM prefix (Algorithm 3): the longest possible run of initial
+ *    reads executes inside a small hardware transaction, replacing
+ *    per-read clock validation with hardware conflict detection. Its
+ *    commit atomically registers the fallback (num_of_fallbacks++) and
+ *    snapshots the clock, deferring the clock read to the prefix
+ *    commit point. The prefix length adapts to abort feedback.
+ *  - Software middle: remaining reads validate against the clock, as
+ *    in eager NOrec.
+ *  - HTM postfix (Algorithm 2): the first write locks the clock and
+ *    opens a second small hardware transaction that buffers the rest
+ *    of the transaction (all writes); its commit publishes them
+ *    atomically, so concurrent fast paths never see partial slow-path
+ *    writes -- which is what makes the fast path's *late* clock read
+ *    safe (Figure 2).
+ *
+ * If a small hardware transaction fails, the transaction reverts to
+ * the Hybrid NOrec software path: the prefix is replaced by start-time
+ * clock reading, and the postfix by raising global_htm_lock (aborting
+ * all hardware transactions) and writing in software.
+ *
+ * Simulation divergence (documented in DESIGN.md): real hardware
+ * resumes a failed small HTM at its XBEGIN checkpoint mid-body; a
+ * library cannot restore CPU state, so a small-HTM failure restarts
+ * the whole attempt with that small HTM disabled. The retry policy is
+ * the paper's (Section 3.4): each small HTM is tried once per
+ * transaction before using its software counterpart.
+ */
+
+#ifndef RHTM_CORE_RH_NOREC_H
+#define RHTM_CORE_RH_NOREC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/tx_defs.h"
+#include "src/core/globals.h"
+#include "src/core/retry_policy.h"
+#include "src/htm/htm_txn.h"
+#include "src/stats/stats.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/** Per-thread RH NOrec session. */
+class RhNOrecSession : public TxSession
+{
+  public:
+    RhNOrecSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
+                   ThreadStats *stats, const RetryPolicy &policy,
+                   const RhConfig &rh, unsigned access_penalty = 0);
+
+    void begin(TxnHint hint) override;
+    uint64_t read(const uint64_t *addr) override;
+    void write(uint64_t *addr, uint64_t value) override;
+    void commit() override;
+    void onHtmAbort(const HtmAbort &abort) override;
+    void onRestart() override;
+    void onUserAbort() override;
+    void onComplete() override;
+    const char *name() const override { return "rh-norec"; }
+
+    /** Current adaptive prefix length (exposed for tests/benches). */
+    uint32_t expectedPrefixLength() const { return expectedPrefixLen_; }
+
+  private:
+    enum class Mode
+    {
+        kFast,   //!< Pure hardware fast path (Algorithm 1).
+        kMixed,  //!< Mixed slow path (Algorithms 2-3).
+        kSerial, //!< Mixed slow path holding the serial lock.
+    };
+
+    struct UndoEntry
+    {
+        uint64_t *addr;
+        uint64_t oldValue;
+    };
+
+    /** Algorithm 3, start_rh_htm_prefix. */
+    void startPrefix();
+
+    /** Algorithm 3, commit_rh_htm_prefix. */
+    void commitPrefix();
+
+    /** Algorithm 2 start path (software: register + read clock). */
+    void startSoftwareMixed();
+
+    /** Algorithm 2, handle_first_write. */
+    void handleFirstWrite();
+
+    /** Undo any in-place software writes and drop held locks. */
+    void rollbackWriter();
+
+    /** Shrink the expected prefix length after an abort. */
+    void adaptPrefixDown();
+
+    /** Grow the expected prefix length after a success. */
+    void adaptPrefixUp();
+
+    [[noreturn]] void restart();
+
+    HtmEngine &eng_;
+    TmGlobals &g_;
+    HtmTxn &htm_;
+    ThreadStats *stats_;
+    RetryPolicy policy_;
+    AdaptiveRetryBudget retryBudget_;
+    RhConfig rh_;
+    unsigned penalty_;
+    Backoff backoff_;
+
+    Mode mode_ = Mode::kFast;
+    unsigned attempts_ = 0;
+    unsigned slowRestarts_ = 0;
+
+    // Per-transaction (spanning attempts) small-HTM budgets.
+    unsigned prefixTries_ = 0;
+    unsigned postfixTries_ = 0;
+
+    // Per-attempt state.
+    bool prefixActive_ = false;
+    bool postfixActive_ = false;
+    bool writeDetected_ = false;
+    bool clockHeld_ = false;
+    bool htmLockSet_ = false;
+    bool registered_ = false;
+    bool serialHeld_ = false;
+    bool prefixSucceeded_ = false;
+    uint64_t txVersion_ = 0;
+    uint32_t prefixReads_ = 0;
+    uint32_t maxReads_ = 0;
+    std::vector<UndoEntry> undo_;
+
+    // Adaptive prefix length, persistent across transactions.
+    uint32_t expectedPrefixLen_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_RH_NOREC_H

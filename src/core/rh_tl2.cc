@@ -1,0 +1,250 @@
+#include "src/core/rh_tl2.h"
+
+#include <cassert>
+
+namespace rhtm
+{
+
+RhTl2Session::RhTl2Session(HtmEngine &eng, TmGlobals &globals,
+                           RhTl2Globals &tl2, HtmTxn &htm,
+                           ThreadStats *stats, const RetryPolicy &policy,
+                           unsigned access_penalty)
+    : eng_(eng), g_(globals), tl2_(tl2), htm_(htm), stats_(stats),
+      policy_(policy), retryBudget_(policy), penalty_(access_penalty),
+      writes_(12)
+{
+    readLog_.reserve(1024);
+    writeAddrs_.reserve(256);
+}
+
+void
+RhTl2Session::begin(TxnHint hint)
+{
+    (void)hint;
+    if (mode_ == Mode::kFast) {
+        ++attempts_;
+        writeAddrs_.clear();
+        htm_.begin();
+        // Subscribe to the HTM lock: a serialized software commit may
+        // be writing back non-atomically.
+        if (htm_.read(&g_.htmLock) != 0)
+            htm_.abortExplicit();
+        return;
+    }
+    if (!registered_) {
+        // Like RH NOrec's num_of_fallbacks: fast paths only pay the
+        // metadata updates while a mixed path is live.
+        eng_.directFetchAdd(&g_.fallbacks, 1);
+        registered_ = true;
+    }
+    readLog_.clear();
+    writes_.clear();
+    rv_ = eng_.directLoad(tl2_.clock());
+}
+
+uint64_t
+RhTl2Session::read(const uint64_t *addr)
+{
+    if (mode_ == Mode::kFast) {
+        // The RH-TL2 selling point: hardware reads stay uninstrumented.
+        return htm_.read(addr);
+    }
+    simDelay(penalty_);
+    uint64_t buffered;
+    if (writes_.lookup(addr, buffered))
+        return buffered;
+    uint64_t *orec = tl2_.orecOf(addr);
+    uint64_t o1 = eng_.directLoad(orec);
+    if (o1 > rv_)
+        restart(); // Written after our snapshot.
+    uint64_t v = eng_.directLoad(addr);
+    if (eng_.directLoad(orec) != o1)
+        restart();
+    readLog_.push_back({orec, o1});
+    return v;
+}
+
+void
+RhTl2Session::write(uint64_t *addr, uint64_t value)
+{
+    if (mode_ == Mode::kFast) {
+        // Drawback #1 (Section 1.2): the fast path must update the
+        // per-location metadata for every write location before the
+        // hardware commit; the address log feeds those orec writes.
+        htm_.write(addr, value);
+        writeAddrs_.push_back(addr);
+        return;
+    }
+    simDelay(penalty_);
+    writes_.putGrowing(addr, value);
+}
+
+void
+RhTl2Session::commitMixedHtm()
+{
+    ++commitHtmTries_;
+    if (stats_)
+        stats_->inc(Counter::kPostfixAttempts);
+    htm_.begin();
+    if (htm_.read(&g_.htmLock) != 0)
+        htm_.abortExplicit();
+    // Drawback #2 (Section 1.2): this one small hardware transaction
+    // carries the read-set validation *and* every write location, so
+    // its footprint -- and failure probability -- is high.
+    for (const ReadEntry &e : readLog_) {
+        if (htm_.read(e.orec) != e.version) {
+            htm_.cancel();
+            restart(); // Genuine conflict: restart the transaction.
+        }
+    }
+    uint64_t wv = htm_.read(tl2_.clock()) + 2;
+    htm_.write(tl2_.clock(), wv);
+    writes_.forEach([&](uint64_t *addr, uint64_t value) {
+        htm_.write(addr, value);
+        htm_.write(tl2_.orecOf(addr), wv);
+    });
+    htm_.commit();
+    if (stats_)
+        stats_->inc(Counter::kPostfixSuccesses);
+}
+
+void
+RhTl2Session::commitMixedSoftware()
+{
+    // Serialize under the global HTM lock: the store dooms every
+    // hardware fast path and in-flight commit transaction, making the
+    // non-atomic write-back safe.
+    for (;;) {
+        uint64_t expected = 0;
+        if (eng_.directCas(&g_.htmLock, expected, 1))
+            break;
+        spinUntil([&] { return eng_.directLoad(&g_.htmLock) == 0; });
+    }
+    for (const ReadEntry &e : readLog_) {
+        if (eng_.directLoad(e.orec) != e.version) {
+            eng_.directStore(&g_.htmLock, 0);
+            restart();
+        }
+    }
+    // Compute wv but publish the clock only *after* the write-back:
+    // a reader that begins mid-write-back must have rv < wv so the
+    // fresh orecs fail its validation (publishing the clock first
+    // would let it accept a mixed old/new snapshot). Concurrent commit
+    // transactions cannot slip a same-valued wv in between: the
+    // htmLock store above doomed every in-flight one, and later ones
+    // abort on their start-time subscription.
+    uint64_t wv = eng_.directLoad(tl2_.clock()) + 2;
+    writes_.forEach([&](uint64_t *addr, uint64_t value) {
+        // Orec first: a concurrent reader that sees the new data also
+        // sees a version beyond its snapshot and restarts.
+        eng_.directStore(tl2_.orecOf(addr), wv);
+        eng_.directStore(addr, value);
+    });
+    eng_.directStore(tl2_.clock(), wv);
+    eng_.directStore(&g_.htmLock, 0);
+}
+
+void
+RhTl2Session::commit()
+{
+    if (mode_ == Mode::kFast) {
+        if (writeAddrs_.empty()) {
+            htm_.commit();
+            if (stats_)
+                stats_->inc(Counter::kReadOnlyCommits);
+            return;
+        }
+        if (htm_.read(&g_.fallbacks) > 0) {
+            // Version the written locations inside the hardware
+            // transaction (metadata instrumentation, drawback #1);
+            // only needed while mixed paths are live.
+            uint64_t wv = htm_.read(tl2_.clock()) + 2;
+            htm_.write(tl2_.clock(), wv);
+            for (uint64_t *addr : writeAddrs_)
+                htm_.write(tl2_.orecOf(addr), wv);
+        }
+        htm_.commit();
+        return;
+    }
+    if (writes_.empty()) {
+        if (stats_)
+            stats_->inc(Counter::kReadOnlyCommits);
+        return; // Reads were validated individually against rv_.
+    }
+    if (commitHtmTries_ < policy_.smallHtmAttempts) {
+        commitMixedHtm();
+        return;
+    }
+    commitMixedSoftware();
+}
+
+void
+RhTl2Session::restart()
+{
+    throw TxRestart{};
+}
+
+void
+RhTl2Session::onHtmAbort(const HtmAbort &abort)
+{
+    htm_.cancel();
+    if (mode_ == Mode::kFast) {
+        if (abort.retryOk && attempts_ < retryBudget_.budget()) {
+            backoff_.pause();
+            return;
+        }
+        retryBudget_.onFallback(attempts_);
+        mode_ = Mode::kMixed;
+        if (stats_)
+            stats_->inc(Counter::kFallbacks);
+        return;
+    }
+    // The commit transaction failed mechanically (capacity, injected):
+    // retry the attempt; the next commit() uses the software path.
+    backoff_.pause();
+}
+
+void
+RhTl2Session::onRestart()
+{
+    htm_.cancel();
+    if (mode_ != Mode::kFast && stats_)
+        stats_->inc(Counter::kSlowPathRestarts);
+    backoff_.pause();
+}
+
+void
+RhTl2Session::onUserAbort()
+{
+    htm_.cancel();
+    // Lazy everywhere: nothing was published, no locks held outside
+    // the commit routines (which release before unwinding).
+    if (registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
+        registered_ = false;
+    }
+    mode_ = Mode::kFast;
+    attempts_ = 0;
+    commitHtmTries_ = 0;
+}
+
+void
+RhTl2Session::onComplete()
+{
+    if (mode_ == Mode::kFast)
+        retryBudget_.onFastCommit(attempts_);
+    if (stats_) {
+        stats_->inc(mode_ == Mode::kFast ? Counter::kCommitsFastPath
+                                         : Counter::kCommitsMixedPath);
+    }
+    if (registered_) {
+        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
+        registered_ = false;
+    }
+    mode_ = Mode::kFast;
+    attempts_ = 0;
+    commitHtmTries_ = 0;
+    backoff_.reset();
+}
+
+} // namespace rhtm

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * RH-TL2: the reduced-hardware TL2 of Matveev and Shavit's earlier
+ * work, which the paper discusses as its starting point (Section 1.2).
+ * Implemented so the repository can demonstrate the three drawbacks RH
+ * NOrec was designed to fix:
+ *
+ *  1. The hardware fast path is not pure: reads are uninstrumented,
+ *     but every write must also update the per-location metadata
+ *     (orec) inside the hardware transaction, roughly doubling the
+ *     write footprint.
+ *  2. The mixed slow path commits through one small hardware
+ *     transaction that must hold both the read-set validation and all
+ *     the writes, so its failure odds are comparatively high.
+ *  3. No privatization guarantee (like TL2 itself).
+ *
+ * Structure: TL2-style orecs and a version clock (engine-visible
+ * words). Fast path: plain hardware reads; writes buffer both the
+ * data word and its orec; commit bumps the version clock inside the
+ * hardware transaction. Slow path: TL2-style validated reads, lazy
+ * writes; commit in a small hardware transaction (validate read orecs
+ * + publish writes and orec updates); on failure, a serialized
+ * software commit that raises the global HTM lock.
+ */
+
+#ifndef RHTM_CORE_RH_TL2_H
+#define RHTM_CORE_RH_TL2_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/api/tx_defs.h"
+#include "src/core/globals.h"
+#include "src/core/retry_policy.h"
+#include "src/htm/fixed_table.h"
+#include "src/htm/htm_txn.h"
+#include "src/stats/stats.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/**
+ * RH-TL2's shared state: a version clock and an orec table, all plain
+ * engine-visible words (hardware and software paths coordinate through
+ * the simulated HTM's conflict detection on them).
+ */
+class RhTl2Globals
+{
+  public:
+    explicit RhTl2Globals(unsigned orec_count_log2 = 18)
+        : shift_(64 - orec_count_log2),
+          orecs_(size_t(1) << orec_count_log2, 0)
+    {}
+
+    /** Orec word covering @p addr's cache line. */
+    uint64_t *
+    orecOf(const void *addr)
+    {
+        uint64_t line = reinterpret_cast<uint64_t>(addr) >> 6;
+        return &orecs_[(line * 0x9e3779b97f4a7c15ull) >> shift_];
+    }
+
+    /** The version clock (advances by 2; never locked). */
+    uint64_t *clock() { return &clock_; }
+
+  private:
+    alignas(64) uint64_t clock_ = 2;
+    unsigned shift_;
+    std::vector<uint64_t> orecs_;
+};
+
+/** Per-thread RH-TL2 session. */
+class RhTl2Session : public TxSession
+{
+  public:
+    RhTl2Session(HtmEngine &eng, TmGlobals &globals, RhTl2Globals &tl2,
+                 HtmTxn &htm, ThreadStats *stats,
+                 const RetryPolicy &policy, unsigned access_penalty = 0);
+
+    void begin(TxnHint hint) override;
+    uint64_t read(const uint64_t *addr) override;
+    void write(uint64_t *addr, uint64_t value) override;
+    void commit() override;
+    void onHtmAbort(const HtmAbort &abort) override;
+    void onRestart() override;
+    void onUserAbort() override;
+    void onComplete() override;
+    const char *name() const override { return "rh-tl2"; }
+
+  private:
+    enum class Mode
+    {
+        kFast,  //!< Hardware path (instrumented writes).
+        kMixed, //!< TL2-style software body, small-HTM commit.
+    };
+
+    struct ReadEntry
+    {
+        uint64_t *orec;
+        uint64_t version;
+    };
+
+    /** Commit the mixed path through the small hardware transaction. */
+    void commitMixedHtm();
+
+    /** Serialized software commit under the global HTM lock. */
+    void commitMixedSoftware();
+
+    [[noreturn]] void restart();
+
+    HtmEngine &eng_;
+    TmGlobals &g_;
+    RhTl2Globals &tl2_;
+    HtmTxn &htm_;
+    ThreadStats *stats_;
+    RetryPolicy policy_;
+    AdaptiveRetryBudget retryBudget_;
+    unsigned penalty_;
+    Backoff backoff_;
+
+    Mode mode_ = Mode::kFast;
+    unsigned attempts_ = 0;
+    unsigned commitHtmTries_ = 0;
+    bool registered_ = false;
+    uint64_t rv_ = 0;
+    std::vector<ReadEntry> readLog_;
+    WriteBuffer writes_;
+    std::vector<uint64_t *> writeAddrs_; //!< Fast-path write log.
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_RH_TL2_H

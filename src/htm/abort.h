@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Abort causes and the abort exception for the simulated HTM.
+ *
+ * Mirrors the RTM abort-status word: each abort carries a cause and a
+ * "retry may help" hint. Conflicts set the hint (like RTM's
+ * _XABORT_RETRY); capacity aborts clear it, which is what drives the
+ * paper's retry policy of sending capacity aborts straight to the
+ * software fallback (Section 3.3).
+ */
+
+#ifndef RHTM_HTM_ABORT_H
+#define RHTM_HTM_ABORT_H
+
+#include <cstdint>
+
+namespace rhtm
+{
+
+/** Why a simulated hardware transaction aborted. */
+enum class HtmAbortCause : uint8_t
+{
+    kNone = 0,
+    kConflict,   //!< Another commit wrote a tracked cache line.
+    kCapacity,   //!< Read or write tracking set exceeded the model.
+    kExplicit,   //!< HTM_Abort() called by the transaction itself.
+    kOther,      //!< Injected interrupt/page-fault style abort.
+};
+
+/** Printable name for an abort cause. */
+const char *htmAbortCauseName(HtmAbortCause cause);
+
+/**
+ * Thrown by HtmTxn on abort; unwinds the transaction body back to the
+ * retry loop (the library analogue of the hardware rolling back to
+ * XBEGIN's fallback address).
+ */
+struct HtmAbort
+{
+    HtmAbortCause cause;  //!< Abort reason.
+    bool retryOk;         //!< RTM-style "retrying may succeed" hint.
+    uint8_t code;         //!< User code for explicit aborts.
+};
+
+} // namespace rhtm
+
+#endif // RHTM_HTM_ABORT_H

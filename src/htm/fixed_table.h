@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Fixed-capacity open-addressing hash containers with O(1) clear.
+ *
+ * The simulated HTM's read/write tracking sets are bounded by the
+ * capacity model, so fixed tables with stamped slots (clear = bump the
+ * stamp) keep per-transaction bookkeeping allocation-free and cheap to
+ * reset, the way hardware tracking sets are.
+ */
+
+#ifndef RHTM_HTM_FIXED_TABLE_H
+#define RHTM_HTM_FIXED_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rhtm
+{
+
+/** Multiplicative hash spreading pointer-like keys. */
+inline uint64_t
+mixHash(uint64_t key)
+{
+    key *= 0x9e3779b97f4a7c15ull;
+    key ^= key >> 32;
+    return key;
+}
+
+/**
+ * Fixed-capacity set of uint64_t keys (key 0 allowed).
+ *
+ * insert() returns whether the key was newly added, or false via
+ * @p full when the table has no room left -- the caller treats that as
+ * a capacity overflow.
+ */
+class FixedHashSet
+{
+  public:
+    /** @param slots_log2 log2 of the slot count. */
+    explicit FixedHashSet(unsigned slots_log2)
+        : mask_((size_t(1) << slots_log2) - 1),
+          slots_(size_t(1) << slots_log2), stamp_(1), size_(0)
+    {}
+
+    /**
+     * Insert @p key.
+     *
+     * @param key Key to add.
+     * @param inserted Set true if the key was not present.
+     * @return false when the table is full (key not added).
+     */
+    bool
+    insert(uint64_t key, bool &inserted)
+    {
+        // Cap the probe chain (and load factor) at 3/4 of the table.
+        if (size_ >= (mask_ + 1) / 4 * 3) {
+            inserted = false;
+            return contains(key);
+        }
+        size_t idx = mixHash(key) & mask_;
+        for (;;) {
+            Slot &s = slots_[idx];
+            if (s.stamp != stamp_) {
+                s.stamp = stamp_;
+                s.key = key;
+                ++size_;
+                inserted = true;
+                return true;
+            }
+            if (s.key == key) {
+                inserted = false;
+                return true;
+            }
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    /** True if @p key is present. */
+    bool
+    contains(uint64_t key) const
+    {
+        size_t idx = mixHash(key) & mask_;
+        for (;;) {
+            const Slot &s = slots_[idx];
+            if (s.stamp != stamp_)
+                return false;
+            if (s.key == key)
+                return true;
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    /** Number of keys currently stored. */
+    size_t size() const { return size_; }
+
+    /** Forget all keys in O(1). */
+    void
+    clear()
+    {
+        ++stamp_;
+        size_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t key = 0;
+        uint64_t stamp = 0;
+    };
+
+    size_t mask_;
+    std::vector<Slot> slots_;
+    uint64_t stamp_;
+    size_t size_;
+};
+
+/**
+ * Fixed-capacity map from word address to buffered value, preserving a
+ * way to iterate the live entries (publication order is irrelevant, but
+ * commit must visit each buffered word once).
+ */
+class WriteBuffer
+{
+  public:
+    /** @param slots_log2 log2 of the slot count. */
+    explicit WriteBuffer(unsigned slots_log2)
+        : mask_((size_t(1) << slots_log2) - 1),
+          slots_(size_t(1) << slots_log2), stamp_(1)
+    {
+        order_.reserve(1024);
+    }
+
+    /**
+     * Buffer @p value for @p addr (overwrites an earlier buffering).
+     * @return false when the buffer is full (capacity overflow).
+     */
+    bool
+    put(uint64_t *addr, uint64_t value)
+    {
+        if (order_.size() >= (mask_ + 1) / 4 * 3)
+            return false;
+        size_t idx = mixHash(reinterpret_cast<uint64_t>(addr)) & mask_;
+        for (;;) {
+            Slot &s = slots_[idx];
+            if (s.stamp != stamp_) {
+                s.stamp = stamp_;
+                s.addr = addr;
+                s.value = value;
+                order_.push_back(static_cast<uint32_t>(idx));
+                return true;
+            }
+            if (s.addr == addr) {
+                s.value = value;
+                return true;
+            }
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    /**
+     * Fetch the buffered value for @p addr.
+     * @return true and set @p out if present.
+     */
+    bool
+    lookup(const uint64_t *addr, uint64_t &out) const
+    {
+        size_t idx = mixHash(reinterpret_cast<uint64_t>(addr)) & mask_;
+        for (;;) {
+            const Slot &s = slots_[idx];
+            if (s.stamp != stamp_)
+                return false;
+            if (s.addr == addr) {
+                out = s.value;
+                return true;
+            }
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    /** Number of distinct buffered words. */
+    size_t sizeWords() const { return order_.size(); }
+
+    /** True when nothing is buffered. */
+    bool empty() const { return order_.empty(); }
+
+    /** Visit each buffered (addr, value) pair once. */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (uint32_t idx : order_) {
+            const Slot &s = slots_[idx];
+            fn(s.addr, s.value);
+        }
+    }
+
+    /** Discard all buffered writes in O(live entries). */
+    void
+    clear()
+    {
+        ++stamp_;
+        order_.clear();
+    }
+
+    /**
+     * put() that doubles the table instead of failing; for software
+     * write sets, which have no hardware capacity bound.
+     */
+    void
+    putGrowing(uint64_t *addr, uint64_t value)
+    {
+        while (!put(addr, value))
+            grow();
+    }
+
+  private:
+    /** Double the slot count, rehashing the live entries. */
+    void
+    grow()
+    {
+        WriteBuffer bigger(
+            static_cast<unsigned>(64 - __builtin_clzll(mask_)) + 1);
+        forEach([&](uint64_t *a, uint64_t v) { bigger.put(a, v); });
+        mask_ = bigger.mask_;
+        slots_ = std::move(bigger.slots_);
+        stamp_ = bigger.stamp_;
+        order_ = std::move(bigger.order_);
+    }
+
+    struct Slot
+    {
+        uint64_t *addr = nullptr;
+        uint64_t value = 0;
+        uint64_t stamp = 0;
+    };
+
+    size_t mask_;
+    std::vector<Slot> slots_;
+    uint64_t stamp_;
+    std::vector<uint32_t> order_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_HTM_FIXED_TABLE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tunables for the simulated best-effort HTM.
+ */
+
+#ifndef RHTM_HTM_HTM_CONFIG_H
+#define RHTM_HTM_HTM_CONFIG_H
+
+#include <cstddef>
+
+namespace rhtm
+{
+
+/**
+ * Capacity and abort-injection model for the simulated HTM.
+ *
+ * Defaults approximate the paper's Haswell: the write set is bounded by
+ * L1 capacity (32 KiB / 64 B = 512 lines, minus associativity slack),
+ * the read set by the larger L2-backed bloom-filter tracking the paper
+ * describes (Section 3.2). `capacityScale` models the HyperThreading
+ * effect: threads with index >= `scaledThreadsFrom` see their capacity
+ * divided by it (two hardware threads share one L1).
+ */
+struct HtmConfig
+{
+    /** Distinct cache lines a transaction may read. */
+    size_t readCapacityLines = 4096;
+
+    /** Distinct cache lines a transaction may write. */
+    size_t writeCapacityLines = 448;
+
+    /** Per-access probability of an injected kOther abort (0 = off). */
+    double randomAbortProb = 0.0;
+
+    /** Divide capacities by this for threads >= scaledThreadsFrom. */
+    size_t capacityScale = 1;
+
+    /** First thread index subject to capacityScale (HT modelling). */
+    unsigned scaledThreadsFrom = ~0u;
+
+    /** log2 of the conflict-detection stripe count. */
+    unsigned stripeCountLog2 = 16;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_HTM_HTM_CONFIG_H

@@ -1,0 +1,68 @@
+#include "src/htm/htm_engine.h"
+
+namespace rhtm
+{
+
+HtmEngine::HtmEngine(const HtmConfig &cfg)
+    : cfg_(cfg),
+      stripeShift_(64 - cfg.stripeCountLog2),
+      seq_(0),
+      stripes_(size_t(1) << cfg.stripeCountLog2)
+{
+    for (auto &s : stripes_)
+        s.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+HtmEngine::directLoad(const uint64_t *addr) const
+{
+    auto ref = std::atomic_ref<const uint64_t>(*addr);
+    for (;;) {
+        uint64_t s1 = seq_.load(std::memory_order_acquire);
+        if (s1 & 1) {
+            cpuRelax();
+            continue;
+        }
+        uint64_t v = ref.load(std::memory_order_acquire);
+        uint64_t s2 = seq_.load(std::memory_order_acquire);
+        if (s1 == s2)
+            return v;
+    }
+}
+
+void
+HtmEngine::directStore(uint64_t *addr, uint64_t value)
+{
+    PublishGuard guard(*this);
+    std::atomic_ref<uint64_t>(*addr).store(value,
+                                           std::memory_order_release);
+    bumpStripe(addr);
+}
+
+bool
+HtmEngine::directCas(uint64_t *addr, uint64_t &expected, uint64_t desired)
+{
+    PublishGuard guard(*this);
+    auto ref = std::atomic_ref<uint64_t>(*addr);
+    uint64_t cur = ref.load(std::memory_order_acquire);
+    if (cur != expected) {
+        expected = cur;
+        return false;
+    }
+    ref.store(desired, std::memory_order_release);
+    bumpStripe(addr);
+    return true;
+}
+
+uint64_t
+HtmEngine::directFetchAdd(uint64_t *addr, uint64_t delta)
+{
+    PublishGuard guard(*this);
+    auto ref = std::atomic_ref<uint64_t>(*addr);
+    uint64_t cur = ref.load(std::memory_order_acquire);
+    ref.store(cur + delta, std::memory_order_release);
+    bumpStripe(addr);
+    return cur;
+}
+
+} // namespace rhtm

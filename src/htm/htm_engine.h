@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The simulated best-effort HTM engine (process-global state).
+ *
+ * Substitution note (see DESIGN.md): this engine stands in for Intel
+ * RTM. It provides the four properties the RH NOrec correctness
+ * argument relies on:
+ *
+ *  1. Hardware-transaction writes are invisible until commit, and a
+ *     commit publishes them atomically (Figure 2's argument).
+ *  2. A hardware transaction aborts as soon as any cache line it has
+ *     read is written by another commit *or by a plain store* -- the
+ *     "subscription" idiom (read a lock word; a later store to it kills
+ *     the transaction).
+ *  3. A running hardware transaction never observes an inconsistent
+ *     snapshot (hardware opacity).
+ *  4. Tracking capacity is bounded, and aborts say whether retrying may
+ *     help.
+ *
+ * Mechanically: a global sequence counter (odd while anybody publishes)
+ * plus a striped per-cache-line version table. Commits and direct
+ * stores publish under an internal mutex; transactional reads log
+ * (stripe, version) pairs and are fully re-validated whenever the
+ * sequence advances, so conflicts abort the reader at its next
+ * transactional access -- observably equivalent to RTM's asynchronous
+ * coherence abort given that simulated transactions touch shared state
+ * only through this API.
+ */
+
+#ifndef RHTM_HTM_HTM_ENGINE_H
+#define RHTM_HTM_HTM_ENGINE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/htm/htm_config.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/**
+ * Process-global simulated-HTM state shared by all threads of one TM
+ * runtime. All members are thread safe.
+ */
+class HtmEngine
+{
+  public:
+    /** Cache-line size used for conflict granularity (bytes, log2). */
+    static constexpr unsigned kLineShift = 6;
+
+    explicit HtmEngine(const HtmConfig &cfg = HtmConfig());
+
+    HtmEngine(const HtmEngine &) = delete;
+    HtmEngine &operator=(const HtmEngine &) = delete;
+
+    /** The configuration this engine was built with. */
+    const HtmConfig &config() const { return cfg_; }
+
+    /**
+     * Non-transactional load, atomic with respect to hardware-commit
+     * publication (a plain racing load could otherwise observe a torn
+     * commit, which real hardware makes impossible).
+     */
+    uint64_t directLoad(const uint64_t *addr) const;
+
+    /**
+     * Non-transactional store. Bumps the line version, dooming every
+     * live hardware transaction that has read the line (subscription).
+     */
+    void directStore(uint64_t *addr, uint64_t value);
+
+    /**
+     * Non-transactional compare-and-swap; returns true on success and
+     * refreshes @p expected with the observed value on failure.
+     */
+    bool directCas(uint64_t *addr, uint64_t &expected, uint64_t desired);
+
+    /** Non-transactional fetch-and-add; returns the previous value. */
+    uint64_t directFetchAdd(uint64_t *addr, uint64_t delta);
+
+    /** Current publication sequence (even = quiescent). */
+    uint64_t
+    seq() const
+    {
+        return seq_.load(std::memory_order_acquire);
+    }
+
+    /** Stripe index tracking @p addr's cache line. */
+    size_t
+    stripeOf(const void *addr) const
+    {
+        uint64_t line = reinterpret_cast<uint64_t>(addr) >> kLineShift;
+        return (line * 0x9e3779b97f4a7c15ull) >> stripeShift_;
+    }
+
+    /** Current version of stripe @p stripe. */
+    uint64_t
+    stripeVersion(size_t stripe) const
+    {
+        return stripes_[stripe].load(std::memory_order_acquire);
+    }
+
+  private:
+    friend class HtmTxn;
+
+    /**
+     * RAII publication window: takes the publish mutex and makes the
+     * sequence odd; the destructor makes it even again. Everything that
+     * mutates TM-visible memory does so inside one of these.
+     */
+    class PublishGuard
+    {
+      public:
+        explicit PublishGuard(HtmEngine &eng) : eng_(eng)
+        {
+            eng_.publishLock_.lock();
+            eng_.seq_.fetch_add(1, std::memory_order_acq_rel);
+        }
+
+        ~PublishGuard()
+        {
+            eng_.seq_.fetch_add(1, std::memory_order_acq_rel);
+            eng_.publishLock_.unlock();
+        }
+
+        PublishGuard(const PublishGuard &) = delete;
+        PublishGuard &operator=(const PublishGuard &) = delete;
+
+      private:
+        HtmEngine &eng_;
+    };
+
+    /** Bump the version of @p addr's stripe (inside a PublishGuard). */
+    void
+    bumpStripe(const void *addr)
+    {
+        stripes_[stripeOf(addr)].fetch_add(1, std::memory_order_release);
+    }
+
+    HtmConfig cfg_;
+    unsigned stripeShift_;
+    std::atomic<uint64_t> seq_;
+    std::mutex publishLock_;
+    std::vector<std::atomic<uint64_t>> stripes_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_HTM_HTM_ENGINE_H

@@ -1,0 +1,200 @@
+#include "src/htm/htm_txn.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rhtm
+{
+
+const char *
+htmAbortCauseName(HtmAbortCause cause)
+{
+    switch (cause) {
+      case HtmAbortCause::kNone: return "none";
+      case HtmAbortCause::kConflict: return "conflict";
+      case HtmAbortCause::kCapacity: return "capacity";
+      case HtmAbortCause::kExplicit: return "explicit";
+      case HtmAbortCause::kOther: return "other";
+    }
+    return "unknown";
+}
+
+HtmTxn::HtmTxn(HtmEngine &eng, unsigned tid, ThreadStats *stats,
+               uint64_t rng_seed)
+    : eng_(eng), stats_(stats), rng_(rng_seed ^ (tid * 0x9e3779b9ull)),
+      injectThreshold_(0), readCap_(0), writeCap_(0), active_(false),
+      lastSeq_(0),
+      readLines_(14),   // 16 Ki slots >= 4096-line read capacity
+      writes_(14),      // 16 Ki word slots >= 448 lines * 8 words
+      writeLines_(12)
+{
+    const HtmConfig &cfg = eng.config();
+    readCap_ = cfg.readCapacityLines;
+    writeCap_ = cfg.writeCapacityLines;
+    if (tid >= cfg.scaledThreadsFrom && cfg.capacityScale > 1) {
+        readCap_ /= cfg.capacityScale;
+        writeCap_ /= cfg.capacityScale;
+    }
+    if (cfg.randomAbortProb > 0.0) {
+        double p = cfg.randomAbortProb >= 1.0 ? 1.0 : cfg.randomAbortProb;
+        injectThreshold_ = p >= 1.0
+            ? ~uint64_t(0)
+            : static_cast<uint64_t>(std::ldexp(p, 64));
+    }
+    readLog_.reserve(1024);
+}
+
+void
+HtmTxn::resetState()
+{
+    active_ = false;
+    readLog_.clear();
+    readLines_.clear();
+    writes_.clear();
+    writeLines_.clear();
+}
+
+void
+HtmTxn::fail(HtmAbortCause cause, bool retry_ok, uint8_t code)
+{
+    resetState();
+    if (stats_) {
+        switch (cause) {
+          case HtmAbortCause::kConflict:
+            stats_->inc(Counter::kHtmConflictAborts);
+            break;
+          case HtmAbortCause::kCapacity:
+            stats_->inc(Counter::kHtmCapacityAborts);
+            break;
+          case HtmAbortCause::kExplicit:
+            stats_->inc(Counter::kHtmExplicitAborts);
+            break;
+          default:
+            stats_->inc(Counter::kHtmOtherAborts);
+            break;
+        }
+    }
+    throw HtmAbort{cause, retry_ok, code};
+}
+
+void
+HtmTxn::maybeInjectAbort()
+{
+    if (injectThreshold_ != 0 && rng_.next() < injectThreshold_)
+        fail(HtmAbortCause::kOther, false);
+}
+
+void
+HtmTxn::begin()
+{
+    assert(!active_ && "simulated HTM does not nest");
+    resetState();
+    active_ = true;
+    lastSeq_ = ~uint64_t(0); // Sentinel: no stable window observed yet.
+}
+
+uint64_t
+HtmTxn::read(const uint64_t *addr)
+{
+    assert(active_);
+    maybeInjectAbort();
+
+    uint64_t buffered;
+    if (writes_.lookup(addr, buffered))
+        return buffered;
+
+    const size_t stripe = eng_.stripeOf(addr);
+    auto ref = std::atomic_ref<const uint64_t>(*addr);
+    uint64_t val, ver, s1;
+    for (;;) {
+        s1 = eng_.seq();
+        if (s1 & 1) {
+            cpuRelax();
+            continue;
+        }
+        if (s1 != lastSeq_) {
+            // Memory changed since the last stable window: re-validate
+            // the whole read log inside this window. A mismatch is a
+            // genuine invalidation of a tracked line -> conflict abort
+            // (correct even if this window later proves unstable).
+            for (const ReadEntry &e : readLog_) {
+                if (eng_.stripeVersion(e.stripe) != e.version)
+                    fail(HtmAbortCause::kConflict, true);
+            }
+        }
+        val = ref.load(std::memory_order_acquire);
+        ver = eng_.stripeVersion(stripe);
+        if (eng_.seq() == s1) {
+            lastSeq_ = s1;
+            break;
+        }
+    }
+
+    bool inserted = false;
+    if (!readLines_.insert(
+            reinterpret_cast<uint64_t>(addr) >> HtmEngine::kLineShift,
+            inserted)) {
+        fail(HtmAbortCause::kCapacity, false);
+    }
+    if (inserted) {
+        if (readLines_.size() > readCap_)
+            fail(HtmAbortCause::kCapacity, false);
+        readLog_.push_back({static_cast<uint32_t>(stripe), ver});
+    }
+    return val;
+}
+
+void
+HtmTxn::write(uint64_t *addr, uint64_t value)
+{
+    assert(active_);
+    maybeInjectAbort();
+
+    bool inserted = false;
+    if (!writeLines_.insert(
+            reinterpret_cast<uint64_t>(addr) >> HtmEngine::kLineShift,
+            inserted)) {
+        fail(HtmAbortCause::kCapacity, false);
+    }
+    if (inserted && writeLines_.size() > writeCap_)
+        fail(HtmAbortCause::kCapacity, false);
+    if (!writes_.put(addr, value))
+        fail(HtmAbortCause::kCapacity, false);
+}
+
+void
+HtmTxn::commit()
+{
+    assert(active_);
+    maybeInjectAbort();
+
+    if (writes_.empty()) {
+        // Read-only: every read was validated within a stable window;
+        // the transaction serializes at its last validation point.
+        resetState();
+        return;
+    }
+
+    {
+        HtmEngine::PublishGuard guard(eng_);
+        for (const ReadEntry &e : readLog_) {
+            if (eng_.stripeVersion(e.stripe) != e.version)
+                fail(HtmAbortCause::kConflict, true);
+        }
+        writes_.forEach([this](uint64_t *addr, uint64_t value) {
+            std::atomic_ref<uint64_t>(*addr).store(
+                value, std::memory_order_release);
+            eng_.bumpStripe(addr);
+        });
+    }
+    resetState();
+}
+
+void
+HtmTxn::abortExplicit(uint8_t code)
+{
+    assert(active_);
+    fail(HtmAbortCause::kExplicit, true, code);
+}
+
+} // namespace rhtm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-thread simulated hardware transaction.
+ */
+
+#ifndef RHTM_HTM_HTM_TXN_H
+#define RHTM_HTM_HTM_TXN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/htm/abort.h"
+#include "src/htm/fixed_table.h"
+#include "src/htm/htm_engine.h"
+#include "src/stats/stats.h"
+#include "src/util/rng.h"
+
+namespace rhtm
+{
+
+/**
+ * A best-effort hardware transaction (simulated RTM).
+ *
+ * Usage mirrors RTM: begin(), transactional read()/write(), then
+ * commit(). Any abort -- conflict, capacity, explicit, or injected --
+ * unwinds by throwing HtmAbort (the analogue of control transferring to
+ * XBEGIN's fallback path); the object is back in the idle state when
+ * the exception is caught. One instance per thread; not reentrant (real
+ * RTM flat-nests, and this codebase never nests hardware transactions).
+ *
+ * Opacity: every transactional read is validated against the engine's
+ * stripe versions within a stable publication window, so a body never
+ * observes two reads from different memory snapshots.
+ */
+class HtmTxn
+{
+  public:
+    /**
+     * @param eng Engine providing global conflict-detection state.
+     * @param tid Thread index (drives the capacity-scaling model).
+     * @param stats Per-thread counters; may be null.
+     * @param rng_seed Seed for the abort-injection generator.
+     */
+    HtmTxn(HtmEngine &eng, unsigned tid, ThreadStats *stats,
+           uint64_t rng_seed = 1);
+
+    HtmTxn(const HtmTxn &) = delete;
+    HtmTxn &operator=(const HtmTxn &) = delete;
+
+    /** Start a hardware transaction; requires the idle state. */
+    void begin();
+
+    /** Transactional load of an 8-byte aligned word. */
+    uint64_t read(const uint64_t *addr);
+
+    /** Transactional store of an 8-byte aligned word (buffered). */
+    void write(uint64_t *addr, uint64_t value);
+
+    /**
+     * Attempt to commit. On success the buffered writes are published
+     * atomically; on conflict the transaction aborts (throws).
+     */
+    void commit();
+
+    /** Explicitly abort with a user @p code (throws HtmAbort). */
+    [[noreturn]] void abortExplicit(uint8_t code = 0);
+
+    /**
+     * Abandon the transaction without throwing (used when an exception
+     * is already unwinding through the transaction body). Buffered
+     * writes are discarded; no abort is counted. No-op when idle.
+     */
+    void cancel() { resetState(); }
+
+    /** True while a transaction is running. */
+    bool active() const { return active_; }
+
+    /** Distinct cache lines read so far. */
+    size_t readLines() const { return readLines_.size(); }
+
+    /** Distinct cache lines written so far. */
+    size_t writeLines() const { return writeLines_.size(); }
+
+    /** True when no write has been buffered yet. */
+    bool isReadOnly() const { return writes_.empty(); }
+
+  private:
+    struct ReadEntry
+    {
+        uint32_t stripe;
+        uint64_t version;
+    };
+
+    /** Abort: reset to idle, count the event, throw HtmAbort. */
+    [[noreturn]] void fail(HtmAbortCause cause, bool retry_ok,
+                           uint8_t code = 0);
+
+    /** Roll the dice for an injected interrupt-style abort. */
+    void maybeInjectAbort();
+
+    /** Reset tracking state to idle. */
+    void resetState();
+
+    HtmEngine &eng_;
+    ThreadStats *stats_;
+    Rng rng_;
+    uint64_t injectThreshold_;
+    size_t readCap_;
+    size_t writeCap_;
+    bool active_;
+    uint64_t lastSeq_;
+    std::vector<ReadEntry> readLog_;
+    FixedHashSet readLines_;
+    WriteBuffer writes_;
+    FixedHashSet writeLines_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_HTM_HTM_TXN_H

@@ -1,0 +1,63 @@
+#include "src/mem/epoch.h"
+
+namespace rhtm
+{
+
+EpochManager::EpochManager()
+    : globalEpoch_(2), maxTid_(0)
+{}
+
+void
+EpochManager::enterRegion(unsigned tid)
+{
+    noteThreadUsed(tid);
+    // seq_cst so that the announcement is globally visible before any
+    // subsequent shared-memory access in the region.
+    uint64_t e = globalEpoch_.load(std::memory_order_seq_cst);
+    slots_[tid].epoch.store(e, std::memory_order_seq_cst);
+    // Re-read: if the epoch advanced between the load and the store we
+    // might have announced a stale epoch; announcing again fixes the
+    // window (advancers have already counted us out or will see us).
+    uint64_t e2 = globalEpoch_.load(std::memory_order_seq_cst);
+    if (e2 != e)
+        slots_[tid].epoch.store(e2, std::memory_order_seq_cst);
+}
+
+void
+EpochManager::exitRegion(unsigned tid)
+{
+    slots_[tid].epoch.store(kQuiescent, std::memory_order_release);
+}
+
+bool
+EpochManager::tryAdvance()
+{
+    uint64_t cur = globalEpoch_.load(std::memory_order_acquire);
+    unsigned n = maxTid_.load(std::memory_order_acquire);
+    for (unsigned i = 0; i <= n && i < kMaxThreads; ++i) {
+        uint64_t e = slots_[i].epoch.load(std::memory_order_acquire);
+        if (e != kQuiescent && e < cur)
+            return false;
+    }
+    return globalEpoch_.compare_exchange_strong(cur, cur + 1,
+                                                std::memory_order_acq_rel);
+}
+
+uint64_t
+EpochManager::reclaimableEpoch() const
+{
+    uint64_t cur = globalEpoch_.load(std::memory_order_acquire);
+    return cur >= 2 ? cur - 2 : 0;
+}
+
+void
+EpochManager::noteThreadUsed(unsigned tid)
+{
+    unsigned seen = maxTid_.load(std::memory_order_relaxed);
+    while (tid > seen &&
+           !maxTid_.compare_exchange_weak(seen, tid,
+                                          std::memory_order_acq_rel)) {
+    }
+}
+
+} // namespace rhtm

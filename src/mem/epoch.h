@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Epoch-based memory reclamation.
+ *
+ * Eager STM paths write in place, so a node freed by one transaction
+ * must not be recycled while another (possibly doomed) transaction still
+ * holds a stale pointer to it: a stale *read* is benign (validation
+ * catches it), but a stale *write* into recycled memory would corrupt
+ * the new owner. The epoch manager defers recycling until every thread
+ * that was inside a transaction at retirement time has left it.
+ */
+
+#ifndef RHTM_MEM_EPOCH_H
+#define RHTM_MEM_EPOCH_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace rhtm
+{
+
+/** A deferred deallocation; freed into the retiring thread's pool. */
+struct RetiredBlock
+{
+    void *ptr;          //!< Block start.
+    size_t size;        //!< Size passed back to the pool on reclaim.
+    uint64_t epoch;     //!< Global epoch at retirement time.
+};
+
+/**
+ * Classic three-epoch reclamation manager (Fraser-style).
+ *
+ * Threads announce the global epoch when they enter a transactional
+ * region and announce quiescence when they leave. The global epoch can
+ * only advance when every active thread has observed it, so once it has
+ * advanced twice past a block's retirement epoch, no thread can still
+ * hold a reference obtained before the block was unlinked.
+ *
+ * All methods are safe for concurrent use; per-thread state is indexed
+ * by the caller-provided thread id (assigned by the runtime).
+ */
+class EpochManager
+{
+  public:
+    /** Maximum number of registered threads. */
+    static constexpr unsigned kMaxThreads = 64;
+
+    /** Epoch value meaning "not inside any transactional region". */
+    static constexpr uint64_t kQuiescent = ~uint64_t(0);
+
+    EpochManager();
+
+    /**
+     * Announce that thread @p tid is entering a transactional region.
+     * Must be balanced by exitRegion().
+     */
+    void enterRegion(unsigned tid);
+
+    /** Announce that thread @p tid left its transactional region. */
+    void exitRegion(unsigned tid);
+
+    /**
+     * Record the global epoch for a block retired by @p tid. The block
+     * becomes reclaimable (see reclaimableEpoch()) after two global
+     * epoch advances.
+     */
+    uint64_t retireEpoch() const
+    {
+        return globalEpoch_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Try to advance the global epoch; succeeds only when every active
+     * thread has announced the current epoch.
+     *
+     * @return true if the epoch advanced.
+     */
+    bool tryAdvance();
+
+    /**
+     * Highest retirement epoch that is now safe to reclaim, i.e. blocks
+     * with RetiredBlock::epoch <= this value can be recycled. Returns 0
+     * when nothing is safe yet.
+     */
+    uint64_t reclaimableEpoch() const;
+
+    /** Current global epoch (monotonic). */
+    uint64_t currentEpoch() const
+    {
+        return globalEpoch_.load(std::memory_order_acquire);
+    }
+
+    /** Number of epoch slots in use (== highest registered tid + 1). */
+    void noteThreadUsed(unsigned tid);
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> epoch{kQuiescent};
+    };
+
+    std::atomic<uint64_t> globalEpoch_;
+    std::atomic<unsigned> maxTid_;
+    Slot slots_[kMaxThreads];
+};
+
+} // namespace rhtm
+
+#endif // RHTM_MEM_EPOCH_H

@@ -1,0 +1,90 @@
+#include "src/mem/memory_manager.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rhtm
+{
+
+void *
+ThreadMem::txAlloc(size_t size)
+{
+    void *p = pool_.alloc(size);
+    txAllocs_.push_back({p, size});
+    return p;
+}
+
+void
+ThreadMem::txFree(void *ptr, size_t size)
+{
+    if (!ptr)
+        return;
+    txFrees_.push_back({ptr, size});
+}
+
+void
+ThreadMem::onCommit()
+{
+    for (const Record &r : txFrees_)
+        retire(r.ptr, r.size);
+    txFrees_.clear();
+    txAllocs_.clear();
+}
+
+void
+ThreadMem::onAbort()
+{
+    for (const Record &r : txAllocs_)
+        retire(r.ptr, r.size);
+    txAllocs_.clear();
+    txFrees_.clear();
+}
+
+void
+ThreadMem::retire(void *ptr, size_t size)
+{
+    if (!ptr)
+        return;
+    limbo_.push_back({ptr, size, mgr_->epochs().retireEpoch()});
+    if (++retiresSinceReclaim_ >= 32) {
+        retiresSinceReclaim_ = 0;
+        mgr_->epochs().tryAdvance();
+        reclaim();
+    }
+}
+
+void
+ThreadMem::reclaim()
+{
+    uint64_t safe = mgr_->epochs().reclaimableEpoch();
+    while (!limbo_.empty() && limbo_.front().epoch <= safe) {
+        pool_.free(limbo_.front().ptr, limbo_.front().size);
+        limbo_.pop_front();
+    }
+}
+
+ThreadMem &
+MemoryManager::registerThread()
+{
+    std::lock_guard<std::mutex> guard(registerLock_);
+    unsigned tid = nextTid_.load(std::memory_order_relaxed);
+    if (tid >= kMaxThreads)
+        throw std::runtime_error("MemoryManager: too many threads");
+    mems_[tid].reset(new ThreadMem(this, tid));
+    epochs_.noteThreadUsed(tid);
+    nextTid_.store(tid + 1, std::memory_order_release);
+    return *mems_[tid];
+}
+
+void
+MemoryManager::drainAll()
+{
+    // Three advances guarantee every limbo epoch is two behind.
+    for (int i = 0; i < 3; ++i)
+        epochs_.tryAdvance();
+    unsigned n = threadCount();
+    for (unsigned t = 0; t < n; ++t)
+        mems_[t]->reclaim();
+}
+
+} // namespace rhtm

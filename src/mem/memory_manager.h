@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Per-thread transactional memory management: pools, alloc/free
+ * journaling, and epoch-deferred reclamation glued together.
+ */
+
+#ifndef RHTM_MEM_MEMORY_MANAGER_H
+#define RHTM_MEM_MEMORY_MANAGER_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/mem/epoch.h"
+#include "src/mem/pool_allocator.h"
+
+namespace rhtm
+{
+
+class MemoryManager;
+
+/**
+ * A thread's view of the memory subsystem.
+ *
+ * Transactional allocations and frees are journaled so they can be
+ * rolled forward or back with the transaction:
+ *  - commit: frees are retired into the epoch limbo list (recycled only
+ *    after a grace period); allocations become permanent.
+ *  - abort: allocations are retired too (a doomed concurrent transaction
+ *    may have glimpsed the pointer through an eagerly published write,
+ *    so immediate reuse would be unsafe); journaled frees are dropped.
+ *
+ * Not thread safe; owned and used by exactly one thread.
+ */
+class ThreadMem
+{
+  public:
+    /** Allocate inside the current transaction (journaled). */
+    void *txAlloc(size_t size);
+
+    /** Free inside the current transaction (journaled, deferred). */
+    void txFree(void *ptr, size_t size);
+
+    /** Allocate outside any transaction (immediate). */
+    void *rawAlloc(size_t size) { return pool_.alloc(size); }
+
+    /**
+     * Free outside any transaction. Still routed through the epoch
+     * limbo list: the block may have been unlinked while concurrent
+     * transactions were live (e.g. privatization), so immediate reuse
+     * is only safe after a grace period.
+     */
+    void rawFree(void *ptr, size_t size) { retire(ptr, size); }
+
+    /** Commit the journal (see class comment). */
+    void onCommit();
+
+    /** Roll back the journal (see class comment). */
+    void onAbort();
+
+    /** This thread's pool (for stats and direct use in tests). */
+    PoolAllocator &pool() { return pool_; }
+
+    /** Blocks waiting in the limbo list. */
+    size_t limboSize() const { return limbo_.size(); }
+
+    /** Runtime-assigned thread id. */
+    unsigned tid() const { return tid_; }
+
+    /**
+     * Reclaim every limbo block whose grace period has passed; also
+     * nudges the global epoch forward.
+     */
+    void reclaim();
+
+  private:
+    friend class MemoryManager;
+
+    struct Record
+    {
+        void *ptr;
+        size_t size;
+    };
+
+    ThreadMem(MemoryManager *mgr, unsigned tid) : mgr_(mgr), tid_(tid) {}
+
+    void retire(void *ptr, size_t size);
+
+    MemoryManager *mgr_;
+    unsigned tid_;
+    PoolAllocator pool_;
+    std::vector<Record> txAllocs_;
+    std::vector<Record> txFrees_;
+    std::deque<RetiredBlock> limbo_;
+    size_t retiresSinceReclaim_ = 0;
+};
+
+/**
+ * Process-wide owner of per-thread memory state and the epoch manager.
+ *
+ * The TM runtime registers each worker thread once and passes the
+ * resulting ThreadMem through its execution context.
+ */
+class MemoryManager
+{
+  public:
+    static constexpr unsigned kMaxThreads = EpochManager::kMaxThreads;
+
+    MemoryManager() : nextTid_(0) {}
+
+    /**
+     * Register the calling thread; returns its ThreadMem. Thread safe.
+     * At most kMaxThreads registrations.
+     */
+    ThreadMem &registerThread();
+
+    /** Epoch manager shared by all threads. */
+    EpochManager &epochs() { return epochs_; }
+
+    /** ThreadMem for an already-registered tid. */
+    ThreadMem &threadMem(unsigned tid) { return *mems_[tid]; }
+
+    /** Number of registered threads. */
+    unsigned threadCount() const
+    {
+        return nextTid_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Force full reclamation. Only legal when no thread is inside a
+     * transactional region (e.g. test teardown): advances the epoch
+     * until all limbo blocks everywhere are recycled.
+     */
+    void drainAll();
+
+  private:
+    EpochManager epochs_;
+    std::mutex registerLock_;
+    std::atomic<unsigned> nextTid_;
+    std::array<std::unique_ptr<ThreadMem>, kMaxThreads> mems_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_MEM_MEMORY_MANAGER_H

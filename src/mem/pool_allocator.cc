@@ -1,0 +1,93 @@
+#include "src/mem/pool_allocator.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rhtm
+{
+
+const size_t PoolAllocator::kClassSizes[PoolAllocator::kNumClasses] = {
+    16, 24, 32, 48, 64, 96, 128, 192, 256, 384,
+    512, 768, 1024, 1536, 2048, 4096,
+};
+
+PoolAllocator::PoolAllocator()
+    : bytesLive_(0), bytesReserved_(0)
+{
+    for (size_t i = 0; i < kNumClasses; ++i)
+        freeLists_[i] = nullptr;
+}
+
+PoolAllocator::~PoolAllocator() = default;
+
+size_t
+PoolAllocator::classIndex(size_t size)
+{
+    for (size_t i = 0; i < kNumClasses; ++i) {
+        if (size <= kClassSizes[i])
+            return i;
+    }
+    assert(false && "size exceeds kMaxPooledSize");
+    return kNumClasses - 1;
+}
+
+void
+PoolAllocator::refill(size_t cls)
+{
+    const size_t block = kClassSizes[cls];
+    auto chunk = std::make_unique<char[]>(kChunkSize);
+    char *base = chunk.get();
+    // Keep 16-byte alignment for every block: all class sizes are
+    // multiples of 8, and the sub-16 classes stay aligned because the
+    // chunk base is at least 16-byte aligned and 8 | block.
+    size_t count = kChunkSize / block;
+    for (size_t i = 0; i < count; ++i) {
+        auto *node = reinterpret_cast<FreeNode *>(base + i * block);
+        node->next = freeLists_[cls];
+        freeLists_[cls] = node;
+    }
+    bytesReserved_ += kChunkSize;
+    chunks_.push_back(std::move(chunk));
+}
+
+void *
+PoolAllocator::alloc(size_t size)
+{
+    if (size == 0)
+        size = 1;
+    if (size > kMaxPooledSize) {
+        bytesLive_ += size;
+        void *p = ::operator new(size);
+        std::memset(p, 0, size);
+        return p;
+    }
+    size_t cls = classIndex(size);
+    if (!freeLists_[cls])
+        refill(cls);
+    FreeNode *node = freeLists_[cls];
+    freeLists_[cls] = node->next;
+    bytesLive_ += kClassSizes[cls];
+    std::memset(node, 0, kClassSizes[cls]);
+    return node;
+}
+
+void
+PoolAllocator::free(void *ptr, size_t size)
+{
+    if (!ptr)
+        return;
+    if (size == 0)
+        size = 1;
+    if (size > kMaxPooledSize) {
+        bytesLive_ -= size;
+        ::operator delete(ptr);
+        return;
+    }
+    size_t cls = classIndex(size);
+    auto *node = static_cast<FreeNode *>(ptr);
+    node->next = freeLists_[cls];
+    freeLists_[cls] = node;
+    bytesLive_ -= kClassSizes[cls];
+}
+
+} // namespace rhtm

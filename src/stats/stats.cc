@@ -1,0 +1,91 @@
+#include "src/stats/stats.h"
+
+#include <sstream>
+
+namespace rhtm
+{
+
+namespace
+{
+
+double
+ratio(uint64_t num, uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) / den;
+}
+
+} // namespace
+
+double
+StatsSummary::conflictAbortsPerOp() const
+{
+    return ratio(get(Counter::kHtmConflictAborts), operations());
+}
+
+double
+StatsSummary::capacityAbortsPerOp() const
+{
+    return ratio(get(Counter::kHtmCapacityAborts), operations());
+}
+
+double
+StatsSummary::restartsPerSlowPath() const
+{
+    uint64_t slow = get(Counter::kCommitsMixedPath) +
+                    get(Counter::kCommitsSoftwarePath) +
+                    get(Counter::kCommitsSerialPath);
+    return ratio(get(Counter::kSlowPathRestarts), slow);
+}
+
+double
+StatsSummary::slowPathRatio() const
+{
+    return ratio(get(Counter::kFallbacks), operations());
+}
+
+double
+StatsSummary::prefixSuccessRatio() const
+{
+    return ratio(get(Counter::kPrefixSuccesses),
+                 get(Counter::kPrefixAttempts));
+}
+
+double
+StatsSummary::postfixSuccessRatio() const
+{
+    return ratio(get(Counter::kPostfixSuccesses),
+                 get(Counter::kPostfixAttempts));
+}
+
+void
+StatsSummary::accumulate(const ThreadStats &ts)
+{
+    for (unsigned i = 0; i < kNumCounters; ++i)
+        totals[i] += ts.counts[i];
+}
+
+std::string
+StatsSummary::toString() const
+{
+    std::ostringstream os;
+    os << "operations:            " << operations() << "\n"
+       << "fast-path commits:     " << get(Counter::kCommitsFastPath) << "\n"
+       << "mixed-path commits:    " << get(Counter::kCommitsMixedPath)
+       << "\n"
+       << "software-path commits: " << get(Counter::kCommitsSoftwarePath)
+       << "\n"
+       << "serial-path commits:   " << get(Counter::kCommitsSerialPath)
+       << "\n"
+       << "HTM conflict aborts:   " << get(Counter::kHtmConflictAborts)
+       << " (" << conflictAbortsPerOp() << "/op)\n"
+       << "HTM capacity aborts:   " << get(Counter::kHtmCapacityAborts)
+       << " (" << capacityAbortsPerOp() << "/op)\n"
+       << "slow-path restarts:    " << get(Counter::kSlowPathRestarts)
+       << " (" << restartsPerSlowPath() << "/slow-path)\n"
+       << "slow-path ratio:       " << slowPathRatio() << "\n"
+       << "prefix success ratio:  " << prefixSuccessRatio() << "\n"
+       << "postfix success ratio: " << postfixSuccessRatio() << "\n";
+    return os.str();
+}
+
+} // namespace rhtm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Execution statistics matching the analysis rows of the paper's
+ * Figures 4-6: HTM conflict/capacity aborts per operation, slow-path
+ * restarts per slow-path transaction, slow-path execution ratio, and
+ * the RH prefix/postfix success ratios.
+ */
+
+#ifndef RHTM_STATS_STATS_H
+#define RHTM_STATS_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rhtm
+{
+
+/** Countable events; one slot per event per thread. */
+enum class Counter : unsigned
+{
+    kCommitsFastPath = 0,   //!< Pure hardware fast-path commits.
+    kCommitsMixedPath,      //!< Mixed (RH) slow-path commits.
+    kCommitsSoftwarePath,   //!< All-software slow-path commits.
+    kCommitsSerialPath,     //!< Commits under the serial/global lock.
+    kHtmConflictAborts,     //!< Simulated HTM conflict aborts.
+    kHtmCapacityAborts,     //!< Simulated HTM capacity aborts.
+    kHtmExplicitAborts,     //!< Explicit HTM_Abort() calls.
+    kHtmOtherAborts,        //!< Injected "interrupt"-style aborts.
+    kFallbacks,             //!< Fast path gave up; entered slow path.
+    kSlowPathRestarts,      //!< Slow-path consistency restarts.
+    kPrefixAttempts,        //!< RH HTM-prefix transactions started.
+    kPrefixSuccesses,       //!< RH HTM-prefix transactions committed.
+    kPostfixAttempts,       //!< RH HTM-postfix transactions started.
+    kPostfixSuccesses,      //!< RH HTM-postfix transactions committed.
+    kOperations,            //!< Committed top-level transactions.
+    kReadOnlyCommits,       //!< Transactions committed read-only.
+    kNumCounters
+};
+
+/** Number of counter slots. */
+constexpr unsigned kNumCounters =
+    static_cast<unsigned>(Counter::kNumCounters);
+
+/**
+ * Cache-line padded per-thread counter block. Single-writer; readers
+ * aggregate after the run, so plain (non-atomic within a thread) counts
+ * would suffice, but the slots are written by exactly one thread and
+ * read only at quiescence, making plain uint64_t safe.
+ */
+struct alignas(64) ThreadStats
+{
+    std::array<uint64_t, kNumCounters> counts{};
+
+    /** Increment @p c by @p delta. */
+    void
+    inc(Counter c, uint64_t delta = 1)
+    {
+        counts[static_cast<unsigned>(c)] += delta;
+    }
+
+    /** Current value of @p c. */
+    uint64_t
+    get(Counter c) const
+    {
+        return counts[static_cast<unsigned>(c)];
+    }
+
+    /** Zero every slot. */
+    void reset() { counts.fill(0); }
+};
+
+/**
+ * Aggregated totals plus the derived metrics the paper plots.
+ */
+struct StatsSummary
+{
+    std::array<uint64_t, kNumCounters> totals{};
+
+    /** Total of @p c across threads. */
+    uint64_t
+    get(Counter c) const
+    {
+        return totals[static_cast<unsigned>(c)];
+    }
+
+    /** Committed top-level transactions. */
+    uint64_t operations() const { return get(Counter::kOperations); }
+
+    /** HTM conflict aborts per committed operation (figure row 2). */
+    double conflictAbortsPerOp() const;
+
+    /** HTM capacity aborts per committed operation (figure row 2). */
+    double capacityAbortsPerOp() const;
+
+    /** Restarts per slow-path transaction (figure row 3). */
+    double restartsPerSlowPath() const;
+
+    /**
+     * Fraction of operations that fell back off the pure hardware
+     * fast path (figure row 4).
+     */
+    double slowPathRatio() const;
+
+    /** HTM-prefix success ratio (figure row 5). */
+    double prefixSuccessRatio() const;
+
+    /** HTM-postfix success ratio (figure row 5). */
+    double postfixSuccessRatio() const;
+
+    /** Merge another thread's counters into the totals. */
+    void accumulate(const ThreadStats &ts);
+
+    /** Human-readable multi-line dump (one metric per line). */
+    std::string toString() const;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_STATS_STATS_H

@@ -1,0 +1,317 @@
+#include "src/stm/norec.h"
+
+#include <cassert>
+
+namespace rhtm
+{
+
+namespace
+{
+
+/** Pure-STM restart storms are rare; serialize after this many. */
+constexpr unsigned kSerializeAfterRestarts = 64;
+
+} // namespace
+
+//
+// Eager NOrec
+//
+
+NOrecEagerSession::NOrecEagerSession(TmGlobals &globals,
+                                     ThreadStats *stats,
+                                     unsigned access_penalty)
+    : g_(globals), stats_(stats), penalty_(access_penalty)
+{
+    undo_.reserve(256);
+}
+
+uint64_t
+NOrecEagerSession::stableClock()
+{
+    for (;;) {
+        uint64_t v = mem_.load(&g_.clock);
+        if (!clockIsLocked(v))
+            return v;
+        backoff_.pause();
+    }
+}
+
+void
+NOrecEagerSession::begin(TxnHint hint)
+{
+    (void)hint;
+    undo_.clear();
+    if (serialized_) {
+        // Progress escape hatch: a transaction that keeps restarting
+        // takes the writer lock up front and runs exclusively.
+        for (;;) {
+            uint64_t e = stableClock();
+            if (mem_.cas(&g_.clock, e, clockWithLock(e))) {
+                txVersion_ = e;
+                break;
+            }
+            backoff_.pause();
+        }
+        writeDetected_ = true;
+        return;
+    }
+    writeDetected_ = false;
+    txVersion_ = stableClock();
+}
+
+uint64_t
+NOrecEagerSession::read(const uint64_t *addr)
+{
+    simDelay(penalty_);
+    if (writeDetected_) {
+        // We hold the clock: no writer can commit, reads are stable.
+        return mem_.load(addr);
+    }
+    uint64_t v = mem_.load(addr);
+    if (mem_.load(&g_.clock) != txVersion_) {
+        // Some writer committed (or is writing): with no read log, the
+        // eager design must restart (paper Section 3.1).
+        restart();
+    }
+    return v;
+}
+
+void
+NOrecEagerSession::acquireClockLock()
+{
+    uint64_t expected = txVersion_;
+    if (!mem_.cas(&g_.clock, expected, clockWithLock(txVersion_)))
+        restart();
+}
+
+void
+NOrecEagerSession::write(uint64_t *addr, uint64_t value)
+{
+    simDelay(penalty_);
+    if (!writeDetected_) {
+        acquireClockLock();
+        writeDetected_ = true;
+    }
+    undo_.push_back({addr, mem_.load(addr)});
+    mem_.store(addr, value);
+}
+
+void
+NOrecEagerSession::commit()
+{
+    if (!writeDetected_)
+        return; // Read-only: validated by every read.
+    mem_.store(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    writeDetected_ = false;
+}
+
+void
+NOrecEagerSession::rollbackWriter()
+{
+    if (!writeDetected_)
+        return;
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+        mem_.store(it->addr, it->oldValue);
+    // Advance the clock anyway: a concurrent reader may have glimpsed
+    // the undone values, and the bump forces it to restart.
+    mem_.store(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    writeDetected_ = false;
+}
+
+void
+NOrecEagerSession::restart()
+{
+    throw TxRestart{};
+}
+
+void
+NOrecEagerSession::onHtmAbort(const HtmAbort &abort)
+{
+    (void)abort;
+    assert(false && "pure STM cannot see hardware aborts");
+}
+
+void
+NOrecEagerSession::onRestart()
+{
+    rollbackWriter();
+    if (stats_)
+        stats_->inc(Counter::kSlowPathRestarts);
+    if (++restarts_ >= kSerializeAfterRestarts)
+        serialized_ = true;
+    backoff_.pause();
+}
+
+void
+NOrecEagerSession::onUserAbort()
+{
+    rollbackWriter();
+}
+
+void
+NOrecEagerSession::onComplete()
+{
+    if (stats_)
+        stats_->inc(Counter::kCommitsSoftwarePath);
+    serialized_ = false;
+    restarts_ = 0;
+    backoff_.reset();
+    undo_.clear();
+}
+
+//
+// Lazy NOrec
+//
+
+NOrecLazySession::NOrecLazySession(TmGlobals &globals,
+                                   ThreadStats *stats,
+                                   unsigned access_penalty)
+    : g_(globals), stats_(stats), penalty_(access_penalty), writes_(12)
+{
+    readLog_.reserve(1024);
+}
+
+uint64_t
+NOrecLazySession::stableClock()
+{
+    for (;;) {
+        uint64_t v = mem_.load(&g_.clock);
+        if (!clockIsLocked(v))
+            return v;
+        backoff_.pause();
+    }
+}
+
+void
+NOrecLazySession::begin(TxnHint hint)
+{
+    (void)hint;
+    readLog_.clear();
+    writes_.clear();
+    clockHeld_ = false;
+    if (serialized_) {
+        for (;;) {
+            uint64_t e = stableClock();
+            if (mem_.cas(&g_.clock, e, clockWithLock(e))) {
+                txVersion_ = e;
+                clockHeld_ = true;
+                return;
+            }
+            backoff_.pause();
+        }
+    }
+    txVersion_ = stableClock();
+}
+
+uint64_t
+NOrecLazySession::validate()
+{
+    for (;;) {
+        uint64_t t = stableClock();
+        for (const ReadEntry &e : readLog_) {
+            if (mem_.load(e.addr) != e.value)
+                restart();
+        }
+        if (mem_.load(&g_.clock) == t)
+            return t; // Snapshot extended to t.
+    }
+}
+
+uint64_t
+NOrecLazySession::read(const uint64_t *addr)
+{
+    simDelay(penalty_);
+    uint64_t buffered;
+    if (writes_.lookup(addr, buffered))
+        return buffered;
+    if (clockHeld_)
+        return mem_.load(addr);
+    uint64_t v = mem_.load(addr);
+    while (mem_.load(&g_.clock) != txVersion_) {
+        txVersion_ = validate();
+        v = mem_.load(addr);
+    }
+    readLog_.push_back({addr, v});
+    return v;
+}
+
+void
+NOrecLazySession::write(uint64_t *addr, uint64_t value)
+{
+    simDelay(penalty_);
+    writes_.putGrowing(addr, value);
+}
+
+void
+NOrecLazySession::commit()
+{
+    if (writes_.empty()) {
+        if (clockHeld_) { // Serialized but turned out read-only.
+            mem_.store(&g_.clock, txVersion_);
+            clockHeld_ = false;
+        }
+        return;
+    }
+    if (!clockHeld_) {
+        uint64_t expected = txVersion_;
+        while (!mem_.cas(&g_.clock, expected,
+                         clockWithLock(txVersion_))) {
+            txVersion_ = validate();
+            expected = txVersion_;
+        }
+        clockHeld_ = true;
+    }
+    writes_.forEach(
+        [this](uint64_t *addr, uint64_t value) { mem_.store(addr, value); });
+    mem_.store(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    clockHeld_ = false;
+}
+
+void
+NOrecLazySession::restart()
+{
+    throw TxRestart{};
+}
+
+void
+NOrecLazySession::onHtmAbort(const HtmAbort &abort)
+{
+    (void)abort;
+    assert(false && "pure STM cannot see hardware aborts");
+}
+
+void
+NOrecLazySession::onRestart()
+{
+    if (clockHeld_) {
+        // Nothing was written back; restore the clock unchanged.
+        mem_.store(&g_.clock, txVersion_);
+        clockHeld_ = false;
+    }
+    if (stats_)
+        stats_->inc(Counter::kSlowPathRestarts);
+    if (++restarts_ >= kSerializeAfterRestarts)
+        serialized_ = true;
+    backoff_.pause();
+}
+
+void
+NOrecLazySession::onUserAbort()
+{
+    if (clockHeld_) {
+        mem_.store(&g_.clock, txVersion_);
+        clockHeld_ = false;
+    }
+}
+
+void
+NOrecLazySession::onComplete()
+{
+    if (stats_)
+        stats_->inc(Counter::kCommitsSoftwarePath);
+    serialized_ = false;
+    restarts_ = 0;
+    backoff_.reset();
+}
+
+} // namespace rhtm

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The NOrec STM of Dalessandro, Spear and Scott, in the two flavours
+ * the paper evaluates (Section 3.1):
+ *
+ *  - eager: encounter-time writes. The first write locks the global
+ *    clock and subsequent writes go straight to memory; there is no
+ *    read log, so a reader must restart whenever any writer commits.
+ *  - lazy: a value-based read log and a deferred write set; the clock
+ *    is held only across the commit-time write-back, and readers
+ *    revalidate by value instead of restarting.
+ *
+ * These are the pure-software baselines ("NOrec" in the figures); the
+ * hybrid algorithms in src/core implement their own slow paths
+ * following the paper's pseudocode.
+ */
+
+#ifndef RHTM_STM_NOREC_H
+#define RHTM_STM_NOREC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/tx_defs.h"
+#include "src/core/globals.h"
+#include "src/htm/fixed_table.h"
+#include "src/stats/stats.h"
+#include "src/stm/mem_access.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/**
+ * Eager (encounter-time-write) NOrec STM session.
+ *
+ * Divergence note: the paper's eager NOrec keeps no logs at all; this
+ * implementation additionally keeps an undo journal of (addr, old
+ * value) pairs, used only to roll back in-place writes when user code
+ * throws or calls Txn::retry() after the first write. The journal
+ * plays no part in validation, so the measured protocol is unchanged.
+ */
+class NOrecEagerSession : public TxSession
+{
+  public:
+    /**
+     * @param globals Shared clock (only TmGlobals::clock is used).
+     * @param stats Per-thread counters; may be null.
+     */
+    NOrecEagerSession(TmGlobals &globals, ThreadStats *stats,
+                      unsigned access_penalty = 0);
+
+    void begin(TxnHint hint) override;
+    uint64_t read(const uint64_t *addr) override;
+    void write(uint64_t *addr, uint64_t value) override;
+    void commit() override;
+    void onHtmAbort(const HtmAbort &abort) override;
+    void onRestart() override;
+    void onUserAbort() override;
+    void onComplete() override;
+    const char *name() const override { return "norec"; }
+
+  private:
+    /** Spin until the clock is unlocked; returns the stable value. */
+    uint64_t stableClock();
+
+    /** CAS the clock from txVersion_ to its locked form, or restart. */
+    void acquireClockLock();
+
+    /** Undo in-place writes and release the clock (if held). */
+    void rollbackWriter();
+
+    [[noreturn]] void restart();
+
+    struct UndoEntry
+    {
+        uint64_t *addr;
+        uint64_t oldValue;
+    };
+
+    TmGlobals &g_;
+    ThreadStats *stats_;
+    unsigned penalty_;
+    RawMem mem_;
+    Backoff backoff_;
+    uint64_t txVersion_ = 0;
+    bool writeDetected_ = false;
+    bool serialized_ = false;
+    unsigned restarts_ = 0;
+    std::vector<UndoEntry> undo_;
+};
+
+/**
+ * Lazy (commit-time-write) NOrec STM session, per the original NOrec
+ * algorithm: value-based read validation with snapshot extension, and
+ * a redo write set applied while holding the clock at commit.
+ */
+class NOrecLazySession : public TxSession
+{
+  public:
+    NOrecLazySession(TmGlobals &globals, ThreadStats *stats,
+                     unsigned access_penalty = 0);
+
+    void begin(TxnHint hint) override;
+    uint64_t read(const uint64_t *addr) override;
+    void write(uint64_t *addr, uint64_t value) override;
+    void commit() override;
+    void onHtmAbort(const HtmAbort &abort) override;
+    void onRestart() override;
+    void onUserAbort() override;
+    void onComplete() override;
+    const char *name() const override { return "norec-lazy"; }
+
+  private:
+    uint64_t stableClock();
+
+    /**
+     * Value-validate the read log at a stable clock; returns the new
+     * snapshot version, or restarts on a changed value.
+     */
+    uint64_t validate();
+
+    [[noreturn]] void restart();
+
+    struct ReadEntry
+    {
+        const uint64_t *addr;
+        uint64_t value;
+    };
+
+    TmGlobals &g_;
+    ThreadStats *stats_;
+    unsigned penalty_;
+    RawMem mem_;
+    Backoff backoff_;
+    uint64_t txVersion_ = 0;
+    bool serialized_ = false;
+    bool clockHeld_ = false;
+    unsigned restarts_ = 0;
+    std::vector<ReadEntry> readLog_;
+    WriteBuffer writes_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_STM_NOREC_H

@@ -1,0 +1,146 @@
+#include "src/stm/tl2.h"
+
+#include <cassert>
+
+namespace rhtm
+{
+
+Tl2Session::Tl2Session(Tl2Globals &globals, ThreadStats *stats,
+                       unsigned tid, unsigned access_penalty)
+    : g_(globals), stats_(stats), tid_(tid), penalty_(access_penalty)
+{
+    readLog_.reserve(1024);
+    owned_.reserve(256);
+    undo_.reserve(256);
+}
+
+void
+Tl2Session::begin(TxnHint hint)
+{
+    (void)hint;
+    readLog_.clear();
+    owned_.clear();
+    undo_.clear();
+    rv_ = g_.clock().load(std::memory_order_acquire);
+}
+
+uint64_t
+Tl2Session::read(const uint64_t *addr)
+{
+    simDelay(penalty_);
+    size_t idx = g_.orecOf(addr);
+    uint64_t o1 = g_.orec(idx).load(std::memory_order_acquire);
+    if (Tl2Globals::isLocked(o1)) {
+        if (Tl2Globals::ownerOf(o1) == tid_) {
+            // We own the line (eager write already in place).
+            return mem_.load(addr);
+        }
+        restart();
+    }
+    if (o1 > rv_)
+        restart(); // Written after our snapshot (no rv extension).
+    uint64_t v = mem_.load(addr);
+    uint64_t o2 = g_.orec(idx).load(std::memory_order_acquire);
+    if (o1 != o2)
+        restart();
+    readLog_.push_back(idx);
+    return v;
+}
+
+void
+Tl2Session::write(uint64_t *addr, uint64_t value)
+{
+    simDelay(penalty_);
+    size_t idx = g_.orecOf(addr);
+    uint64_t o = g_.orec(idx).load(std::memory_order_acquire);
+    if (Tl2Globals::isLocked(o)) {
+        if (Tl2Globals::ownerOf(o) != tid_)
+            restart();
+    } else {
+        if (o > rv_)
+            restart();
+        if (!g_.orec(idx).compare_exchange_strong(
+                o, Tl2Globals::lockFor(tid_),
+                std::memory_order_acq_rel)) {
+            restart();
+        }
+        owned_.push_back({idx, o});
+    }
+    undo_.push_back({addr, mem_.load(addr)});
+    mem_.store(addr, value);
+}
+
+void
+Tl2Session::commit()
+{
+    if (owned_.empty()) {
+        // Read-only: every read was consistent at rv_.
+        return;
+    }
+    uint64_t wv = g_.clock().fetch_add(2, std::memory_order_acq_rel) + 2;
+    if (wv != rv_ + 2) {
+        // Someone committed since our snapshot: revalidate the reads.
+        for (size_t idx : readLog_) {
+            uint64_t o = g_.orec(idx).load(std::memory_order_acquire);
+            if (Tl2Globals::isLocked(o)) {
+                if (Tl2Globals::ownerOf(o) != tid_)
+                    restart();
+            } else if (o > rv_) {
+                restart();
+            }
+        }
+    }
+    for (const OwnedOrec &oo : owned_)
+        g_.orec(oo.idx).store(wv, std::memory_order_release);
+    owned_.clear();
+    undo_.clear();
+}
+
+void
+Tl2Session::rollback()
+{
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+        mem_.store(it->addr, it->oldValue);
+    for (const OwnedOrec &oo : owned_)
+        g_.orec(oo.idx).store(oo.oldValue, std::memory_order_release);
+    owned_.clear();
+    undo_.clear();
+}
+
+void
+Tl2Session::restart()
+{
+    throw TxRestart{};
+}
+
+void
+Tl2Session::onHtmAbort(const HtmAbort &abort)
+{
+    (void)abort;
+    assert(false && "pure STM cannot see hardware aborts");
+}
+
+void
+Tl2Session::onRestart()
+{
+    rollback();
+    if (stats_)
+        stats_->inc(Counter::kSlowPathRestarts);
+    backoff_.pause();
+}
+
+void
+Tl2Session::onUserAbort()
+{
+    rollback();
+}
+
+void
+Tl2Session::onComplete()
+{
+    if (stats_)
+        stats_->inc(Counter::kCommitsSoftwarePath);
+    backoff_.reset();
+}
+
+} // namespace rhtm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Transactional chained hash map (fixed bucket count), the workhorse
+ * dictionary for the STAMP-style workloads (vacation reservations,
+ * genome segment tables, intruder dictionaries).
+ */
+
+#ifndef RHTM_STRUCTURES_TX_HASHMAP_H
+#define RHTM_STRUCTURES_TX_HASHMAP_H
+
+#include <cstdint>
+#include <memory>
+
+#include "src/api/txn.h"
+
+namespace rhtm
+{
+
+/**
+ * Fixed-capacity chained hash map from uint64 keys to uint64 values.
+ * Bucket heads are transactional words; chain nodes come from the
+ * transactional heap. No resizing (the workloads size it up front),
+ * which also keeps transaction footprints predictable.
+ */
+class TxHashMap
+{
+  public:
+    /** @param bucket_count_log2 log2 of the bucket count. */
+    explicit TxHashMap(unsigned bucket_count_log2 = 16);
+
+    TxHashMap(const TxHashMap &) = delete;
+    TxHashMap &operator=(const TxHashMap &) = delete;
+
+    /**
+     * Look up @p key.
+     * @return true and set @p value_out when present.
+     */
+    bool get(Txn &tx, uint64_t key, uint64_t &value_out) const;
+
+    /** True when @p key is present. */
+    bool contains(Txn &tx, uint64_t key) const;
+
+    /**
+     * Insert or update @p key.
+     * @return true if the key was newly inserted.
+     */
+    bool put(Txn &tx, uint64_t key, uint64_t value);
+
+    /**
+     * Insert @p key only if absent.
+     * @return true if inserted; false if the key already existed.
+     */
+    bool putIfAbsent(Txn &tx, uint64_t key, uint64_t value);
+
+    /**
+     * Remove @p key.
+     * @return true if the key was present.
+     */
+    bool remove(Txn &tx, uint64_t key);
+
+    /**
+     * Add @p delta to the value of @p key, inserting @p delta as the
+     * initial value when absent. Returns the new value.
+     */
+    uint64_t addTo(Txn &tx, uint64_t key, uint64_t delta);
+
+    /** Entry count by traversal; quiescent use only. */
+    uint64_t sizeUnsync() const;
+
+    /** Free every node into @p mem; quiescent use only. */
+    void clearUnsync(ThreadMem &mem);
+
+    /** Visit (key, value) pairs; quiescent use only. */
+    template <typename Fn>
+    void
+    forEachUnsync(Fn fn) const
+    {
+        for (size_t b = 0; b <= mask_; ++b) {
+            for (Node *n = buckets_[b]; n != nullptr; n = n->next)
+                fn(n->key, n->value);
+        }
+    }
+
+  private:
+    struct Node
+    {
+        uint64_t key;
+        uint64_t value;
+        Node *next;
+    };
+
+    size_t
+    bucketOf(uint64_t key) const
+    {
+        key *= 0x9e3779b97f4a7c15ull;
+        key ^= key >> 32;
+        return key & mask_;
+    }
+
+    size_t mask_;
+    std::unique_ptr<Node *[]> buckets_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_STRUCTURES_TX_HASHMAP_H

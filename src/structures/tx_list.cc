@@ -1,0 +1,117 @@
+#include "src/structures/tx_list.h"
+
+namespace rhtm
+{
+
+bool
+TxList::contains(Txn &tx, int64_t key) const
+{
+    Node *n = tx.loadPtr(&head_);
+    while (n != nullptr) {
+        int64_t k = static_cast<int64_t>(tx.load(&n->key));
+        if (k == key)
+            return true;
+        if (k > key)
+            return false;
+        n = tx.loadPtr(&n->next);
+    }
+    return false;
+}
+
+bool
+TxList::insert(Txn &tx, int64_t key)
+{
+    Node *prev = nullptr;
+    Node *n = tx.loadPtr(&head_);
+    while (n != nullptr) {
+        int64_t k = static_cast<int64_t>(tx.load(&n->key));
+        if (k == key)
+            return false;
+        if (k > key)
+            break;
+        prev = n;
+        n = tx.loadPtr(&n->next);
+    }
+    Node *fresh = tx.allocObject<Node>();
+    tx.storeI64(reinterpret_cast<int64_t *>(&fresh->key), key);
+    tx.storePtr(&fresh->next, n);
+    if (prev == nullptr)
+        tx.storePtr(&head_, fresh);
+    else
+        tx.storePtr(&prev->next, fresh);
+    return true;
+}
+
+bool
+TxList::remove(Txn &tx, int64_t key)
+{
+    Node *prev = nullptr;
+    Node *n = tx.loadPtr(&head_);
+    while (n != nullptr) {
+        int64_t k = static_cast<int64_t>(tx.load(&n->key));
+        if (k > key)
+            return false;
+        Node *next = tx.loadPtr(&n->next);
+        if (k == key) {
+            if (prev == nullptr)
+                tx.storePtr(&head_, next);
+            else
+                tx.storePtr(&prev->next, next);
+            tx.freeObject(n);
+            return true;
+        }
+        prev = n;
+        n = next;
+    }
+    return false;
+}
+
+bool
+TxList::popMin(Txn &tx, int64_t &key_out)
+{
+    Node *n = tx.loadPtr(&head_);
+    if (n == nullptr)
+        return false;
+    key_out = static_cast<int64_t>(tx.load(&n->key));
+    tx.storePtr(&head_, tx.loadPtr(&n->next));
+    tx.freeObject(n);
+    return true;
+}
+
+uint64_t
+TxList::sizeUnsync() const
+{
+    uint64_t count = 0;
+    for (Node *n = head_; n != nullptr; n = n->next)
+        ++count;
+    return count;
+}
+
+bool
+TxList::isSortedUnsync() const
+{
+    if (head_ == nullptr)
+        return true;
+    int64_t prev = static_cast<int64_t>(head_->key);
+    for (Node *n = head_->next; n != nullptr; n = n->next) {
+        int64_t k = static_cast<int64_t>(n->key);
+        if (k <= prev)
+            return false;
+        prev = k;
+    }
+    return true;
+}
+
+void
+TxList::clearUnsync(ThreadMem &mem)
+{
+    Node *n = head_;
+    head_ = nullptr;
+    while (n != nullptr) {
+        Node *next = n->next;
+        mem.rawFree(n, sizeof(Node));
+        n = next;
+    }
+}
+
+} // namespace rhtm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Transactional sorted linked-list set. Long read chains make it a
+ * good stressor for read-set capacity and prefix-length adaptation.
+ */
+
+#ifndef RHTM_STRUCTURES_TX_LIST_H
+#define RHTM_STRUCTURES_TX_LIST_H
+
+#include <cstdint>
+
+#include "src/api/txn.h"
+
+namespace rhtm
+{
+
+/** Sorted singly-linked set of int64 keys. */
+class TxList
+{
+  public:
+    TxList() : head_(nullptr) {}
+
+    TxList(const TxList &) = delete;
+    TxList &operator=(const TxList &) = delete;
+
+    /** True when @p key is present. */
+    bool contains(Txn &tx, int64_t key) const;
+
+    /**
+     * Insert @p key.
+     * @return true if it was not already present.
+     */
+    bool insert(Txn &tx, int64_t key);
+
+    /**
+     * Remove @p key.
+     * @return true if it was present.
+     */
+    bool remove(Txn &tx, int64_t key);
+
+    /**
+     * Remove the smallest key.
+     * @return true and set @p key_out when the list was non-empty.
+     */
+    bool popMin(Txn &tx, int64_t &key_out);
+
+    /** Element count by traversal; quiescent use only. */
+    uint64_t sizeUnsync() const;
+
+    /** True when keys ascend strictly; quiescent use only. */
+    bool isSortedUnsync() const;
+
+    /** Free every node into @p mem; quiescent use only. */
+    void clearUnsync(ThreadMem &mem);
+
+  private:
+    struct Node
+    {
+        uint64_t key;
+        Node *next;
+    };
+
+    Node *head_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_STRUCTURES_TX_LIST_H

@@ -1,0 +1,65 @@
+#include "src/structures/tx_queue.h"
+
+namespace rhtm
+{
+
+void
+TxQueue::push(Txn &tx, uint64_t value)
+{
+    Node *fresh = tx.allocObject<Node>();
+    tx.store(&fresh->value, value);
+    tx.storePtr(&fresh->next, static_cast<Node *>(nullptr));
+    Node *tail = tx.loadPtr(&tail_);
+    if (tail == nullptr) {
+        tx.storePtr(&head_, fresh);
+        tx.storePtr(&tail_, fresh);
+    } else {
+        tx.storePtr(&tail->next, fresh);
+        tx.storePtr(&tail_, fresh);
+    }
+}
+
+bool
+TxQueue::pop(Txn &tx, uint64_t &value_out)
+{
+    Node *head = tx.loadPtr(&head_);
+    if (head == nullptr)
+        return false;
+    value_out = tx.load(&head->value);
+    Node *next = tx.loadPtr(&head->next);
+    tx.storePtr(&head_, next);
+    if (next == nullptr)
+        tx.storePtr(&tail_, static_cast<Node *>(nullptr));
+    tx.freeObject(head);
+    return true;
+}
+
+bool
+TxQueue::empty(Txn &tx) const
+{
+    return tx.loadPtr(&head_) == nullptr;
+}
+
+uint64_t
+TxQueue::sizeUnsync() const
+{
+    uint64_t count = 0;
+    for (Node *n = head_; n != nullptr; n = n->next)
+        ++count;
+    return count;
+}
+
+void
+TxQueue::clearUnsync(ThreadMem &mem)
+{
+    Node *n = head_;
+    head_ = nullptr;
+    tail_ = nullptr;
+    while (n != nullptr) {
+        Node *next = n->next;
+        mem.rawFree(n, sizeof(Node));
+        n = next;
+    }
+}
+
+} // namespace rhtm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Transactional FIFO queue (intruder's packet stream uses one).
+ */
+
+#ifndef RHTM_STRUCTURES_TX_QUEUE_H
+#define RHTM_STRUCTURES_TX_QUEUE_H
+
+#include <cstdint>
+
+#include "src/api/txn.h"
+
+namespace rhtm
+{
+
+/**
+ * Unbounded FIFO of uint64 payloads. Head and tail are transactional
+ * words; push and pop conflict only when the queue is short, which is
+ * exactly the contention profile the intruder workload exercises.
+ */
+class TxQueue
+{
+  public:
+    TxQueue() : head_(nullptr), tail_(nullptr) {}
+
+    TxQueue(const TxQueue &) = delete;
+    TxQueue &operator=(const TxQueue &) = delete;
+
+    /** Append @p value. */
+    void push(Txn &tx, uint64_t value);
+
+    /**
+     * Remove the oldest element.
+     * @return true and set @p value_out when the queue was non-empty.
+     */
+    bool pop(Txn &tx, uint64_t &value_out);
+
+    /** True when empty. */
+    bool empty(Txn &tx) const;
+
+    /** Element count by traversal; quiescent use only. */
+    uint64_t sizeUnsync() const;
+
+    /** Visit values head-to-tail; quiescent use only. */
+    template <typename Fn>
+    void
+    forEachUnsync(Fn fn) const
+    {
+        for (const Node *n = head_; n != nullptr; n = n->next)
+            fn(n->value);
+    }
+
+    /** Free every node into @p mem; quiescent use only. */
+    void clearUnsync(ThreadMem &mem);
+
+  private:
+    struct Node
+    {
+        uint64_t value;
+        Node *next;
+    };
+
+    Node *head_;
+    Node *tail_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_STRUCTURES_TX_QUEUE_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Spin-wait and bounded exponential backoff helpers.
+ */
+
+#ifndef RHTM_UTIL_BACKOFF_H
+#define RHTM_UTIL_BACKOFF_H
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace rhtm
+{
+
+/** One CPU relax hint (PAUSE on x86, no-op elsewhere). */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Busy-work delay of roughly @p cycles CPU cycles. Used by the
+ * instrumentation-cost model: the paper's software paths pay a dynamic
+ * libitm call plus logging per shared access, which a simulation built
+ * on raw atomics would otherwise omit entirely (see DESIGN.md).
+ */
+inline void
+simDelay(unsigned cycles)
+{
+    for (unsigned i = 0; i < cycles; ++i)
+        asm volatile("");
+}
+
+/**
+ * Bounded exponential backoff for contended retry loops.
+ *
+ * Spins with PAUSE for short waits and yields to the OS once the wait
+ * grows, which keeps oversubscribed runs (more threads than cores) from
+ * livelocking on a preempted lock holder.
+ */
+class Backoff
+{
+  public:
+    /** @param max_spins Cap on the doubling spin count before yielding. */
+    explicit Backoff(uint32_t max_spins = 1024)
+        : limit_(1), maxSpins_(max_spins)
+    {}
+
+    /** Wait one backoff step and grow the next step. */
+    void
+    pause()
+    {
+        if (limit_ >= maxSpins_) {
+            std::this_thread::yield();
+            return;
+        }
+        for (uint32_t i = 0; i < limit_; ++i)
+            cpuRelax();
+        limit_ <<= 1;
+    }
+
+    /** Reset to the initial (shortest) wait. */
+    void reset() { limit_ = 1; }
+
+  private:
+    uint32_t limit_;
+    uint32_t maxSpins_;
+};
+
+/**
+ * Spin until @p cond returns true, yielding periodically so that the
+ * waited-on thread can run even when the host is oversubscribed.
+ */
+template <typename Cond>
+inline void
+spinUntil(Cond cond)
+{
+    uint32_t spins = 0;
+    while (!cond()) {
+        if (++spins >= 64) {
+            std::this_thread::yield();
+            spins = 0;
+        } else {
+            cpuRelax();
+        }
+    }
+}
+
+} // namespace rhtm
+
+#endif // RHTM_UTIL_BACKOFF_H

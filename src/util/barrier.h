@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sense-reversing thread barrier for benchmark start/stop alignment.
+ */
+
+#ifndef RHTM_UTIL_BARRIER_H
+#define RHTM_UTIL_BARRIER_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/**
+ * Reusable sense-reversing barrier.
+ *
+ * All participating threads block until the last one arrives; the
+ * barrier then flips sense and can be reused immediately. Benchmarks use
+ * it so every thread starts timing at the same instant.
+ */
+class SenseBarrier
+{
+  public:
+    /** @param parties Number of threads that must arrive per round. */
+    explicit SenseBarrier(uint32_t parties)
+        : parties_(parties), waiting_(parties), sense_(false)
+    {}
+
+    /** Block until all parties have arrived at this round. */
+    void
+    arriveAndWait()
+    {
+        bool my_sense = !sense_.load(std::memory_order_relaxed);
+        if (waiting_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            waiting_.store(parties_, std::memory_order_relaxed);
+            sense_.store(my_sense, std::memory_order_release);
+        } else {
+            spinUntil([&] {
+                return sense_.load(std::memory_order_acquire) == my_sense;
+            });
+        }
+    }
+
+  private:
+    const uint32_t parties_;
+    std::atomic<uint32_t> waiting_;
+    std::atomic<bool> sense_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_UTIL_BARRIER_H

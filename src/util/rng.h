@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fast pseudo-random number generation for workloads and benchmarks.
+ */
+
+#ifndef RHTM_UTIL_RNG_H
+#define RHTM_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace rhtm
+{
+
+/**
+ * xorshift128+ pseudo-random generator.
+ *
+ * Deterministic given a seed, cheap enough to call inside transaction
+ * bodies without perturbing the measured behaviour, and independent per
+ * thread (no shared state). Not cryptographically secure; used only for
+ * workload generation.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; any seed (including 0) is legal. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 expansion of the seed into the two state words.
+        state_[0] = splitMix(seed);
+        state_[1] = splitMix(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t s1 = state_[0];
+        const uint64_t s0 = state_[1];
+        state_[0] = s0;
+        s1 ^= s1 << 23;
+        state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+        return state_[1] + s0;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive; requires lo <= hi. */
+    uint64_t
+    nextRange(uint64_t lo, uint64_t hi)
+    {
+        return lo + nextBounded(hi - lo + 1);
+    }
+
+    /** True with probability pct/100. */
+    bool
+    nextPercent(unsigned pct)
+    {
+        return nextBounded(100) < pct;
+    }
+
+  private:
+    uint64_t
+    splitMix(uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state_[2];
+};
+
+} // namespace rhtm
+
+#endif // RHTM_UTIL_RNG_H

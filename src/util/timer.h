@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Monotonic wall-clock stopwatch.
+ */
+
+#ifndef RHTM_UTIL_TIMER_H
+#define RHTM_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace rhtm
+{
+
+/** Simple monotonic stopwatch used by the benchmark harness. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch at the current instant. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    elapsedSeconds() const
+    {
+        auto delta = Clock::now() - start_;
+        return std::chrono::duration<double>(delta).count();
+    }
+
+    /** Milliseconds elapsed since construction or the last reset(). */
+    double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_UTIL_TIMER_H

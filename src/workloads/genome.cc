@@ -1,0 +1,91 @@
+#include "src/workloads/genome.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace rhtm
+{
+
+GenomeWorkload::GenomeWorkload(GenomeParams params)
+    : params_(params), unique_(13), next_(13)
+{}
+
+void
+GenomeWorkload::setup(TmRuntime &rt, ThreadCtx &ctx)
+{
+    (void)rt;
+    (void)ctx;
+    // Sample every position `duplication` times and shuffle: the
+    // nucleotide stream the sequencer would emit.
+    samples_.clear();
+    samples_.reserve(size_t(params_.genomeLength) * params_.duplication);
+    for (unsigned d = 0; d < params_.duplication; ++d) {
+        for (unsigned p = 0; p < params_.genomeLength; ++p)
+            samples_.push_back(p);
+    }
+    Rng rng(424242);
+    for (size_t i = samples_.size(); i > 1; --i)
+        std::swap(samples_[i - 1], samples_[rng.nextBounded(i)]);
+    cursor_.store(0, std::memory_order_release);
+}
+
+void
+GenomeWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    (void)rng;
+    size_t idx = cursor_.fetch_add(1, std::memory_order_acq_rel);
+    // Wrap: keep hashing (phase-1-style re-probes) after the stream is
+    // exhausted so timed runs of any length stay busy.
+    uint64_t segment = samples_[idx % samples_.size()];
+
+    rt.run(ctx, [&](Txn &tx) {
+        // Phase 1: deduplicate the segment.
+        bool fresh = unique_.putIfAbsent(tx, segment, 1);
+        if (!fresh)
+            return; // Duplicate: nothing to link.
+        // Phase 2: link to the overlap successor (the segment starting
+        // one position later), both directions so the chain closes no
+        // matter the processing order.
+        if (segment + 1 < params_.genomeLength)
+            next_.putIfAbsent(tx, segment, segment + 1);
+        if (segment > 0)
+            next_.putIfAbsent(tx, segment - 1, segment);
+    });
+}
+
+bool
+GenomeWorkload::verify(TmRuntime &rt, std::string *why) const
+{
+    (void)rt;
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    size_t processed = cursor_.load(std::memory_order_acquire);
+    if (processed < samples_.size())
+        return true; // Partial run: dedup set is a subset, fine.
+
+    // The full stream was consumed at least once: every segment must
+    // be present exactly once, and the chain must be complete.
+    if (unique_.sizeUnsync() != params_.genomeLength) {
+        std::ostringstream os;
+        os << "dedup set has " << unique_.sizeUnsync()
+           << " segments, want " << params_.genomeLength;
+        return fail(os.str());
+    }
+    std::map<uint64_t, uint64_t> links;
+    next_.forEachUnsync([&](uint64_t k, uint64_t v) { links[k] = v; });
+    for (unsigned p = 0; p + 1 < params_.genomeLength; ++p) {
+        auto it = links.find(p);
+        if (it == links.end() || it->second != p + 1) {
+            std::ostringstream os;
+            os << "chain broken at position " << p;
+            return fail(os.str());
+        }
+    }
+    return true;
+}
+
+} // namespace rhtm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Genome: the STAMP gene-sequencing kernel. A genome is sampled into
+ * overlapping segments (with duplicates); threads first deduplicate
+ * the segments into a shared hash set, then match overlapping segments
+ * to link the sequence back together. Moderate transactions, low to
+ * moderate contention, heavy instrumentation cost from the hash
+ * probing (Section 3.6).
+ */
+
+#ifndef RHTM_WORKLOADS_GENOME_H
+#define RHTM_WORKLOADS_GENOME_H
+
+#include <atomic>
+#include <vector>
+
+#include "src/structures/tx_hashmap.h"
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+
+/** Tuning for the genome kernel. */
+struct GenomeParams
+{
+    unsigned genomeLength = 8192; //!< Positions in the genome.
+    unsigned duplication = 4;     //!< Copies of each segment sampled.
+};
+
+/**
+ * The genome kernel. Each op processes one sampled segment: phase-1
+ * style dedup insert, and -- when the segment is new -- a phase-2
+ * style link of the segment to its overlap successor. The kernel
+ * reconstructs the chain 0 -> 1 -> ... -> N-1; verify() walks it.
+ */
+class GenomeWorkload : public Workload
+{
+  public:
+    explicit GenomeWorkload(GenomeParams params = GenomeParams());
+
+    const char *name() const override { return "genome"; }
+    void setup(TmRuntime &rt, ThreadCtx &ctx) override;
+    void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) override;
+    bool verify(TmRuntime &rt, std::string *why) const override;
+
+  private:
+    GenomeParams params_;
+    std::vector<uint64_t> samples_; //!< Shuffled segment stream.
+    std::atomic<size_t> cursor_{0}; //!< Next sample to process.
+    TxHashMap unique_;              //!< Dedup set: segment -> 1.
+    TxHashMap next_;                //!< Chain links: pos -> pos + 1.
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_GENOME_H

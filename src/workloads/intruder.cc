@@ -1,0 +1,178 @@
+#include "src/workloads/intruder.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <sstream>
+
+namespace rhtm
+{
+
+IntruderWorkload::IntruderWorkload(IntruderParams params)
+    : params_(params), assembly_(12), attacks_(12)
+{
+    // Bitmaps live in one 64-bit word.
+    if (params_.maxFragsPerFlow > 48)
+        params_.maxFragsPerFlow = 48;
+    if (params_.seedDepth == 0)
+        params_.seedDepth = 1;
+}
+
+uint64_t
+IntruderWorkload::fragmentAt(uint64_t idx) const
+{
+    uint64_t pos = idx % stream_.size();
+    uint64_t round = idx / stream_.size();
+    uint64_t frag = stream_[pos];
+    // Offset the flow id so wrapped rounds form fresh flows.
+    uint64_t flow = (frag >> 32) + round * params_.flows;
+    return (flow << 32) | (frag & 0xffffffffull);
+}
+
+void
+IntruderWorkload::setup(TmRuntime &rt, ThreadCtx &ctx)
+{
+    // One stream round: every flow's fragments, globally shuffled.
+    stream_.clear();
+    Rng rng(7919);
+    for (unsigned f = 0; f < params_.flows; ++f) {
+        uint64_t flow = f + 1;
+        unsigned count = 1 + static_cast<unsigned>(rng.nextBounded(
+                                 params_.maxFragsPerFlow));
+        for (unsigned i = 0; i < count; ++i)
+            stream_.push_back(encodeFragment(flow, i, count));
+    }
+    for (size_t i = stream_.size(); i > 1; --i)
+        std::swap(stream_[i - 1], stream_[rng.nextBounded(i)]);
+
+    // Prime the queue so consumers always find work.
+    uint64_t depth = std::min<uint64_t>(params_.seedDepth,
+                                        stream_.size());
+    constexpr uint64_t kBatch = 64;
+    for (uint64_t base = 0; base < depth; base += kBatch) {
+        rt.run(ctx, [&](Txn &tx) {
+            uint64_t end = std::min(base + kBatch, depth);
+            for (uint64_t i = base; i < end; ++i)
+                packets_.push(tx, fragmentAt(i));
+        });
+    }
+    cursor_.store(depth, std::memory_order_release);
+}
+
+void
+IntruderWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    (void)rng;
+    uint64_t inject_idx = cursor_.fetch_add(1, std::memory_order_acq_rel);
+    uint64_t inject = fragmentAt(inject_idx);
+
+    // Capture (inject) + reassembly in one transaction; detection runs
+    // after completion (STAMP's three phases, the first two
+    // transactional).
+    uint64_t completed_flow = 0;
+    rt.run(ctx, [&](Txn &tx) {
+        completed_flow = 0;
+        packets_.push(tx, inject);
+        uint64_t frag = 0;
+        if (!packets_.pop(tx, frag))
+            return; // Unreachable: we just pushed.
+        uint64_t flow = frag >> 32;
+        unsigned index = static_cast<unsigned>((frag >> 16) & 0xffff);
+        unsigned count = static_cast<unsigned>(frag & 0xffff);
+
+        uint64_t bitmap = 0;
+        assembly_.get(tx, flow, bitmap);
+        bitmap |= uint64_t(1) << index;
+        uint64_t full = (uint64_t(1) << count) - 1;
+        if (bitmap == full) {
+            assembly_.remove(tx, flow);
+            tx.store(&completedFlows_, tx.load(&completedFlows_) + 1);
+            completed_flow = flow;
+        } else {
+            assembly_.put(tx, flow, bitmap);
+        }
+    });
+
+    if (completed_flow != 0) {
+        // Detection: the signature scan itself is thread-local; only
+        // the verdict is published.
+        bool attack = (completed_flow % params_.attackEvery) == 0;
+        if (attack) {
+            rt.run(ctx, [&](Txn &tx) {
+                attacks_.putIfAbsent(tx, completed_flow, 1);
+            });
+        }
+    }
+}
+
+bool
+IntruderWorkload::verify(TmRuntime &rt, std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    // Replay the stream to find how many fragments of each flow were
+    // injected (cursor_ fragments, in deterministic order).
+    uint64_t injected = cursor_.load(std::memory_order_acquire);
+    std::unordered_map<uint64_t, unsigned> pushed;   // flow -> fragments injected
+    std::unordered_map<uint64_t, unsigned> full_count; // flow -> total fragments
+    for (uint64_t idx = 0; idx < injected; ++idx) {
+        uint64_t frag = fragmentAt(idx);
+        uint64_t flow = frag >> 32;
+        pushed[flow]++;
+        full_count[flow] = static_cast<unsigned>(frag & 0xffff);
+    }
+
+    std::unordered_map<uint64_t, unsigned> queued;
+    packets_.forEachUnsync([&](uint64_t frag) { queued[frag >> 32]++; });
+    std::unordered_map<uint64_t, unsigned> partial;
+    assembly_.forEachUnsync([&](uint64_t flow, uint64_t bitmap) {
+        partial[flow] =
+            static_cast<unsigned>(__builtin_popcountll(bitmap));
+    });
+
+    uint64_t complete = 0;
+    uint64_t expected_attacks = 0;
+    for (auto &[flow, n_pushed] : pushed) {
+        unsigned q = queued.count(flow) ? queued[flow] : 0;
+        unsigned p = partial.count(flow) ? partial[flow] : 0;
+        bool is_complete =
+            (q == 0 && p == 0 && n_pushed == full_count[flow]);
+        if (!is_complete && q + p != n_pushed) {
+            std::ostringstream os;
+            os << "flow " << flow << ": " << q << " queued + " << p
+               << " assembled != " << n_pushed << " injected";
+            return fail(os.str());
+        }
+        if (is_complete) {
+            ++complete;
+            if (flow % params_.attackEvery == 0)
+                ++expected_attacks;
+        }
+    }
+    for (auto &[flow, q] : queued) {
+        (void)q;
+        if (!pushed.count(flow))
+            return fail("queue holds a fragment of an unknown flow");
+    }
+
+    uint64_t done = const_cast<TmRuntime &>(rt).peek(&completedFlows_);
+    if (done != complete) {
+        std::ostringstream os;
+        os << "completion counter " << done << " != derived "
+           << complete;
+        return fail(os.str());
+    }
+    if (attacks_.sizeUnsync() != expected_attacks) {
+        std::ostringstream os;
+        os << "attack ledger " << attacks_.sizeUnsync()
+           << " != expected " << expected_attacks;
+        return fail(os.str());
+    }
+    return true;
+}
+
+} // namespace rhtm

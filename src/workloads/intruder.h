@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Intruder: the STAMP network-intrusion-detection kernel. Packet
+ * fragments flow through a shared queue into a per-flow reassembly
+ * dictionary; completed flows are scanned for attack signatures.
+ * Short-to-moderate transactions with high contention on the queue
+ * ends and the reassembly map -- the profile the paper calls out in
+ * Section 3.6.
+ */
+
+#ifndef RHTM_WORKLOADS_INTRUDER_H
+#define RHTM_WORKLOADS_INTRUDER_H
+
+#include <atomic>
+#include <vector>
+
+#include "src/structures/tx_hashmap.h"
+#include "src/structures/tx_queue.h"
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+
+/** Tuning for the intruder kernel. */
+struct IntruderParams
+{
+    unsigned flows = 2048;          //!< Flows per stream round.
+    unsigned maxFragsPerFlow = 8;   //!< Fragments per flow (1..max).
+    unsigned attackEvery = 16;      //!< Every Nth flow is an attack.
+    unsigned seedDepth = 256;       //!< Fragments queued at setup.
+};
+
+/**
+ * The intruder kernel. setup() pre-generates a shuffled fragment
+ * stream and primes the queue; every op transactionally injects the
+ * next stream fragment and consumes/reassembles the oldest one, so
+ * the queue depth stays constant and a timed run never drains. The
+ * stream wraps with fresh flow ids, making runs of any length valid.
+ */
+class IntruderWorkload : public Workload
+{
+  public:
+    explicit IntruderWorkload(IntruderParams params = IntruderParams());
+
+    const char *name() const override { return "intruder"; }
+    void setup(TmRuntime &rt, ThreadCtx &ctx) override;
+    void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) override;
+    bool verify(TmRuntime &rt, std::string *why) const override;
+
+  private:
+    /** Fragment encoding: flow (32b) | index (16b) | count (16b). */
+    static uint64_t
+    encodeFragment(uint64_t flow, unsigned index, unsigned count)
+    {
+        return (flow << 32) | (uint64_t(index) << 16) | count;
+    }
+
+    /** The idx-th fragment of the (wrapping) stream. */
+    uint64_t fragmentAt(uint64_t idx) const;
+
+    IntruderParams params_;
+    std::vector<uint64_t> stream_;  //!< One shuffled round, flow ids 1..flows.
+    std::atomic<uint64_t> cursor_{0}; //!< Fragments injected so far.
+    TxQueue packets_;
+    TxHashMap assembly_;   //!< flow -> bitmap of received fragments.
+    TxHashMap attacks_;    //!< flow -> 1 for detected attacks.
+    alignas(64) uint64_t completedFlows_ = 0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_INTRUDER_H

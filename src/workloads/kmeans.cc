@@ -1,0 +1,109 @@
+#include "src/workloads/kmeans.h"
+
+#include <sstream>
+
+namespace rhtm
+{
+
+KmeansWorkload::KmeansWorkload(KmeansParams params) : params_(params)
+{
+    if (params_.dims > 8)
+        params_.dims = 8;
+    clusters_.resize(params_.clusters);
+    Rng rng(777);
+    centers_.resize(params_.clusters);
+    for (auto &c : centers_) {
+        c.resize(params_.dims);
+        for (auto &x : c)
+            x = rng.nextBounded(params_.pointRange);
+    }
+}
+
+void
+KmeansWorkload::setup(TmRuntime &rt, ThreadCtx &ctx)
+{
+    (void)rt;
+    (void)ctx;
+    for (auto &c : clusters_) {
+        c.count = 0;
+        for (auto &s : c.coordSum)
+            s = 0;
+    }
+    pointsFolded_.store(0, std::memory_order_release);
+}
+
+void
+KmeansWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    // Draw a point and find its nearest center outside the
+    // transaction (thread-local arithmetic, like STAMP's distance
+    // computation between the transactional updates).
+    uint64_t point[8];
+    for (unsigned d = 0; d < params_.dims; ++d)
+        point[d] = rng.nextBounded(params_.pointRange);
+    unsigned best = 0;
+    uint64_t best_dist = ~uint64_t(0);
+    for (unsigned c = 0; c < params_.clusters; ++c) {
+        uint64_t dist = 0;
+        for (unsigned d = 0; d < params_.dims; ++d) {
+            int64_t diff = static_cast<int64_t>(point[d]) -
+                           static_cast<int64_t>(centers_[c][d]);
+            dist += static_cast<uint64_t>(diff * diff);
+        }
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = c;
+        }
+    }
+    // Fold the point into the chosen cluster transactionally.
+    rt.run(ctx, [&](Txn &tx) {
+        Cluster &cl = clusters_[best];
+        tx.store(&cl.count, tx.load(&cl.count) + 1);
+        for (unsigned d = 0; d < params_.dims; ++d) {
+            tx.store(&cl.coordSum[d],
+                     tx.load(&cl.coordSum[d]) + point[d]);
+        }
+    });
+    pointsFolded_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool
+KmeansWorkload::verify(TmRuntime &rt, std::string *why) const
+{
+    (void)rt;
+    // Every folded point landed in exactly one cluster.
+    uint64_t total = 0;
+    for (const Cluster &cl : clusters_)
+        total += cl.count;
+    if (total != pointsFolded_.load(std::memory_order_acquire)) {
+        if (why) {
+            std::ostringstream os;
+            os << "cluster counts " << total << " != points folded "
+               << pointsFolded_.load();
+            *why = os.str();
+        }
+        return false;
+    }
+    // Coordinate sums must be consistent with counts: each coordinate
+    // mean must lie inside the coordinate range.
+    for (unsigned c = 0; c < params_.clusters; ++c) {
+        const Cluster &cl = clusters_[c];
+        if (cl.count == 0)
+            continue;
+        for (unsigned d = 0; d < params_.dims; ++d) {
+            uint64_t mean = cl.coordSum[d] / cl.count;
+            if (mean >= params_.pointRange) {
+                if (why) {
+                    std::ostringstream os;
+                    os << "cluster " << c << " dim " << d
+                       << " mean out of range (torn update)";
+                    *why = os.str();
+                }
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace rhtm

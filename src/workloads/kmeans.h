@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Kmeans: the STAMP clustering kernel. Threads stream points, find
+ * the nearest center (thread-local arithmetic), and transactionally
+ * fold the point into that cluster's accumulator -- small transactions
+ * whose contention is set by the number of clusters.
+ */
+
+#ifndef RHTM_WORKLOADS_KMEANS_H
+#define RHTM_WORKLOADS_KMEANS_H
+
+#include <atomic>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+
+/** Tuning for the kmeans kernel. */
+struct KmeansParams
+{
+    unsigned clusters = 16;  //!< Accumulator count (contention knob).
+    unsigned dims = 4;       //!< Point dimensionality.
+    unsigned pointRange = 1024; //!< Coordinate range.
+};
+
+/** The kmeans kernel (one assignment pass, repeated). */
+class KmeansWorkload : public Workload
+{
+  public:
+    explicit KmeansWorkload(KmeansParams params = KmeansParams());
+
+    const char *name() const override { return "kmeans"; }
+    void setup(TmRuntime &rt, ThreadCtx &ctx) override;
+    void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) override;
+    bool verify(TmRuntime &rt, std::string *why) const override;
+
+  private:
+    struct alignas(64) Cluster
+    {
+        uint64_t count;
+        uint64_t coordSum[8];
+    };
+
+    KmeansParams params_;
+    std::vector<Cluster> clusters_;
+    std::vector<std::vector<uint64_t>> centers_; //!< Fixed centers.
+    std::atomic<uint64_t> pointsFolded_{0};
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_KMEANS_H

@@ -1,0 +1,153 @@
+#include "src/workloads/labyrinth.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/mem/memory_manager.h"
+
+namespace rhtm
+{
+
+LabyrinthWorkload::LabyrinthWorkload(LabyrinthParams params)
+    : params_(params)
+{
+    grid_.resize(size_t(params_.width) * params_.height, 0);
+    pending_.resize(MemoryManager::kMaxThreads);
+}
+
+void
+LabyrinthWorkload::setup(TmRuntime &rt, ThreadCtx &ctx)
+{
+    (void)rt;
+    (void)ctx;
+    for (auto &c : grid_)
+        c = 0;
+    for (auto &p : pending_)
+        p.clear();
+    nextRouteId_.store(1, std::memory_order_release);
+    routed_.store(0, std::memory_order_release);
+}
+
+void
+LabyrinthWorkload::buildPath(unsigned x0, unsigned y0, unsigned x1,
+                             unsigned y1, std::vector<size_t> &out) const
+{
+    out.clear();
+    unsigned x = x0, y = y0;
+    out.push_back(cellIndex(x, y));
+    while (x != x1) {
+        x = x < x1 ? x + 1 : x - 1;
+        out.push_back(cellIndex(x, y));
+    }
+    while (y != y1) {
+        y = y < y1 ? y + 1 : y - 1;
+        out.push_back(cellIndex(x, y));
+    }
+}
+
+void
+LabyrinthWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    auto &my_pending = pending_[ctx.tid()];
+
+    // Rip up an old route once a few have accumulated, keeping the
+    // grid from saturating (STAMP routes a fixed work list; churn
+    // keeps a timed run representative).
+    if (my_pending.size() >= 4) {
+        Route route = std::move(my_pending.front());
+        my_pending.erase(my_pending.begin());
+        rt.run(ctx, [&](Txn &tx) {
+            for (size_t cell : route.cells) {
+                // Only clear cells still owned by this route.
+                if (tx.load(&grid_[cell]) == route.id)
+                    tx.store(&grid_[cell], 0);
+            }
+        });
+    }
+
+    unsigned x0 = static_cast<unsigned>(rng.nextBounded(params_.width));
+    unsigned y0 = static_cast<unsigned>(rng.nextBounded(params_.height));
+    unsigned x1 = static_cast<unsigned>(rng.nextBounded(params_.width));
+    unsigned y1 = static_cast<unsigned>(rng.nextBounded(params_.height));
+    uint64_t id = nextRouteId_.fetch_add(1, std::memory_order_acq_rel);
+
+    Route route;
+    route.id = id;
+    buildPath(x0, y0, x1, y1, route.cells);
+
+    bool claimed = false;
+    rt.run(ctx, [&](Txn &tx) {
+        claimed = false;
+        // Probe the whole path first (large read set)...
+        for (size_t cell : route.cells) {
+            if (tx.load(&grid_[cell]) != 0)
+                return; // Blocked: commit nothing.
+        }
+        // ...then claim it (large write set).
+        for (size_t cell : route.cells)
+            tx.store(&grid_[cell], id);
+        claimed = true;
+    });
+
+    if (claimed) {
+        routed_.fetch_add(1, std::memory_order_acq_rel);
+        my_pending.push_back(std::move(route));
+    }
+}
+
+bool
+LabyrinthWorkload::verify(TmRuntime &rt, std::string *why) const
+{
+    (void)rt;
+    // Every outstanding route owns its complete path; no cell belongs
+    // to a route that is not outstanding.
+    std::map<uint64_t, uint64_t> owned_cells;
+    for (size_t i = 0; i < grid_.size(); ++i) {
+        if (grid_[i] != 0)
+            owned_cells[grid_[i]]++;
+    }
+    std::map<uint64_t, uint64_t> expected;
+    for (const auto &per_thread : pending_) {
+        for (const Route &r : per_thread)
+            expected[r.id] = r.cells.size();
+    }
+    for (auto &[id, cells] : owned_cells) {
+        auto it = expected.find(id);
+        if (it == expected.end()) {
+            if (why) {
+                std::ostringstream os;
+                os << "grid cell owned by unknown route " << id;
+                *why = os.str();
+            }
+            return false;
+        }
+    }
+    for (auto &[id, cells] : expected) {
+        // A pending route must own every distinct cell of its path
+        // (the same cell can appear once; L-paths never self-cross
+        // except degenerate start==end single cells).
+        std::set<uint64_t> distinct;
+        for (const auto &per_thread : pending_) {
+            for (const Route &r : per_thread) {
+                if (r.id != id)
+                    continue;
+                for (size_t c : r.cells)
+                    distinct.insert(c);
+            }
+        }
+        uint64_t got = owned_cells.count(id) ? owned_cells[id] : 0;
+        if (got != distinct.size()) {
+            if (why) {
+                std::ostringstream os;
+                os << "route " << id << " owns " << got << " cells, want "
+                   << distinct.size() << " (torn claim)";
+                *why = os.str();
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace rhtm

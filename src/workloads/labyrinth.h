@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Labyrinth: the STAMP maze-routing kernel. Each transaction routes a
+ * path across a shared grid and claims every cell along it: very long
+ * transactions with large read and write sets -- the capacity-abort
+ * stressor that drives hardware transactions to the software fallback.
+ */
+
+#ifndef RHTM_WORKLOADS_LABYRINTH_H
+#define RHTM_WORKLOADS_LABYRINTH_H
+
+#include <atomic>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+
+/** Tuning for the labyrinth kernel. */
+struct LabyrinthParams
+{
+    unsigned width = 128;   //!< Grid width.
+    unsigned height = 128;  //!< Grid height.
+};
+
+/**
+ * The labyrinth kernel. Each op picks random endpoints and attempts
+ * to claim the L-shaped route between them (all cells free or already
+ * fading); on obstruction the transaction commits nothing and the op
+ * counts as a failed route. Completed routes are released ("ripped
+ * up") by the same thread a few ops later, so the grid keeps churning.
+ */
+class LabyrinthWorkload : public Workload
+{
+  public:
+    explicit LabyrinthWorkload(LabyrinthParams params = LabyrinthParams());
+
+    const char *name() const override { return "labyrinth"; }
+    void setup(TmRuntime &rt, ThreadCtx &ctx) override;
+    void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) override;
+    bool verify(TmRuntime &rt, std::string *why) const override;
+
+    /** Routed-path count so far (for bench reporting). */
+    uint64_t routed() const
+    {
+        return routed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    struct Route
+    {
+        uint64_t id;
+        std::vector<size_t> cells;
+    };
+
+    size_t
+    cellIndex(unsigned x, unsigned y) const
+    {
+        return size_t(y) * params_.width + x;
+    }
+
+    /** Build the L-shaped path between two points. */
+    void buildPath(unsigned x0, unsigned y0, unsigned x1, unsigned y1,
+                   std::vector<size_t> &out) const;
+
+    LabyrinthParams params_;
+    std::vector<uint64_t> grid_; //!< 0 = free, else route id.
+    std::atomic<uint64_t> nextRouteId_{1};
+    std::atomic<uint64_t> routed_{0};
+    // Per-thread pending routes awaiting rip-up (indexed by tid).
+    std::vector<std::vector<Route>> pending_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_LABYRINTH_H

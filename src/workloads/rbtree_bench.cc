@@ -1,0 +1,53 @@
+#include "src/workloads/rbtree_bench.h"
+
+namespace rhtm
+{
+
+RbTreeBenchWorkload::RbTreeBenchWorkload(RbTreeBenchParams params)
+    : params_(params), keyRange_(uint64_t(params.initialSize) * 2)
+{}
+
+void
+RbTreeBenchWorkload::setup(TmRuntime &rt, ThreadCtx &ctx)
+{
+    // Insert every other key: the tree holds initialSize nodes and
+    // stays near that size in steady state (puts and deletes are
+    // drawn uniformly over a 2x key range).
+    for (uint64_t k = 0; k < keyRange_; k += 2) {
+        rt.run(ctx, [&](Txn &tx) {
+            tree_.put(tx, static_cast<int64_t>(k),
+                      static_cast<int64_t>(k));
+        });
+    }
+}
+
+void
+RbTreeBenchWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    int64_t key = static_cast<int64_t>(rng.nextBounded(keyRange_));
+    if (rng.nextPercent(params_.mutationPct)) {
+        if (rng.nextPercent(50)) {
+            rt.run(ctx, [&](Txn &tx) { tree_.put(tx, key, key); });
+        } else {
+            rt.run(ctx, [&](Txn &tx) { tree_.remove(tx, key); });
+        }
+    } else {
+        // Lookups are statically read-only: the GCC analysis the paper
+        // relies on is conveyed through the hint.
+        rt.run(ctx,
+               [&](Txn &tx) {
+                   int64_t v;
+                   (void)tree_.get(tx, key, v);
+               },
+               TxnHint::kReadOnly);
+    }
+}
+
+bool
+RbTreeBenchWorkload::verify(TmRuntime &rt, std::string *why) const
+{
+    (void)rt;
+    return tree_.validateStructure(why);
+}
+
+} // namespace rhtm

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The red-black tree microbenchmark of Figure 4: a TreeMap-derived
+ * tree exposing put/delete/get, parameterized by tree size and
+ * mutation ratio (the fraction of write transactions).
+ */
+
+#ifndef RHTM_WORKLOADS_RBTREE_BENCH_H
+#define RHTM_WORKLOADS_RBTREE_BENCH_H
+
+#include "src/structures/tx_rbtree.h"
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+
+/** Tuning for the red-black tree microbenchmark. */
+struct RbTreeBenchParams
+{
+    unsigned initialSize = 10000; //!< Nodes after setup (Figure 4).
+    unsigned mutationPct = 10;    //!< Write-transaction percentage.
+};
+
+/** The Figure 4 microbenchmark as a Workload. */
+class RbTreeBenchWorkload : public Workload
+{
+  public:
+    explicit RbTreeBenchWorkload(
+        RbTreeBenchParams params = RbTreeBenchParams());
+
+    const char *name() const override { return "rbtree"; }
+    void setup(TmRuntime &rt, ThreadCtx &ctx) override;
+    void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) override;
+    bool verify(TmRuntime &rt, std::string *why) const override;
+
+  private:
+    RbTreeBenchParams params_;
+    uint64_t keyRange_;
+    TxRbTree tree_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_RBTREE_BENCH_H

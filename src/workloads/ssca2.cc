@@ -1,0 +1,94 @@
+#include "src/workloads/ssca2.h"
+
+#include <sstream>
+
+namespace rhtm
+{
+
+Ssca2Workload::Ssca2Workload(Ssca2Params params)
+    : params_(params), edges_(14)
+{
+    vertices_.resize(params_.nodes);
+}
+
+void
+Ssca2Workload::setup(TmRuntime &rt, ThreadCtx &ctx)
+{
+    (void)rt;
+    (void)ctx;
+    for (auto &v : vertices_) {
+        v.outDegree = 0;
+        v.inDegree = 0;
+        v.weightSum = 0;
+    }
+}
+
+void
+Ssca2Workload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    uint64_t u = rng.nextBounded(params_.nodes);
+    uint64_t v = rng.nextBounded(params_.nodes);
+    uint64_t w = 1 + rng.nextBounded(100);
+    rt.run(ctx, [&](Txn &tx) {
+        // Claim the next adjacency slot of u and record the edge:
+        // 3 reads + 4 writes over a wide address range.
+        uint64_t slot = tx.load(&vertices_[u].outDegree);
+        tx.store(&vertices_[u].outDegree, slot + 1);
+        tx.store(&vertices_[v].inDegree,
+                 tx.load(&vertices_[v].inDegree) + 1);
+        tx.store(&vertices_[u].weightSum,
+                 tx.load(&vertices_[u].weightSum) + w);
+        edges_.put(tx, (u << 32) | slot, (v << 32) | w);
+    });
+}
+
+bool
+Ssca2Workload::verify(TmRuntime &rt, std::string *why) const
+{
+    (void)rt;
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    // Degree counters must match the edge table exactly.
+    std::vector<uint64_t> out_deg(params_.nodes, 0);
+    std::vector<uint64_t> in_deg(params_.nodes, 0);
+    std::vector<uint64_t> weight(params_.nodes, 0);
+    uint64_t edge_count = 0;
+    bool bad_slot = false;
+    edges_.forEachUnsync([&](uint64_t key, uint64_t value) {
+        uint64_t u = key >> 32;
+        uint64_t slot = key & 0xffffffffull;
+        uint64_t v = value >> 32;
+        uint64_t w = value & 0xffffffffull;
+        ++edge_count;
+        if (u >= params_.nodes || v >= params_.nodes) {
+            bad_slot = true;
+            return;
+        }
+        if (slot >= vertices_[u].outDegree)
+            bad_slot = true;
+        out_deg[u]++;
+        in_deg[v]++;
+        weight[u] += w;
+    });
+    if (bad_slot)
+        return fail("edge record with out-of-range vertex or slot");
+    uint64_t total_out = 0;
+    for (unsigned n = 0; n < params_.nodes; ++n) {
+        if (vertices_[n].outDegree != out_deg[n] ||
+            vertices_[n].inDegree != in_deg[n] ||
+            vertices_[n].weightSum != weight[n]) {
+            std::ostringstream os;
+            os << "vertex " << n << " counters disagree with edge table";
+            return fail(os.str());
+        }
+        total_out += vertices_[n].outDegree;
+    }
+    if (total_out != edge_count)
+        return fail("edge table size disagrees with degree sum");
+    return true;
+}
+
+} // namespace rhtm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SSCA2: the STAMP scalable-synthetic-compact-applications graph
+ * kernel. Threads add edges to a large directed multigraph: tiny
+ * read-modify-write transactions over a wide address range, hence
+ * mostly uncontended -- the "small, uncontended" profile the paper
+ * groups Kmeans and Labyrinth with (Section 3.6).
+ */
+
+#ifndef RHTM_WORKLOADS_SSCA2_H
+#define RHTM_WORKLOADS_SSCA2_H
+
+#include <vector>
+
+#include "src/structures/tx_hashmap.h"
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+
+/** Tuning for the SSCA2 kernel. */
+struct Ssca2Params
+{
+    unsigned nodes = 16384; //!< Vertex count.
+};
+
+/** The SSCA2 kernel: transactional edge insertion. */
+class Ssca2Workload : public Workload
+{
+  public:
+    explicit Ssca2Workload(Ssca2Params params = Ssca2Params());
+
+    const char *name() const override { return "ssca2"; }
+    void setup(TmRuntime &rt, ThreadCtx &ctx) override;
+    void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) override;
+    bool verify(TmRuntime &rt, std::string *why) const override;
+
+  private:
+    struct alignas(64) Vertex
+    {
+        uint64_t outDegree;
+        uint64_t inDegree;
+        uint64_t weightSum;
+    };
+
+    Ssca2Params params_;
+    std::vector<Vertex> vertices_;
+    TxHashMap edges_; //!< (u << 32 | slot) -> packed edge record.
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_SSCA2_H

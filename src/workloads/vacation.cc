@@ -1,0 +1,225 @@
+#include "src/workloads/vacation.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace rhtm
+{
+
+VacationParams
+VacationParams::low()
+{
+    VacationParams p;
+    p.queryRangePct = 90;
+    p.reservePct = 90;
+    p.cancelPct = 5;
+    return p;
+}
+
+VacationParams
+VacationParams::high()
+{
+    VacationParams p;
+    p.queryRangePct = 10;
+    p.reservePct = 70;
+    p.cancelPct = 20;
+    p.queriesPerTxn = 8; // Heavier, slower transactions.
+    return p;
+}
+
+VacationWorkload::VacationWorkload(VacationParams params)
+    : params_(params)
+{
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        free_[t] = std::make_unique<TxHashMap>(12);
+        reserved_[t] = std::make_unique<TxHashMap>(12);
+        total_[t] = std::make_unique<TxHashMap>(12);
+    }
+    customerCount_ = std::make_unique<TxHashMap>(12);
+    customerRes_.reserve(params_.customers);
+    for (unsigned c = 0; c < params_.customers; ++c)
+        customerRes_.push_back(std::make_unique<TxList>());
+}
+
+void
+VacationWorkload::setup(TmRuntime &rt, ThreadCtx &ctx)
+{
+    // Populate in batches to keep setup transactions small.
+    constexpr unsigned kBatch = 64;
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        for (unsigned base = 0; base < params_.resourcesPerTable;
+             base += kBatch) {
+            rt.run(ctx, [&](Txn &tx) {
+                unsigned end =
+                    std::min(base + kBatch, params_.resourcesPerTable);
+                for (unsigned id = base; id < end; ++id) {
+                    free_[t]->put(tx, id, kInitialUnits);
+                    reserved_[t]->put(tx, id, 0);
+                    total_[t]->put(tx, id, kInitialUnits);
+                }
+            });
+        }
+    }
+}
+
+void
+VacationWorkload::opReserve(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    uint64_t range = std::max<uint64_t>(
+        1, uint64_t(params_.resourcesPerTable) * params_.queryRangePct /
+               100);
+    unsigned customer =
+        static_cast<unsigned>(rng.nextBounded(params_.customers));
+
+    // Pre-draw the query set outside the transaction so a restart
+    // replays the same queries (and no allocation in the hot path).
+    struct Query
+    {
+        unsigned table;
+        uint64_t id;
+    };
+    Query queries[16];
+    unsigned nq = std::min(params_.queriesPerTxn, 16u);
+    for (unsigned i = 0; i < nq; ++i) {
+        queries[i].table =
+            static_cast<unsigned>(rng.nextBounded(kNumTables));
+        queries[i].id = rng.nextBounded(range);
+    }
+
+    rt.run(ctx, [&](Txn &tx) {
+        // Query phase: find the probed resource with the most units.
+        bool have_best = false;
+        Query best{0, 0};
+        uint64_t best_free = 0;
+        for (unsigned i = 0; i < nq; ++i) {
+            const Query &q = queries[i];
+            uint64_t f = 0;
+            if (free_[q.table]->get(tx, q.id, f) &&
+                (!have_best || f > best_free)) {
+                best = q;
+                best_free = f;
+                have_best = true;
+            }
+        }
+        if (!have_best || best_free == 0)
+            return; // Nothing reservable.
+        int64_t key =
+            static_cast<int64_t>(resourceKey(best.table, best.id));
+        if (!customerRes_[customer]->insert(tx, key))
+            return; // Customer already holds this resource.
+        free_[best.table]->addTo(tx, best.id, uint64_t(0) - 1);
+        reserved_[best.table]->addTo(tx, best.id, 1);
+        customerCount_->addTo(tx, customer, 1);
+    });
+}
+
+void
+VacationWorkload::opCancel(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    unsigned customer =
+        static_cast<unsigned>(rng.nextBounded(params_.customers));
+    rt.run(ctx, [&](Txn &tx) {
+        int64_t key = 0;
+        while (customerRes_[customer]->popMin(tx, key)) {
+            unsigned table = static_cast<unsigned>(
+                static_cast<uint64_t>(key) >> 32);
+            uint64_t id = static_cast<uint64_t>(key) & 0xffffffffull;
+            free_[table]->addTo(tx, id, 1);
+            reserved_[table]->addTo(tx, id, uint64_t(0) - 1);
+            customerCount_->addTo(tx, customer, uint64_t(0) - 1);
+        }
+    });
+}
+
+void
+VacationWorkload::opUpdateTables(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    unsigned table = static_cast<unsigned>(rng.nextBounded(kNumTables));
+    uint64_t id = rng.nextBounded(params_.resourcesPerTable);
+    bool grow = rng.nextPercent(50);
+    uint64_t delta = 1 + rng.nextBounded(4);
+    rt.run(ctx, [&](Txn &tx) {
+        if (grow) {
+            free_[table]->addTo(tx, id, delta);
+            total_[table]->addTo(tx, id, delta);
+        } else {
+            uint64_t f = 0;
+            if (!free_[table]->get(tx, id, f))
+                return;
+            uint64_t shrink = std::min(f, delta);
+            if (shrink == 0)
+                return;
+            free_[table]->addTo(tx, id, uint64_t(0) - shrink);
+            total_[table]->addTo(tx, id, uint64_t(0) - shrink);
+        }
+    });
+}
+
+void
+VacationWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    unsigned roll = static_cast<unsigned>(rng.nextBounded(100));
+    if (roll < params_.reservePct)
+        opReserve(rt, ctx, rng);
+    else if (roll < params_.reservePct + params_.cancelPct)
+        opCancel(rt, ctx, rng);
+    else
+        opUpdateTables(rt, ctx, rng);
+}
+
+bool
+VacationWorkload::verify(TmRuntime &rt, std::string *why) const
+{
+    (void)rt;
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    // Per resource: free + reserved == total.
+    uint64_t reserved_sum = 0;
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        std::map<uint64_t, uint64_t> f, r, tot;
+        free_[t]->forEachUnsync([&](uint64_t k, uint64_t v) { f[k] = v; });
+        reserved_[t]->forEachUnsync(
+            [&](uint64_t k, uint64_t v) { r[k] = v; });
+        total_[t]->forEachUnsync(
+            [&](uint64_t k, uint64_t v) { tot[k] = v; });
+        for (auto &[id, total] : tot) {
+            uint64_t fr = f.count(id) ? f[id] : 0;
+            uint64_t rs = r.count(id) ? r[id] : 0;
+            if (fr + rs != total) {
+                std::ostringstream os;
+                os << "table " << t << " id " << id << ": free " << fr
+                   << " + reserved " << rs << " != total " << total;
+                return fail(os.str());
+            }
+            reserved_sum += rs;
+        }
+    }
+
+    // Customer ledgers match the resource tables.
+    uint64_t customer_sum = 0;
+    customerCount_->forEachUnsync(
+        [&](uint64_t, uint64_t v) { customer_sum += v; });
+    if (customer_sum != reserved_sum) {
+        std::ostringstream os;
+        os << "customer ledger " << customer_sum
+           << " != reserved units " << reserved_sum;
+        return fail(os.str());
+    }
+    uint64_t list_sum = 0;
+    for (const auto &list : customerRes_)
+        list_sum += list->sizeUnsync();
+    if (list_sum != reserved_sum) {
+        std::ostringstream os;
+        os << "reservation lists " << list_sum << " != reserved units "
+           << reserved_sum;
+        return fail(os.str());
+    }
+    return true;
+}
+
+} // namespace rhtm

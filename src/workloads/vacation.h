@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Vacation: the STAMP online-transaction-processing kernel. A travel
+ * reservation system with three resource tables (flights, rooms, cars)
+ * and a customer table; transactions make reservations, cancel
+ * customers, and update the resource tables. Moderately long
+ * transactions; the low/high variants differ in how concentrated the
+ * queried id range is (low touches 90% of each table, high hammers a
+ * 10% hot set, matching STAMP's -q knob).
+ */
+
+#ifndef RHTM_WORKLOADS_VACATION_H
+#define RHTM_WORKLOADS_VACATION_H
+
+#include <vector>
+
+#include "src/structures/tx_hashmap.h"
+#include "src/structures/tx_list.h"
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+
+/** Tuning for the two contention variants. */
+struct VacationParams
+{
+    unsigned resourcesPerTable = 1024;  //!< Ids per resource table.
+    unsigned customers = 1024;          //!< Customer id range.
+    unsigned queriesPerTxn = 4;         //!< Resources probed per txn.
+    unsigned queryRangePct = 90;        //!< Portion of each table used.
+    unsigned reservePct = 80;           //!< % reservation transactions.
+    unsigned cancelPct = 10;            //!< % customer cancellations.
+    // Remainder: table-update transactions.
+
+    /** STAMP vacation-low flavour. */
+    static VacationParams low();
+
+    /** STAMP vacation-high flavour. */
+    static VacationParams high();
+};
+
+/** The vacation kernel. */
+class VacationWorkload : public Workload
+{
+  public:
+    explicit VacationWorkload(VacationParams params = VacationParams());
+
+    const char *name() const override { return "vacation"; }
+    void setup(TmRuntime &rt, ThreadCtx &ctx) override;
+    void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) override;
+    bool verify(TmRuntime &rt, std::string *why) const override;
+
+  private:
+    static constexpr unsigned kNumTables = 3; // flights, rooms, cars.
+    static constexpr uint64_t kInitialUnits = 64;
+
+    /** Key for a (table, id) resource in the reservation lists. */
+    static uint64_t
+    resourceKey(unsigned table, uint64_t id)
+    {
+        return (uint64_t(table) << 32) | id;
+    }
+
+    void opReserve(TmRuntime &rt, ThreadCtx &ctx, Rng &rng);
+    void opCancel(TmRuntime &rt, ThreadCtx &ctx, Rng &rng);
+    void opUpdateTables(TmRuntime &rt, ThreadCtx &ctx, Rng &rng);
+
+    VacationParams params_;
+    // Per table: free units, reserved units, total units (three maps so
+    // every count is one transactional word).
+    std::unique_ptr<TxHashMap> free_[kNumTables];
+    std::unique_ptr<TxHashMap> reserved_[kNumTables];
+    std::unique_ptr<TxHashMap> total_[kNumTables];
+    // Customer id -> list of reserved resource keys.
+    std::unique_ptr<TxHashMap> customerCount_;
+    std::vector<std::unique_ptr<TxList>> customerRes_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_VACATION_H

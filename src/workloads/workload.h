@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Common interface for the STAMP-style application kernels
+ * (Section 3.6). Each workload reproduces the transaction profile of
+ * its STAMP counterpart -- length, read/write mix, contention -- and
+ * carries a verifiable invariant so the benchmarks double as
+ * correctness stress tests.
+ */
+
+#ifndef RHTM_WORKLOADS_WORKLOAD_H
+#define RHTM_WORKLOADS_WORKLOAD_H
+
+#include <memory>
+#include <string>
+
+#include "src/api/runtime.h"
+#include "src/util/rng.h"
+
+namespace rhtm
+{
+
+/**
+ * One application kernel. Lifecycle:
+ *
+ *   setup(rt, ctx)            -- single-threaded population;
+ *   runOp(rt, ctx, rng) x N   -- concurrently from all worker threads;
+ *   verify(rt, why)           -- quiescent invariant check.
+ *
+ * Implementations own their data structures and must be reusable for
+ * several timed runs between setup and destruction.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Kernel name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Build initial state; called once, single-threaded. */
+    virtual void setup(TmRuntime &rt, ThreadCtx &ctx) = 0;
+
+    /**
+     * Execute one unit of application work (one or a few
+     * transactions). Thread safe across registered contexts.
+     */
+    virtual void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) = 0;
+
+    /**
+     * Check the kernel's global invariant while quiescent.
+     * @param why Optional failure description.
+     * @return true when consistent.
+     */
+    virtual bool verify(TmRuntime &rt, std::string *why) const = 0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,141 @@
+#include "src/workloads/yada.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace rhtm
+{
+
+namespace
+{
+
+constexpr uint64_t kBad = 1;
+constexpr uint64_t kGood = 2;
+
+} // namespace
+
+YadaWorkload::YadaWorkload(YadaParams params)
+    : params_(params), mesh_(13)
+{}
+
+void
+YadaWorkload::setup(TmRuntime &rt, ThreadCtx &ctx)
+{
+    Rng rng(31337);
+    constexpr unsigned kBatch = 64;
+    for (unsigned base = 0; base < params_.initialTriangles;
+         base += kBatch) {
+        rt.run(ctx, [&](Txn &tx) {
+            unsigned end =
+                std::min(base + kBatch, params_.initialTriangles);
+            for (unsigned i = base; i < end; ++i) {
+                uint64_t id =
+                    nextId_.fetch_add(1, std::memory_order_acq_rel);
+                bool bad = rng.nextPercent(params_.initialBadPct);
+                mesh_.put(tx, id, bad ? kBad : kGood);
+                if (bad)
+                    workQueue_.push(tx, id);
+                tx.store(&created_, tx.load(&created_) + 1);
+            }
+        });
+    }
+}
+
+void
+YadaWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    // Draw the children's badness outside the transaction so restarts
+    // replay identically.
+    bool child_bad[8];
+    unsigned children = std::min(params_.childrenPerRefine, 8u);
+    for (unsigned i = 0; i < children; ++i)
+        child_bad[i] = rng.nextPercent(params_.childBadPct);
+    uint64_t child_ids[8];
+    for (unsigned i = 0; i < children; ++i)
+        child_ids[i] = nextId_.fetch_add(1, std::memory_order_acq_rel);
+
+    rt.run(ctx, [&](Txn &tx) {
+        uint64_t id = 0;
+        if (!workQueue_.pop(tx, id)) {
+            // Mesh fully refined: new geometry arrives (a fresh bad
+            // triangle), keeping a timed run in steady state.
+            mesh_.put(tx, child_ids[0], kBad);
+            workQueue_.push(tx, child_ids[0]);
+            tx.store(&created_, tx.load(&created_) + 1);
+            tx.store(&reseeds_, tx.load(&reseeds_) + 1);
+            return;
+        }
+        // The triangle must be a bad mesh member; retire it.
+        mesh_.remove(tx, id);
+        tx.store(&retired_, tx.load(&retired_) + 1);
+        tx.store(&refinements_, tx.load(&refinements_) + 1);
+        // Insert the cavity's replacement triangles.
+        for (unsigned i = 0; i < children; ++i) {
+            mesh_.put(tx, child_ids[i], child_bad[i] ? kBad : kGood);
+            if (child_bad[i])
+                workQueue_.push(tx, child_ids[i]);
+            tx.store(&created_, tx.load(&created_) + 1);
+        }
+    });
+}
+
+bool
+YadaWorkload::verify(TmRuntime &rt, std::string *why) const
+{
+    auto &mut_rt = const_cast<TmRuntime &>(rt);
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    uint64_t created = mut_rt.peek(&created_);
+    uint64_t retired = mut_rt.peek(&retired_);
+    uint64_t refinements = mut_rt.peek(&refinements_);
+
+    // Conservation: live mesh == created - retired.
+    if (mesh_.sizeUnsync() != created - retired) {
+        std::ostringstream os;
+        os << "mesh holds " << mesh_.sizeUnsync() << ", want "
+           << created - retired;
+        return fail(os.str());
+    }
+    // Each refinement retires exactly one triangle and creates
+    // `children`; setup creates the seed.
+    uint64_t expected_created =
+        params_.initialTriangles +
+        refinements * std::min(params_.childrenPerRefine, 8u) +
+        mut_rt.peek(&reseeds_);
+    if (created != expected_created) {
+        std::ostringstream os;
+        os << "created " << created << ", want " << expected_created;
+        return fail(os.str());
+    }
+    if (retired != refinements)
+        return fail("retired count disagrees with refinements");
+
+    // Every queued triangle is a bad mesh member, and every bad mesh
+    // member is queued exactly once.
+    std::map<uint64_t, unsigned> queued;
+    workQueue_.forEachUnsync([&](uint64_t id) { queued[id]++; });
+    uint64_t bad_in_mesh = 0;
+    bool mismatch = false;
+    mesh_.forEachUnsync([&](uint64_t id, uint64_t quality) {
+        if (quality == kBad) {
+            ++bad_in_mesh;
+            auto it = queued.find(id);
+            if (it == queued.end() || it->second != 1)
+                mismatch = true;
+        }
+    });
+    if (mismatch)
+        return fail("bad triangle not queued exactly once");
+    uint64_t queued_total = 0;
+    for (auto &[id, n] : queued)
+        queued_total += n;
+    if (queued_total != bad_in_mesh)
+        return fail("queue holds retired or duplicate triangles");
+    return true;
+}
+
+} // namespace rhtm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Yada ("yet another Delaunay application"): the STAMP mesh-refinement
+ * kernel. Threads pull bad triangles from a shared work queue and
+ * refine them -- each refinement retires the triangle and inserts a
+ * few new ones, some of which are bad and re-enter the queue.
+ * Moderate-to-long transactions with a contended work queue.
+ */
+
+#ifndef RHTM_WORKLOADS_YADA_H
+#define RHTM_WORKLOADS_YADA_H
+
+#include <atomic>
+
+#include "src/structures/tx_hashmap.h"
+#include "src/structures/tx_queue.h"
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+
+/** Tuning for the yada kernel. */
+struct YadaParams
+{
+    unsigned initialTriangles = 4096; //!< Seed mesh size.
+    unsigned initialBadPct = 25;      //!< Seed bad-triangle share.
+    unsigned childBadPct = 18;        //!< Refined children gone bad.
+    unsigned childrenPerRefine = 3;   //!< Triangles per refinement.
+};
+
+/** The yada kernel. */
+class YadaWorkload : public Workload
+{
+  public:
+    explicit YadaWorkload(YadaParams params = YadaParams());
+
+    const char *name() const override { return "yada"; }
+    void setup(TmRuntime &rt, ThreadCtx &ctx) override;
+    void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) override;
+    bool verify(TmRuntime &rt, std::string *why) const override;
+
+  private:
+    YadaParams params_;
+    std::atomic<uint64_t> nextId_{1};
+    TxQueue workQueue_;    //!< Bad triangles awaiting refinement.
+    TxHashMap mesh_;       //!< Triangle id -> 1 (bad) or 2 (good).
+    alignas(64) uint64_t refinements_ = 0;
+    alignas(64) uint64_t retired_ = 0;
+    alignas(64) uint64_t created_ = 0;
+    alignas(64) uint64_t reseeds_ = 0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_YADA_H

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * White-box tests of the lazy Hybrid NOrec slow path: the HTM lock is
+ * raised only across the commit write-back, reads value-validate, and
+ * writes stay buffered until commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/api/runtime.h"
+
+namespace rhtm
+{
+namespace
+{
+
+void
+forceFallback(ThreadCtx &ctx)
+{
+    ctx.session().begin(TxnHint::kNone);
+    ctx.session().onHtmAbort(HtmAbort{HtmAbortCause::kCapacity, false, 0});
+}
+
+struct LazyHybridFixture : public ::testing::Test
+{
+    LazyHybridFixture() : rt(AlgoKind::kHybridNOrecLazy) {}
+
+    TmRuntime rt;
+    alignas(64) uint64_t x = 1;
+    alignas(64) uint64_t y = 2;
+    alignas(64) uint64_t z = 3;
+};
+
+TEST_F(LazyHybridFixture, WritesStayBufferedUntilCommit)
+{
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    b.write(&x, 10);
+    EXPECT_EQ(rt.peek(&x), 1u) << "lazy write leaked before commit";
+    EXPECT_EQ(rt.peek(&rt.globals().htmLock), 0u)
+        << "the lazy slow path must not hold the HTM lock mid-body";
+    EXPECT_FALSE(clockIsLocked(rt.peek(&rt.globals().clock)))
+        << "the lazy slow path must not hold the clock mid-body";
+    EXPECT_EQ(b.read(&x), 10u) << "read-own-write through the buffer";
+    b.commit();
+    b.onComplete();
+    EXPECT_EQ(rt.peek(&x), 10u);
+    EXPECT_EQ(rt.peek(&rt.globals().htmLock), 0u);
+}
+
+TEST_F(LazyHybridFixture, FastPathSurvivesSlowWriterBody)
+{
+    // Unlike the eager slow path, the lazy one lets a hardware fast
+    // path commit while a slow-path writer is mid-body (before its
+    // commit window).
+    ThreadCtx &ca = rt.registerThread();
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &a = ca.session();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    b.write(&z, 30); // Buffered; no locks held.
+
+    a.begin(TxnHint::kNone);
+    EXPECT_EQ(a.read(&x), 1u);
+    a.write(&y, 20);
+    a.commit(); // Must succeed: no HTM lock, no clock lock.
+    a.onComplete();
+    EXPECT_EQ(rt.peek(&y), 20u);
+
+    b.commit(); // b revalidates (reads untouched) and writes back.
+    b.onComplete();
+    EXPECT_EQ(rt.peek(&z), 30u);
+}
+
+TEST_F(LazyHybridFixture, SlowPathValueValidationSurvivesSilentClockBump)
+{
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u);
+    // Another commit bumps the clock but touches nothing b read.
+    rt.poke(&z, 30);
+    uint64_t clock = rt.peek(&rt.globals().clock);
+    rt.poke(&rt.globals().clock, clock + 2);
+    // Value validation extends the snapshot instead of restarting.
+    EXPECT_EQ(b.read(&y), 2u);
+    b.commit();
+    b.onComplete();
+}
+
+TEST_F(LazyHybridFixture, SlowPathRestartsOnOverwrite)
+{
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u);
+    rt.poke(&x, 100);
+    uint64_t clock = rt.peek(&rt.globals().clock);
+    rt.poke(&rt.globals().clock, clock + 2);
+    EXPECT_THROW(b.read(&y), TxRestart);
+    b.onRestart();
+}
+
+TEST_F(LazyHybridFixture, CommitRevalidatesBeforeWriteBack)
+{
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u);
+    b.write(&y, 20);
+    // Overwrite x behind b's back: its commit must restart, not
+    // publish y.
+    rt.poke(&x, 100);
+    uint64_t clock = rt.peek(&rt.globals().clock);
+    rt.poke(&rt.globals().clock, clock + 2);
+    EXPECT_THROW(b.commit(), TxRestart);
+    b.onRestart();
+    EXPECT_EQ(rt.peek(&y), 2u) << "failed commit must not publish";
+    EXPECT_FALSE(clockIsLocked(rt.peek(&rt.globals().clock)));
+    EXPECT_EQ(rt.peek(&rt.globals().htmLock), 0u);
+}
+
+TEST_F(LazyHybridFixture, FastPathKilledOnlyDuringWriteBack)
+{
+    // A fast path that reads nothing the slow path writes still dies
+    // if the write-back window overlaps it (HTM-lock subscription) --
+    // drive the windows by hand.
+    ThreadCtx &ca = rt.registerThread();
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &a = ca.session();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    b.write(&z, 30);
+
+    a.begin(TxnHint::kNone); // Subscribes to the HTM lock.
+    EXPECT_EQ(a.read(&x), 1u);
+
+    b.commit(); // Raises the HTM lock during write-back.
+    b.onComplete();
+
+    // a's subscription saw the lock bounce: doomed.
+    EXPECT_THROW(a.read(&y), HtmAbort);
+}
+
+} // namespace
+} // namespace rhtm

@@ -1,0 +1,464 @@
+/**
+ * @file
+ * White-box tests of the hybrid algorithms, driving sessions directly
+ * to verify the exact coordination the paper describes: Hybrid NOrec's
+ * early HTM-lock subscription vs RH NOrec's commit-time clock access,
+ * the HTM prefix/postfix mechanics, the fallback counter, and the
+ * serial starvation lock.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/rh_norec.h"
+
+#include "src/api/runtime.h"
+
+namespace rhtm
+{
+namespace
+{
+
+/**
+ * Force @p ctx's next attempts onto the slow path: simulate a
+ * capacity-style abort of the (not yet started) fast path.
+ */
+void
+forceFallback(ThreadCtx &ctx)
+{
+    ctx.session().begin(TxnHint::kNone);
+    // A capacity abort never retries in hardware (Section 3.3).
+    try {
+        throw HtmAbort{HtmAbortCause::kCapacity, false, 0};
+    } catch (const HtmAbort &a) {
+        // The HtmTxn is still active from begin(); cancel it the way
+        // the real abort path would have.
+        ctx.session().onHtmAbort(a);
+    }
+}
+
+struct HybridFixture : public ::testing::Test
+{
+    alignas(64) uint64_t x = 1;
+    alignas(64) uint64_t y = 2;
+    alignas(64) uint64_t z = 3;
+};
+
+TEST_F(HybridFixture, HyNOrecSlowWriterKillsFastPath)
+{
+    TmRuntime rt(AlgoKind::kHybridNOrec);
+    ThreadCtx &ca = rt.registerThread();
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &a = ca.session();
+    TxSession &b = cb.session();
+
+    // a: hardware fast path reading x (and subscribed to htmLock).
+    a.begin(TxnHint::kNone);
+    EXPECT_EQ(a.read(&x), 1u);
+
+    // b: software slow path writing the *unrelated* z.
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    b.write(&z, 30);
+    EXPECT_EQ(rt.peek(&rt.globals().htmLock), 1u)
+        << "eager HY-NOrec raises the HTM lock at first write";
+    b.commit();
+    b.onComplete();
+
+    // The false abort the paper attacks: a read nothing b wrote, yet
+    // the htmLock subscription dooms it.
+    EXPECT_THROW(a.read(&y), HtmAbort);
+}
+
+TEST_F(HybridFixture, RhNOrecFastPathSurvivesSlowWriter)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &ca = rt.registerThread();
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &a = ca.session();
+    TxSession &b = cb.session();
+
+    a.begin(TxnHint::kNone);
+    EXPECT_EQ(a.read(&x), 1u);
+
+    // b: mixed slow path writing the unrelated z; its writes travel in
+    // the HTM postfix, so the HTM lock is never raised.
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&z), 3u);
+    b.write(&z, 30);
+    EXPECT_EQ(rt.peek(&rt.globals().htmLock), 0u)
+        << "RH NOrec must not raise the HTM lock on the postfix path";
+    b.commit();
+    b.onComplete();
+    EXPECT_EQ(rt.peek(&z), 30u);
+
+    // The headline property: the fast path read no location b wrote
+    // and holds no early clock subscription, so it survives and
+    // commits.
+    EXPECT_EQ(a.read(&y), 2u);
+    a.write(&y, 20);
+    a.commit();
+    a.onComplete();
+    EXPECT_EQ(rt.peek(&y), 20u);
+
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kHtmConflictAborts), 0u);
+    EXPECT_GE(s.get(Counter::kPostfixSuccesses), 1u);
+}
+
+TEST_F(HybridFixture, RhNOrecFastPathAbortsOnRealConflict)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &ca = rt.registerThread();
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &a = ca.session();
+    TxSession &b = cb.session();
+
+    a.begin(TxnHint::kNone);
+    EXPECT_EQ(a.read(&x), 1u);
+
+    // b commits a mixed slow-path write to x itself.
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    b.write(&x, 100);
+    b.commit();
+    b.onComplete();
+
+    // True conflict: a tracked x.
+    EXPECT_THROW(a.read(&y), HtmAbort);
+}
+
+TEST_F(HybridFixture, RhPrefixCommitRegistersFallbackAtomically)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone); // Starts the HTM prefix.
+    EXPECT_EQ(rt.peek(&rt.globals().fallbacks), 0u)
+        << "registration is deferred to the prefix commit";
+    EXPECT_EQ(b.read(&x), 1u); // Still inside the prefix.
+    b.write(&y, 20); // First write: prefix commits, postfix starts.
+    EXPECT_EQ(rt.peek(&rt.globals().fallbacks), 1u)
+        << "prefix commit must publish num_of_fallbacks++";
+    EXPECT_TRUE(clockIsLocked(rt.peek(&rt.globals().clock)))
+        << "first write locks the clock";
+    b.commit();
+    b.onComplete();
+    EXPECT_EQ(rt.peek(&rt.globals().fallbacks), 0u);
+    EXPECT_FALSE(clockIsLocked(rt.peek(&rt.globals().clock)));
+
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kPrefixAttempts), 1u);
+    EXPECT_EQ(s.get(Counter::kPrefixSuccesses), 1u);
+    EXPECT_EQ(s.get(Counter::kPostfixAttempts), 1u);
+    EXPECT_EQ(s.get(Counter::kPostfixSuccesses), 1u);
+}
+
+TEST_F(HybridFixture, RhReadOnlyMixedPathCanLiveEntirelyInPrefix)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u);
+    EXPECT_EQ(b.read(&y), 2u);
+    b.commit(); // Algorithm 3 lines 59-62: commit the prefix directly.
+    b.onComplete();
+
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kPrefixSuccesses), 1u);
+    EXPECT_EQ(rt.peek(&rt.globals().fallbacks), 0u)
+        << "a pure-prefix transaction never registers";
+}
+
+TEST_F(HybridFixture, RhFastPathSkipsClockWhenNoFallbacks)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &ca = rt.registerThread();
+    TxSession &a = ca.session();
+
+    uint64_t clock_before = rt.peek(&rt.globals().clock);
+    a.begin(TxnHint::kNone);
+    a.write(&x, 10);
+    a.commit();
+    a.onComplete();
+    EXPECT_EQ(rt.peek(&rt.globals().clock), clock_before)
+        << "no fallbacks -> no clock update (Algorithm 1 line 29)";
+}
+
+TEST_F(HybridFixture, RhFastWriterAbortsWhileClockLocked)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &ca = rt.registerThread();
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &a = ca.session();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone); // Prefix active.
+    b.read(&z);
+    b.write(&z, 30); // Prefix committed; postfix active; clock locked.
+
+    // A fast-path writer cannot commit while the clock is locked
+    // (Algorithm 1 lines 30-31).
+    a.begin(TxnHint::kNone);
+    a.write(&x, 10);
+    EXPECT_THROW(a.commit(), HtmAbort);
+
+    b.commit();
+    b.onComplete();
+    EXPECT_EQ(rt.peek(&rt.globals().fallbacks), 0u);
+}
+
+TEST_F(HybridFixture, RhFastPathBumpsClockWhenFallbacksExist)
+{
+    RuntimeConfig cfg;
+    cfg.rh.enablePrefix = false; // b registers right at begin().
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &ca = rt.registerThread();
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &a = ca.session();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone); // Software mixed phase, registered.
+    EXPECT_EQ(b.read(&z), 3u);
+    EXPECT_EQ(rt.peek(&rt.globals().fallbacks), 1u);
+
+    uint64_t clock_before = rt.peek(&rt.globals().clock);
+    a.begin(TxnHint::kNone);
+    a.write(&x, 10);
+    a.commit(); // Writer with fallbacks present: must bump the clock.
+    a.onComplete();
+    EXPECT_EQ(rt.peek(&rt.globals().clock), clock_before + 2)
+        << "Algorithm 1 line 33: notify the slow paths";
+
+    // And b, as an eager slow path, must now restart.
+    EXPECT_THROW(b.read(&z), TxRestart);
+    b.onRestart();
+}
+
+TEST_F(HybridFixture, RhSlowPathSerializesAfterRestartLimit)
+{
+    RuntimeConfig cfg;
+    cfg.retry.maxSlowPathRestarts = 3;
+    cfg.rh.enablePrefix = false; // Keep the software phase deterministic.
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    for (unsigned i = 0; i < cfg.retry.maxSlowPathRestarts; ++i) {
+        b.begin(TxnHint::kNone);
+        b.read(&x);
+        // Another commit moves the clock; b's next read must restart.
+        rt.poke(&y, i);
+        uint64_t clock = rt.peek(&rt.globals().clock);
+        rt.poke(&rt.globals().clock, clock + 2);
+        EXPECT_THROW(b.read(&x), TxRestart);
+        b.onRestart();
+    }
+    // The next attempt runs under the serial lock.
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(rt.peek(&rt.globals().serialLock), 1u);
+    b.read(&x);
+    b.write(&x, 50);
+    b.commit();
+    b.onComplete();
+    EXPECT_EQ(rt.peek(&rt.globals().serialLock), 0u);
+    EXPECT_EQ(rt.stats().get(Counter::kCommitsSerialPath), 1u);
+}
+
+TEST_F(HybridFixture, RhFastWriterAbortsWhileSerialLockHeld)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &ca = rt.registerThread();
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &a = ca.session();
+
+    // Simulate a serialized slow path by taking the locks directly.
+    rt.poke(&rt.globals().serialLock, 1);
+    uint64_t f = rt.peek(&rt.globals().fallbacks);
+    rt.poke(&rt.globals().fallbacks, f + 1);
+
+    a.begin(TxnHint::kNone);
+    a.write(&x, 10);
+    EXPECT_THROW(a.commit(), HtmAbort) << "Section 3.3: writers abort";
+    a.begin(TxnHint::kNone);
+    EXPECT_EQ(a.read(&x), 1u);
+    a.commit(); // Read-only fast paths still commit.
+    a.onComplete();
+
+    rt.poke(&rt.globals().serialLock, 0);
+    rt.poke(&rt.globals().fallbacks, f);
+    (void)cb;
+}
+
+TEST_F(HybridFixture, RhPostfixFailureFallsBackToHtmLock)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u); // Prefix read.
+    b.write(&y, 20);           // Prefix commits; postfix starts.
+
+    // Doom the postfix: bump a line it read (y via read-own-write is
+    // buffered, so make it read z first).
+    EXPECT_EQ(b.read(&z), 3u);
+    rt.poke(&z, 3); // Same value, but the line version changes.
+    EXPECT_THROW(b.commit(), HtmAbort);
+    b.onHtmAbort(HtmAbort{HtmAbortCause::kConflict, true, 0});
+
+    EXPECT_FALSE(clockIsLocked(rt.peek(&rt.globals().clock)))
+        << "failed postfix must release the clock";
+    EXPECT_EQ(rt.peek(&y), 2u) << "postfix writes must not leak";
+
+    // Next attempt: postfix budget spent -> software writes under the
+    // HTM lock (Algorithm 2 lines 28-30).
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u);
+    b.write(&y, 20);
+    EXPECT_EQ(rt.peek(&rt.globals().htmLock), 1u)
+        << "software-writer fallback must raise the HTM lock";
+    b.commit();
+    b.onComplete();
+    EXPECT_EQ(rt.peek(&rt.globals().htmLock), 0u);
+    EXPECT_EQ(rt.peek(&y), 20u);
+
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kPostfixAttempts), 1u);
+    EXPECT_EQ(s.get(Counter::kPostfixSuccesses), 0u);
+}
+
+TEST_F(HybridFixture, RhStaleUndoNeverReplaysCommittedState)
+{
+    // Regression test: a software-writer commit leaves entries in the
+    // undo journal; a later transaction's small-HTM abort must not
+    // replay them (that would silently un-commit the earlier
+    // transaction -- observed as red-black tree corruption).
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    // Transaction 1: postfix fails, writes land in software with an
+    // undo journal; commits x = 10.
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    b.write(&x, 10);           // Prefix commits; postfix active.
+    EXPECT_EQ(b.read(&z), 3u); // Postfix read of z.
+    rt.poke(&z, 3);            // Doom the postfix (line version bump).
+    EXPECT_THROW(b.commit(), HtmAbort);
+    b.onHtmAbort(HtmAbort{HtmAbortCause::kConflict, true, 0});
+    b.begin(TxnHint::kNone);   // Software attempt (budgets spent).
+    b.write(&x, 10);           // Direct write; undo journal holds x=1.
+    b.commit();
+    b.onComplete();
+    ASSERT_EQ(rt.peek(&x), 10u);
+
+    // Transaction 2: its postfix aborts; the rollback must not touch x.
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    b.write(&y, 20);
+    EXPECT_EQ(b.read(&z), 3u);
+    rt.poke(&z, 3);
+    EXPECT_THROW(b.commit(), HtmAbort);
+    b.onHtmAbort(HtmAbort{HtmAbortCause::kConflict, true, 0});
+
+    EXPECT_EQ(rt.peek(&x), 10u)
+        << "stale undo journal replayed over committed state";
+}
+
+TEST_F(HybridFixture, RhAdaptivePrefixShrinksOnAbort)
+{
+    RuntimeConfig cfg;
+    cfg.rh.maxPrefixLength = 64;
+    cfg.rh.minPrefixLength = 2;
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &cb = rt.registerThread();
+    auto *rh = dynamic_cast<RhNOrecSession *>(&cb.session());
+    ASSERT_NE(rh, nullptr);
+    EXPECT_EQ(rh->expectedPrefixLength(), 64u);
+
+    forceFallback(cb);
+    cb.session().begin(TxnHint::kNone); // Prefix active.
+    cb.session().read(&x);
+    // Doom the prefix.
+    rt.poke(&x, 1);
+    EXPECT_THROW(cb.session().read(&y), HtmAbort);
+    cb.session().onHtmAbort(HtmAbort{HtmAbortCause::kConflict, true, 0});
+    EXPECT_LT(rh->expectedPrefixLength(), 64u)
+        << "abort feedback must shrink the expected prefix";
+}
+
+TEST_F(HybridFixture, RhPrefixLengthCapsSoftwarePhaseFollows)
+{
+    RuntimeConfig cfg;
+    cfg.rh.maxPrefixLength = 4;
+    cfg.rh.adaptivePrefix = false;
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    std::vector<uint64_t> arr(64, 7);
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(b.read(&arr[i * 4]), 7u);
+    // After maxPrefixLength reads the prefix committed and we are in
+    // the software phase -> registered as a fallback.
+    EXPECT_EQ(rt.peek(&rt.globals().fallbacks), 1u);
+    b.commit();
+    b.onComplete();
+    EXPECT_EQ(rt.peek(&rt.globals().fallbacks), 0u);
+}
+
+TEST_F(HybridFixture, DisabledPrefixAndPostfixBehaveLikeHybridNOrec)
+{
+    RuntimeConfig cfg;
+    cfg.rh.enablePrefix = false;
+    cfg.rh.enablePostfix = false;
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u);
+    b.write(&y, 20);
+    EXPECT_EQ(rt.peek(&rt.globals().htmLock), 1u)
+        << "without the postfix, writes need the HTM lock";
+    b.commit();
+    b.onComplete();
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kPrefixAttempts), 0u);
+    EXPECT_EQ(s.get(Counter::kPostfixAttempts), 0u);
+}
+
+TEST_F(HybridFixture, HyNOrecFastPathCommitAbortsOnLockedClock)
+{
+    TmRuntime rt(AlgoKind::kHybridNOrec);
+    ThreadCtx &ca = rt.registerThread();
+    TxSession &a = ca.session();
+
+    uint64_t f = rt.peek(&rt.globals().fallbacks);
+    rt.poke(&rt.globals().fallbacks, f + 1);
+    uint64_t clock = rt.peek(&rt.globals().clock);
+    rt.poke(&rt.globals().clock, clockWithLock(clock));
+
+    a.begin(TxnHint::kNone);
+    a.write(&x, 10);
+    EXPECT_THROW(a.commit(), HtmAbort);
+
+    rt.poke(&rt.globals().clock, clock);
+    rt.poke(&rt.globals().fallbacks, f);
+}
+
+} // namespace
+} // namespace rhtm

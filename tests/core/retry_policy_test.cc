@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the static and adaptive retry policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/retry_policy.h"
+
+#include "src/api/runtime.h"
+
+namespace rhtm
+{
+namespace
+{
+
+TEST(AdaptiveRetryTest, StaticPolicyReturnsFixedBudget)
+{
+    RetryPolicy policy;
+    policy.adaptive = false;
+    policy.maxFastPathRetries = 10;
+    AdaptiveRetryBudget budget(policy);
+    EXPECT_EQ(budget.budget(), 10u);
+    for (int i = 0; i < 100; ++i)
+        budget.onFallback(10);
+    EXPECT_EQ(budget.budget(), 10u) << "static policy never moves";
+}
+
+TEST(AdaptiveRetryTest, StartsMidRange)
+{
+    RetryPolicy policy;
+    policy.adaptive = true;
+    policy.adaptiveMinRetries = 2;
+    policy.adaptiveMaxRetries = 24;
+    AdaptiveRetryBudget budget(policy);
+    EXPECT_GE(budget.budget(), 2u);
+    EXPECT_LE(budget.budget(), 24u);
+    EXPECT_NEAR(budget.budget(), 13, 2);
+}
+
+TEST(AdaptiveRetryTest, RepeatedFallbacksShrinkBudget)
+{
+    RetryPolicy policy;
+    policy.adaptive = true;
+    AdaptiveRetryBudget budget(policy);
+    unsigned initial = budget.budget();
+    for (int i = 0; i < 50; ++i)
+        budget.onFallback(initial);
+    EXPECT_LT(budget.budget(), initial);
+    EXPECT_EQ(budget.budget(), policy.adaptiveMinRetries)
+        << "hopeless retries converge to the minimum";
+}
+
+TEST(AdaptiveRetryTest, RescuedRetriesGrowBudget)
+{
+    RetryPolicy policy;
+    policy.adaptive = true;
+    AdaptiveRetryBudget budget(policy);
+    unsigned initial = budget.budget();
+    for (int i = 0; i < 50; ++i)
+        budget.onFastCommit(3); // Retry rescued the transaction.
+    EXPECT_GT(budget.budget(), initial);
+    EXPECT_GE(budget.budget(), policy.adaptiveMaxRetries - 1)
+        << "consistently useful retries converge toward the maximum";
+}
+
+TEST(AdaptiveRetryTest, FirstTryCommitsDoNotMoveBudget)
+{
+    RetryPolicy policy;
+    policy.adaptive = true;
+    AdaptiveRetryBudget budget(policy);
+    uint32_t score = budget.score();
+    for (int i = 0; i < 50; ++i)
+        budget.onFastCommit(1);
+    EXPECT_EQ(budget.score(), score)
+        << "a first-try commit says nothing about retry payoff";
+}
+
+TEST(AdaptiveRetryTest, MixedSignalsStayWithinBounds)
+{
+    RetryPolicy policy;
+    policy.adaptive = true;
+    AdaptiveRetryBudget budget(policy);
+    for (int i = 0; i < 200; ++i) {
+        if (i % 3 == 0)
+            budget.onFallback(5);
+        else
+            budget.onFastCommit(2);
+        EXPECT_GE(budget.budget(), policy.adaptiveMinRetries);
+        EXPECT_LE(budget.budget(), policy.adaptiveMaxRetries);
+    }
+}
+
+TEST(AdaptiveRetryTest, EndToEndWithRhNOrec)
+{
+    // The adaptive policy must not affect correctness: run a workload
+    // with heavy injected aborts under the adaptive budget.
+    RuntimeConfig cfg;
+    cfg.retry.adaptive = true;
+    cfg.htm.randomAbortProb = 2e-3;
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+    alignas(64) uint64_t counter = 0;
+    for (int i = 0; i < 5000; ++i) {
+        rt.run(ctx,
+               [&](Txn &tx) { tx.store(&counter, tx.load(&counter) + 1); });
+    }
+    EXPECT_EQ(rt.peek(&counter), 5000u);
+    EXPECT_GT(rt.stats().get(Counter::kFallbacks), 0u);
+}
+
+} // namespace
+} // namespace rhtm

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * White-box tests of RH-TL2, pinning the Section 1.2 characteristics:
+ * uninstrumented fast-path reads, instrumented fast-path writes
+ * (metadata updates only while mixed paths are live), the
+ * validate-and-publish commit transaction, and the serialized
+ * software-commit fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/api/runtime.h"
+
+namespace rhtm
+{
+namespace
+{
+
+void
+forceFallback(ThreadCtx &ctx)
+{
+    ctx.session().begin(TxnHint::kNone);
+    ctx.session().onHtmAbort(HtmAbort{HtmAbortCause::kCapacity, false, 0});
+}
+
+struct RhTl2Fixture : public ::testing::Test
+{
+    RhTl2Fixture() : rt(AlgoKind::kRhTl2) {}
+
+    TmRuntime rt;
+    alignas(64) uint64_t x = 1;
+    alignas(64) uint64_t y = 2;
+    alignas(64) uint64_t z = 3;
+};
+
+TEST_F(RhTl2Fixture, FastPathRoundTrip)
+{
+    ThreadCtx &ca = rt.registerThread();
+    TxSession &a = ca.session();
+    a.begin(TxnHint::kNone);
+    EXPECT_EQ(a.read(&x), 1u);
+    a.write(&x, 10);
+    EXPECT_EQ(a.read(&x), 10u);
+    a.commit();
+    a.onComplete();
+    EXPECT_EQ(rt.peek(&x), 10u);
+    EXPECT_EQ(rt.stats().get(Counter::kCommitsFastPath), 1u);
+}
+
+TEST_F(RhTl2Fixture, MixedPathCommitsThroughSmallHtm)
+{
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u);
+    b.write(&y, 20);
+    EXPECT_EQ(rt.peek(&y), 2u) << "lazy write leaked";
+    b.commit();
+    b.onComplete();
+    EXPECT_EQ(rt.peek(&y), 20u);
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kPostfixAttempts), 1u)
+        << "mixed commit must run in the small HTM";
+    EXPECT_EQ(s.get(Counter::kPostfixSuccesses), 1u);
+}
+
+TEST_F(RhTl2Fixture, MixedCommitRestartsOnOverwrittenReadSet)
+{
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &b = cb.session();
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u);
+    b.write(&y, 20);
+
+    // Another slow-path writer overwrites x (bumping its orec).
+    ThreadCtx &cc = rt.registerThread();
+    TxSession &c = cc.session();
+    forceFallback(cc);
+    c.begin(TxnHint::kNone);
+    c.write(&x, 100);
+    c.commit();
+    c.onComplete();
+
+    EXPECT_THROW(b.commit(), TxRestart)
+        << "validate-at-commit must catch the overwrite";
+    b.onRestart();
+    EXPECT_EQ(rt.peek(&y), 2u) << "failed commit must not publish";
+}
+
+TEST_F(RhTl2Fixture, SlowReaderRestartsAfterFastWriterWhileRegistered)
+{
+    // Drawback #1's flip side: while a mixed path is live, the fast
+    // path updates orecs, so the mixed path detects its commits.
+    ThreadCtx &ca = rt.registerThread();
+    ThreadCtx &cb = rt.registerThread();
+    TxSession &a = ca.session();
+    TxSession &b = cb.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&y), 2u); // Snapshot taken; registered.
+
+    a.begin(TxnHint::kNone);
+    a.write(&x, 10);
+    a.commit(); // Fallbacks > 0: must version x's orec.
+    a.onComplete();
+
+    EXPECT_THROW(b.read(&x), TxRestart)
+        << "x's orec is beyond b's snapshot";
+    b.onRestart();
+}
+
+TEST_F(RhTl2Fixture, FastPathSkipsMetadataWhenNoFallbacks)
+{
+    ThreadCtx &ca = rt.registerThread();
+    TxSession &a = ca.session();
+    ASSERT_EQ(rt.peek(&rt.globals().fallbacks), 0u);
+    a.begin(TxnHint::kNone);
+    a.write(&x, 10);
+    a.commit(); // No fallbacks: no metadata work (cheap commit).
+    a.onComplete();
+    EXPECT_EQ(rt.peek(&x), 10u);
+}
+
+TEST_F(RhTl2Fixture, SoftwareCommitFallbackSerializesUnderHtmLock)
+{
+    RuntimeConfig cfg;
+    cfg.retry.smallHtmAttempts = 0; // Force the software commit path.
+    TmRuntime rt2(AlgoKind::kRhTl2, cfg);
+    ThreadCtx &cb = rt2.registerThread();
+    TxSession &b = cb.session();
+    alignas(64) uint64_t w = 5;
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    b.write(&w, 50);
+    b.commit(); // Software path: htmLock bounce + direct write-back.
+    b.onComplete();
+    EXPECT_EQ(rt2.peek(&w), 50u);
+    EXPECT_EQ(rt2.peek(&rt2.globals().htmLock), 0u);
+    EXPECT_EQ(rt2.stats().get(Counter::kPostfixAttempts), 0u);
+}
+
+TEST_F(RhTl2Fixture, SlowReadersSurviveUnrelatedSlowCommits)
+{
+    // TL2-style per-location detection: an unrelated commit does not
+    // restart a reader (unlike the NOrec family).
+    ThreadCtx &cb = rt.registerThread();
+    ThreadCtx &cc = rt.registerThread();
+    TxSession &b = cb.session();
+    TxSession &c = cc.session();
+
+    forceFallback(cb);
+    b.begin(TxnHint::kNone);
+    EXPECT_EQ(b.read(&x), 1u);
+
+    forceFallback(cc);
+    c.begin(TxnHint::kNone);
+    c.write(&z, 30); // Unrelated location.
+    c.commit();
+    c.onComplete();
+
+    EXPECT_EQ(b.read(&y), 2u) << "per-location detection: no restart";
+    b.commit();
+    b.onComplete();
+}
+
+} // namespace
+} // namespace rhtm

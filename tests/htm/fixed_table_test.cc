@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the fixed-capacity hash containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "src/htm/fixed_table.h"
+#include "src/util/rng.h"
+
+namespace rhtm
+{
+namespace
+{
+
+TEST(FixedHashSetTest, InsertAndContains)
+{
+    FixedHashSet set(8);
+    bool inserted = false;
+    EXPECT_TRUE(set.insert(42, inserted));
+    EXPECT_TRUE(inserted);
+    EXPECT_TRUE(set.contains(42));
+    EXPECT_FALSE(set.contains(43));
+}
+
+TEST(FixedHashSetTest, DuplicateInsertNotCounted)
+{
+    FixedHashSet set(8);
+    bool inserted = false;
+    set.insert(7, inserted);
+    EXPECT_TRUE(inserted);
+    set.insert(7, inserted);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FixedHashSetTest, ZeroKeyWorks)
+{
+    FixedHashSet set(8);
+    bool inserted = false;
+    EXPECT_FALSE(set.contains(0));
+    set.insert(0, inserted);
+    EXPECT_TRUE(inserted);
+    EXPECT_TRUE(set.contains(0));
+}
+
+TEST(FixedHashSetTest, ClearForgetsEverything)
+{
+    FixedHashSet set(8);
+    bool inserted = false;
+    for (uint64_t k = 0; k < 50; ++k)
+        set.insert(k, inserted);
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+    for (uint64_t k = 0; k < 50; ++k)
+        EXPECT_FALSE(set.contains(k));
+}
+
+TEST(FixedHashSetTest, ReportsFullAtLoadLimit)
+{
+    FixedHashSet set(4); // 16 slots -> full at 12 live keys.
+    bool inserted = false;
+    uint64_t k = 0;
+    while (set.insert(k, inserted))
+        ++k;
+    EXPECT_EQ(set.size(), 12u);
+    // Existing keys still answer true even when full.
+    EXPECT_TRUE(set.insert(0, inserted));
+    EXPECT_FALSE(inserted);
+}
+
+TEST(FixedHashSetTest, RandomizedAgainstStdSet)
+{
+    FixedHashSet set(12);
+    std::map<uint64_t, bool> model;
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t k = rng.nextBounded(500);
+        bool inserted = false;
+        ASSERT_TRUE(set.insert(k, inserted));
+        EXPECT_EQ(inserted, model.find(k) == model.end());
+        model[k] = true;
+    }
+    for (auto &[k, v] : model)
+        EXPECT_TRUE(set.contains(k));
+    EXPECT_EQ(set.size(), model.size());
+}
+
+TEST(WriteBufferTest, PutLookupRoundTrip)
+{
+    WriteBuffer buf(8);
+    uint64_t slot_a = 0, slot_b = 0;
+    EXPECT_TRUE(buf.put(&slot_a, 111));
+    EXPECT_TRUE(buf.put(&slot_b, 222));
+    uint64_t out = 0;
+    EXPECT_TRUE(buf.lookup(&slot_a, out));
+    EXPECT_EQ(out, 111u);
+    EXPECT_TRUE(buf.lookup(&slot_b, out));
+    EXPECT_EQ(out, 222u);
+}
+
+TEST(WriteBufferTest, OverwriteKeepsSingleEntry)
+{
+    WriteBuffer buf(8);
+    uint64_t slot = 0;
+    buf.put(&slot, 1);
+    buf.put(&slot, 2);
+    EXPECT_EQ(buf.sizeWords(), 1u);
+    uint64_t out = 0;
+    ASSERT_TRUE(buf.lookup(&slot, out));
+    EXPECT_EQ(out, 2u);
+}
+
+TEST(WriteBufferTest, MissingAddressNotFound)
+{
+    WriteBuffer buf(8);
+    uint64_t present = 0, absent = 0;
+    buf.put(&present, 5);
+    uint64_t out = 0;
+    EXPECT_FALSE(buf.lookup(&absent, out));
+}
+
+TEST(WriteBufferTest, ForEachVisitsLatestValues)
+{
+    WriteBuffer buf(8);
+    uint64_t slots[10];
+    for (int i = 0; i < 10; ++i)
+        buf.put(&slots[i], static_cast<uint64_t>(i));
+    buf.put(&slots[3], 333);
+    std::map<uint64_t *, uint64_t> seen;
+    buf.forEach([&](uint64_t *a, uint64_t v) { seen[a] = v; });
+    EXPECT_EQ(seen.size(), 10u);
+    EXPECT_EQ(seen[&slots[3]], 333u);
+    EXPECT_EQ(seen[&slots[7]], 7u);
+}
+
+TEST(WriteBufferTest, ClearEmpties)
+{
+    WriteBuffer buf(8);
+    uint64_t slot = 0;
+    buf.put(&slot, 1);
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    uint64_t out = 0;
+    EXPECT_FALSE(buf.lookup(&slot, out));
+}
+
+TEST(WriteBufferTest, ReportsFullAtLoadLimit)
+{
+    WriteBuffer buf(4); // 16 slots -> full at 12 entries.
+    std::vector<uint64_t> slots(20);
+    size_t accepted = 0;
+    for (auto &s : slots) {
+        if (!buf.put(&s, 1))
+            break;
+        ++accepted;
+    }
+    EXPECT_EQ(accepted, 12u);
+}
+
+} // namespace
+} // namespace rhtm

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Property-style sweeps over the simulated HTM: serializability of
+ * randomized histories under varying capacity configurations, stripe
+ * counts, and injection rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/htm/htm_txn.h"
+#include "src/util/barrier.h"
+#include "src/util/rng.h"
+
+namespace rhtm
+{
+namespace
+{
+
+/** (stripeCountLog2, readCap, writeCap, injectProb) */
+using HtmParams = std::tuple<unsigned, size_t, size_t, double>;
+
+class HtmPropertyTest : public ::testing::TestWithParam<HtmParams>
+{
+  protected:
+    HtmConfig
+    makeConfig() const
+    {
+        HtmConfig cfg;
+        cfg.stripeCountLog2 = std::get<0>(GetParam());
+        cfg.readCapacityLines = std::get<1>(GetParam());
+        cfg.writeCapacityLines = std::get<2>(GetParam());
+        cfg.randomAbortProb = std::get<3>(GetParam());
+        return cfg;
+    }
+};
+
+TEST_P(HtmPropertyTest, ConcurrentTransfersSerialize)
+{
+    HtmEngine eng(makeConfig());
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kSlots = 16;
+    constexpr unsigned kOps = 1500;
+    struct alignas(64) Slot
+    {
+        uint64_t value;
+    };
+    std::vector<Slot> slots(kSlots);
+    for (auto &s : slots)
+        eng.directStore(&s.value, 10);
+
+    SenseBarrier barrier(kThreads);
+    std::atomic<uint64_t> opacity_violations{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            ThreadStats stats;
+            HtmTxn tx(eng, t, &stats, t + 1);
+            Rng rng(t * 97 + 5);
+            barrier.arriveAndWait();
+            for (unsigned i = 0; i < kOps; ++i) {
+                unsigned from = rng.nextBounded(kSlots);
+                unsigned to = rng.nextBounded(kSlots);
+                // Retry until committed (bounded); a persistently
+                // failing op is skipped, which leaves the invariant
+                // untouched.
+                bool done = false;
+                for (int attempt = 0; attempt < 64 && !done; ++attempt) {
+                    try {
+                        tx.begin();
+                        uint64_t sum = 0;
+                        for (auto &s : slots)
+                            sum += tx.read(&s.value);
+                        if (sum != uint64_t(kSlots) * 10)
+                            opacity_violations.fetch_add(1);
+                        uint64_t f = tx.read(&slots[from].value);
+                        uint64_t g = tx.read(&slots[to].value);
+                        if (f > 0 && from != to) {
+                            tx.write(&slots[from].value, f - 1);
+                            tx.write(&slots[to].value, g + 1);
+                        }
+                        tx.commit();
+                        done = true;
+                    } catch (const HtmAbort &) {
+                        cpuRelax();
+                    }
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    uint64_t total = 0;
+    for (auto &s : slots)
+        total += eng.directLoad(&s.value);
+    EXPECT_EQ(total, uint64_t(kSlots) * 10);
+    EXPECT_EQ(opacity_violations.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, HtmPropertyTest,
+    ::testing::Values(
+        HtmParams{16, 4096, 448, 0.0},   // Default model.
+        HtmParams{8, 4096, 448, 0.0},    // Few stripes: false sharing.
+        HtmParams{20, 4096, 448, 0.0},   // Many stripes.
+        HtmParams{16, 64, 64, 0.0},      // Tight capacity.
+        HtmParams{16, 4096, 448, 1e-3},  // Injected aborts.
+        HtmParams{16, 32, 8, 1e-3}),     // Tight + injected.
+    [](const ::testing::TestParamInfo<HtmParams> &info) {
+        return "stripes" +
+               std::to_string(std::get<0>(info.param)) + "_rcap" +
+               std::to_string(std::get<1>(info.param)) + "_wcap" +
+               std::to_string(std::get<2>(info.param)) + "_inj" +
+               std::to_string(
+                   static_cast<int>(std::get<3>(info.param) * 1e6));
+    });
+
+TEST(HtmEdgeTest, CapacityZeroWritesAbortsFirstWrite)
+{
+    HtmConfig cfg;
+    cfg.writeCapacityLines = 0;
+    HtmEngine eng(cfg);
+    HtmTxn tx(eng, 0, nullptr);
+    alignas(8) static uint64_t w = 0;
+    tx.begin();
+    EXPECT_THROW(tx.write(&w, 1), HtmAbort);
+}
+
+TEST(HtmEdgeTest, ManySameLineReadsCountOnce)
+{
+    HtmConfig cfg;
+    cfg.readCapacityLines = 1;
+    HtmEngine eng(cfg);
+    HtmTxn tx(eng, 0, nullptr);
+    alignas(64) static uint64_t line[8] = {};
+    tx.begin();
+    for (int rep = 0; rep < 100; ++rep) {
+        for (int i = 0; i < 8; ++i)
+            tx.read(&line[i]); // All within one 64-byte line.
+    }
+    EXPECT_EQ(tx.readLines(), 1u);
+    tx.commit();
+}
+
+TEST(HtmEdgeTest, SequenceNumberParityInvariant)
+{
+    HtmEngine eng;
+    alignas(8) static uint64_t w = 0;
+    for (int i = 0; i < 100; ++i) {
+        eng.directStore(&w, i);
+        EXPECT_EQ(eng.seq() % 2, 0u)
+            << "sequence must be even at quiescence";
+    }
+}
+
+TEST(HtmEdgeTest, WriteBufferSurvivesManyOverwrites)
+{
+    HtmEngine eng;
+    HtmTxn tx(eng, 0, nullptr);
+    alignas(8) static uint64_t w = 0;
+    tx.begin();
+    for (uint64_t i = 0; i < 10000; ++i)
+        tx.write(&w, i); // Same word: one buffer entry, no capacity.
+    EXPECT_EQ(tx.read(&w), 9999u);
+    EXPECT_EQ(tx.writeLines(), 1u);
+    tx.commit();
+    EXPECT_EQ(eng.directLoad(&w), 9999u);
+}
+
+} // namespace
+} // namespace rhtm

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Integration suite for the correctness obligations of DESIGN.md §4:
+ * opacity and serializability under every algorithm, with and without
+ * interrupt-style abort injection, using an invariant-machine that
+ * checks consistency *inside* running transaction bodies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <tuple>
+#include <vector>
+
+#include "src/api/runtime.h"
+#include "tests/test_support.h"
+
+namespace rhtm
+{
+namespace
+{
+
+using OpacityParams = std::tuple<AlgoKind, bool /*inject*/>;
+
+class OpacityTest : public ::testing::TestWithParam<OpacityParams>
+{
+};
+
+/**
+ * Invariant machine: K registers initialised so that r[i] == seed + i,
+ * and every writer rotates all registers by the same delta. Any
+ * transactional snapshot must therefore satisfy r[i] - r[0] == i for
+ * every i -- checked after *every* read inside the body, which is
+ * exactly the opacity obligation (a doomed transaction may restart,
+ * but must never expose a mixed snapshot).
+ */
+TEST_P(OpacityTest, InvariantVisibleAtEveryReadInsideBody)
+{
+    auto [kind, inject] = GetParam();
+    RuntimeConfig cfg;
+    if (inject)
+        cfg.htm.randomAbortProb = 1e-3;
+    TmRuntime rt(kind, cfg);
+
+    constexpr unsigned kRegisters = 24;
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kIters = 900;
+    struct alignas(64) Register
+    {
+        uint64_t value;
+    };
+    std::vector<Register> regs(kRegisters);
+    for (unsigned i = 0; i < kRegisters; ++i)
+        regs[i].value = 1000 + i;
+
+    std::atomic<uint64_t> violations{0};
+    test::runThreads(rt, kThreads, [&](unsigned t, ThreadCtx &ctx) {
+        Rng rng(t * 131 + 3);
+        for (unsigned i = 0; i < kIters; ++i) {
+            if (rng.nextPercent(40)) {
+                // Writer: rotate every register by the same delta.
+                uint64_t delta = 1 + rng.nextBounded(5);
+                rt.run(ctx, [&](Txn &tx) {
+                    for (auto &r : regs) {
+                        tx.store(&r.value, tx.load(&r.value) + delta);
+                    }
+                });
+            } else {
+                // Reader: check the offset invariant after every read.
+                rt.run(ctx, [&](Txn &tx) {
+                    uint64_t base = tx.load(&regs[0].value);
+                    for (unsigned k = 1; k < kRegisters; ++k) {
+                        uint64_t v = tx.load(&regs[k].value);
+                        if (v != base + k) {
+                            violations.fetch_add(1);
+                            break;
+                        }
+                    }
+                });
+            }
+        }
+    });
+
+    EXPECT_EQ(violations.load(), 0u) << "opacity violated in a body";
+    uint64_t base = rt.peek(&regs[0].value);
+    for (unsigned k = 0; k < kRegisters; ++k) {
+        EXPECT_EQ(rt.peek(&regs[k].value), base + k)
+            << "final state violates the rotation invariant";
+    }
+}
+
+/**
+ * Snapshot monotonicity: a global version counter is incremented by
+ * every writer together with a shadow copy; any reader must observe
+ * counter == shadow (they are only ever updated together).
+ */
+TEST_P(OpacityTest, PairedWordsNeverObservedTorn)
+{
+    auto [kind, inject] = GetParam();
+    RuntimeConfig cfg;
+    if (inject)
+        cfg.htm.randomAbortProb = 1e-3;
+    TmRuntime rt(kind, cfg);
+
+    alignas(64) static uint64_t counter;
+    alignas(64) static uint64_t shadow;
+    counter = 0;
+    shadow = 0;
+
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kIters = 1500;
+    std::atomic<uint64_t> torn{0};
+    test::runThreads(rt, kThreads, [&](unsigned t, ThreadCtx &ctx) {
+        Rng rng(t + 41);
+        for (unsigned i = 0; i < kIters; ++i) {
+            if (rng.nextPercent(50)) {
+                rt.run(ctx, [&](Txn &tx) {
+                    uint64_t v = tx.load(&counter);
+                    tx.store(&counter, v + 1);
+                    tx.store(&shadow, v + 1);
+                });
+            } else {
+                rt.run(ctx,
+                       [&](Txn &tx) {
+                           uint64_t c = tx.load(&counter);
+                           uint64_t s = tx.load(&shadow);
+                           if (c != s)
+                               torn.fetch_add(1);
+                       },
+                       TxnHint::kReadOnly);
+            }
+        }
+    });
+    EXPECT_EQ(torn.load(), 0u);
+    EXPECT_EQ(rt.peek(&counter), rt.peek(&shadow));
+}
+
+std::vector<OpacityParams>
+opacityCases()
+{
+    std::vector<OpacityParams> cases;
+    for (AlgoKind kind : allAlgoKinds()) {
+        cases.emplace_back(kind, false);
+        cases.emplace_back(kind, true);
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsWithAndWithoutInjection, OpacityTest,
+    ::testing::ValuesIn(opacityCases()),
+    [](const ::testing::TestParamInfo<OpacityParams> &info) {
+        std::string name = algoKindName(std::get<0>(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + (std::get<1>(info.param) ? "_inject" : "_clean");
+    });
+
+} // namespace
+} // namespace rhtm

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the per-thread pool allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/mem/pool_allocator.h"
+
+namespace rhtm
+{
+namespace
+{
+
+TEST(PoolAllocatorTest, AllocationsAreZeroed)
+{
+    PoolAllocator pool;
+    for (size_t sz : {8u, 64u, 100u, 4096u}) {
+        char *p = static_cast<char *>(pool.alloc(sz));
+        for (size_t i = 0; i < sz; ++i)
+            ASSERT_EQ(p[i], 0) << "size " << sz << " offset " << i;
+        pool.free(p, sz);
+    }
+}
+
+TEST(PoolAllocatorTest, AllocationsAreAligned)
+{
+    PoolAllocator pool;
+    for (size_t sz : {1u, 8u, 17u, 33u, 128u, 4000u}) {
+        void *p = pool.alloc(sz);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+        pool.free(p, sz);
+    }
+}
+
+TEST(PoolAllocatorTest, FreedBlockIsReused)
+{
+    PoolAllocator pool;
+    void *a = pool.alloc(64);
+    pool.free(a, 64);
+    void *b = pool.alloc(64);
+    EXPECT_EQ(a, b) << "LIFO free list should hand the block back";
+    pool.free(b, 64);
+}
+
+TEST(PoolAllocatorTest, DistinctLiveBlocksDoNotOverlap)
+{
+    PoolAllocator pool;
+    constexpr size_t kCount = 1000;
+    constexpr size_t kSize = 48;
+    std::vector<char *> blocks;
+    for (size_t i = 0; i < kCount; ++i) {
+        char *p = static_cast<char *>(pool.alloc(kSize));
+        std::memset(p, static_cast<int>(i & 0xff), kSize);
+        blocks.push_back(p);
+    }
+    for (size_t i = 0; i < kCount; ++i) {
+        for (size_t j = 0; j < kSize; ++j) {
+            ASSERT_EQ(static_cast<unsigned char>(blocks[i][j]), i & 0xff)
+                << "block " << i << " was clobbered";
+        }
+    }
+    for (char *p : blocks)
+        pool.free(p, kSize);
+}
+
+TEST(PoolAllocatorTest, LargeAllocationsFallThrough)
+{
+    PoolAllocator pool;
+    void *p = pool.alloc(1 << 20);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xab, 1 << 20);
+    pool.free(p, 1 << 20);
+}
+
+TEST(PoolAllocatorTest, ZeroSizeIsLegal)
+{
+    PoolAllocator pool;
+    void *p = pool.alloc(0);
+    ASSERT_NE(p, nullptr);
+    pool.free(p, 0);
+}
+
+TEST(PoolAllocatorTest, CrossPoolFreeIsLegal)
+{
+    PoolAllocator a, b;
+    void *p = a.alloc(64);
+    b.free(p, 64);
+    // b now owns the block on its free list and can hand it out.
+    void *q = b.alloc(64);
+    EXPECT_EQ(p, q);
+    b.free(q, 64);
+}
+
+TEST(PoolAllocatorTest, ReservedBytesGrowInChunks)
+{
+    PoolAllocator pool;
+    EXPECT_EQ(pool.bytesReserved(), 0u);
+    void *p = pool.alloc(64);
+    EXPECT_GE(pool.bytesReserved(), 64u * 1024);
+    pool.free(p, 64);
+}
+
+TEST(PoolAllocatorTest, ManySizeClassesRoundTrip)
+{
+    PoolAllocator pool;
+    std::vector<std::pair<void *, size_t>> live;
+    for (size_t sz = 1; sz <= 4096; sz += 37)
+        live.emplace_back(pool.alloc(sz), sz);
+    std::set<void *> unique;
+    for (auto &[p, sz] : live)
+        unique.insert(p);
+    EXPECT_EQ(unique.size(), live.size());
+    for (auto &[p, sz] : live)
+        pool.free(p, sz);
+}
+
+} // namespace
+} // namespace rhtm

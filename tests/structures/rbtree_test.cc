@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Red-black tree tests: model checking against std::map, invariant
+ * validation after randomized operation streams, and concurrent
+ * stress across every TM algorithm.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "src/structures/tx_rbtree.h"
+
+#include "src/api/runtime.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace rhtm
+{
+namespace
+{
+
+class RbTreeAlgoTest : public ::testing::TestWithParam<AlgoKind>
+{
+  protected:
+    RbTreeAlgoTest() : rt(GetParam()) {}
+
+    TmRuntime rt;
+    TxRbTree tree;
+};
+
+TEST_P(RbTreeAlgoTest, InsertLookupRemove)
+{
+    ThreadCtx &ctx = rt.registerThread();
+    rt.run(ctx, [&](Txn &tx) {
+        EXPECT_TRUE(tree.put(tx, 5, 50));
+        EXPECT_TRUE(tree.put(tx, 3, 30));
+        EXPECT_TRUE(tree.put(tx, 8, 80));
+        EXPECT_FALSE(tree.put(tx, 5, 55)) << "update, not insert";
+    });
+    rt.run(ctx, [&](Txn &tx) {
+        int64_t v = 0;
+        EXPECT_TRUE(tree.get(tx, 5, v));
+        EXPECT_EQ(v, 55);
+        EXPECT_TRUE(tree.get(tx, 3, v));
+        EXPECT_EQ(v, 30);
+        EXPECT_FALSE(tree.get(tx, 7, v));
+    });
+    rt.run(ctx, [&](Txn &tx) {
+        EXPECT_TRUE(tree.remove(tx, 3));
+        EXPECT_FALSE(tree.remove(tx, 3));
+        EXPECT_FALSE(tree.contains(tx, 3));
+        EXPECT_TRUE(tree.contains(tx, 8));
+    });
+    EXPECT_EQ(tree.sizeUnsync(), 2u);
+    std::string why;
+    EXPECT_TRUE(tree.validateStructure(&why)) << why;
+    tree.clearUnsync(ctx.mem());
+}
+
+TEST_P(RbTreeAlgoTest, RandomizedAgainstStdMap)
+{
+    ThreadCtx &ctx = rt.registerThread();
+    std::map<int64_t, int64_t> model;
+    Rng rng(12345);
+    for (int i = 0; i < 4000; ++i) {
+        int64_t key = static_cast<int64_t>(rng.nextBounded(300));
+        unsigned op = static_cast<unsigned>(rng.nextBounded(10));
+        if (op < 4) {
+            int64_t value = static_cast<int64_t>(rng.nextBounded(1000));
+            bool inserted = false;
+            rt.run(ctx, [&](Txn &tx) {
+                inserted = tree.put(tx, key, value);
+            });
+            EXPECT_EQ(inserted, model.find(key) == model.end());
+            model[key] = value;
+        } else if (op < 7) {
+            bool removed = false;
+            rt.run(ctx,
+                   [&](Txn &tx) { removed = tree.remove(tx, key); });
+            EXPECT_EQ(removed, model.erase(key) == 1);
+        } else {
+            int64_t got = -1;
+            bool found = false;
+            rt.run(ctx,
+                   [&](Txn &tx) { found = tree.get(tx, key, got); });
+            auto it = model.find(key);
+            EXPECT_EQ(found, it != model.end());
+            if (found)
+                EXPECT_EQ(got, it->second);
+        }
+        if (i % 500 == 0) {
+            std::string why;
+            ASSERT_TRUE(tree.validateStructure(&why))
+                << "after op " << i << ": " << why;
+        }
+    }
+    EXPECT_EQ(tree.sizeUnsync(), model.size());
+    std::string why;
+    EXPECT_TRUE(tree.validateStructure(&why)) << why;
+    tree.clearUnsync(ctx.mem());
+}
+
+TEST_P(RbTreeAlgoTest, AscendingAndDescendingInsertions)
+{
+    ThreadCtx &ctx = rt.registerThread();
+    for (int64_t k = 0; k < 256; ++k)
+        rt.run(ctx, [&](Txn &tx) { tree.put(tx, k, k); });
+    for (int64_t k = 511; k >= 256; --k)
+        rt.run(ctx, [&](Txn &tx) { tree.put(tx, k, k); });
+    EXPECT_EQ(tree.sizeUnsync(), 512u);
+    std::string why;
+    EXPECT_TRUE(tree.validateStructure(&why)) << why;
+    // Remove in an interleaved order.
+    for (int64_t k = 0; k < 512; k += 2)
+        rt.run(ctx, [&](Txn &tx) { tree.remove(tx, k); });
+    EXPECT_EQ(tree.sizeUnsync(), 256u);
+    EXPECT_TRUE(tree.validateStructure(&why)) << why;
+    tree.clearUnsync(ctx.mem());
+}
+
+TEST_P(RbTreeAlgoTest, ConcurrentMixedWorkloadKeepsInvariants)
+{
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kOpsPerThread = 1200;
+    constexpr unsigned kKeyRange = 512;
+
+    // Pre-populate half the range.
+    {
+        ThreadCtx &ctx = rt.registerThread();
+        for (unsigned k = 0; k < kKeyRange; k += 2) {
+            rt.run(ctx, [&](Txn &tx) {
+                tree.put(tx, static_cast<int64_t>(k), k);
+            });
+        }
+    }
+
+    std::atomic<int64_t> net_inserts{0};
+    test::runThreads(rt, kThreads, [&](unsigned t, ThreadCtx &ctx) {
+        Rng rng(t * 7919 + 1);
+        for (unsigned i = 0; i < kOpsPerThread; ++i) {
+            int64_t key =
+                static_cast<int64_t>(rng.nextBounded(kKeyRange));
+            unsigned op = static_cast<unsigned>(rng.nextBounded(100));
+            if (op < 20) {
+                bool inserted = false;
+                rt.run(ctx, [&](Txn &tx) {
+                    inserted = tree.put(tx, key, key * 10);
+                });
+                if (inserted)
+                    net_inserts.fetch_add(1);
+            } else if (op < 40) {
+                bool removed = false;
+                rt.run(ctx,
+                       [&](Txn &tx) { removed = tree.remove(tx, key); });
+                if (removed)
+                    net_inserts.fetch_sub(1);
+            } else {
+                rt.run(ctx, [&](Txn &tx) {
+                    int64_t v;
+                    (void)tree.get(tx, key, v);
+                });
+            }
+        }
+    });
+
+    int64_t expected =
+        static_cast<int64_t>(kKeyRange / 2) + net_inserts.load();
+    EXPECT_EQ(tree.sizeUnsync(), static_cast<uint64_t>(expected));
+    std::string why;
+    EXPECT_TRUE(tree.validateStructure(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, RbTreeAlgoTest,
+    ::testing::Values(AlgoKind::kLockElision, AlgoKind::kNOrec,
+                      AlgoKind::kNOrecLazy, AlgoKind::kTl2,
+                      AlgoKind::kHybridNOrec, AlgoKind::kHybridNOrecLazy,
+                      AlgoKind::kRhNOrec, AlgoKind::kRhTl2),
+    [](const ::testing::TestParamInfo<AlgoKind> &info) {
+        std::string name = algoKindName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(RbTreeEdgeTest, EmptyTreeOperations)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    TxRbTree tree;
+    ThreadCtx &ctx = rt.registerThread();
+    rt.run(ctx, [&](Txn &tx) {
+        int64_t v;
+        EXPECT_FALSE(tree.get(tx, 1, v));
+        EXPECT_FALSE(tree.remove(tx, 1));
+        EXPECT_FALSE(tree.contains(tx, 1));
+    });
+    EXPECT_EQ(tree.sizeUnsync(), 0u);
+    EXPECT_TRUE(tree.validateStructure());
+}
+
+TEST(RbTreeEdgeTest, SingleNodeLifecycle)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    TxRbTree tree;
+    ThreadCtx &ctx = rt.registerThread();
+    rt.run(ctx, [&](Txn &tx) { tree.put(tx, 42, 1); });
+    EXPECT_TRUE(tree.validateStructure());
+    rt.run(ctx, [&](Txn &tx) { EXPECT_TRUE(tree.remove(tx, 42)); });
+    EXPECT_EQ(tree.sizeUnsync(), 0u);
+    rt.memory().drainAll();
+}
+
+TEST(RbTreeEdgeTest, NegativeAndExtremeKeys)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    TxRbTree tree;
+    ThreadCtx &ctx = rt.registerThread();
+    const int64_t keys[] = {0, -1, 1, INT64_MIN + 1, INT64_MAX - 1,
+                            -1000000, 1000000};
+    rt.run(ctx, [&](Txn &tx) {
+        for (int64_t k : keys)
+            EXPECT_TRUE(tree.put(tx, k, k));
+    });
+    rt.run(ctx, [&](Txn &tx) {
+        for (int64_t k : keys) {
+            int64_t v;
+            EXPECT_TRUE(tree.get(tx, k, v));
+            EXPECT_EQ(v, k);
+        }
+    });
+    std::string why;
+    EXPECT_TRUE(tree.validateStructure(&why)) << why;
+    tree.clearUnsync(ctx.mem());
+}
+
+} // namespace
+} // namespace rhtm

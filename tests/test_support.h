@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for multi-threaded TM tests.
+ */
+
+#ifndef RHTM_TESTS_TEST_SUPPORT_H
+#define RHTM_TESTS_TEST_SUPPORT_H
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/api/runtime.h"
+#include "src/util/barrier.h"
+
+namespace rhtm
+{
+namespace test
+{
+
+/**
+ * Spawn @p n threads; each registers with @p rt and runs @p fn(i, ctx)
+ * after a common start barrier. Joins all threads before returning.
+ */
+inline void
+runThreads(TmRuntime &rt, unsigned n,
+           const std::function<void(unsigned, ThreadCtx &)> &fn)
+{
+    SenseBarrier barrier(n);
+    std::vector<ThreadCtx *> ctxs(n);
+    for (unsigned i = 0; i < n; ++i)
+        ctxs[i] = &rt.registerThread();
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        threads.emplace_back([&, i] {
+            barrier.arriveAndWait();
+            fn(i, *ctxs[i]);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+}
+
+} // namespace test
+} // namespace rhtm
+
+#endif // RHTM_TESTS_TEST_SUPPORT_H

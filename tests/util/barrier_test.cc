@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the sense-reversing barrier and backoff helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/util/backoff.h"
+#include "src/util/barrier.h"
+
+namespace rhtm
+{
+namespace
+{
+
+TEST(BarrierTest, AllThreadsPassEachRound)
+{
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 50;
+    SenseBarrier barrier(kThreads);
+    std::atomic<int> phase_counts[kRounds];
+    for (auto &c : phase_counts)
+        c.store(0);
+
+    std::vector<std::thread> threads;
+    std::atomic<bool> violation{false};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < kRounds; ++r) {
+                phase_counts[r].fetch_add(1);
+                barrier.arriveAndWait();
+                // After the barrier every thread must observe the full
+                // count for this round.
+                if (phase_counts[r].load() != kThreads)
+                    violation.store(true);
+                barrier.arriveAndWait();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_FALSE(violation.load());
+}
+
+TEST(BarrierTest, SingleThreadNeverBlocks)
+{
+    SenseBarrier barrier(1);
+    for (int i = 0; i < 100; ++i)
+        barrier.arriveAndWait();
+    SUCCEED();
+}
+
+TEST(BackoffTest, PauseTerminates)
+{
+    Backoff backoff(64);
+    for (int i = 0; i < 100; ++i)
+        backoff.pause();
+    backoff.reset();
+    backoff.pause();
+    SUCCEED();
+}
+
+TEST(BackoffTest, SpinUntilSeesFlagFromOtherThread)
+{
+    std::atomic<bool> flag{false};
+    std::thread setter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        flag.store(true, std::memory_order_release);
+    });
+    spinUntil([&] { return flag.load(std::memory_order_acquire); });
+    setter.join();
+    SUCCEED();
+}
+
+} // namespace
+} // namespace rhtm

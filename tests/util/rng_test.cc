@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the xorshift128+ RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/rng.h"
+
+namespace rhtm
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ZeroSeedIsLegal)
+{
+    Rng r(0);
+    // xorshift with an all-zero state would be stuck at zero; the
+    // SplitMix64 expansion must prevent that.
+    bool nonzero = false;
+    for (int i = 0; i < 100; ++i)
+        nonzero |= (r.next() != 0);
+    EXPECT_TRUE(nonzero);
+}
+
+TEST(RngTest, BoundedStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(RngTest, RangeIsInclusive)
+{
+    Rng r(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = r.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u) << "all values in [3,6] should appear";
+}
+
+TEST(RngTest, PercentRoughlyCalibrated)
+{
+    Rng r(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextPercent(25);
+    EXPECT_NEAR(hits / double(n), 0.25, 0.02);
+}
+
+TEST(RngTest, PercentZeroNeverHits)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(r.nextPercent(0));
+}
+
+TEST(RngTest, PercentHundredAlwaysHits)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(r.nextPercent(100));
+}
+
+TEST(RngTest, UniformityCoarseChiSquare)
+{
+    Rng r(17);
+    const int buckets = 16;
+    const int n = 160000;
+    int counts[buckets] = {};
+    for (int i = 0; i < n; ++i)
+        counts[r.nextBounded(buckets)]++;
+    double expected = n / double(buckets);
+    double chi2 = 0;
+    for (int c : counts)
+        chi2 += (c - expected) * (c - expected) / expected;
+    // 15 dof; 99.9th percentile ~ 37.7.
+    EXPECT_LT(chi2, 37.7);
+}
+
+} // namespace
+} // namespace rhtm

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Parameter sweeps over the workload kernels: invariants must hold
+ * across sizes, contention settings, and degenerate configurations,
+ * not just the benchmark defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/genome.h"
+#include "src/workloads/intruder.h"
+#include "src/workloads/kmeans.h"
+#include "src/workloads/labyrinth.h"
+#include "src/workloads/rbtree_bench.h"
+#include "src/workloads/ssca2.h"
+#include "src/workloads/vacation.h"
+#include "src/workloads/yada.h"
+
+#include "tests/test_support.h"
+
+namespace rhtm
+{
+namespace
+{
+
+/** Run @p w on two threads for a fixed op count and verify. */
+void
+exercise(Workload &w, unsigned ops_per_thread = 300)
+{
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    {
+        ThreadCtx &ctx = rt.registerThread();
+        w.setup(rt, ctx);
+    }
+    test::runThreads(rt, 2, [&](unsigned t, ThreadCtx &ctx) {
+        Rng rng(t * 17 + 5);
+        for (unsigned i = 0; i < ops_per_thread; ++i)
+            w.runOp(rt, ctx, rng);
+    });
+    std::string why;
+    EXPECT_TRUE(w.verify(rt, &why)) << w.name() << ": " << why;
+}
+
+class VacationParamTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(VacationParamTest, InvariantsAcrossQueryRangeAndMix)
+{
+    auto [range_pct, reserve_pct] = GetParam();
+    VacationParams p;
+    p.resourcesPerTable = 128;
+    p.customers = 64;
+    p.queryRangePct = range_pct;
+    p.reservePct = reserve_pct;
+    p.cancelPct = (100 - reserve_pct) / 2;
+    VacationWorkload w(p);
+    exercise(w);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VacationParamTest,
+    ::testing::Combine(::testing::Values(5u, 50u, 100u),
+                       ::testing::Values(40u, 80u, 98u)),
+    [](const auto &info) {
+        return "range" + std::to_string(std::get<0>(info.param)) +
+               "_reserve" + std::to_string(std::get<1>(info.param));
+    });
+
+class IntruderParamTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(IntruderParamTest, InvariantsAcrossFlowShapes)
+{
+    auto [flows, max_frags] = GetParam();
+    IntruderParams p;
+    p.flows = flows;
+    p.maxFragsPerFlow = max_frags;
+    p.seedDepth = 32;
+    IntruderWorkload w(p);
+    exercise(w, 600);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntruderParamTest,
+    ::testing::Combine(::testing::Values(16u, 256u),
+                       ::testing::Values(1u, 4u, 48u)),
+    [](const auto &info) {
+        return "flows" + std::to_string(std::get<0>(info.param)) +
+               "_frags" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(WorkloadParamTest, GenomeSingleDuplication)
+{
+    GenomeParams p;
+    p.genomeLength = 256;
+    p.duplication = 1;
+    GenomeWorkload w(p);
+    exercise(w, 400);
+}
+
+TEST(WorkloadParamTest, GenomeHighDuplication)
+{
+    GenomeParams p;
+    p.genomeLength = 128;
+    p.duplication = 16;
+    GenomeWorkload w(p);
+    exercise(w, 1200);
+}
+
+TEST(WorkloadParamTest, Ssca2TinyGraphHighContention)
+{
+    Ssca2Params p;
+    p.nodes = 8; // Every op collides with someone.
+    Ssca2Workload w(p);
+    exercise(w, 500);
+}
+
+TEST(WorkloadParamTest, KmeansSingleClusterSerializesEverything)
+{
+    KmeansParams p;
+    p.clusters = 1; // All threads hammer one accumulator.
+    KmeansWorkload w(p);
+    exercise(w, 500);
+}
+
+TEST(WorkloadParamTest, KmeansManyDimensionsClamped)
+{
+    KmeansParams p;
+    p.dims = 32; // Implementation clamps to 8.
+    KmeansWorkload w(p);
+    exercise(w, 300);
+}
+
+TEST(WorkloadParamTest, LabyrinthTinyGridConstantCollisions)
+{
+    LabyrinthParams p;
+    p.width = 8;
+    p.height = 8;
+    LabyrinthWorkload w(p);
+    exercise(w, 400);
+}
+
+TEST(WorkloadParamTest, LabyrinthDegenerateOneCellGrid)
+{
+    LabyrinthParams p;
+    p.width = 1;
+    p.height = 1;
+    LabyrinthWorkload w(p);
+    exercise(w, 100);
+}
+
+TEST(WorkloadParamTest, YadaAllInitiallyGood)
+{
+    YadaParams p;
+    p.initialTriangles = 128;
+    p.initialBadPct = 0; // Queue starts empty: only reseeds run.
+    YadaWorkload w(p);
+    exercise(w, 300);
+}
+
+TEST(WorkloadParamTest, YadaAllInitiallyBad)
+{
+    YadaParams p;
+    p.initialTriangles = 128;
+    p.initialBadPct = 100;
+    p.childBadPct = 50;
+    YadaWorkload w(p);
+    exercise(w, 600);
+}
+
+TEST(WorkloadParamTest, RbTreeTinyTreeHighContention)
+{
+    RbTreeBenchParams p;
+    p.initialSize = 16;
+    p.mutationPct = 80;
+    RbTreeBenchWorkload w(p);
+    exercise(w, 800);
+}
+
+TEST(WorkloadParamTest, RbTreeReadOnlyConfiguration)
+{
+    RbTreeBenchParams p;
+    p.initialSize = 64;
+    p.mutationPct = 0;
+    RbTreeBenchWorkload w(p);
+    exercise(w, 500);
+}
+
+} // namespace
+} // namespace rhtm

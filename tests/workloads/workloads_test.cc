@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Workload kernels stressed under every TM algorithm: run setup,
+ * hammer runOp from several threads, and check the kernel's global
+ * invariant. These are the integration tests that tie the whole stack
+ * together (runtime + algorithm + structures + workload).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "src/workloads/genome.h"
+#include "src/workloads/intruder.h"
+#include "src/workloads/kmeans.h"
+#include "src/workloads/labyrinth.h"
+#include "src/workloads/ssca2.h"
+#include "src/workloads/vacation.h"
+#include "src/workloads/yada.h"
+
+#include "tests/test_support.h"
+
+namespace rhtm
+{
+namespace
+{
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+struct Case
+{
+    const char *workload;
+    WorkloadFactory make;
+    AlgoKind algo;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<std::pair<const char *, WorkloadFactory>> workloads = {
+        {"vacation_low",
+         [] {
+             VacationParams p = VacationParams::low();
+             p.resourcesPerTable = 256;
+             p.customers = 256;
+             return std::make_unique<VacationWorkload>(p);
+         }},
+        {"vacation_high",
+         [] {
+             VacationParams p = VacationParams::high();
+             p.resourcesPerTable = 256;
+             p.customers = 256;
+             return std::make_unique<VacationWorkload>(p);
+         }},
+        {"intruder",
+         [] {
+             IntruderParams p;
+             p.flows = 512;
+             return std::make_unique<IntruderWorkload>(p);
+         }},
+        {"genome",
+         [] {
+             GenomeParams p;
+             p.genomeLength = 1024;
+             p.duplication = 3;
+             return std::make_unique<GenomeWorkload>(p);
+         }},
+        {"ssca2",
+         [] {
+             Ssca2Params p;
+             p.nodes = 1024;
+             return std::make_unique<Ssca2Workload>(p);
+         }},
+        {"kmeans",
+         [] {
+             KmeansParams p;
+             p.clusters = 8;
+             return std::make_unique<KmeansWorkload>(p);
+         }},
+        {"labyrinth",
+         [] {
+             LabyrinthParams p;
+             p.width = 48;
+             p.height = 48;
+             return std::make_unique<LabyrinthWorkload>(p);
+         }},
+        {"yada",
+         [] {
+             YadaParams p;
+             p.initialTriangles = 512;
+             return std::make_unique<YadaWorkload>(p);
+         }},
+    };
+    std::vector<Case> cases;
+    for (auto &[name, make] : workloads) {
+        for (AlgoKind algo : allAlgoKinds())
+            cases.push_back({name, make, algo});
+    }
+    return cases;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadTest, ConcurrentStressKeepsInvariants)
+{
+    const Case &c = GetParam();
+    TmRuntime rt(c.algo);
+    auto workload = c.make();
+
+    {
+        ThreadCtx &setup_ctx = rt.registerThread();
+        workload->setup(rt, setup_ctx);
+    }
+    std::string why;
+    ASSERT_TRUE(workload->verify(rt, &why)) << "after setup: " << why;
+
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kOpsPerThread = 400;
+    test::runThreads(rt, kThreads, [&](unsigned t, ThreadCtx &ctx) {
+        Rng rng(t * 1000003 + 7);
+        for (unsigned i = 0; i < kOpsPerThread; ++i)
+            workload->runOp(rt, ctx, rng);
+    });
+
+    EXPECT_TRUE(workload->verify(rt, &why)) << why;
+    EXPECT_GE(rt.stats().operations(),
+              uint64_t(kThreads) * kOpsPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllAlgorithms, WorkloadTest,
+    ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        std::string name = std::string(info.param.workload) + "_" +
+                           algoKindName(info.param.algo);
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+TEST(WorkloadSerialTest, GenomeCompletesChainSingleThreaded)
+{
+    GenomeParams p;
+    p.genomeLength = 512;
+    p.duplication = 2;
+    GenomeWorkload genome(p);
+    TmRuntime rt(AlgoKind::kRhNOrec);
+    ThreadCtx &ctx = rt.registerThread();
+    genome.setup(rt, ctx);
+    Rng rng(1);
+    // Consume the full sample stream.
+    for (unsigned i = 0; i < p.genomeLength * p.duplication; ++i)
+        genome.runOp(rt, ctx, rng);
+    std::string why;
+    EXPECT_TRUE(genome.verify(rt, &why)) << why;
+}
+
+TEST(WorkloadSerialTest, IntruderSteadyStateWrapsRounds)
+{
+    IntruderParams p;
+    p.flows = 256;
+    IntruderWorkload intruder(p);
+    TmRuntime rt(AlgoKind::kHybridNOrec);
+    ThreadCtx &ctx = rt.registerThread();
+    intruder.setup(rt, ctx);
+    Rng rng(1);
+    // Consume more than one full stream round: flow ids must wrap
+    // into fresh rounds and the accounting must stay exact.
+    for (unsigned i = 0; i < p.flows * p.maxFragsPerFlow + 500; ++i)
+        intruder.runOp(rt, ctx, rng);
+    std::string why;
+    EXPECT_TRUE(intruder.verify(rt, &why)) << why;
+}
+
+TEST(WorkloadSerialTest, VacationReservationsBalance)
+{
+    VacationParams p = VacationParams::low();
+    p.resourcesPerTable = 64;
+    p.customers = 32;
+    VacationWorkload vacation(p);
+    TmRuntime rt(AlgoKind::kNOrec);
+    ThreadCtx &ctx = rt.registerThread();
+    vacation.setup(rt, ctx);
+    Rng rng(2);
+    for (unsigned i = 0; i < 2000; ++i)
+        vacation.runOp(rt, ctx, rng);
+    std::string why;
+    EXPECT_TRUE(vacation.verify(rt, &why)) << why;
+}
+
+} // namespace
+} // namespace rhtm

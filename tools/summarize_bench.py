@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Summarize bench_output.txt into per-figure markdown tables.
+
+Usage: tools/summarize_bench.py [bench_output.txt] [--threads=8]
+
+For every benchmark in the capture, prints a compact table of
+throughput and the paper's analysis rows at the chosen thread count,
+plus the RH-vs-HY headline ratios.
+"""
+
+import sys
+from collections import defaultdict
+
+COLS = [
+    "bench", "algo", "threads", "seconds", "ops", "throughput",
+    "conflict", "capacity", "restarts", "slowpath", "prefix",
+    "postfix", "verified",
+]
+
+
+def parse(path):
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith(("#", "bench,", "###")):
+                continue
+            parts = line.split(",")
+            if len(parts) != len(COLS):
+                continue
+            row = dict(zip(COLS, parts))
+            try:
+                row["threads"] = int(row["threads"])
+                for k in ("throughput", "conflict", "capacity",
+                          "restarts", "slowpath", "prefix", "postfix"):
+                    row[k] = float(row[k])
+            except ValueError:
+                continue
+            rows.append(row)
+    return rows
+
+
+def main():
+    path = "bench_output.txt"
+    threads = 8
+    for arg in sys.argv[1:]:
+        if arg.startswith("--threads="):
+            threads = int(arg.split("=", 1)[1])
+        else:
+            path = arg
+
+    rows = parse(path)
+    benches = defaultdict(list)
+    for r in rows:
+        if r["threads"] == threads:
+            benches[r["bench"]].append(r)
+
+    for bench in benches:
+        print(f"### {bench} @ {threads} threads\n")
+        print("| algo | ops/s | conf/op | cap/op | restarts | "
+              "slow% | prefix | postfix | ok |")
+        print("|---|---|---|---|---|---|---|---|---|")
+        by_algo = {}
+        for r in benches[bench]:
+            by_algo[r["algo"]] = r
+            print(f"| {r['algo']} | {r['throughput']:,.0f} "
+                  f"| {r['conflict']:.4f} | {r['capacity']:.4f} "
+                  f"| {r['restarts']:.3f} | {100 * r['slowpath']:.1f} "
+                  f"| {r['prefix']:.2f} | {r['postfix']:.2f} "
+                  f"| {r['verified']} |")
+        rh, hy = by_algo.get("rh-norec"), by_algo.get("hy-norec")
+        if rh and hy:
+            tput = rh["throughput"] / hy["throughput"] if hy[
+                "throughput"] else 0
+            conf = (hy["conflict"] / rh["conflict"]
+                    if rh["conflict"] > 0 else float("inf"))
+            rst = (hy["restarts"] / rh["restarts"]
+                   if rh["restarts"] > 0 else float("inf"))
+            print(f"\nrh/hy throughput = {tput:.2f}x, "
+                  f"hy/rh conflicts = {conf:.2f}x, "
+                  f"hy/rh restarts = {rst:.2f}x")
+        print()
+
+
+if __name__ == "__main__":
+    main()
