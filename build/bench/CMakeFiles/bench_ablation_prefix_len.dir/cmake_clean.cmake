@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prefix_len.dir/bench_ablation_prefix_len.cc.o"
+  "CMakeFiles/bench_ablation_prefix_len.dir/bench_ablation_prefix_len.cc.o.d"
+  "bench_ablation_prefix_len"
+  "bench_ablation_prefix_len.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prefix_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

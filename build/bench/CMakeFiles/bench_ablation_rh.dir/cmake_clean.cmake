@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rh.dir/bench_ablation_rh.cc.o"
+  "CMakeFiles/bench_ablation_rh.dir/bench_ablation_rh.cc.o.d"
+  "bench_ablation_rh"
+  "bench_ablation_rh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

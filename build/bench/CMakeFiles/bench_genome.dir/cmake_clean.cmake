@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_genome.dir/bench_genome.cc.o"
+  "CMakeFiles/bench_genome.dir/bench_genome.cc.o.d"
+  "bench_genome"
+  "bench_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

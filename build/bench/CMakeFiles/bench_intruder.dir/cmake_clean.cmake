@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intruder.dir/bench_intruder.cc.o"
+  "CMakeFiles/bench_intruder.dir/bench_intruder.cc.o.d"
+  "bench_intruder"
+  "bench_intruder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intruder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

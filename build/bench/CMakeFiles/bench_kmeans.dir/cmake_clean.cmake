@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kmeans.dir/bench_kmeans.cc.o"
+  "CMakeFiles/bench_kmeans.dir/bench_kmeans.cc.o.d"
+  "bench_kmeans"
+  "bench_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_labyrinth.cc" "bench/CMakeFiles/bench_labyrinth.dir/bench_labyrinth.cc.o" "gcc" "bench/CMakeFiles/bench_labyrinth.dir/bench_labyrinth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rhtm_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rhtm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/structures/CMakeFiles/rhtm_structures.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/rhtm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rhtm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/rhtm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/rhtm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rhtm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rhtm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rhtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

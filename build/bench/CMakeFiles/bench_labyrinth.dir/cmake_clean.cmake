@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_labyrinth.dir/bench_labyrinth.cc.o"
+  "CMakeFiles/bench_labyrinth.dir/bench_labyrinth.cc.o.d"
+  "bench_labyrinth"
+  "bench_labyrinth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_labyrinth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rbtree.dir/bench_rbtree.cc.o"
+  "CMakeFiles/bench_rbtree.dir/bench_rbtree.cc.o.d"
+  "bench_rbtree"
+  "bench_rbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssca2.dir/bench_ssca2.cc.o"
+  "CMakeFiles/bench_ssca2.dir/bench_ssca2.cc.o.d"
+  "bench_ssca2"
+  "bench_ssca2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssca2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

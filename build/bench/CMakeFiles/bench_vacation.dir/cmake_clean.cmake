@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vacation.dir/bench_vacation.cc.o"
+  "CMakeFiles/bench_vacation.dir/bench_vacation.cc.o.d"
+  "bench_vacation"
+  "bench_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yada.dir/bench_yada.cc.o"
+  "CMakeFiles/bench_yada.dir/bench_yada.cc.o.d"
+  "bench_yada"
+  "bench_yada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/librhtm_bench_harness.a"
+)

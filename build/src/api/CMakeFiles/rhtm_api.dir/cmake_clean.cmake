@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhtm_api.dir/runtime.cc.o"
+  "CMakeFiles/rhtm_api.dir/runtime.cc.o.d"
+  "librhtm_api.a"
+  "librhtm_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhtm_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hybrid_norec.cc" "src/core/CMakeFiles/rhtm_core.dir/hybrid_norec.cc.o" "gcc" "src/core/CMakeFiles/rhtm_core.dir/hybrid_norec.cc.o.d"
+  "/root/repo/src/core/hybrid_norec_lazy.cc" "src/core/CMakeFiles/rhtm_core.dir/hybrid_norec_lazy.cc.o" "gcc" "src/core/CMakeFiles/rhtm_core.dir/hybrid_norec_lazy.cc.o.d"
+  "/root/repo/src/core/lock_elision.cc" "src/core/CMakeFiles/rhtm_core.dir/lock_elision.cc.o" "gcc" "src/core/CMakeFiles/rhtm_core.dir/lock_elision.cc.o.d"
+  "/root/repo/src/core/rh_norec.cc" "src/core/CMakeFiles/rhtm_core.dir/rh_norec.cc.o" "gcc" "src/core/CMakeFiles/rhtm_core.dir/rh_norec.cc.o.d"
+  "/root/repo/src/core/rh_tl2.cc" "src/core/CMakeFiles/rhtm_core.dir/rh_tl2.cc.o" "gcc" "src/core/CMakeFiles/rhtm_core.dir/rh_tl2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/htm/CMakeFiles/rhtm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rhtm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rhtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

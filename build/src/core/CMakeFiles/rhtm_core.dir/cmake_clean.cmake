@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhtm_core.dir/hybrid_norec.cc.o"
+  "CMakeFiles/rhtm_core.dir/hybrid_norec.cc.o.d"
+  "CMakeFiles/rhtm_core.dir/hybrid_norec_lazy.cc.o"
+  "CMakeFiles/rhtm_core.dir/hybrid_norec_lazy.cc.o.d"
+  "CMakeFiles/rhtm_core.dir/lock_elision.cc.o"
+  "CMakeFiles/rhtm_core.dir/lock_elision.cc.o.d"
+  "CMakeFiles/rhtm_core.dir/rh_norec.cc.o"
+  "CMakeFiles/rhtm_core.dir/rh_norec.cc.o.d"
+  "CMakeFiles/rhtm_core.dir/rh_tl2.cc.o"
+  "CMakeFiles/rhtm_core.dir/rh_tl2.cc.o.d"
+  "librhtm_core.a"
+  "librhtm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhtm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

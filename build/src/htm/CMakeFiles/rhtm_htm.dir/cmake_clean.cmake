@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhtm_htm.dir/htm_engine.cc.o"
+  "CMakeFiles/rhtm_htm.dir/htm_engine.cc.o.d"
+  "CMakeFiles/rhtm_htm.dir/htm_txn.cc.o"
+  "CMakeFiles/rhtm_htm.dir/htm_txn.cc.o.d"
+  "librhtm_htm.a"
+  "librhtm_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhtm_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librhtm_htm.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/epoch.cc" "src/mem/CMakeFiles/rhtm_mem.dir/epoch.cc.o" "gcc" "src/mem/CMakeFiles/rhtm_mem.dir/epoch.cc.o.d"
+  "/root/repo/src/mem/memory_manager.cc" "src/mem/CMakeFiles/rhtm_mem.dir/memory_manager.cc.o" "gcc" "src/mem/CMakeFiles/rhtm_mem.dir/memory_manager.cc.o.d"
+  "/root/repo/src/mem/pool_allocator.cc" "src/mem/CMakeFiles/rhtm_mem.dir/pool_allocator.cc.o" "gcc" "src/mem/CMakeFiles/rhtm_mem.dir/pool_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rhtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhtm_mem.dir/epoch.cc.o"
+  "CMakeFiles/rhtm_mem.dir/epoch.cc.o.d"
+  "CMakeFiles/rhtm_mem.dir/memory_manager.cc.o"
+  "CMakeFiles/rhtm_mem.dir/memory_manager.cc.o.d"
+  "CMakeFiles/rhtm_mem.dir/pool_allocator.cc.o"
+  "CMakeFiles/rhtm_mem.dir/pool_allocator.cc.o.d"
+  "librhtm_mem.a"
+  "librhtm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhtm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhtm_stats.dir/stats.cc.o"
+  "CMakeFiles/rhtm_stats.dir/stats.cc.o.d"
+  "librhtm_stats.a"
+  "librhtm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhtm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librhtm_stats.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stm/norec.cc" "src/stm/CMakeFiles/rhtm_stm.dir/norec.cc.o" "gcc" "src/stm/CMakeFiles/rhtm_stm.dir/norec.cc.o.d"
+  "/root/repo/src/stm/tl2.cc" "src/stm/CMakeFiles/rhtm_stm.dir/tl2.cc.o" "gcc" "src/stm/CMakeFiles/rhtm_stm.dir/tl2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/htm/CMakeFiles/rhtm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rhtm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rhtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhtm_stm.dir/norec.cc.o"
+  "CMakeFiles/rhtm_stm.dir/norec.cc.o.d"
+  "CMakeFiles/rhtm_stm.dir/tl2.cc.o"
+  "CMakeFiles/rhtm_stm.dir/tl2.cc.o.d"
+  "librhtm_stm.a"
+  "librhtm_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhtm_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/structures/tx_hashmap.cc" "src/structures/CMakeFiles/rhtm_structures.dir/tx_hashmap.cc.o" "gcc" "src/structures/CMakeFiles/rhtm_structures.dir/tx_hashmap.cc.o.d"
+  "/root/repo/src/structures/tx_list.cc" "src/structures/CMakeFiles/rhtm_structures.dir/tx_list.cc.o" "gcc" "src/structures/CMakeFiles/rhtm_structures.dir/tx_list.cc.o.d"
+  "/root/repo/src/structures/tx_queue.cc" "src/structures/CMakeFiles/rhtm_structures.dir/tx_queue.cc.o" "gcc" "src/structures/CMakeFiles/rhtm_structures.dir/tx_queue.cc.o.d"
+  "/root/repo/src/structures/tx_rbtree.cc" "src/structures/CMakeFiles/rhtm_structures.dir/tx_rbtree.cc.o" "gcc" "src/structures/CMakeFiles/rhtm_structures.dir/tx_rbtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/rhtm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rhtm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/rhtm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/rhtm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rhtm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rhtm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rhtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

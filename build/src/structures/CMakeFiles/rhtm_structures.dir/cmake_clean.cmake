@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhtm_structures.dir/tx_hashmap.cc.o"
+  "CMakeFiles/rhtm_structures.dir/tx_hashmap.cc.o.d"
+  "CMakeFiles/rhtm_structures.dir/tx_list.cc.o"
+  "CMakeFiles/rhtm_structures.dir/tx_list.cc.o.d"
+  "CMakeFiles/rhtm_structures.dir/tx_queue.cc.o"
+  "CMakeFiles/rhtm_structures.dir/tx_queue.cc.o.d"
+  "CMakeFiles/rhtm_structures.dir/tx_rbtree.cc.o"
+  "CMakeFiles/rhtm_structures.dir/tx_rbtree.cc.o.d"
+  "librhtm_structures.a"
+  "librhtm_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhtm_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhtm_util.dir/cli.cc.o"
+  "CMakeFiles/rhtm_util.dir/cli.cc.o.d"
+  "librhtm_util.a"
+  "librhtm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhtm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

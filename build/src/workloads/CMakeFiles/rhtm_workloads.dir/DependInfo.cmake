@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/genome.cc" "src/workloads/CMakeFiles/rhtm_workloads.dir/genome.cc.o" "gcc" "src/workloads/CMakeFiles/rhtm_workloads.dir/genome.cc.o.d"
+  "/root/repo/src/workloads/intruder.cc" "src/workloads/CMakeFiles/rhtm_workloads.dir/intruder.cc.o" "gcc" "src/workloads/CMakeFiles/rhtm_workloads.dir/intruder.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/rhtm_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/rhtm_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/labyrinth.cc" "src/workloads/CMakeFiles/rhtm_workloads.dir/labyrinth.cc.o" "gcc" "src/workloads/CMakeFiles/rhtm_workloads.dir/labyrinth.cc.o.d"
+  "/root/repo/src/workloads/rbtree_bench.cc" "src/workloads/CMakeFiles/rhtm_workloads.dir/rbtree_bench.cc.o" "gcc" "src/workloads/CMakeFiles/rhtm_workloads.dir/rbtree_bench.cc.o.d"
+  "/root/repo/src/workloads/ssca2.cc" "src/workloads/CMakeFiles/rhtm_workloads.dir/ssca2.cc.o" "gcc" "src/workloads/CMakeFiles/rhtm_workloads.dir/ssca2.cc.o.d"
+  "/root/repo/src/workloads/vacation.cc" "src/workloads/CMakeFiles/rhtm_workloads.dir/vacation.cc.o" "gcc" "src/workloads/CMakeFiles/rhtm_workloads.dir/vacation.cc.o.d"
+  "/root/repo/src/workloads/yada.cc" "src/workloads/CMakeFiles/rhtm_workloads.dir/yada.cc.o" "gcc" "src/workloads/CMakeFiles/rhtm_workloads.dir/yada.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/structures/CMakeFiles/rhtm_structures.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/rhtm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rhtm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/rhtm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/rhtm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rhtm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rhtm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rhtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhtm_workloads.dir/genome.cc.o"
+  "CMakeFiles/rhtm_workloads.dir/genome.cc.o.d"
+  "CMakeFiles/rhtm_workloads.dir/intruder.cc.o"
+  "CMakeFiles/rhtm_workloads.dir/intruder.cc.o.d"
+  "CMakeFiles/rhtm_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/rhtm_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/rhtm_workloads.dir/labyrinth.cc.o"
+  "CMakeFiles/rhtm_workloads.dir/labyrinth.cc.o.d"
+  "CMakeFiles/rhtm_workloads.dir/rbtree_bench.cc.o"
+  "CMakeFiles/rhtm_workloads.dir/rbtree_bench.cc.o.d"
+  "CMakeFiles/rhtm_workloads.dir/ssca2.cc.o"
+  "CMakeFiles/rhtm_workloads.dir/ssca2.cc.o.d"
+  "CMakeFiles/rhtm_workloads.dir/vacation.cc.o"
+  "CMakeFiles/rhtm_workloads.dir/vacation.cc.o.d"
+  "CMakeFiles/rhtm_workloads.dir/yada.cc.o"
+  "CMakeFiles/rhtm_workloads.dir/yada.cc.o.d"
+  "librhtm_workloads.a"
+  "librhtm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhtm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

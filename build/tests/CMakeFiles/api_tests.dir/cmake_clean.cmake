@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_tests.dir/api/runtime_test.cc.o"
+  "CMakeFiles/api_tests.dir/api/runtime_test.cc.o.d"
+  "api_tests"
+  "api_tests.pdb"
+  "api_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/hybrid_lazy_whitebox_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/hybrid_lazy_whitebox_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/hybrid_whitebox_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/hybrid_whitebox_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/retry_policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/retry_policy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/rh_tl2_whitebox_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/rh_tl2_whitebox_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/htm/fixed_table_test.cc" "tests/CMakeFiles/htm_tests.dir/htm/fixed_table_test.cc.o" "gcc" "tests/CMakeFiles/htm_tests.dir/htm/fixed_table_test.cc.o.d"
+  "/root/repo/tests/htm/htm_property_test.cc" "tests/CMakeFiles/htm_tests.dir/htm/htm_property_test.cc.o" "gcc" "tests/CMakeFiles/htm_tests.dir/htm/htm_property_test.cc.o.d"
+  "/root/repo/tests/htm/htm_txn_test.cc" "tests/CMakeFiles/htm_tests.dir/htm/htm_txn_test.cc.o" "gcc" "tests/CMakeFiles/htm_tests.dir/htm/htm_txn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/htm/CMakeFiles/rhtm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rhtm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rhtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_tests.dir/htm/fixed_table_test.cc.o"
+  "CMakeFiles/htm_tests.dir/htm/fixed_table_test.cc.o.d"
+  "CMakeFiles/htm_tests.dir/htm/htm_property_test.cc.o"
+  "CMakeFiles/htm_tests.dir/htm/htm_property_test.cc.o.d"
+  "CMakeFiles/htm_tests.dir/htm/htm_txn_test.cc.o"
+  "CMakeFiles/htm_tests.dir/htm/htm_txn_test.cc.o.d"
+  "htm_tests"
+  "htm_tests.pdb"
+  "htm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/epoch_test.cc" "tests/CMakeFiles/mem_tests.dir/mem/epoch_test.cc.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem/epoch_test.cc.o.d"
+  "/root/repo/tests/mem/mem_property_test.cc" "tests/CMakeFiles/mem_tests.dir/mem/mem_property_test.cc.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem/mem_property_test.cc.o.d"
+  "/root/repo/tests/mem/pool_allocator_test.cc" "tests/CMakeFiles/mem_tests.dir/mem/pool_allocator_test.cc.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem/pool_allocator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/rhtm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rhtm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

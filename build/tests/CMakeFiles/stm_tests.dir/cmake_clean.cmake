@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_tests.dir/stm/stm_whitebox_test.cc.o"
+  "CMakeFiles/stm_tests.dir/stm/stm_whitebox_test.cc.o.d"
+  "stm_tests"
+  "stm_tests.pdb"
+  "stm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

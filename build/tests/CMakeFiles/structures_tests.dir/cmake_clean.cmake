@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structures_tests.dir/structures/containers_test.cc.o"
+  "CMakeFiles/structures_tests.dir/structures/containers_test.cc.o.d"
+  "CMakeFiles/structures_tests.dir/structures/rbtree_test.cc.o"
+  "CMakeFiles/structures_tests.dir/structures/rbtree_test.cc.o.d"
+  "structures_tests"
+  "structures_tests.pdb"
+  "structures_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structures_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
