@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "src/fault/schedules.h"
 #include "src/util/barrier.h"
 #include "src/util/timer.h"
 
@@ -49,6 +50,18 @@ parseBenchConfig(const CliOptions &opts)
     cfg.runtime.stmAccessPenalty = static_cast<unsigned>(
         opts.getInt("stm-penalty", cfg.runtime.stmAccessPenalty));
 
+    if (opts.has("fault-schedule")) {
+        std::string name = opts.getString("fault-schedule", "");
+        if (!makeChaosSchedule(name, cfg.seed, cfg.runtime.fault)) {
+            std::fprintf(stderr, "unknown fault schedule: %s (known:",
+                         name.c_str());
+            for (const std::string &n : chaosScheduleNames())
+                std::fprintf(stderr, " %s", n.c_str());
+            std::fprintf(stderr, ")\n");
+            std::exit(2);
+        }
+    }
+
     if (opts.has("algos")) {
         cfg.algos.clear();
         std::string list = opts.getString("algos", "");
@@ -83,23 +96,34 @@ printCsvHeader()
         "bench,algo,threads,seconds,ops,throughput_ops_per_sec,"
         "conflict_aborts_per_op,capacity_aborts_per_op,"
         "restarts_per_slowpath,slowpath_ratio,"
-        "prefix_success_ratio,postfix_success_ratio,verified\n");
+        "prefix_success_ratio,postfix_success_ratio,"
+        "injected_aborts_per_op,subscription_aborts_per_op,"
+        "fastpath_attempts_per_op,killswitch_activations,"
+        "killswitch_bypass_ratio,verified\n");
 }
 
 void
 printCsvRow(const std::string &bench_name, const CellResult &cell)
 {
     const StatsSummary &s = cell.stats;
+    uint64_t ops = s.operations();
+    double attempts_per_op =
+        ops ? double(s.get(Counter::kFastPathAttempts)) / ops : 0.0;
+    double bypass_ratio =
+        ops ? double(s.get(Counter::kKillSwitchBypasses)) / ops : 0.0;
     std::printf("%s,%s,%u,%.2f,%llu,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f,"
-                "%.4f,%s\n",
+                "%.4f,%.4f,%.4f,%.4f,%llu,%.4f,%s\n",
                 bench_name.c_str(), algoKindName(cell.algo),
                 cell.threads, cell.seconds,
                 static_cast<unsigned long long>(cell.ops),
                 cell.ops / cell.seconds, s.conflictAbortsPerOp(),
                 s.capacityAbortsPerOp(), s.restartsPerSlowPath(),
                 s.slowPathRatio(), s.prefixSuccessRatio(),
-                s.postfixSuccessRatio(),
-                cell.verified ? "ok" : "FAIL");
+                s.postfixSuccessRatio(), s.injectedAbortsPerOp(),
+                s.subscriptionAbortsPerOp(), attempts_per_op,
+                static_cast<unsigned long long>(
+                    s.get(Counter::kKillSwitchActivations)),
+                bypass_ratio, cell.verified ? "ok" : "FAIL");
     std::fflush(stdout);
 }
 

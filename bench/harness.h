@@ -51,6 +51,7 @@ struct BenchConfig
  *   --ht-from=8 --ht-scale=2   (HyperThreading capacity model)
  *   --abort-prob=5e-4          (interrupt-style HTM abort injection)
  *   --stm-penalty=64           (instrumentation-cost model, cycles)
+ *   --fault-schedule=NAME      (named chaos schedule, seeded by --seed)
  * Exits with a message on unknown algorithms or stray arguments.
  */
 BenchConfig parseBenchConfig(const CliOptions &opts);

@@ -105,8 +105,16 @@ TmRuntime::registerThread()
     ThreadMem &tm = mem_.registerThread();
     auto ctx =
         std::unique_ptr<ThreadCtx>(new ThreadCtx(tm.tid(), &tm));
+    if (!cfg_.fault.empty()) {
+        FaultPlan plan = cfg_.fault;
+        if (plan.seed == 0)
+            plan.seed = cfg_.rngSeed;
+        ctx->fault_ =
+            std::make_unique<FaultInjector>(plan, ctx->tid());
+    }
     ctx->htm_ = std::make_unique<HtmTxn>(eng_, ctx->tid(), &ctx->stats_,
-                                         cfg_.rngSeed + ctx->tid());
+                                         cfg_.rngSeed + ctx->tid(),
+                                         ctx->fault_.get());
     ctx->session_ = makeSession(*ctx);
     ctxs_.push_back(std::move(ctx));
     return *ctxs_.back();

@@ -18,6 +18,7 @@
 #include "src/api/txn.h"
 #include "src/core/globals.h"
 #include "src/core/retry_policy.h"
+#include "src/fault/fault_injector.h"
 #include "src/htm/htm_txn.h"
 #include "src/mem/memory_manager.h"
 #include "src/stats/stats.h"
@@ -61,6 +62,14 @@ struct RuntimeConfig
     uint64_t rngSeed = 1;
 
     /**
+     * Deterministic fault schedule (docs/FAULT_INJECTION.md). Each
+     * registered thread gets its own injector built from this plan; an
+     * empty plan injects nothing. If the plan's seed is 0 it inherits
+     * rngSeed.
+     */
+    FaultPlan fault;
+
+    /**
      * Instrumentation-cost model (DESIGN.md): cycles of busy work per
      * software-path shared access, standing in for the libitm dynamic
      * call + logging that the paper's instrumented slow paths pay and
@@ -91,6 +100,13 @@ class ThreadCtx
     /** This thread's memory arena. */
     ThreadMem &mem() { return *mem_; }
 
+    /**
+     * This thread's fault injector, or nullptr when the runtime's
+     * fault plan is empty (exposed for tests to read hit counts and
+     * traces).
+     */
+    FaultInjector *injector() { return fault_.get(); }
+
   private:
     friend class TmRuntime;
 
@@ -99,6 +115,7 @@ class ThreadCtx
     unsigned tid_;
     ThreadMem *mem_;
     ThreadStats stats_;
+    std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<HtmTxn> htm_;
     std::unique_ptr<TxSession> session_;
     bool inTxn_ = false;

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Protocol-level fault points for the algorithm sessions.
+ *
+ * HtmTxn fires the hardware-level sites itself; the sessions call
+ * sessionFaultPoint() at the protocol windows (prefix commit, the
+ * post-first-write clock-held window, postfix publication, software
+ * writes), where the right unwind depends on whether a small hardware
+ * transaction is live: inside one, a scripted abort must look like a
+ * hardware abort (HtmAbort, so the session's reversion logic runs);
+ * in a software phase it must look like a consistency restart
+ * (TxRestart, so rollbackWriter and the restart bookkeeping run).
+ */
+
+#ifndef RHTM_CORE_FAULT_POINTS_H
+#define RHTM_CORE_FAULT_POINTS_H
+
+#include <thread>
+
+#include "src/api/tx_defs.h"
+#include "src/fault/fault_injector.h"
+#include "src/htm/htm_txn.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/** Fire @p site on @p htm's injector (if any) and apply the fault. */
+inline void
+sessionFaultPoint(HtmTxn &htm, FaultSite site)
+{
+    FaultInjector *fault = htm.injector();
+    if (fault == nullptr)
+        return;
+    uint32_t spins = 0;
+    switch (fault->fire(site, &spins)) {
+      case FaultKind::kNone:
+      case FaultKind::kCapacitySqueeze:
+        return;
+      case FaultKind::kDelay:
+        simDelay(spins);
+        return;
+      case FaultKind::kYield:
+        std::this_thread::yield();
+        return;
+      case FaultKind::kAbortConflict:
+        if (htm.active())
+            htm.abortInjected(HtmAbortCause::kConflict, true);
+        throw TxRestart{};
+      case FaultKind::kAbortCapacity:
+        if (htm.active())
+            htm.abortInjected(HtmAbortCause::kCapacity, false);
+        throw TxRestart{};
+      case FaultKind::kAbortOther:
+        if (htm.active())
+            htm.abortInjected(HtmAbortCause::kOther, false);
+        throw TxRestart{};
+      case FaultKind::kAbortExplicit:
+        if (htm.active())
+            htm.abortInjected(HtmAbortCause::kExplicit, true);
+        throw TxRestart{};
+    }
+}
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_FAULT_POINTS_H

@@ -14,6 +14,7 @@
 #ifndef RHTM_CORE_GLOBALS_H
 #define RHTM_CORE_GLOBALS_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace rhtm
@@ -67,6 +68,41 @@ struct TmGlobals
 
     /** Pad so the struct's last word owns its line too. */
     alignas(64) uint64_t pad = 0;
+
+    /**
+     * Anti-lemming HTM kill switch (runtime metadata, NOT TM-visible
+     * memory: ordinary atomics, never engine-published, so touching
+     * it cannot abort a hardware transaction).
+     *
+     * The lemming effect (Alistarh et al.): persistently failing
+     * hardware transactions herd every thread onto the fallback, and
+     * the fallback's metadata traffic then keeps killing fresh
+     * hardware attempts. The breaker counts consecutive non-retryable
+     * hardware aborts across all threads; at the policy threshold it
+     * trips, sessions bypass the fast path outright, and a per-commit
+     * decay re-opens it so the hardware path is re-probed once the
+     * fault clears (classic circuit-breaker half-open behaviour).
+     */
+    struct KillSwitch
+    {
+        /** Non-retryable aborts since the last hardware commit. */
+        std::atomic<uint64_t> consecutiveFailures{0};
+
+        /** Commits left before re-probing; nonzero = tripped. */
+        std::atomic<uint64_t> cooldown{0};
+
+        /** Times the breaker has tripped (mirrors the stats counter). */
+        std::atomic<uint64_t> activations{0};
+
+        /** True while fast paths should be bypassed. */
+        bool
+        tripped() const
+        {
+            return cooldown.load(std::memory_order_relaxed) != 0;
+        }
+    };
+
+    alignas(64) KillSwitch killSwitch;
 };
 
 } // namespace rhtm

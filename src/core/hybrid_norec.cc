@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/core/fault_points.h"
+
 namespace rhtm
 {
 
@@ -18,6 +20,7 @@ HybridNOrecSession::HybridNOrecSession(HtmEngine &eng, TmGlobals &globals,
 void
 HybridNOrecSession::beginSoftware()
 {
+    sessionFaultPoint(htm_, FaultSite::kFallbackStart);
     if (mode_ == Mode::kSerial && !serialHeld_) {
         for (;;) {
             uint64_t expected = 0;
@@ -46,13 +49,24 @@ HybridNOrecSession::begin(TxnHint hint)
 {
     (void)hint;
     if (mode_ == Mode::kFast) {
-        ++attempts_;
-        htm_.begin();
-        // Early subscription (the Hybrid NOrec bottleneck): any slow
-        // path that raises the HTM lock aborts us from this point on.
-        if (htm_.read(&g_.htmLock) != 0)
-            htm_.abortExplicit();
-        return;
+        if (killSwitchBypass(g_, policy_)) {
+            mode_ = Mode::kSoftware;
+            if (stats_) {
+                stats_->inc(Counter::kKillSwitchBypasses);
+                stats_->inc(Counter::kFallbacks);
+            }
+        } else {
+            ++attempts_;
+            if (stats_)
+                stats_->inc(Counter::kFastPathAttempts);
+            htm_.begin();
+            // Early subscription (the Hybrid NOrec bottleneck): any
+            // slow path that raises the HTM lock aborts us from this
+            // point on.
+            if (htm_.read(&g_.htmLock) != 0)
+                htm_.abortSubscription();
+            return;
+        }
     }
     beginSoftware();
 }
@@ -84,6 +98,9 @@ HybridNOrecSession::handleFirstWrite()
     // fast path before the first store (Section 3.1).
     eng_.directStore(&g_.htmLock, 1);
     htmLockSet_ = true;
+    // Clock and HTM lock are both held here; a scripted abort
+    // exercises their release in rollbackWriter().
+    sessionFaultPoint(htm_, FaultSite::kPostFirstWrite);
 }
 
 void
@@ -96,6 +113,7 @@ HybridNOrecSession::write(uint64_t *addr, uint64_t value)
     simDelay(penalty_); // Instrumented slow-path access (DESIGN.md).
     if (!writeDetected_)
         handleFirstWrite();
+    sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
     undo_.push_back({addr, eng_.directLoad(addr)});
     eng_.directStore(addr, value);
 }
@@ -166,6 +184,8 @@ HybridNOrecSession::onHtmAbort(const HtmAbort &abort)
     // A real abort already reset the hardware transaction; an injected
     // one (tests, policy probes) may not have.
     htm_.cancel();
+    if (!abort.retryOk)
+        killSwitchOnHardwareFailure(g_, policy_, stats_);
     if (abort.retryOk && attempts_ < retryBudget_.budget()) {
         backoff_.pause();
         return; // Conflict-style abort: retry in hardware.
@@ -219,8 +239,11 @@ HybridNOrecSession::onUserAbort()
 void
 HybridNOrecSession::onComplete()
 {
-    if (mode_ == Mode::kFast)
+    if (mode_ == Mode::kFast) {
         retryBudget_.onFastCommit(attempts_);
+        killSwitchOnHardwareCommit(g_);
+    }
+    killSwitchOnComplete(g_);
     if (stats_) {
         switch (mode_) {
           case Mode::kFast:

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/core/fault_points.h"
+
 namespace rhtm
 {
 
@@ -28,6 +30,7 @@ HybridNOrecLazySession::stableClock()
 void
 HybridNOrecLazySession::beginSoftware()
 {
+    sessionFaultPoint(htm_, FaultSite::kFallbackStart);
     if (mode_ == Mode::kSerial && !serialHeld_) {
         for (;;) {
             uint64_t expected = 0;
@@ -51,11 +54,21 @@ HybridNOrecLazySession::begin(TxnHint hint)
 {
     (void)hint;
     if (mode_ == Mode::kFast) {
-        ++attempts_;
-        htm_.begin();
-        if (htm_.read(&g_.htmLock) != 0)
-            htm_.abortExplicit();
-        return;
+        if (killSwitchBypass(g_, policy_)) {
+            mode_ = Mode::kSoftware;
+            if (stats_) {
+                stats_->inc(Counter::kKillSwitchBypasses);
+                stats_->inc(Counter::kFallbacks);
+            }
+        } else {
+            ++attempts_;
+            if (stats_)
+                stats_->inc(Counter::kFastPathAttempts);
+            htm_.begin();
+            if (htm_.read(&g_.htmLock) != 0)
+                htm_.abortSubscription();
+            return;
+        }
     }
     beginSoftware();
 }
@@ -100,6 +113,7 @@ HybridNOrecLazySession::write(uint64_t *addr, uint64_t value)
         return;
     }
     simDelay(penalty_);
+    sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
     writes_.putGrowing(addr, value);
 }
 
@@ -140,8 +154,14 @@ HybridNOrecLazySession::commit()
         expected = txVersion_;
     }
     clockHeld_ = true;
+    sessionFaultPoint(htm_, FaultSite::kPostFirstWrite);
     eng_.directStore(&g_.htmLock, 1);
     htmLockSet_ = true;
+    // The lazy design's publication window: clock and HTM lock held
+    // while the write set is flushed. A scripted delay stretches it;
+    // an abort exercises releaseCommitLocks() (writes already flushed
+    // stay -- the advanced clock forces readers to revalidate).
+    sessionFaultPoint(htm_, FaultSite::kPublishWindow);
     writes_.forEach([this](uint64_t *addr, uint64_t value) {
         eng_.directStore(addr, value);
     });
@@ -177,6 +197,8 @@ HybridNOrecLazySession::onHtmAbort(const HtmAbort &abort)
 {
     assert(mode_ == Mode::kFast);
     htm_.cancel();
+    if (!abort.retryOk)
+        killSwitchOnHardwareFailure(g_, policy_, stats_);
     if (abort.retryOk && attempts_ < retryBudget_.budget()) {
         backoff_.pause();
         return;
@@ -226,8 +248,11 @@ HybridNOrecLazySession::onUserAbort()
 void
 HybridNOrecLazySession::onComplete()
 {
-    if (mode_ == Mode::kFast)
+    if (mode_ == Mode::kFast) {
         retryBudget_.onFastCommit(attempts_);
+        killSwitchOnHardwareCommit(g_);
+    }
+    killSwitchOnComplete(g_);
     if (stats_) {
         switch (mode_) {
           case Mode::kFast:

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/core/fault_points.h"
+
 namespace rhtm
 {
 
@@ -15,7 +17,15 @@ void
 LockElisionSession::begin(TxnHint hint)
 {
     (void)hint;
+    if (mode_ == Mode::kFast && killSwitchBypass(g_, policy_)) {
+        mode_ = Mode::kSerial;
+        if (stats_) {
+            stats_->inc(Counter::kKillSwitchBypasses);
+            stats_->inc(Counter::kFallbacks);
+        }
+    }
     if (mode_ == Mode::kSerial) {
+        sessionFaultPoint(htm_, FaultSite::kFallbackStart);
         // Take the global lock for real; the store dooms every elided
         // transaction subscribed to it.
         for (;;) {
@@ -28,11 +38,13 @@ LockElisionSession::begin(TxnHint hint)
         return;
     }
     ++attempts_;
+    if (stats_)
+        stats_->inc(Counter::kFastPathAttempts);
     htm_.begin();
     // Subscribe: if the lock is held, the elided run cannot be atomic
     // with respect to the lock holder.
     if (htm_.read(&g_.globalLock) != 0)
-        htm_.abortExplicit();
+        htm_.abortSubscription();
 }
 
 uint64_t
@@ -71,6 +83,8 @@ LockElisionSession::onHtmAbort(const HtmAbort &abort)
     // A real abort already reset the hardware transaction; an injected
     // one (tests, policy probes) may not have.
     htm_.cancel();
+    if (!abort.retryOk)
+        killSwitchOnHardwareFailure(g_, policy_, stats_);
     if (abort.cause == HtmAbortCause::kExplicit) {
         // Subscription abort: the lock is (or was) held. Wait for it
         // to clear before re-eliding instead of burning the retry
@@ -111,6 +125,9 @@ LockElisionSession::onUserAbort()
 void
 LockElisionSession::onComplete()
 {
+    if (mode_ == Mode::kFast)
+        killSwitchOnHardwareCommit(g_);
+    killSwitchOnComplete(g_);
     if (stats_) {
         stats_->inc(mode_ == Mode::kFast ? Counter::kCommitsFastPath
                                          : Counter::kCommitsSerialPath);

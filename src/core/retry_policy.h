@@ -9,6 +9,9 @@
 
 #include <cstdint>
 
+#include "src/core/globals.h"
+#include "src/stats/stats.h"
+
 namespace rhtm
 {
 
@@ -39,7 +42,88 @@ struct RetryPolicy
     /** Bounds for the adaptive budget. */
     unsigned adaptiveMinRetries = 2;
     unsigned adaptiveMaxRetries = 24;
+
+    /**
+     * Anti-lemming kill switch: consecutive non-retryable hardware
+     * aborts (across all threads, with no intervening hardware
+     * commit) that trip the breaker and disable the fast path.
+     * 0 disables the switch.
+     */
+    unsigned killSwitchThreshold = 64;
+
+    /**
+     * Decay-based re-enable: committed transactions (any path) the
+     * breaker stays tripped before the fast path is re-probed.
+     */
+    unsigned killSwitchCooldownOps = 256;
 };
+
+/**
+ * Record a non-retryable hardware abort on the kill switch; trips the
+ * breaker at the policy threshold. Called by sessions before falling
+ * back.
+ */
+inline void
+killSwitchOnHardwareFailure(TmGlobals &g, const RetryPolicy &policy,
+                            ThreadStats *stats)
+{
+    if (policy.killSwitchThreshold == 0)
+        return;
+    TmGlobals::KillSwitch &ks = g.killSwitch;
+    uint64_t failures =
+        ks.consecutiveFailures.fetch_add(1, std::memory_order_relaxed) +
+        1;
+    if (failures < policy.killSwitchThreshold || ks.tripped())
+        return;
+    uint64_t expected = 0;
+    if (ks.cooldown.compare_exchange_strong(
+            expected, policy.killSwitchCooldownOps,
+            std::memory_order_relaxed)) {
+        ks.activations.fetch_add(1, std::memory_order_relaxed);
+        if (stats)
+            stats->inc(Counter::kKillSwitchActivations);
+    }
+}
+
+/**
+ * A hardware transaction committed: the fault (if any) has cleared
+ * for at least one thread, so the failure streak resets.
+ */
+inline void
+killSwitchOnHardwareCommit(TmGlobals &g)
+{
+    TmGlobals::KillSwitch &ks = g.killSwitch;
+    if (ks.consecutiveFailures.load(std::memory_order_relaxed) != 0)
+        ks.consecutiveFailures.store(0, std::memory_order_relaxed);
+}
+
+/**
+ * A transaction committed on any path: decay the breaker's cooldown
+ * so the fast path is eventually re-probed (half-open re-enable).
+ */
+inline void
+killSwitchOnComplete(TmGlobals &g)
+{
+    TmGlobals::KillSwitch &ks = g.killSwitch;
+    uint64_t v = ks.cooldown.load(std::memory_order_relaxed);
+    if (v == 0)
+        return;
+    // A lost race just means one decay step is skipped; harmless.
+    ks.cooldown.compare_exchange_strong(v, v - 1,
+                                        std::memory_order_relaxed);
+    if (v == 1)
+        ks.consecutiveFailures.store(0, std::memory_order_relaxed);
+}
+
+/**
+ * True when the session should skip the hardware fast path this
+ * attempt. The caller counts the bypass and enters its fallback.
+ */
+inline bool
+killSwitchBypass(const TmGlobals &g, const RetryPolicy &policy)
+{
+    return policy.killSwitchThreshold != 0 && g.killSwitch.tripped();
+}
 
 /**
  * EWMA-driven fast-path retry budget (Section 3.3's future-work
@@ -74,6 +158,13 @@ class AdaptiveRetryBudget
         if (attempts > 1) {
             // Retrying rescued this transaction: worth the budget.
             score_ += (kScale - score_) / 8;
+        } else {
+            // A first-try commit is weak evidence too: hardware is
+            // healthy, so granting retries is cheap. Without this
+            // recovery a low-contention workload whose only signal is
+            // the rare fallback ratchets monotonically down to
+            // adaptiveMinRetries and stays there.
+            score_ += (kScale - score_) / 64;
         }
     }
 

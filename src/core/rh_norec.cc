@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/core/fault_points.h"
+
 namespace rhtm
 {
 
@@ -32,7 +34,7 @@ RhNOrecSession::startPrefix()
     prefixActive_ = true;
     // Subscribe to the HTM lock for opacity, like the fast path.
     if (htm_.read(&g_.htmLock) != 0)
-        htm_.abortExplicit();
+        htm_.abortSubscription();
     maxReads_ = expectedPrefixLen_;
     prefixReads_ = 0;
 }
@@ -47,6 +49,7 @@ RhNOrecSession::commitPrefix()
     uint64_t clock = htm_.read(&g_.clock);
     if (clockIsLocked(clock))
         htm_.abortExplicit();
+    sessionFaultPoint(htm_, FaultSite::kPrefixCommit);
     htm_.commit();
     prefixActive_ = false;
     registered_ = true;
@@ -64,6 +67,7 @@ RhNOrecSession::commitPrefix()
 void
 RhNOrecSession::startSoftwareMixed()
 {
+    sessionFaultPoint(htm_, FaultSite::kFallbackStart);
     if (!registered_) {
         eng_.directFetchAdd(&g_.fallbacks, 1);
         registered_ = true;
@@ -80,13 +84,26 @@ RhNOrecSession::begin(TxnHint hint)
 {
     (void)hint;
     if (mode_ == Mode::kFast) {
-        ++attempts_;
-        htm_.begin();
-        // Algorithm 1: subscribe only to the HTM lock -- the clock is
-        // not touched until commit (the whole point of RH NOrec).
-        if (htm_.read(&g_.htmLock) != 0)
-            htm_.abortExplicit();
-        return;
+        if (killSwitchBypass(g_, policy_)) {
+            // Breaker tripped: don't burn a doomed hardware attempt,
+            // go straight to the mixed slow path.
+            mode_ = Mode::kMixed;
+            if (stats_) {
+                stats_->inc(Counter::kKillSwitchBypasses);
+                stats_->inc(Counter::kFallbacks);
+            }
+        } else {
+            ++attempts_;
+            if (stats_)
+                stats_->inc(Counter::kFastPathAttempts);
+            htm_.begin();
+            // Algorithm 1: subscribe only to the HTM lock -- the clock
+            // is not touched until commit (the whole point of RH
+            // NOrec).
+            if (htm_.read(&g_.htmLock) != 0)
+                htm_.abortSubscription();
+            return;
+        }
     }
     if (mode_ == Mode::kSerial && !serialHeld_) {
         for (;;) {
@@ -150,6 +167,11 @@ RhNOrecSession::handleFirstWrite()
         restart();
     clockHeld_ = true;
     writeDetected_ = true;
+    // The clock is now locked: a scripted delay here stretches the
+    // window every concurrent reader/committer spins on, and a
+    // scripted abort exercises the clock-release path in
+    // rollbackWriter().
+    sessionFaultPoint(htm_, FaultSite::kPostFirstWrite);
     if (rh_.enablePostfix && postfixTries_ < policy_.smallHtmAttempts) {
         ++postfixTries_;
         if (stats_)
@@ -188,6 +210,7 @@ RhNOrecSession::write(uint64_t *addr, uint64_t value)
             return;
         }
     }
+    sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
     undo_.push_back({addr, eng_.directLoad(addr)});
     eng_.directStore(addr, value);
 }
@@ -234,6 +257,7 @@ RhNOrecSession::commit()
     if (postfixActive_) {
         // Publish every slow-path write atomically; a concurrent fast
         // path can never observe a partial update (Figure 2).
+        sessionFaultPoint(htm_, FaultSite::kPostfixCommit);
         htm_.commit();
         postfixActive_ = false;
         if (stats_)
@@ -308,6 +332,8 @@ RhNOrecSession::onHtmAbort(const HtmAbort &abort)
     // one (tests, policy probes) may not have.
     htm_.cancel();
     if (mode_ == Mode::kFast) {
+        if (!abort.retryOk)
+            killSwitchOnHardwareFailure(g_, policy_, stats_);
         if (abort.retryOk && attempts_ < retryBudget_.budget()) {
             backoff_.pause();
             return; // Retry in hardware.
@@ -383,8 +409,11 @@ RhNOrecSession::onUserAbort()
 void
 RhNOrecSession::onComplete()
 {
-    if (mode_ == Mode::kFast)
+    if (mode_ == Mode::kFast) {
         retryBudget_.onFastCommit(attempts_);
+        killSwitchOnHardwareCommit(g_);
+    }
+    killSwitchOnComplete(g_);
     if (stats_) {
         switch (mode_) {
           case Mode::kFast:

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/core/fault_points.h"
+
 namespace rhtm
 {
 
@@ -22,15 +24,26 @@ RhTl2Session::begin(TxnHint hint)
 {
     (void)hint;
     if (mode_ == Mode::kFast) {
-        ++attempts_;
-        writeAddrs_.clear();
-        htm_.begin();
-        // Subscribe to the HTM lock: a serialized software commit may
-        // be writing back non-atomically.
-        if (htm_.read(&g_.htmLock) != 0)
-            htm_.abortExplicit();
-        return;
+        if (killSwitchBypass(g_, policy_)) {
+            mode_ = Mode::kMixed;
+            if (stats_) {
+                stats_->inc(Counter::kKillSwitchBypasses);
+                stats_->inc(Counter::kFallbacks);
+            }
+        } else {
+            ++attempts_;
+            if (stats_)
+                stats_->inc(Counter::kFastPathAttempts);
+            writeAddrs_.clear();
+            htm_.begin();
+            // Subscribe to the HTM lock: a serialized software commit
+            // may be writing back non-atomically.
+            if (htm_.read(&g_.htmLock) != 0)
+                htm_.abortSubscription();
+            return;
+        }
     }
+    sessionFaultPoint(htm_, FaultSite::kFallbackStart);
     if (!registered_) {
         // Like RH NOrec's num_of_fallbacks: fast paths only pay the
         // metadata updates while a mixed path is live.
@@ -87,7 +100,7 @@ RhTl2Session::commitMixedHtm()
         stats_->inc(Counter::kPostfixAttempts);
     htm_.begin();
     if (htm_.read(&g_.htmLock) != 0)
-        htm_.abortExplicit();
+        htm_.abortSubscription();
     // Drawback #2 (Section 1.2): this one small hardware transaction
     // carries the read-set validation *and* every write location, so
     // its footprint -- and failure probability -- is high.
@@ -103,6 +116,9 @@ RhTl2Session::commitMixedHtm()
         htm_.write(addr, value);
         htm_.write(tl2_.orecOf(addr), wv);
     });
+    // The commit transaction is RH-TL2's analogue of the postfix: one
+    // small HTM carrying validation plus the whole write-back.
+    sessionFaultPoint(htm_, FaultSite::kPostfixCommit);
     htm_.commit();
     if (stats_)
         stats_->inc(Counter::kPostfixSuccesses);
@@ -134,6 +150,28 @@ RhTl2Session::commitMixedSoftware()
     // htmLock store above doomed every in-flight one, and later ones
     // abort on their start-time subscription.
     uint64_t wv = eng_.directLoad(tl2_.clock()) + 2;
+    // The HTM lock is up and every fast path is doomed: this is the
+    // serialized publication window. A scripted delay stretches it.
+    {
+        FaultInjector *fault = htm_.injector();
+        uint32_t spins = 0;
+        if (fault != nullptr) {
+            switch (fault->fire(FaultSite::kPublishWindow, &spins)) {
+              case FaultKind::kDelay:
+                simDelay(spins);
+                break;
+              case FaultKind::kYield:
+                std::this_thread::yield();
+                break;
+              default:
+                // Aborts are ignored here: the write-back is the
+                // transaction's linearization and cannot be unwound
+                // without replaying the whole commit; the other
+                // schedules cover the abort paths.
+                break;
+            }
+        }
+    }
     writes_.forEach([&](uint64_t *addr, uint64_t value) {
         // Orec first: a concurrent reader that sees the new data also
         // sees a version beyond its snapshot and restarts.
@@ -189,6 +227,8 @@ RhTl2Session::onHtmAbort(const HtmAbort &abort)
 {
     htm_.cancel();
     if (mode_ == Mode::kFast) {
+        if (!abort.retryOk)
+            killSwitchOnHardwareFailure(g_, policy_, stats_);
         if (abort.retryOk && attempts_ < retryBudget_.budget()) {
             backoff_.pause();
             return;
@@ -231,8 +271,11 @@ RhTl2Session::onUserAbort()
 void
 RhTl2Session::onComplete()
 {
-    if (mode_ == Mode::kFast)
+    if (mode_ == Mode::kFast) {
         retryBudget_.onFastCommit(attempts_);
+        killSwitchOnHardwareCommit(g_);
+    }
+    killSwitchOnComplete(g_);
     if (stats_) {
         stats_->inc(mode_ == Mode::kFast ? Counter::kCommitsFastPath
                                          : Counter::kCommitsMixedPath);

@@ -1,0 +1,108 @@
+#include "src/fault/fault_injector.h"
+
+#include <cmath>
+
+namespace rhtm
+{
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::kHtmBegin: return "htm-begin";
+      case FaultSite::kTxRead: return "tx-read";
+      case FaultSite::kTxWrite: return "tx-write";
+      case FaultSite::kPreCommit: return "pre-commit";
+      case FaultSite::kPublishWindow: return "publish-window";
+      case FaultSite::kPrefixCommit: return "prefix-commit";
+      case FaultSite::kPostFirstWrite: return "post-first-write";
+      case FaultSite::kPostfixCommit: return "postfix-commit";
+      case FaultSite::kSoftwareWrite: return "software-write";
+      case FaultSite::kFallbackStart: return "fallback-start";
+      case FaultSite::kNumSites: break;
+    }
+    return "unknown";
+}
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kNone: return "none";
+      case FaultKind::kAbortConflict: return "abort-conflict";
+      case FaultKind::kAbortCapacity: return "abort-capacity";
+      case FaultKind::kAbortOther: return "abort-other";
+      case FaultKind::kAbortExplicit: return "abort-explicit";
+      case FaultKind::kDelay: return "delay";
+      case FaultKind::kYield: return "yield";
+      case FaultKind::kCapacitySqueeze: return "capacity-squeeze";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan, unsigned tid)
+    : tid_(tid), rng_(plan.seed ^ (uint64_t(tid) * 0x9e3779b97f4a7c15ull)),
+      recordTrace_(plan.recordTrace)
+{
+    rules_.reserve(plan.rules.size());
+    for (const FaultRule &rule : plan.rules) {
+        if (rule.tid >= 0 && static_cast<unsigned>(rule.tid) != tid)
+            continue;
+        rules_.push_back(RuleState{rule, 0});
+    }
+}
+
+FaultKind
+FaultInjector::fire(FaultSite site, uint32_t *delay_spins)
+{
+    const unsigned idx = static_cast<unsigned>(site);
+    const uint64_t hit = ++hits_[idx];
+
+    for (RuleState &rs : rules_) {
+        const FaultRule &r = rs.rule;
+        if (r.site != site || r.kind == FaultKind::kNone)
+            continue;
+        if (rs.fired >= r.maxFires)
+            continue;
+        if (hit < r.firstHit)
+            continue;
+        if (r.period == 0) {
+            if (hit != r.firstHit)
+                continue;
+        } else if ((hit - r.firstHit) % r.period != 0) {
+            continue;
+        }
+        if (r.probability < 1.0) {
+            // Threshold compare on the raw draw keeps this exact for
+            // probability 0 and deterministic for everything else.
+            uint64_t threshold = r.probability <= 0.0
+                ? 0
+                : static_cast<uint64_t>(std::ldexp(r.probability, 64));
+            if (threshold == 0 || rng_.next() >= threshold)
+                continue;
+        }
+
+        ++rs.fired;
+        ++fires_[idx];
+        ++totalFires_;
+        if (recordTrace_)
+            trace_.push_back(FaultEvent{site, r.kind, hit});
+
+        if (r.kind == FaultKind::kCapacitySqueeze) {
+            const uint64_t begins =
+                hits_[static_cast<unsigned>(FaultSite::kHtmBegin)];
+            squeezeRead_ = r.squeezeReadLines;
+            squeezeWrite_ = r.squeezeWriteLines;
+            squeezeUntil_ = r.squeezeTxns == 0
+                ? ~uint64_t(0)
+                : begins + r.squeezeTxns;
+            continue; // A squeeze arms state; nothing unwinds here.
+        }
+        if (r.kind == FaultKind::kDelay && delay_spins != nullptr)
+            *delay_spins = r.delaySpins;
+        return r.kind;
+    }
+    return FaultKind::kNone;
+}
+
+} // namespace rhtm

@@ -1,0 +1,98 @@
+#include "src/fault/schedules.h"
+
+namespace rhtm
+{
+
+const std::vector<std::string> &
+chaosScheduleNames()
+{
+    static const std::vector<std::string> names = {
+        "prefix-kill",
+        "postfix-kill",
+        "capacity-squeeze",
+        "delay-in-publish-window",
+    };
+    return names;
+}
+
+bool
+makeChaosSchedule(const std::string &name, uint64_t seed, FaultPlan &out)
+{
+    out = FaultPlan{};
+    out.seed = seed;
+
+    if (name == "prefix-kill") {
+        FaultRule r;
+        r.site = FaultSite::kPrefixCommit;
+        r.kind = FaultKind::kAbortConflict;
+        r.period = 1;
+        r.probability = 0.5;
+        out.add(r);
+        // Also harass the deferred registration from the hardware
+        // side: occasional conflict aborts on prefix-phase reads.
+        FaultRule rd;
+        rd.site = FaultSite::kTxRead;
+        rd.kind = FaultKind::kAbortConflict;
+        rd.period = 1;
+        rd.probability = 0.002;
+        out.add(rd);
+        return true;
+    }
+    if (name == "postfix-kill") {
+        FaultRule r;
+        r.site = FaultSite::kPostfixCommit;
+        r.kind = FaultKind::kAbortConflict;
+        r.period = 1;
+        r.probability = 0.5;
+        out.add(r);
+        // And kill some postfixes earlier, right after the clock is
+        // locked, exercising rollbackWriter with the clock held.
+        FaultRule rw;
+        rw.site = FaultSite::kPostFirstWrite;
+        rw.kind = FaultKind::kAbortOther;
+        rw.period = 1;
+        rw.probability = 0.2;
+        out.add(rw);
+        return true;
+    }
+    if (name == "capacity-squeeze") {
+        FaultRule r;
+        r.site = FaultSite::kHtmBegin;
+        r.kind = FaultKind::kCapacitySqueeze;
+        r.firstHit = 32;     // Let the run warm up first.
+        r.period = 256;      // Re-arm periodically.
+        r.squeezeReadLines = 4;
+        r.squeezeWriteLines = 2;
+        r.squeezeTxns = 64;  // Squeeze for a window, then recover.
+        out.add(r);
+        return true;
+    }
+    if (name == "delay-in-publish-window") {
+        FaultRule r;
+        r.site = FaultSite::kPublishWindow;
+        r.kind = FaultKind::kDelay;
+        r.period = 1;
+        r.probability = 0.25;
+        r.delaySpins = 4000;
+        out.add(r);
+        FaultRule ry;
+        ry.site = FaultSite::kPublishWindow;
+        ry.kind = FaultKind::kYield;
+        ry.period = 1;
+        ry.probability = 0.05;
+        out.add(ry);
+        // Stretch the window between clock acquisition and the first
+        // postfix write too (the Figure 2 fast-path race target).
+        FaultRule rw;
+        rw.site = FaultSite::kPostFirstWrite;
+        rw.kind = FaultKind::kDelay;
+        rw.period = 1;
+        rw.probability = 0.25;
+        rw.delaySpins = 4000;
+        out.add(rw);
+        return true;
+    }
+    return false;
+}
+
+} // namespace rhtm

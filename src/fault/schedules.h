@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Named chaos schedules shared by the chaos test suite, the chaos
+ * soak bench, and tools/run_chaos.sh. Each targets one of the
+ * adversity classes the HyTM literature identifies: killing the small
+ * hardware transactions (forcing the Hybrid-NOrec reversion paths),
+ * starving HTM capacity (the lemming-effect trigger), and stretching
+ * the publication window Figure 2's atomicity argument leans on.
+ */
+
+#ifndef RHTM_FAULT_SCHEDULES_H
+#define RHTM_FAULT_SCHEDULES_H
+
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+
+namespace rhtm
+{
+
+/** Names of the built-in chaos schedules. */
+const std::vector<std::string> &chaosScheduleNames();
+
+/**
+ * Build the named schedule.
+ *
+ *  - "prefix-kill": abort a fraction of RH prefix commits.
+ *  - "postfix-kill": abort a fraction of RH postfix publications.
+ *  - "capacity-squeeze": periodically squeeze HTM capacity to a few
+ *    lines for a span of transactions.
+ *  - "delay-in-publish-window": stall and yield inside publication
+ *    windows and right after slow-path clock acquisition.
+ *
+ * @param name One of chaosScheduleNames().
+ * @param seed Base seed (drives every probabilistic rule).
+ * @param out Receives the plan.
+ * @return false for an unknown name.
+ */
+bool makeChaosSchedule(const std::string &name, uint64_t seed,
+                       FaultPlan &out);
+
+} // namespace rhtm
+
+#endif // RHTM_FAULT_SCHEDULES_H

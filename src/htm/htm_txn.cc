@@ -20,10 +20,9 @@ htmAbortCauseName(HtmAbortCause cause)
 }
 
 HtmTxn::HtmTxn(HtmEngine &eng, unsigned tid, ThreadStats *stats,
-               uint64_t rng_seed)
-    : eng_(eng), stats_(stats), rng_(rng_seed ^ (tid * 0x9e3779b9ull)),
-      injectThreshold_(0), readCap_(0), writeCap_(0), active_(false),
-      lastSeq_(0),
+               uint64_t rng_seed, FaultInjector *fault)
+    : eng_(eng), stats_(stats), fault_(fault), readCap_(0), writeCap_(0),
+      effReadCap_(0), effWriteCap_(0), active_(false), lastSeq_(0),
       readLines_(14),   // 16 Ki slots >= 4096-line read capacity
       writes_(14),      // 16 Ki word slots >= 448 lines * 8 words
       writeLines_(12)
@@ -35,11 +34,26 @@ HtmTxn::HtmTxn(HtmEngine &eng, unsigned tid, ThreadStats *stats,
         readCap_ /= cfg.capacityScale;
         writeCap_ /= cfg.capacityScale;
     }
-    if (cfg.randomAbortProb > 0.0) {
+    effReadCap_ = readCap_;
+    effWriteCap_ = writeCap_;
+    if (fault_ == nullptr && cfg.randomAbortProb > 0.0) {
+        // Legacy knob: express the blunt per-access probability as a
+        // fault plan on the access sites (same distribution the old
+        // inline dice roll produced).
+        FaultPlan plan;
+        plan.seed = rng_seed ^ (tid * 0x9e3779b9ull);
         double p = cfg.randomAbortProb >= 1.0 ? 1.0 : cfg.randomAbortProb;
-        injectThreshold_ = p >= 1.0
-            ? ~uint64_t(0)
-            : static_cast<uint64_t>(std::ldexp(p, 64));
+        for (FaultSite site : {FaultSite::kTxRead, FaultSite::kTxWrite,
+                               FaultSite::kPreCommit}) {
+            FaultRule rule;
+            rule.site = site;
+            rule.kind = FaultKind::kAbortOther;
+            rule.period = 1;
+            rule.probability = p;
+            plan.add(rule);
+        }
+        ownedFault_ = std::make_unique<FaultInjector>(plan, tid);
+        fault_ = ownedFault_.get();
     }
     readLog_.reserve(1024);
 }
@@ -55,7 +69,8 @@ HtmTxn::resetState()
 }
 
 void
-HtmTxn::fail(HtmAbortCause cause, bool retry_ok, uint8_t code)
+HtmTxn::fail(HtmAbortCause cause, bool retry_ok, uint8_t code,
+             bool injected)
 {
     resetState();
     if (stats_) {
@@ -73,15 +88,37 @@ HtmTxn::fail(HtmAbortCause cause, bool retry_ok, uint8_t code)
             stats_->inc(Counter::kHtmOtherAborts);
             break;
         }
+        if (injected)
+            stats_->inc(Counter::kHtmInjectedAborts);
     }
     throw HtmAbort{cause, retry_ok, code};
 }
 
 void
-HtmTxn::maybeInjectAbort()
+HtmTxn::faultPoint(FaultSite site)
 {
-    if (injectThreshold_ != 0 && rng_.next() < injectThreshold_)
-        fail(HtmAbortCause::kOther, false);
+    if (fault_ == nullptr)
+        return;
+    uint32_t spins = 0;
+    switch (fault_->fire(site, &spins)) {
+      case FaultKind::kNone:
+      case FaultKind::kCapacitySqueeze:
+        return;
+      case FaultKind::kDelay:
+        simDelay(spins);
+        return;
+      case FaultKind::kYield:
+        std::this_thread::yield();
+        return;
+      case FaultKind::kAbortConflict:
+        fail(HtmAbortCause::kConflict, true, 0, true);
+      case FaultKind::kAbortCapacity:
+        fail(HtmAbortCause::kCapacity, false, 0, true);
+      case FaultKind::kAbortOther:
+        fail(HtmAbortCause::kOther, false, 0, true);
+      case FaultKind::kAbortExplicit:
+        fail(HtmAbortCause::kExplicit, true, 0, true);
+    }
 }
 
 void
@@ -91,13 +128,19 @@ HtmTxn::begin()
     resetState();
     active_ = true;
     lastSeq_ = ~uint64_t(0); // Sentinel: no stable window observed yet.
+    if (fault_ != nullptr) {
+        faultPoint(FaultSite::kHtmBegin);
+        // Capacity squeezes are (re)evaluated per transaction.
+        effReadCap_ = fault_->readCapLimit(readCap_);
+        effWriteCap_ = fault_->writeCapLimit(writeCap_);
+    }
 }
 
 uint64_t
 HtmTxn::read(const uint64_t *addr)
 {
     assert(active_);
-    maybeInjectAbort();
+    faultPoint(FaultSite::kTxRead);
 
     uint64_t buffered;
     if (writes_.lookup(addr, buffered))
@@ -137,7 +180,7 @@ HtmTxn::read(const uint64_t *addr)
         fail(HtmAbortCause::kCapacity, false);
     }
     if (inserted) {
-        if (readLines_.size() > readCap_)
+        if (readLines_.size() > effReadCap_)
             fail(HtmAbortCause::kCapacity, false);
         readLog_.push_back({static_cast<uint32_t>(stripe), ver});
     }
@@ -148,7 +191,7 @@ void
 HtmTxn::write(uint64_t *addr, uint64_t value)
 {
     assert(active_);
-    maybeInjectAbort();
+    faultPoint(FaultSite::kTxWrite);
 
     bool inserted = false;
     if (!writeLines_.insert(
@@ -156,7 +199,7 @@ HtmTxn::write(uint64_t *addr, uint64_t value)
             inserted)) {
         fail(HtmAbortCause::kCapacity, false);
     }
-    if (inserted && writeLines_.size() > writeCap_)
+    if (inserted && writeLines_.size() > effWriteCap_)
         fail(HtmAbortCause::kCapacity, false);
     if (!writes_.put(addr, value))
         fail(HtmAbortCause::kCapacity, false);
@@ -166,7 +209,7 @@ void
 HtmTxn::commit()
 {
     assert(active_);
-    maybeInjectAbort();
+    faultPoint(FaultSite::kPreCommit);
 
     if (writes_.empty()) {
         // Read-only: every read was validated within a stable window;
@@ -181,6 +224,12 @@ HtmTxn::commit()
             if (eng_.stripeVersion(e.stripe) != e.version)
                 fail(HtmAbortCause::kConflict, true);
         }
+        // The publication window proper: the sequence is odd and
+        // every concurrent reader spins. A scripted delay here
+        // stretches exactly the window Figure 2's atomic-publication
+        // argument depends on (an abort unwinds through the guard, so
+        // the sequence is restored either way).
+        faultPoint(FaultSite::kPublishWindow);
         writes_.forEach([this](uint64_t *addr, uint64_t value) {
             std::atomic_ref<uint64_t>(*addr).store(
                 value, std::memory_order_release);
@@ -195,6 +244,22 @@ HtmTxn::abortExplicit(uint8_t code)
 {
     assert(active_);
     fail(HtmAbortCause::kExplicit, true, code);
+}
+
+void
+HtmTxn::abortSubscription()
+{
+    assert(active_);
+    if (stats_)
+        stats_->inc(Counter::kHtmSubscriptionAborts);
+    fail(HtmAbortCause::kExplicit, true, 0);
+}
+
+void
+HtmTxn::abortInjected(HtmAbortCause cause, bool retry_ok)
+{
+    assert(active_);
+    fail(cause, retry_ok, 0, true);
 }
 
 } // namespace rhtm

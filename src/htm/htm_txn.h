@@ -7,13 +7,14 @@
 #define RHTM_HTM_HTM_TXN_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/htm/abort.h"
 #include "src/htm/fixed_table.h"
 #include "src/htm/htm_engine.h"
 #include "src/stats/stats.h"
-#include "src/util/rng.h"
 
 namespace rhtm
 {
@@ -40,9 +41,13 @@ class HtmTxn
      * @param tid Thread index (drives the capacity-scaling model).
      * @param stats Per-thread counters; may be null.
      * @param rng_seed Seed for the abort-injection generator.
+     * @param fault External per-thread fault injector; may be null.
+     *        When null and the engine config carries a nonzero
+     *        randomAbortProb, an internal injector expressing that
+     *        probability is created (legacy-knob compatibility).
      */
     HtmTxn(HtmEngine &eng, unsigned tid, ThreadStats *stats,
-           uint64_t rng_seed = 1);
+           uint64_t rng_seed = 1, FaultInjector *fault = nullptr);
 
     HtmTxn(const HtmTxn &) = delete;
     HtmTxn &operator=(const HtmTxn &) = delete;
@@ -64,6 +69,24 @@ class HtmTxn
 
     /** Explicitly abort with a user @p code (throws HtmAbort). */
     [[noreturn]] void abortExplicit(uint8_t code = 0);
+
+    /**
+     * Explicit abort after a lock-subscription check failed (the lock
+     * word read at begin was nonzero). Identical unwind to
+     * abortExplicit() but additionally counted per-cause, so fallback
+     * composition can distinguish subscription kills from user aborts.
+     */
+    [[noreturn]] void abortSubscription();
+
+    /**
+     * Abort on behalf of the fault injector with a scripted cause
+     * (sessions use this for protocol-level sites while a small HTM
+     * is active). Counted as both the cause and an injected abort.
+     */
+    [[noreturn]] void abortInjected(HtmAbortCause cause, bool retry_ok);
+
+    /** The per-thread fault injector, or null when none is wired. */
+    FaultInjector *injector() const { return fault_; }
 
     /**
      * Abandon the transaction without throwing (used when an exception
@@ -93,20 +116,22 @@ class HtmTxn
 
     /** Abort: reset to idle, count the event, throw HtmAbort. */
     [[noreturn]] void fail(HtmAbortCause cause, bool retry_ok,
-                           uint8_t code = 0);
+                           uint8_t code = 0, bool injected = false);
 
-    /** Roll the dice for an injected interrupt-style abort. */
-    void maybeInjectAbort();
+    /** Hit @p site on the injector and act on the scripted fault. */
+    void faultPoint(FaultSite site);
 
     /** Reset tracking state to idle. */
     void resetState();
 
     HtmEngine &eng_;
     ThreadStats *stats_;
-    Rng rng_;
-    uint64_t injectThreshold_;
+    std::unique_ptr<FaultInjector> ownedFault_;
+    FaultInjector *fault_;
     size_t readCap_;
     size_t writeCap_;
+    size_t effReadCap_;
+    size_t effWriteCap_;
     bool active_;
     uint64_t lastSeq_;
     std::vector<ReadEntry> readLog_;

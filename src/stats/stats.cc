@@ -29,6 +29,18 @@ StatsSummary::capacityAbortsPerOp() const
 }
 
 double
+StatsSummary::injectedAbortsPerOp() const
+{
+    return ratio(get(Counter::kHtmInjectedAborts), operations());
+}
+
+double
+StatsSummary::subscriptionAbortsPerOp() const
+{
+    return ratio(get(Counter::kHtmSubscriptionAborts), operations());
+}
+
+double
 StatsSummary::restartsPerSlowPath() const
 {
     uint64_t slow = get(Counter::kCommitsMixedPath) +
@@ -80,6 +92,17 @@ StatsSummary::toString() const
        << " (" << conflictAbortsPerOp() << "/op)\n"
        << "HTM capacity aborts:   " << get(Counter::kHtmCapacityAborts)
        << " (" << capacityAbortsPerOp() << "/op)\n"
+       << "HTM injected aborts:   " << get(Counter::kHtmInjectedAborts)
+       << " (" << injectedAbortsPerOp() << "/op)\n"
+       << "HTM subscription aborts: "
+       << get(Counter::kHtmSubscriptionAborts) << " ("
+       << subscriptionAbortsPerOp() << "/op)\n"
+       << "fast-path attempts:    " << get(Counter::kFastPathAttempts)
+       << "\n"
+       << "kill-switch activations: "
+       << get(Counter::kKillSwitchActivations) << "\n"
+       << "kill-switch bypasses:  " << get(Counter::kKillSwitchBypasses)
+       << "\n"
        << "slow-path restarts:    " << get(Counter::kSlowPathRestarts)
        << " (" << restartsPerSlowPath() << "/slow-path)\n"
        << "slow-path ratio:       " << slowPathRatio() << "\n"

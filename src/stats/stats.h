@@ -27,6 +27,11 @@ enum class Counter : unsigned
     kHtmCapacityAborts,     //!< Simulated HTM capacity aborts.
     kHtmExplicitAborts,     //!< Explicit HTM_Abort() calls.
     kHtmOtherAborts,        //!< Injected "interrupt"-style aborts.
+    kHtmInjectedAborts,     //!< Aborts fired by the fault injector.
+    kHtmSubscriptionAborts, //!< Lock-subscription aborts at begin.
+    kFastPathAttempts,      //!< Hardware fast-path begins.
+    kKillSwitchActivations, //!< Anti-lemming kill switch trips.
+    kKillSwitchBypasses,    //!< Fast-path begins skipped while tripped.
     kFallbacks,             //!< Fast path gave up; entered slow path.
     kSlowPathRestarts,      //!< Slow-path consistency restarts.
     kPrefixAttempts,        //!< RH HTM-prefix transactions started.
@@ -92,6 +97,12 @@ struct StatsSummary
 
     /** HTM capacity aborts per committed operation (figure row 2). */
     double capacityAbortsPerOp() const;
+
+    /** Injector-fired HTM aborts per committed operation. */
+    double injectedAbortsPerOp() const;
+
+    /** Lock-subscription aborts per committed operation. */
+    double subscriptionAbortsPerOp() const;
 
     /** Restarts per slow-path transaction (figure row 3). */
     double restartsPerSlowPath() const;

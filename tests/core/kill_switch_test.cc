@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Anti-lemming kill-switch tests: the breaker must trip after a streak
+ * of non-retryable hardware aborts, drop fast-path attempts to ~0
+ * while tripped, and re-probe the hardware once the cooldown decays --
+ * so a transient fault never permanently herds the system onto the
+ * fallback (the lemming effect).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/api/runtime.h"
+#include "tests/test_support.h"
+
+namespace rhtm
+{
+namespace
+{
+
+/** One counter-increment transaction. */
+void
+bumpOp(TmRuntime &rt, ThreadCtx &ctx, uint64_t *word)
+{
+    rt.run(ctx, [&](Txn &tx) {
+        tx.store(word, tx.load(word) + 1);
+    });
+}
+
+/**
+ * A config whose every fast-path begin dies with a capacity abort
+ * (non-retryable) until the rule's fires are exhausted. Prefix and
+ * postfix are disabled so the small HTMs don't consume the rule's
+ * budget while the switch is tripped.
+ */
+RuntimeConfig
+faultyHardwareConfig(uint64_t max_fires, unsigned threshold,
+                     unsigned cooldown)
+{
+    RuntimeConfig cfg;
+    cfg.retry.killSwitchThreshold = threshold;
+    cfg.retry.killSwitchCooldownOps = cooldown;
+    cfg.rh.enablePrefix = false;
+    cfg.rh.enablePostfix = false;
+    FaultRule r;
+    r.site = FaultSite::kHtmBegin;
+    r.kind = FaultKind::kAbortCapacity;
+    r.period = 1;
+    r.maxFires = max_fires;
+    cfg.fault.add(r);
+    return cfg;
+}
+
+TEST(KillSwitchTest, TripsBypassesAndRecoversAfterFaultClears)
+{
+    // 8 firings at threshold 4: the breaker trips twice, and once the
+    // fault budget is exhausted the fast path must come back.
+    TmRuntime rt(AlgoKind::kRhNOrec, faultyHardwareConfig(8, 4, 16));
+    ThreadCtx &ctx = rt.registerThread();
+    alignas(64) static uint64_t word;
+    word = 0;
+
+    constexpr unsigned kOps = 50;
+    for (unsigned i = 0; i < kOps; ++i)
+        bumpOp(rt, ctx, &word);
+    EXPECT_EQ(rt.peek(&word), kOps);
+
+    StatsSummary s = rt.stats();
+    EXPECT_GE(s.get(Counter::kKillSwitchActivations), 1u);
+    EXPECT_EQ(rt.globals().killSwitch.activations.load(),
+              s.get(Counter::kKillSwitchActivations))
+        << "global trip count mirrors the stats counter";
+
+    // While tripped, begins are bypassed instead of attempted; every
+    // operation does exactly one or the other.
+    EXPECT_GE(s.get(Counter::kKillSwitchBypasses), 16u);
+    EXPECT_EQ(s.get(Counter::kFastPathAttempts) +
+                  s.get(Counter::kKillSwitchBypasses),
+              kOps);
+
+    // Every operation either committed in hardware or fell back once.
+    EXPECT_EQ(s.get(Counter::kCommitsFastPath), kOps - s.get(Counter::kFallbacks));
+    EXPECT_GE(s.get(Counter::kCommitsFastPath), 5u)
+        << "hardware commits must resume after the fault clears";
+
+    // Recovery: with the fault budget exhausted and the breaker open,
+    // a fresh batch runs entirely on the fast path.
+    EXPECT_EQ(rt.globals().killSwitch.cooldown.load(), 0u);
+    rt.resetStats();
+    for (unsigned i = 0; i < 10; ++i)
+        bumpOp(rt, ctx, &word);
+    s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kCommitsFastPath), 10u);
+    EXPECT_EQ(s.get(Counter::kFallbacks), 0u);
+    EXPECT_EQ(s.get(Counter::kKillSwitchBypasses), 0u);
+}
+
+TEST(KillSwitchTest, PreventsLemmingUnderPersistentFault)
+{
+    // A fault that never clears: without the breaker every operation
+    // burns a doomed hardware attempt; with it, attempts collapse to
+    // the handful of re-probes.
+    constexpr unsigned kOps = 100;
+    alignas(64) static uint64_t word;
+
+    TmRuntime guarded(AlgoKind::kRhNOrec,
+                      faultyHardwareConfig(~uint64_t(0), 4, 64));
+    ThreadCtx &gctx = guarded.registerThread();
+    word = 0;
+    for (unsigned i = 0; i < kOps; ++i)
+        bumpOp(guarded, gctx, &word);
+    StatsSummary g = guarded.stats();
+
+    RuntimeConfig unguardedCfg = faultyHardwareConfig(~uint64_t(0), 0, 64);
+    TmRuntime unguarded(AlgoKind::kRhNOrec, unguardedCfg);
+    ThreadCtx &uctx = unguarded.registerThread();
+    word = 0;
+    for (unsigned i = 0; i < kOps; ++i)
+        bumpOp(unguarded, uctx, &word);
+    StatsSummary u = unguarded.stats();
+
+    EXPECT_EQ(u.get(Counter::kFastPathAttempts), kOps)
+        << "with the switch disabled every op lemmings into hardware";
+    EXPECT_LE(g.get(Counter::kFastPathAttempts), kOps / 10)
+        << "with the switch tripped, attempts drop to ~0";
+    EXPECT_GE(g.get(Counter::kKillSwitchBypasses), kOps * 8 / 10);
+    EXPECT_EQ(g.get(Counter::kOperations), kOps)
+        << "progress continues on the fallback while bypassing";
+}
+
+TEST(KillSwitchTest, HardwareCommitResetsTheStreak)
+{
+    // Alternate one doomed and several healthy begins: the streak
+    // never reaches the threshold, so the switch must not trip.
+    RuntimeConfig cfg;
+    cfg.retry.killSwitchThreshold = 4;
+    cfg.rh.enablePrefix = false;
+    cfg.rh.enablePostfix = false;
+    FaultRule r;
+    r.site = FaultSite::kHtmBegin;
+    r.kind = FaultKind::kAbortCapacity;
+    r.firstHit = 2;
+    r.period = 4; // Kill begins 2, 6, 10, ...
+    cfg.fault.add(r);
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+    alignas(64) static uint64_t word;
+    word = 0;
+    for (unsigned i = 0; i < 40; ++i)
+        bumpOp(rt, ctx, &word);
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kKillSwitchActivations), 0u);
+    EXPECT_EQ(s.get(Counter::kKillSwitchBypasses), 0u);
+    EXPECT_GT(s.get(Counter::kCommitsFastPath), 0u);
+}
+
+TEST(KillSwitchTest, SharedAcrossThreads)
+{
+    // The breaker is global: one thread's failure streak shields every
+    // thread from the doomed hardware path.
+    TmRuntime rt(AlgoKind::kRhNOrec,
+                 faultyHardwareConfig(~uint64_t(0), 8, 256));
+    alignas(64) static uint64_t word;
+    word = 0;
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kIters = 100;
+    test::runThreads(rt, kThreads, [&](unsigned, ThreadCtx &ctx) {
+        for (unsigned i = 0; i < kIters; ++i)
+            bumpOp(rt, ctx, &word);
+    });
+    EXPECT_EQ(rt.peek(&word), kThreads * kIters);
+    StatsSummary s = rt.stats();
+    EXPECT_GE(s.get(Counter::kKillSwitchActivations), 1u);
+    EXPECT_LE(s.get(Counter::kFastPathAttempts),
+              kThreads * kIters / 4)
+        << "most begins across all threads are bypassed";
+}
+
+} // namespace
+} // namespace rhtm

@@ -64,16 +64,38 @@ TEST(AdaptiveRetryTest, RescuedRetriesGrowBudget)
         << "consistently useful retries converge toward the maximum";
 }
 
-TEST(AdaptiveRetryTest, FirstTryCommitsDoNotMoveBudget)
+TEST(AdaptiveRetryTest, FirstTryCommitsApplySmallRecovery)
 {
     RetryPolicy policy;
     policy.adaptive = true;
     AdaptiveRetryBudget budget(policy);
     uint32_t score = budget.score();
-    for (int i = 0; i < 50; ++i)
-        budget.onFastCommit(1);
-    EXPECT_EQ(budget.score(), score)
-        << "a first-try commit says nothing about retry payoff";
+    budget.onFastCommit(1);
+    EXPECT_GT(budget.score(), score)
+        << "a first-try commit is weak healthy-hardware evidence";
+
+    // But much weaker evidence than a rescued retry.
+    AdaptiveRetryBudget rescued(policy);
+    rescued.onFastCommit(3);
+    EXPECT_LT(budget.score() - score, rescued.score() - score);
+}
+
+TEST(AdaptiveRetryTest, FirstTryCommitsRecoverFromRareFallbacks)
+{
+    // Regression: without the first-try recovery, a low-contention
+    // workload whose only budget signal is the occasional fallback
+    // ratchets monotonically down to adaptiveMinRetries and is stuck
+    // there forever, no matter how healthy the hardware is.
+    RetryPolicy policy;
+    policy.adaptive = true;
+    AdaptiveRetryBudget budget(policy);
+    for (int i = 0; i < 20; ++i)
+        budget.onFallback(policy.maxFastPathRetries);
+    EXPECT_EQ(budget.budget(), policy.adaptiveMinRetries);
+    for (int i = 0; i < 500; ++i)
+        budget.onFastCommit(1); // Long healthy streak.
+    EXPECT_GT(budget.budget(), policy.adaptiveMinRetries)
+        << "healthy first-try commits must claw the budget back";
 }
 
 TEST(AdaptiveRetryTest, MixedSignalsStayWithinBounds)

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * White-box tests of RH NOrec's small-HTM failure reversion, driven by
+ * scripted fault injection: a killed prefix must fall back to the
+ * Hybrid-NOrec start-time clock read exactly once, a killed postfix to
+ * the raise-the-HTM-lock software write-back exactly once, and the
+ * undo log must roll in-place software writes back without leaking the
+ * clock, the HTM lock, or a fallback registration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/api/runtime.h"
+
+namespace rhtm
+{
+namespace
+{
+
+/** One-shot rule: kill the Nth hit of @p site with @p kind. */
+FaultRule
+oneShot(FaultSite site, FaultKind kind, uint64_t nth = 1)
+{
+    FaultRule r;
+    r.site = site;
+    r.kind = kind;
+    r.firstHit = nth;
+    return r;
+}
+
+/**
+ * Base config for the reversion tests: the first hardware begin dies
+ * with a capacity abort so the transaction lands on the mixed slow
+ * path deterministically.
+ */
+RuntimeConfig
+slowPathConfig()
+{
+    RuntimeConfig cfg;
+    cfg.fault.add(
+        oneShot(FaultSite::kHtmBegin, FaultKind::kAbortCapacity));
+    return cfg;
+}
+
+/** Assert no coordination word leaked out of the run. */
+void
+expectNoLeakedLocks(TmRuntime &rt)
+{
+    TmGlobals &g = rt.globals();
+    EXPECT_FALSE(clockIsLocked(rt.peek(&g.clock))) << "clock leaked";
+    EXPECT_EQ(rt.peek(&g.htmLock), 0u) << "HTM lock leaked";
+    EXPECT_EQ(rt.peek(&g.fallbacks), 0u) << "fallback registration leaked";
+    EXPECT_EQ(rt.peek(&g.serialLock), 0u) << "serial lock leaked";
+}
+
+TEST(SmallHtmReversionTest, KilledPrefixRevertsToSoftwareStartOnce)
+{
+    RuntimeConfig cfg = slowPathConfig();
+    // Kill the prefix at its commit point (after it registered the
+    // fallback and read the clock inside the hardware transaction).
+    cfg.fault.add(
+        oneShot(FaultSite::kPrefixCommit, FaultKind::kAbortConflict));
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+
+    alignas(64) static uint64_t x;
+    x = 5;
+    rt.run(ctx, [&](Txn &tx) {
+        tx.store(&x, tx.load(&x) + 1);
+    });
+    EXPECT_EQ(rt.peek(&x), 6u);
+
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kPrefixAttempts), 1u)
+        << "the prefix is tried exactly once per transaction";
+    EXPECT_EQ(s.get(Counter::kPrefixSuccesses), 0u);
+    // The reverted attempt still runs the postfix, which survives.
+    EXPECT_EQ(s.get(Counter::kPostfixAttempts), 1u);
+    EXPECT_EQ(s.get(Counter::kPostfixSuccesses), 1u);
+    EXPECT_EQ(s.get(Counter::kCommitsMixedPath), 1u);
+    EXPECT_GE(s.get(Counter::kHtmInjectedAborts), 2u)
+        << "the scripted begin and prefix kills both count";
+    expectNoLeakedLocks(rt);
+}
+
+TEST(SmallHtmReversionTest, KilledPostfixRevertsToHtmLockWriteOnce)
+{
+    RuntimeConfig cfg = slowPathConfig();
+    cfg.fault.add(
+        oneShot(FaultSite::kPostfixCommit, FaultKind::kAbortConflict));
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+
+    alignas(64) static uint64_t x;
+    x = 7;
+    rt.run(ctx, [&](Txn &tx) {
+        tx.store(&x, tx.load(&x) + 1);
+    });
+    EXPECT_EQ(rt.peek(&x), 8u);
+
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kPostfixAttempts), 1u)
+        << "the postfix is tried exactly once per transaction";
+    EXPECT_EQ(s.get(Counter::kPostfixSuccesses), 0u);
+    // The prefix committed before the postfix was killed; the rerun
+    // must not get a second prefix try.
+    EXPECT_EQ(s.get(Counter::kPrefixAttempts), 1u);
+    EXPECT_EQ(s.get(Counter::kPrefixSuccesses), 1u);
+    EXPECT_EQ(s.get(Counter::kCommitsMixedPath), 1u);
+    expectNoLeakedLocks(rt);
+}
+
+TEST(SmallHtmReversionTest, UndoLogRollsBackInPlaceSoftwareWrites)
+{
+    // Pure software writer (both small HTMs disabled): the first write
+    // lands in place under the clock + HTM lock, then the second write
+    // is killed. The undo log must restore the first value -- a broken
+    // rollback would double-apply the increment on the rerun.
+    RuntimeConfig cfg = slowPathConfig();
+    cfg.rh.enablePrefix = false;
+    cfg.rh.enablePostfix = false;
+    cfg.fault.add(oneShot(FaultSite::kSoftwareWrite,
+                          FaultKind::kAbortOther, 2));
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+
+    alignas(64) static uint64_t x;
+    alignas(64) static uint64_t y;
+    x = 100;
+    y = 200;
+    rt.run(ctx, [&](Txn &tx) {
+        tx.store(&x, tx.load(&x) + 1);
+        tx.store(&y, tx.load(&y) + 1);
+    });
+    EXPECT_EQ(rt.peek(&x), 101u)
+        << "a leaked undo entry double-applies the first write";
+    EXPECT_EQ(rt.peek(&y), 201u);
+
+    StatsSummary s = rt.stats();
+    EXPECT_EQ(s.get(Counter::kSlowPathRestarts), 1u);
+    EXPECT_EQ(s.get(Counter::kCommitsMixedPath), 1u);
+    expectNoLeakedLocks(rt);
+}
+
+TEST(SmallHtmReversionTest, KilledPostFirstWriteReleasesTheClock)
+{
+    // Kill the slow path right after it acquires the clock lock but
+    // before the postfix starts: rollbackWriter must release the
+    // clock (advancing it) and the rerun must commit cleanly.
+    RuntimeConfig cfg = slowPathConfig();
+    cfg.fault.add(oneShot(FaultSite::kPostFirstWrite,
+                          FaultKind::kAbortOther));
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+
+    alignas(64) static uint64_t x;
+    x = 9;
+    rt.run(ctx, [&](Txn &tx) {
+        tx.store(&x, tx.load(&x) + 1);
+    });
+    EXPECT_EQ(rt.peek(&x), 10u);
+    expectNoLeakedLocks(rt);
+}
+
+TEST(SmallHtmReversionTest, HybridNOrecUndoRollbackAndLockRelease)
+{
+    // The eager Hybrid NOrec slow path holds both the clock and the
+    // HTM lock across its in-place writes; a mid-write kill must
+    // restore values and release both.
+    RuntimeConfig cfg = slowPathConfig();
+    cfg.fault.add(oneShot(FaultSite::kSoftwareWrite,
+                          FaultKind::kAbortOther, 2));
+    TmRuntime rt(AlgoKind::kHybridNOrec, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+
+    alignas(64) static uint64_t x;
+    alignas(64) static uint64_t y;
+    x = 100;
+    y = 200;
+    rt.run(ctx, [&](Txn &tx) {
+        tx.store(&x, tx.load(&x) + 1);
+        tx.store(&y, tx.load(&y) + 1);
+    });
+    EXPECT_EQ(rt.peek(&x), 101u);
+    EXPECT_EQ(rt.peek(&y), 201u);
+    expectNoLeakedLocks(rt);
+}
+
+} // namespace
+} // namespace rhtm

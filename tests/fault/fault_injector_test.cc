@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault injector: positional and
+ * periodic matching, probability, fire caps, thread filtering,
+ * capacity squeezes, and the determinism guarantee the chaos suite
+ * builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/fault/fault_injector.h"
+#include "src/fault/schedules.h"
+
+namespace rhtm
+{
+namespace
+{
+
+FaultRule
+abortRule(FaultSite site, uint64_t first_hit, uint64_t period = 0)
+{
+    FaultRule r;
+    r.site = site;
+    r.kind = FaultKind::kAbortConflict;
+    r.firstHit = first_hit;
+    r.period = period;
+    return r;
+}
+
+TEST(FaultInjectorTest, OneShotFiresExactlyOnNthHit)
+{
+    FaultPlan plan;
+    plan.add(abortRule(FaultSite::kTxRead, 3));
+    FaultInjector inj(plan, 0);
+    EXPECT_EQ(inj.fire(FaultSite::kTxRead), FaultKind::kNone);
+    EXPECT_EQ(inj.fire(FaultSite::kTxRead), FaultKind::kNone);
+    EXPECT_EQ(inj.fire(FaultSite::kTxRead), FaultKind::kAbortConflict);
+    EXPECT_EQ(inj.fire(FaultSite::kTxRead), FaultKind::kNone);
+    EXPECT_EQ(inj.hits(FaultSite::kTxRead), 4u);
+    EXPECT_EQ(inj.fires(FaultSite::kTxRead), 1u);
+    EXPECT_EQ(inj.totalFires(), 1u);
+}
+
+TEST(FaultInjectorTest, PeriodicRuleFiresOnSchedule)
+{
+    FaultPlan plan;
+    plan.add(abortRule(FaultSite::kPreCommit, 2, 3)); // Hits 2,5,8,...
+    FaultInjector inj(plan, 0);
+    std::vector<uint64_t> fired;
+    for (uint64_t hit = 1; hit <= 12; ++hit) {
+        if (inj.fire(FaultSite::kPreCommit) != FaultKind::kNone)
+            fired.push_back(hit);
+    }
+    EXPECT_EQ(fired, (std::vector<uint64_t>{2, 5, 8, 11}));
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsARule)
+{
+    FaultPlan plan;
+    FaultRule r = abortRule(FaultSite::kTxWrite, 1, 1);
+    r.maxFires = 2;
+    plan.add(r);
+    FaultInjector inj(plan, 0);
+    unsigned fires = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (inj.fire(FaultSite::kTxWrite) != FaultKind::kNone)
+            ++fires;
+    }
+    EXPECT_EQ(fires, 2u);
+}
+
+TEST(FaultInjectorTest, SitesAreIndependent)
+{
+    FaultPlan plan;
+    plan.add(abortRule(FaultSite::kTxRead, 1));
+    FaultInjector inj(plan, 0);
+    EXPECT_EQ(inj.fire(FaultSite::kTxWrite), FaultKind::kNone);
+    EXPECT_EQ(inj.fire(FaultSite::kPreCommit), FaultKind::kNone);
+    EXPECT_EQ(inj.fire(FaultSite::kTxRead), FaultKind::kAbortConflict);
+}
+
+TEST(FaultInjectorTest, TidFilterDropsOtherThreadsRules)
+{
+    FaultPlan plan;
+    FaultRule r = abortRule(FaultSite::kTxRead, 1, 1);
+    r.tid = 2;
+    plan.add(r);
+    FaultInjector mine(plan, 2);
+    FaultInjector other(plan, 3);
+    EXPECT_EQ(mine.fire(FaultSite::kTxRead), FaultKind::kAbortConflict);
+    EXPECT_EQ(other.fire(FaultSite::kTxRead), FaultKind::kNone);
+}
+
+TEST(FaultInjectorTest, ProbabilityZeroNeverFiresProbabilityOneAlways)
+{
+    FaultPlan plan;
+    FaultRule never = abortRule(FaultSite::kTxRead, 1, 1);
+    never.probability = 0.0;
+    plan.add(never);
+    FaultRule always = abortRule(FaultSite::kTxWrite, 1, 1);
+    always.probability = 1.0;
+    plan.add(always);
+    FaultInjector inj(plan, 0);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(inj.fire(FaultSite::kTxRead), FaultKind::kNone);
+        EXPECT_EQ(inj.fire(FaultSite::kTxWrite),
+                  FaultKind::kAbortConflict);
+    }
+}
+
+TEST(FaultInjectorTest, ProbabilityRoughlyMatchesRate)
+{
+    FaultPlan plan;
+    plan.seed = 7;
+    FaultRule r = abortRule(FaultSite::kTxRead, 1, 1);
+    r.probability = 0.25;
+    plan.add(r);
+    FaultInjector inj(plan, 0);
+    unsigned fires = 0;
+    constexpr unsigned kTrials = 20000;
+    for (unsigned i = 0; i < kTrials; ++i) {
+        if (inj.fire(FaultSite::kTxRead) != FaultKind::kNone)
+            ++fires;
+    }
+    double rate = double(fires) / kTrials;
+    EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(FaultInjectorTest, DelayCarriesItsSpinCount)
+{
+    FaultPlan plan;
+    FaultRule r;
+    r.site = FaultSite::kPublishWindow;
+    r.kind = FaultKind::kDelay;
+    r.delaySpins = 1234;
+    plan.add(r);
+    FaultInjector inj(plan, 0);
+    uint32_t spins = 0;
+    EXPECT_EQ(inj.fire(FaultSite::kPublishWindow, &spins),
+              FaultKind::kDelay);
+    EXPECT_EQ(spins, 1234u);
+}
+
+TEST(FaultInjectorTest, CapacitySqueezeWindowsCapsAndExpires)
+{
+    FaultPlan plan;
+    FaultRule r;
+    r.site = FaultSite::kHtmBegin;
+    r.kind = FaultKind::kCapacitySqueeze;
+    r.firstHit = 2;
+    r.squeezeReadLines = 4;
+    r.squeezeWriteLines = 2;
+    r.squeezeTxns = 3;
+    plan.add(r);
+    FaultInjector inj(plan, 0);
+
+    inj.fire(FaultSite::kHtmBegin); // Hit 1: not yet.
+    EXPECT_FALSE(inj.squeezeActive());
+    EXPECT_EQ(inj.readCapLimit(100), 100u);
+
+    inj.fire(FaultSite::kHtmBegin); // Hit 2: armed for 3 txns.
+    EXPECT_TRUE(inj.squeezeActive());
+    EXPECT_EQ(inj.readCapLimit(100), 4u);
+    EXPECT_EQ(inj.writeCapLimit(100), 2u);
+    // A base below the squeeze is never raised.
+    EXPECT_EQ(inj.readCapLimit(3), 3u);
+
+    inj.fire(FaultSite::kHtmBegin); // Hits 3,4: still squeezed.
+    inj.fire(FaultSite::kHtmBegin);
+    EXPECT_TRUE(inj.squeezeActive());
+
+    inj.fire(FaultSite::kHtmBegin); // Hit 5: expired.
+    EXPECT_FALSE(inj.squeezeActive());
+    EXPECT_EQ(inj.readCapLimit(100), 100u);
+}
+
+TEST(FaultInjectorTest, TraceRecordsFirings)
+{
+    FaultPlan plan;
+    plan.recordTrace = true;
+    plan.add(abortRule(FaultSite::kTxRead, 2));
+    FaultInjector inj(plan, 0);
+    inj.fire(FaultSite::kTxRead);
+    inj.fire(FaultSite::kTxRead);
+    inj.fire(FaultSite::kPreCommit);
+    ASSERT_EQ(inj.trace().size(), 1u);
+    EXPECT_EQ(inj.trace()[0].site, FaultSite::kTxRead);
+    EXPECT_EQ(inj.trace()[0].kind, FaultKind::kAbortConflict);
+    EXPECT_EQ(inj.trace()[0].hit, 2u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSequenceIsDeterministic)
+{
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.recordTrace = true;
+    FaultRule r = abortRule(FaultSite::kTxRead, 1, 1);
+    r.probability = 0.3;
+    plan.add(r);
+    FaultRule d;
+    d.site = FaultSite::kPublishWindow;
+    d.kind = FaultKind::kDelay;
+    d.period = 1;
+    d.probability = 0.5;
+    d.delaySpins = 10;
+    plan.add(d);
+
+    auto runOnce = [&plan](std::vector<FaultEvent> &trace_out) {
+        FaultInjector inj(plan, 1);
+        for (int i = 0; i < 500; ++i) {
+            inj.fire(FaultSite::kTxRead);
+            if (i % 3 == 0)
+                inj.fire(FaultSite::kPublishWindow);
+        }
+        trace_out = inj.trace();
+        return inj.totalFires();
+    };
+    std::vector<FaultEvent> a, b;
+    uint64_t aFires = runOnce(a);
+    uint64_t bFires = runOnce(b);
+    EXPECT_EQ(aFires, bFires);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].site, b[i].site);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].hit, b[i].hit);
+    }
+    EXPECT_GT(aFires, 0u);
+}
+
+TEST(FaultInjectorTest, DifferentTidsDecorrelate)
+{
+    // Same plan, different threads: the probabilistic decisions must
+    // not be lockstep-identical across tids (seed mixing).
+    FaultPlan plan;
+    plan.seed = 5;
+    FaultRule r = abortRule(FaultSite::kTxRead, 1, 1);
+    r.probability = 0.5;
+    plan.add(r);
+    FaultInjector a(plan, 0);
+    FaultInjector b(plan, 1);
+    unsigned diverged = 0;
+    for (int i = 0; i < 256; ++i) {
+        if (a.fire(FaultSite::kTxRead) != b.fire(FaultSite::kTxRead))
+            ++diverged;
+    }
+    EXPECT_GT(diverged, 0u);
+}
+
+TEST(FaultSchedulesTest, AllNamedSchedulesBuild)
+{
+    for (const std::string &name : chaosScheduleNames()) {
+        FaultPlan plan;
+        EXPECT_TRUE(makeChaosSchedule(name, 42, plan)) << name;
+        EXPECT_FALSE(plan.empty()) << name;
+        EXPECT_EQ(plan.seed, 42u) << name;
+    }
+    FaultPlan plan;
+    EXPECT_FALSE(makeChaosSchedule("no-such-schedule", 1, plan));
+}
+
+TEST(FaultSiteNamesTest, NamesAreStableAndDistinct)
+{
+    for (unsigned i = 0; i < kNumFaultSites; ++i) {
+        const char *name = faultSiteName(static_cast<FaultSite>(i));
+        EXPECT_NE(std::string(name), "unknown");
+    }
+    EXPECT_STREQ(faultKindName(FaultKind::kAbortCapacity),
+                 "abort-capacity");
+}
+
+} // namespace
+} // namespace rhtm

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Chaos suite: invariant-conserving bank-transfer workloads over the
+ * transactional hash map and red-black tree, run under the named fault
+ * schedules (prefix-kill, postfix-kill, capacity-squeeze,
+ * delay-in-publish-window) across multiple seeds, checking
+ * conservation (no money created or destroyed) and opacity (no
+ * transaction body ever observes a torn total). Plus the determinism
+ * guarantee: a fixed seed replays the identical fault trace and
+ * counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/api/runtime.h"
+#include "src/fault/schedules.h"
+#include "src/structures/tx_hashmap.h"
+#include "src/structures/tx_rbtree.h"
+#include "tests/test_support.h"
+
+namespace rhtm
+{
+namespace
+{
+
+constexpr unsigned kAccounts = 32;
+constexpr uint64_t kInitialBalance = 1000;
+constexpr uint64_t kTotal = kAccounts * kInitialBalance;
+
+using ChaosParams =
+    std::tuple<AlgoKind, std::string /*schedule*/, uint64_t /*seed*/>;
+
+class ChaosTest : public ::testing::TestWithParam<ChaosParams>
+{
+  protected:
+    static RuntimeConfig
+    makeConfig(const std::string &schedule, uint64_t seed)
+    {
+        RuntimeConfig cfg;
+        cfg.rngSeed = seed;
+        EXPECT_TRUE(makeChaosSchedule(schedule, seed, cfg.fault));
+        return cfg;
+    }
+};
+
+/**
+ * Bank transfers over the hash map: account i holds its balance under
+ * key i. Writers move random amounts between two accounts; readers sum
+ * every account inside one transaction and flag any total that is not
+ * exactly kTotal (a torn snapshot = opacity violation, a drifted final
+ * total = lost conservation).
+ */
+TEST_P(ChaosTest, HashMapBankConservesUnderFaults)
+{
+    auto [kind, schedule, seed] = GetParam();
+    TmRuntime rt(kind, makeConfig(schedule, seed));
+    TxHashMap bank(8);
+
+    {
+        ThreadCtx &setup = rt.registerThread();
+        rt.run(setup, [&](Txn &tx) {
+            for (uint64_t a = 0; a < kAccounts; ++a)
+                bank.put(tx, a, kInitialBalance);
+        });
+    }
+
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kIters = 300;
+    std::atomic<uint64_t> tornTotals{0};
+    test::runThreads(rt, kThreads, [&](unsigned t, ThreadCtx &ctx) {
+        Rng rng(seed * 977 + t * 131 + 7);
+        for (unsigned i = 0; i < kIters; ++i) {
+            if (rng.nextPercent(70)) {
+                uint64_t from = rng.nextBounded(kAccounts);
+                uint64_t to = rng.nextBounded(kAccounts);
+                uint64_t amount = 1 + rng.nextBounded(50);
+                rt.run(ctx, [&](Txn &tx) {
+                    uint64_t balance = 0;
+                    bank.get(tx, from, balance);
+                    if (balance < amount)
+                        return; // No overdrafts; still conserves.
+                    bank.put(tx, from, balance - amount);
+                    bank.addTo(tx, to, amount);
+                });
+            } else {
+                rt.run(ctx, [&](Txn &tx) {
+                    uint64_t sum = 0;
+                    for (uint64_t a = 0; a < kAccounts; ++a) {
+                        uint64_t balance = 0;
+                        bank.get(tx, a, balance);
+                        sum += balance;
+                    }
+                    if (sum != kTotal)
+                        tornTotals.fetch_add(1);
+                });
+            }
+        }
+    });
+
+    EXPECT_EQ(tornTotals.load(), 0u)
+        << "a transaction body observed a torn bank total (opacity)";
+    uint64_t finalTotal = 0;
+    bank.forEachUnsync(
+        [&](uint64_t, uint64_t value) { finalTotal += value; });
+    EXPECT_EQ(finalTotal, kTotal) << "money created or destroyed";
+
+    TmGlobals &g = rt.globals();
+    EXPECT_FALSE(clockIsLocked(rt.peek(&g.clock)));
+    EXPECT_EQ(rt.peek(&g.htmLock), 0u);
+    EXPECT_EQ(rt.peek(&g.fallbacks), 0u);
+    EXPECT_EQ(rt.peek(&g.serialLock), 0u);
+}
+
+/** Same bank, stored in the red-black tree. */
+TEST_P(ChaosTest, RbTreeBankConservesUnderFaults)
+{
+    auto [kind, schedule, seed] = GetParam();
+    TmRuntime rt(kind, makeConfig(schedule, seed));
+    TxRbTree bank;
+
+    {
+        ThreadCtx &setup = rt.registerThread();
+        rt.run(setup, [&](Txn &tx) {
+            for (int64_t a = 0; a < kAccounts; ++a)
+                bank.put(tx, a, kInitialBalance);
+        });
+    }
+
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kIters = 200;
+    std::atomic<uint64_t> tornTotals{0};
+    test::runThreads(rt, kThreads, [&](unsigned t, ThreadCtx &ctx) {
+        Rng rng(seed * 1409 + t * 251 + 3);
+        for (unsigned i = 0; i < kIters; ++i) {
+            if (rng.nextPercent(70)) {
+                int64_t from = rng.nextBounded(kAccounts);
+                int64_t to = rng.nextBounded(kAccounts);
+                int64_t amount = 1 + rng.nextBounded(50);
+                rt.run(ctx, [&](Txn &tx) {
+                    int64_t fromBal = 0, toBal = 0;
+                    bank.get(tx, from, fromBal);
+                    if (fromBal < amount || from == to)
+                        return;
+                    bank.get(tx, to, toBal);
+                    bank.put(tx, from, fromBal - amount);
+                    bank.put(tx, to, toBal + amount);
+                });
+            } else {
+                rt.run(ctx, [&](Txn &tx) {
+                    uint64_t sum = 0;
+                    for (int64_t a = 0; a < kAccounts; ++a) {
+                        int64_t balance = 0;
+                        bank.get(tx, a, balance);
+                        sum += static_cast<uint64_t>(balance);
+                    }
+                    if (sum != kTotal)
+                        tornTotals.fetch_add(1);
+                });
+            }
+        }
+    });
+
+    EXPECT_EQ(tornTotals.load(), 0u)
+        << "a transaction body observed a torn bank total (opacity)";
+    std::string why;
+    EXPECT_TRUE(bank.validateStructure(&why)) << why;
+    uint64_t finalTotal = 0;
+    ThreadCtx &check = rt.registerThread();
+    rt.run(check, [&](Txn &tx) {
+        finalTotal = 0; // The body may re-execute under faults.
+        for (int64_t a = 0; a < kAccounts; ++a) {
+            int64_t balance = 0;
+            bank.get(tx, a, balance);
+            finalTotal += static_cast<uint64_t>(balance);
+        }
+    });
+    EXPECT_EQ(finalTotal, kTotal) << "money created or destroyed";
+}
+
+std::vector<ChaosParams>
+chaosCases()
+{
+    std::vector<ChaosParams> cases;
+    for (AlgoKind kind :
+         {AlgoKind::kRhNOrec, AlgoKind::kHybridNOrecLazy}) {
+        for (const std::string &schedule : chaosScheduleNames()) {
+            for (uint64_t seed : {1u, 2u, 3u})
+                cases.emplace_back(kind, schedule, seed);
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesAndSeeds, ChaosTest, ::testing::ValuesIn(chaosCases()),
+    [](const ::testing::TestParamInfo<ChaosParams> &info) {
+        std::string name = algoKindName(std::get<0>(info.param));
+        name += "_" + std::get<1>(info.param);
+        name += "_s" + std::to_string(std::get<2>(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+/**
+ * Determinism: one thread, fixed seed, traced schedule. Two fresh
+ * runtimes executing the identical operation sequence must fire the
+ * identical faults (site, kind, hit index) and land on the identical
+ * statistics -- this is what makes a failing chaos seed reproducible.
+ */
+class ChaosDeterminismTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+struct DeterministicRunResult
+{
+    std::vector<FaultEvent> trace;
+    std::array<uint64_t, kNumCounters> counters;
+    uint64_t finalTotal;
+};
+
+DeterministicRunResult
+runDeterministicWorkload(const std::string &schedule, uint64_t seed)
+{
+    RuntimeConfig cfg;
+    cfg.rngSeed = seed;
+    EXPECT_TRUE(makeChaosSchedule(schedule, seed, cfg.fault));
+    cfg.fault.recordTrace = true;
+    TmRuntime rt(AlgoKind::kRhNOrec, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+
+    // A static, cache-line-aligned bank: the two runs must present the
+    // simulated hardware identical line footprints, so the accounts
+    // cannot come from the (layout-varying) transactional heap.
+    struct alignas(64) Account
+    {
+        uint64_t balance;
+    };
+    static Account accounts[kAccounts];
+    rt.run(ctx, [&](Txn &tx) {
+        for (uint64_t a = 0; a < kAccounts; ++a)
+            tx.store(&accounts[a].balance, kInitialBalance);
+    });
+
+    Rng rng(seed * 31 + 5);
+    for (unsigned i = 0; i < 400; ++i) {
+        uint64_t from = rng.nextBounded(kAccounts);
+        uint64_t to = rng.nextBounded(kAccounts);
+        uint64_t amount = 1 + rng.nextBounded(20);
+        bool wideRead = rng.nextPercent(20);
+        rt.run(ctx, [&](Txn &tx) {
+            if (wideRead) {
+                // A broad footprint so capacity squeezes bite.
+                uint64_t sum = 0;
+                for (uint64_t a = 0; a < kAccounts; ++a)
+                    sum += tx.load(&accounts[a].balance);
+                EXPECT_EQ(sum, kTotal);
+                return;
+            }
+            uint64_t balance = tx.load(&accounts[from].balance);
+            if (balance < amount)
+                return;
+            tx.store(&accounts[from].balance, balance - amount);
+            tx.store(&accounts[to].balance,
+                     tx.load(&accounts[to].balance) + amount);
+        });
+    }
+
+    DeterministicRunResult result;
+    EXPECT_NE(ctx.injector(), nullptr) << "fault plan not plumbed";
+    if (ctx.injector() != nullptr)
+        result.trace = ctx.injector()->trace();
+    result.counters = rt.stats().totals;
+    result.finalTotal = 0;
+    for (uint64_t a = 0; a < kAccounts; ++a)
+        result.finalTotal += rt.peek(&accounts[a].balance);
+    return result;
+}
+
+TEST_P(ChaosDeterminismTest, FixedSeedReplaysIdenticalFaultSchedule)
+{
+    const std::string schedule = GetParam();
+    DeterministicRunResult a = runDeterministicWorkload(schedule, 17);
+    DeterministicRunResult b = runDeterministicWorkload(schedule, 17);
+
+    ASSERT_EQ(a.trace.size(), b.trace.size())
+        << "fault firing count diverged between identical runs";
+    for (size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].site, b.trace[i].site) << "event " << i;
+        EXPECT_EQ(a.trace[i].kind, b.trace[i].kind) << "event " << i;
+        EXPECT_EQ(a.trace[i].hit, b.trace[i].hit) << "event " << i;
+    }
+    for (unsigned c = 0; c < kNumCounters; ++c) {
+        EXPECT_EQ(a.counters[c], b.counters[c])
+            << "counter " << c << " diverged";
+    }
+    EXPECT_EQ(a.finalTotal, kTotal);
+    EXPECT_EQ(b.finalTotal, kTotal);
+
+    // A different seed must produce a different schedule (otherwise
+    // the seed isn't actually feeding the probabilistic rules).
+    if (schedule != "capacity-squeeze") { // Purely positional rules.
+        DeterministicRunResult c = runDeterministicWorkload(schedule, 18);
+        bool identical = c.trace.size() == a.trace.size();
+        if (identical) {
+            for (size_t i = 0; i < a.trace.size(); ++i) {
+                if (a.trace[i].site != c.trace[i].site ||
+                    a.trace[i].hit != c.trace[i].hit) {
+                    identical = false;
+                    break;
+                }
+            }
+        }
+        EXPECT_FALSE(identical && !a.trace.empty())
+            << "seed change did not perturb the schedule";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, ChaosDeterminismTest,
+    ::testing::ValuesIn(chaosScheduleNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace rhtm

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Tier-2 chaos matrix: build with ThreadSanitizer and soak the
+# bank-transfer conservation workload under every named fault schedule
+# with a fixed seed matrix, so any run is exactly reproducible from
+# its (schedule, seed) pair (see docs/FAULT_INJECTION.md).
+#
+# Usage: tools/run_chaos.sh [build-dir] [--seconds=S] [--threads=LIST]
+#
+# Environment:
+#   RHTM_SANITIZE  Sanitizer for the build (default: thread; set to
+#                  'address' for ASan or '' for an uninstrumented run).
+#   SEEDS          Space-separated seed matrix (default: "1 2 3").
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-chaos
+SECONDS_PER_CELL=2
+THREADS=1,4
+for arg in "$@"; do
+    case "$arg" in
+        --seconds=*) SECONDS_PER_CELL="${arg#*=}" ;;
+        --threads=*) THREADS="${arg#*=}" ;;
+        -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+        *) BUILD_DIR="$arg" ;;
+    esac
+done
+
+SANITIZE="${RHTM_SANITIZE-thread}"
+SEEDS="${SEEDS:-1 2 3}"
+SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window"
+
+echo "== configure ($BUILD_DIR, sanitizer: ${SANITIZE:-none}) =="
+cmake -B "$BUILD_DIR" -S . -DRHTM_SANITIZE="$SANITIZE" >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_chaos \
+    fault_tests integration_tests
+
+echo "== fault + chaos unit suites =="
+"$BUILD_DIR/tests/fault_tests"
+"$BUILD_DIR/tests/integration_tests" --gtest_filter='*Chaos*'
+
+echo "== soak matrix: {$SCHEDULES} x seeds {$SEEDS} =="
+fail=0
+for schedule in $SCHEDULES; do
+    for seed in $SEEDS; do
+        echo "-- $schedule seed=$seed"
+        if ! "$BUILD_DIR/bench/bench_chaos" \
+                --schedule="$schedule" --seed="$seed" \
+                --seconds="$SECONDS_PER_CELL" --threads="$THREADS" \
+                --algos=rh-norec,hy-norec-lazy --stats; then
+            echo "FAILED: $schedule seed=$seed" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "chaos matrix FAILED" >&2
+    exit 1
+fi
+echo "chaos matrix passed"

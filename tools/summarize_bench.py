@@ -14,8 +14,16 @@ from collections import defaultdict
 COLS = [
     "bench", "algo", "threads", "seconds", "ops", "throughput",
     "conflict", "capacity", "restarts", "slowpath", "prefix",
-    "postfix", "verified",
+    "postfix", "injected", "subscription", "attempts", "ks_act",
+    "ks_bypass", "verified",
 ]
+
+# Captures from before the fault-injection columns were added.
+LEGACY_COLS = COLS[:12] + ["verified"]
+
+FLOAT_COLS = ("throughput", "conflict", "capacity", "restarts",
+              "slowpath", "prefix", "postfix", "injected",
+              "subscription", "attempts", "ks_bypass")
 
 
 def parse(path):
@@ -26,13 +34,18 @@ def parse(path):
             if not line or line.startswith(("#", "bench,", "###")):
                 continue
             parts = line.split(",")
-            if len(parts) != len(COLS):
+            if len(parts) == len(COLS):
+                row = dict(zip(COLS, parts))
+            elif len(parts) == len(LEGACY_COLS):
+                row = dict(zip(LEGACY_COLS, parts))
+                row.update(injected="0", subscription="0",
+                           attempts="0", ks_act="0", ks_bypass="0")
+            else:
                 continue
-            row = dict(zip(COLS, parts))
             try:
                 row["threads"] = int(row["threads"])
-                for k in ("throughput", "conflict", "capacity",
-                          "restarts", "slowpath", "prefix", "postfix"):
+                row["ks_act"] = int(row["ks_act"])
+                for k in FLOAT_COLS:
                     row[k] = float(row[k])
             except ValueError:
                 continue
@@ -57,17 +70,25 @@ def main():
 
     for bench in benches:
         print(f"### {bench} @ {threads} threads\n")
+        show_faults = any(r["injected"] > 0 or r["ks_act"] > 0
+                          for r in benches[bench])
+        fault_hdr = " inj/op | ks | " if show_faults else " "
+        fault_sep = "---|---|" if show_faults else ""
         print("| algo | ops/s | conf/op | cap/op | restarts | "
-              "slow% | prefix | postfix | ok |")
-        print("|---|---|---|---|---|---|---|---|---|")
+              f"slow% | prefix | postfix |{fault_hdr}ok |")
+        print(f"|---|---|---|---|---|---|---|---|{fault_sep}---|")
         by_algo = {}
         for r in benches[bench]:
             by_algo[r["algo"]] = r
+            fault_cells = ""
+            if show_faults:
+                fault_cells = (f" {r['injected']:.4f} "
+                               f"| {r['ks_act']} |")
             print(f"| {r['algo']} | {r['throughput']:,.0f} "
                   f"| {r['conflict']:.4f} | {r['capacity']:.4f} "
                   f"| {r['restarts']:.3f} | {100 * r['slowpath']:.1f} "
                   f"| {r['prefix']:.2f} | {r['postfix']:.2f} "
-                  f"| {r['verified']} |")
+                  f"|{fault_cells} {r['verified']} |")
         rh, hy = by_algo.get("rh-norec"), by_algo.get("hy-norec")
         if rh and hy:
             tput = rh["throughput"] / hy["throughput"] if hy[
