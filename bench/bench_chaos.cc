@@ -115,6 +115,18 @@ class ChaosBankWorkload : public Workload
                 *why = "a coordination word leaked out of the run";
             return false;
         }
+        // Ticket balance: at quiescence every taken serial ticket must
+        // have been served, or some thread exited holding (or still
+        // queued on) the serial lock.
+        uint64_t next = rt.peek(&g.serialNextTicket);
+        uint64_t serving = rt.peek(&g.serialServing);
+        if (next != serving) {
+            if (why)
+                *why = "serial ticket imbalance: next=" +
+                       std::to_string(next) +
+                       " serving=" + std::to_string(serving);
+            return false;
+        }
         return true;
     }
 

@@ -1,6 +1,7 @@
 #include "bench/harness.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -49,6 +50,24 @@ parseBenchConfig(const CliOptions &opts)
         opts.getDouble("abort-prob", cfg.runtime.htm.randomAbortProb);
     cfg.runtime.stmAccessPenalty = static_cast<unsigned>(
         opts.getInt("stm-penalty", cfg.runtime.stmAccessPenalty));
+    cfg.runtime.retry.stallBudgetTicks = static_cast<uint64_t>(
+        opts.getInt("stall-budget",
+                    static_cast<int64_t>(
+                        cfg.runtime.retry.stallBudgetTicks)));
+    if (opts.has("cm")) {
+        std::string cm = opts.getString("cm", "");
+        if (cm == "static") {
+            cfg.runtime.retry.cm = CmKind::kStatic;
+        } else if (cm == "causeaware") {
+            cfg.runtime.retry.cm = CmKind::kCauseAware;
+        } else {
+            std::fprintf(stderr,
+                         "unknown contention manager: %s "
+                         "(known: static causeaware)\n",
+                         cm.c_str());
+            std::exit(2);
+        }
+    }
 
     if (opts.has("fault-schedule")) {
         std::string name = opts.getString("fault-schedule", "");
@@ -99,7 +118,8 @@ printCsvHeader()
         "prefix_success_ratio,postfix_success_ratio,"
         "injected_aborts_per_op,subscription_aborts_per_op,"
         "fastpath_attempts_per_op,killswitch_activations,"
-        "killswitch_bypass_ratio,verified\n");
+        "killswitch_bypass_ratio,p50_us,p99_us,max_us,"
+        "stalls_detected,verified\n");
 }
 
 void
@@ -112,7 +132,7 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
     double bypass_ratio =
         ops ? double(s.get(Counter::kKillSwitchBypasses)) / ops : 0.0;
     std::printf("%s,%s,%u,%.2f,%llu,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f,"
-                "%.4f,%.4f,%.4f,%.4f,%llu,%.4f,%s\n",
+                "%.4f,%.4f,%.4f,%.4f,%llu,%.4f,%.2f,%.2f,%.2f,%llu,%s\n",
                 bench_name.c_str(), algoKindName(cell.algo),
                 cell.threads, cell.seconds,
                 static_cast<unsigned long long>(cell.ops),
@@ -123,7 +143,13 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
                 s.subscriptionAbortsPerOp(), attempts_per_op,
                 static_cast<unsigned long long>(
                     s.get(Counter::kKillSwitchActivations)),
-                bypass_ratio, cell.verified ? "ok" : "FAIL");
+                bypass_ratio,
+                cell.latency.percentileNs(50) / 1000.0,
+                cell.latency.percentileNs(99) / 1000.0,
+                cell.latency.maxNs() / 1000.0,
+                static_cast<unsigned long long>(
+                    s.get(Counter::kStallsDetected)),
+                cell.verified ? "ok" : "FAIL");
     std::fflush(stdout);
 }
 
@@ -151,6 +177,7 @@ runCell(const WorkloadFactory &make, const BenchConfig &cfg,
 
     std::atomic<bool> stop{false};
     std::vector<uint64_t> per_thread_ops(threads, 0);
+    std::vector<LatencyHistogram> per_thread_lat(threads);
     SenseBarrier barrier(threads + 1);
 
     std::vector<std::thread> workers;
@@ -158,10 +185,18 @@ runCell(const WorkloadFactory &make, const BenchConfig &cfg,
     for (unsigned t = 0; t < threads; ++t) {
         workers.emplace_back([&, t] {
             Rng rng(cfg.seed * 1000003 + t * 7919 + 1);
+            LatencyHistogram &lat = per_thread_lat[t];
             barrier.arriveAndWait();
             uint64_t ops = 0;
+            using LatClock = std::chrono::steady_clock;
             while (!stop.load(std::memory_order_relaxed)) {
+                auto op_start = LatClock::now();
                 workload->runOp(rt, *ctxs[t], rng);
+                auto delta = LatClock::now() - op_start;
+                lat.record(static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        delta)
+                        .count()));
                 ++ops;
             }
             per_thread_ops[t] = ops;
@@ -184,6 +219,8 @@ runCell(const WorkloadFactory &make, const BenchConfig &cfg,
     cell.ops = 0;
     for (uint64_t n : per_thread_ops)
         cell.ops += n;
+    for (const LatencyHistogram &h : per_thread_lat)
+        cell.latency.merge(h);
     cell.stats = rt.stats();
     cell.verified = true;
     if (cfg.verify) {

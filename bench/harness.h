@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/stats/latency.h"
 #include "src/util/cli.h"
 #include "src/workloads/workload.h"
 
@@ -52,6 +53,10 @@ struct BenchConfig
  *   --abort-prob=5e-4          (interrupt-style HTM abort injection)
  *   --stm-penalty=64           (instrumentation-cost model, cycles)
  *   --fault-schedule=NAME      (named chaos schedule, seeded by --seed)
+ *   --stall-budget=N           (watchdog stall budget in wait ticks;
+ *                               0 disables the watchdog)
+ *   --cm=static|causeaware     (contention manager: legacy doubling
+ *                               backoff vs cause-keyed randomized)
  * Exits with a message on unknown algorithms or stray arguments.
  */
 BenchConfig parseBenchConfig(const CliOptions &opts);
@@ -64,6 +69,7 @@ struct CellResult
     double seconds;
     uint64_t ops;
     StatsSummary stats;
+    LatencyHistogram latency; //!< Per-operation latency (merged).
     bool verified;
 };
 

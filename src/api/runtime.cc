@@ -65,10 +65,14 @@ std::unique_ptr<TxSession>
 TmRuntime::makeSession(ThreadCtx &ctx)
 {
     ThreadStats *stats = &ctx.stats_;
+    // Contention-manager seed: per-thread (determinism requires each
+    // thread's backoff jitter to be independent of the others), derived
+    // the same way as the HtmTxn seed.
+    uint64_t cmSeed = cfg_.rngSeed + ctx.tid();
     switch (kind_) {
       case AlgoKind::kLockElision:
         return std::make_unique<LockElisionSession>(
-            eng_, globals_, *ctx.htm_, stats, cfg_.retry);
+            eng_, globals_, *ctx.htm_, stats, cfg_.retry, cmSeed);
       case AlgoKind::kNOrec:
         return std::make_unique<NOrecEagerSession>(
             globals_, stats, cfg_.stmAccessPenalty);
@@ -81,19 +85,19 @@ TmRuntime::makeSession(ThreadCtx &ctx)
       case AlgoKind::kHybridNOrec:
         return std::make_unique<HybridNOrecSession>(
             eng_, globals_, *ctx.htm_, stats, cfg_.retry,
-            cfg_.stmAccessPenalty);
+            cfg_.stmAccessPenalty, cmSeed);
       case AlgoKind::kHybridNOrecLazy:
         return std::make_unique<HybridNOrecLazySession>(
             eng_, globals_, *ctx.htm_, stats, cfg_.retry,
-            cfg_.stmAccessPenalty);
+            cfg_.stmAccessPenalty, cmSeed);
       case AlgoKind::kRhNOrec:
         return std::make_unique<RhNOrecSession>(
             eng_, globals_, *ctx.htm_, stats, cfg_.retry, cfg_.rh,
-            cfg_.stmAccessPenalty);
+            cfg_.stmAccessPenalty, cmSeed);
       case AlgoKind::kRhTl2:
         return std::make_unique<RhTl2Session>(
             eng_, globals_, *rhTl2_, *ctx.htm_, stats, cfg_.retry,
-            cfg_.stmAccessPenalty);
+            cfg_.stmAccessPenalty, cmSeed);
     }
     return nullptr;
 }

@@ -60,8 +60,19 @@ struct TmGlobals
     /** Number of live mixed/software slow paths (Section 2.3 #3). */
     alignas(64) uint64_t fallbacks = 0;
 
-    /** Serial starvation lock (Section 3.3). */
+    /**
+     * Serial starvation lock (Section 3.3), held 0/1 by the serial
+     * slow path. Fast-path commits subscribe to this word alone, as in
+     * the paper; fairness comes from the ticket pair below, which
+     * orders acquirers FIFO instead of letting a CAS race pick winners.
+     */
     alignas(64) uint64_t serialLock = 0;
+
+    /** FIFO ticket dispenser for the serial lock (fetch-add to take). */
+    alignas(64) uint64_t serialNextTicket = 0;
+
+    /** Ticket currently being served; holder advances it on release. */
+    alignas(64) uint64_t serialServing = 0;
 
     /** Single global lock for the Lock Elision fallback. */
     alignas(64) uint64_t globalLock = 0;
@@ -103,7 +114,52 @@ struct TmGlobals
     };
 
     alignas(64) KillSwitch killSwitch;
+
+    /**
+     * Stall watchdog (runtime metadata, NOT TM-visible memory: like the
+     * kill switch, ordinary atomics, never engine-published).
+     *
+     * Holders of the coordination words stamp a monotonic epoch on
+     * every acquisition and release: the commit-clock lock (and the
+     * HTM/global locks that serialize the same way) bump clockEpoch,
+     * the serial ticket lock bumps serialEpoch. A waiter that burns its
+     * stall budget without seeing the watched epoch move concludes the
+     * holder is preempted or fault-delayed, counts a stall, raises the
+     * stalled-waiter health gauge, and escalates spin -> yield -> sleep
+     * so the stalled holder can be scheduled back in (see
+     * docs/PROGRESS.md).
+     */
+    struct Watchdog
+    {
+        /** Bumped on every clock/HTM/global-lock acquire and release. */
+        std::atomic<uint64_t> clockEpoch{0};
+
+        /** Bumped on every serial-ticket grant and release. */
+        std::atomic<uint64_t> serialEpoch{0};
+
+        /** Waiters currently seeing a stalled holder (health gauge). */
+        std::atomic<uint64_t> stalledWaiters{0};
+
+        /** Total stall declarations over the runtime's lifetime. */
+        std::atomic<uint64_t> stallEvents{0};
+
+        /** True while no waiter has declared its holder stalled. */
+        bool
+        healthy() const
+        {
+            return stalledWaiters.load(std::memory_order_relaxed) == 0;
+        }
+    };
+
+    alignas(64) Watchdog watchdog;
 };
+
+/** Stamp holder progress on a watchdog epoch word. */
+inline void
+stampEpoch(std::atomic<uint64_t> &epoch)
+{
+    epoch.fetch_add(1, std::memory_order_relaxed);
+}
 
 } // namespace rhtm
 

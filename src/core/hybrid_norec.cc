@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/core/fault_points.h"
+#include "src/core/progress.h"
 
 namespace rhtm
 {
@@ -10,9 +11,11 @@ namespace rhtm
 HybridNOrecSession::HybridNOrecSession(HtmEngine &eng, TmGlobals &globals,
                                        HtmTxn &htm, ThreadStats *stats,
                                        const RetryPolicy &policy,
-                                       unsigned access_penalty)
+                                       unsigned access_penalty,
+                                       uint64_t cm_seed)
     : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
-      retryBudget_(policy), penalty_(access_penalty)
+      retryBudget_(policy_), penalty_(access_penalty),
+      cm_(policy_, &globals, cm_seed)
 {
     undo_.reserve(256);
 }
@@ -22,13 +25,10 @@ HybridNOrecSession::beginSoftware()
 {
     sessionFaultPoint(htm_, FaultSite::kFallbackStart);
     if (mode_ == Mode::kSerial && !serialHeld_) {
-        for (;;) {
-            uint64_t expected = 0;
-            if (eng_.directCas(&g_.serialLock, expected, 1))
-                break;
-            spinUntil([&] { return eng_.directLoad(&g_.serialLock) == 0; });
-        }
+        serialLockAcquire(eng_, g_, policy_, stats_);
         serialHeld_ = true;
+        // After serialHeld_: an unwinding fault must not leak the lock.
+        sessionFaultPoint(htm_, FaultSite::kSerialHeld);
     }
     if (!registered_) {
         // Register once per transaction, not per attempt: every bump of
@@ -39,9 +39,11 @@ HybridNOrecSession::beginSoftware()
     }
     writeDetected_ = false;
     undo_.clear();
-    txVersion_ = eng_.directLoad(&g_.clock);
-    if (clockIsLocked(txVersion_))
-        restart(); // A slow-path writer is mid-flight.
+    // Wait out a mid-flight writer stall-aware instead of restarting:
+    // a restart here charges the slow-path budget for another thread's
+    // publication window and lemmings everyone into serial mode when
+    // that writer stalls.
+    txVersion_ = stableClockRead(eng_, g_, policy_, stats_);
 }
 
 void
@@ -94,6 +96,7 @@ HybridNOrecSession::handleFirstWrite()
     if (!eng_.directCas(&g_.clock, expected, clockWithLock(txVersion_)))
         restart();
     writeDetected_ = true;
+    stampEpoch(g_.watchdog.clockEpoch);
     // Eager writes are about to become visible: kill every hardware
     // fast path before the first store (Section 3.1).
     eng_.directStore(&g_.htmLock, 1);
@@ -151,6 +154,7 @@ HybridNOrecSession::commit()
     eng_.directStore(&g_.htmLock, 0);
     htmLockSet_ = false;
     eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    stampEpoch(g_.watchdog.clockEpoch);
     writeDetected_ = false;
     // The undo journal is dead once the writes are committed.
     undo_.clear();
@@ -168,6 +172,7 @@ HybridNOrecSession::rollbackWriter()
         htmLockSet_ = false;
     }
     eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    stampEpoch(g_.watchdog.clockEpoch);
     writeDetected_ = false;
 }
 
@@ -187,7 +192,7 @@ HybridNOrecSession::onHtmAbort(const HtmAbort &abort)
     if (!abort.retryOk)
         killSwitchOnHardwareFailure(g_, policy_, stats_);
     if (abort.retryOk && attempts_ < retryBudget_.budget()) {
-        backoff_.pause();
+        cm_.onWait(waitCauseOf(abort));
         return; // Conflict-style abort: retry in hardware.
     }
     // Capacity aborts (and exhausted budgets) go to software at once
@@ -204,7 +209,7 @@ HybridNOrecSession::onRestart()
     if (mode_ == Mode::kFast) {
         // User retry() inside the hardware fast path.
         htm_.cancel();
-        backoff_.pause();
+        cm_.onWait(WaitCause::kRestart);
         return;
     }
     rollbackWriter();
@@ -214,7 +219,7 @@ HybridNOrecSession::onRestart()
         mode_ == Mode::kSoftware) {
         mode_ = Mode::kSerial;
     }
-    backoff_.pause();
+    cm_.onWait(WaitCause::kRestart);
 }
 
 void
@@ -228,7 +233,7 @@ HybridNOrecSession::onUserAbort()
         registered_ = false;
     }
     if (serialHeld_) {
-        eng_.directStore(&g_.serialLock, 0);
+        serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
     mode_ = Mode::kFast;
@@ -262,13 +267,13 @@ HybridNOrecSession::onComplete()
         registered_ = false;
     }
     if (serialHeld_) {
-        eng_.directStore(&g_.serialLock, 0);
+        serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
     mode_ = Mode::kFast;
     attempts_ = 0;
     slowRestarts_ = 0;
-    backoff_.reset();
+    cm_.reset();
 }
 
 } // namespace rhtm

@@ -38,7 +38,8 @@ class HybridNOrecSession : public TxSession
   public:
     HybridNOrecSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
                        ThreadStats *stats, const RetryPolicy &policy,
-                       unsigned access_penalty = 0);
+                       unsigned access_penalty = 0,
+                       uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
     uint64_t read(const uint64_t *addr) override;
@@ -79,10 +80,11 @@ class HybridNOrecSession : public TxSession
     TmGlobals &g_;
     HtmTxn &htm_;
     ThreadStats *stats_;
-    RetryPolicy policy_;
+    // Reference, not a copy: post-construction knob changes apply.
+    const RetryPolicy &policy_;
     AdaptiveRetryBudget retryBudget_;
     unsigned penalty_;
-    Backoff backoff_;
+    ContentionManager cm_;
 
     Mode mode_ = Mode::kFast;
     unsigned attempts_ = 0;

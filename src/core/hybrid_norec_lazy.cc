@@ -3,28 +3,19 @@
 #include <cassert>
 
 #include "src/core/fault_points.h"
+#include "src/core/progress.h"
 
 namespace rhtm
 {
 
 HybridNOrecLazySession::HybridNOrecLazySession(
     HtmEngine &eng, TmGlobals &globals, HtmTxn &htm, ThreadStats *stats,
-    const RetryPolicy &policy, unsigned access_penalty)
+    const RetryPolicy &policy, unsigned access_penalty, uint64_t cm_seed)
     : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
-      retryBudget_(policy), penalty_(access_penalty), writes_(12)
+      retryBudget_(policy_), penalty_(access_penalty),
+      cm_(policy_, &globals, cm_seed), writes_(12)
 {
     readLog_.reserve(1024);
-}
-
-uint64_t
-HybridNOrecLazySession::stableClock()
-{
-    for (;;) {
-        uint64_t v = eng_.directLoad(&g_.clock);
-        if (!clockIsLocked(v))
-            return v;
-        backoff_.pause();
-    }
 }
 
 void
@@ -32,13 +23,10 @@ HybridNOrecLazySession::beginSoftware()
 {
     sessionFaultPoint(htm_, FaultSite::kFallbackStart);
     if (mode_ == Mode::kSerial && !serialHeld_) {
-        for (;;) {
-            uint64_t expected = 0;
-            if (eng_.directCas(&g_.serialLock, expected, 1))
-                break;
-            spinUntil([&] { return eng_.directLoad(&g_.serialLock) == 0; });
-        }
+        serialLockAcquire(eng_, g_, policy_, stats_);
         serialHeld_ = true;
+        // After serialHeld_: an unwinding fault must not leak the lock.
+        sessionFaultPoint(htm_, FaultSite::kSerialHeld);
     }
     if (!registered_) {
         eng_.directFetchAdd(&g_.fallbacks, 1);
@@ -46,7 +34,7 @@ HybridNOrecLazySession::beginSoftware()
     }
     readLog_.clear();
     writes_.clear();
-    txVersion_ = stableClock();
+    txVersion_ = stableClockRead(eng_, g_, policy_, stats_);
 }
 
 void
@@ -77,7 +65,7 @@ uint64_t
 HybridNOrecLazySession::validate()
 {
     for (;;) {
-        uint64_t t = stableClock();
+        uint64_t t = stableClockRead(eng_, g_, policy_, stats_);
         for (const ReadEntry &e : readLog_) {
             if (eng_.directLoad(e.addr) != e.value)
                 restart();
@@ -154,6 +142,7 @@ HybridNOrecLazySession::commit()
         expected = txVersion_;
     }
     clockHeld_ = true;
+    stampEpoch(g_.watchdog.clockEpoch);
     sessionFaultPoint(htm_, FaultSite::kPostFirstWrite);
     eng_.directStore(&g_.htmLock, 1);
     htmLockSet_ = true;
@@ -169,6 +158,7 @@ HybridNOrecLazySession::commit()
     htmLockSet_ = false;
     eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
     clockHeld_ = false;
+    stampEpoch(g_.watchdog.clockEpoch);
 }
 
 void
@@ -183,6 +173,7 @@ HybridNOrecLazySession::releaseCommitLocks()
         // advance to force concurrent readers to revalidate.
         eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
         clockHeld_ = false;
+        stampEpoch(g_.watchdog.clockEpoch);
     }
 }
 
@@ -200,7 +191,7 @@ HybridNOrecLazySession::onHtmAbort(const HtmAbort &abort)
     if (!abort.retryOk)
         killSwitchOnHardwareFailure(g_, policy_, stats_);
     if (abort.retryOk && attempts_ < retryBudget_.budget()) {
-        backoff_.pause();
+        cm_.onWait(waitCauseOf(abort));
         return;
     }
     retryBudget_.onFallback(attempts_);
@@ -214,7 +205,7 @@ HybridNOrecLazySession::onRestart()
 {
     if (mode_ == Mode::kFast) {
         htm_.cancel();
-        backoff_.pause();
+        cm_.onWait(WaitCause::kRestart);
         return;
     }
     releaseCommitLocks();
@@ -224,7 +215,7 @@ HybridNOrecLazySession::onRestart()
         mode_ == Mode::kSoftware) {
         mode_ = Mode::kSerial;
     }
-    backoff_.pause();
+    cm_.onWait(WaitCause::kRestart);
 }
 
 void
@@ -237,7 +228,7 @@ HybridNOrecLazySession::onUserAbort()
         registered_ = false;
     }
     if (serialHeld_) {
-        eng_.directStore(&g_.serialLock, 0);
+        serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
     mode_ = Mode::kFast;
@@ -271,13 +262,13 @@ HybridNOrecLazySession::onComplete()
         registered_ = false;
     }
     if (serialHeld_) {
-        eng_.directStore(&g_.serialLock, 0);
+        serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
     mode_ = Mode::kFast;
     attempts_ = 0;
     slowRestarts_ = 0;
-    backoff_.reset();
+    cm_.reset();
 }
 
 } // namespace rhtm

@@ -39,7 +39,8 @@ class HybridNOrecLazySession : public TxSession
     HybridNOrecLazySession(HtmEngine &eng, TmGlobals &globals,
                            HtmTxn &htm, ThreadStats *stats,
                            const RetryPolicy &policy,
-                           unsigned access_penalty = 0);
+                           unsigned access_penalty = 0,
+                           uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
     uint64_t read(const uint64_t *addr) override;
@@ -73,9 +74,6 @@ class HybridNOrecLazySession : public TxSession
      */
     uint64_t validate();
 
-    /** Spin until the clock is unlocked; returns the stable value. */
-    uint64_t stableClock();
-
     /** Drop the clock/HTM locks held during a commit write-back. */
     void releaseCommitLocks();
 
@@ -85,10 +83,11 @@ class HybridNOrecLazySession : public TxSession
     TmGlobals &g_;
     HtmTxn &htm_;
     ThreadStats *stats_;
-    RetryPolicy policy_;
+    // Reference, not a copy: post-construction knob changes apply.
+    const RetryPolicy &policy_;
     AdaptiveRetryBudget retryBudget_;
     unsigned penalty_;
-    Backoff backoff_;
+    ContentionManager cm_;
 
     Mode mode_ = Mode::kFast;
     unsigned attempts_ = 0;

@@ -3,14 +3,17 @@
 #include <cassert>
 
 #include "src/core/fault_points.h"
+#include "src/core/progress.h"
 
 namespace rhtm
 {
 
 LockElisionSession::LockElisionSession(HtmEngine &eng, TmGlobals &globals,
                                        HtmTxn &htm, ThreadStats *stats,
-                                       const RetryPolicy &policy)
-    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy)
+                                       const RetryPolicy &policy,
+                                       uint64_t cm_seed)
+    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
+      cm_(policy_, &globals, cm_seed)
 {}
 
 void
@@ -27,14 +30,27 @@ LockElisionSession::begin(TxnHint hint)
     if (mode_ == Mode::kSerial) {
         sessionFaultPoint(htm_, FaultSite::kFallbackStart);
         // Take the global lock for real; the store dooms every elided
-        // transaction subscribed to it.
-        for (;;) {
-            uint64_t expected = 0;
-            if (eng_.directCas(&g_.globalLock, expected, 1))
-                break;
-            spinUntil([&] { return eng_.directLoad(&g_.globalLock) == 0; });
+        // transaction subscribed to it. Wait stall-aware: a preempted
+        // holder is detected via the clock epoch and waited out with
+        // yields/sleeps instead of a blind spin.
+        {
+            StallAwareWaiter waiter(g_, policy_, stats_,
+                                    g_.watchdog.clockEpoch);
+            for (;;) {
+                uint64_t expected = 0;
+                if (eng_.directCas(&g_.globalLock, expected, 1))
+                    break;
+                waiter.step();
+            }
+            if (stats_ != nullptr) {
+                stats_->inc(Counter::kSerialAcquires);
+                stats_->inc(Counter::kSerialWaitTicks, waiter.ticks());
+            }
         }
+        stampEpoch(g_.watchdog.clockEpoch);
         lockHeld_ = true;
+        // After lockHeld_: an unwinding fault must not leak the lock.
+        sessionFaultPoint(htm_, FaultSite::kSerialHeld);
         return;
     }
     ++attempts_;
@@ -71,6 +87,7 @@ LockElisionSession::commit()
     if (mode_ == Mode::kSerial) {
         eng_.directStore(&g_.globalLock, 0);
         lockHeld_ = false;
+        stampEpoch(g_.watchdog.clockEpoch);
         return;
     }
     htm_.commit();
@@ -88,11 +105,16 @@ LockElisionSession::onHtmAbort(const HtmAbort &abort)
     if (abort.cause == HtmAbortCause::kExplicit) {
         // Subscription abort: the lock is (or was) held. Wait for it
         // to clear before re-eliding instead of burning the retry
-        // budget against a held lock (standard HLE practice).
-        spinUntil([&] { return eng_.directLoad(&g_.globalLock) == 0; });
+        // budget against a held lock (standard HLE practice). The wait
+        // is stall-aware: a preempted lock holder is waited out with
+        // yields/sleeps rather than a blind spin.
+        StallAwareWaiter waiter(g_, policy_, stats_,
+                                g_.watchdog.clockEpoch);
+        while (eng_.directLoad(&g_.globalLock) != 0)
+            waiter.step();
     }
     if (abort.retryOk && attempts_ < policy_.maxFastPathRetries) {
-        backoff_.pause();
+        cm_.onWait(waitCauseOf(abort));
         return; // Retry in hardware.
     }
     mode_ = Mode::kSerial;
@@ -106,7 +128,7 @@ LockElisionSession::onRestart()
     // Lock Elision never throws TxRestart; only a user retry() can land
     // here. Release the lock so other threads can progress.
     onUserAbort();
-    backoff_.pause();
+    cm_.onWait(WaitCause::kRestart);
 }
 
 void
@@ -119,6 +141,7 @@ LockElisionSession::onUserAbort()
         // section leaves its partial updates visible.
         eng_.directStore(&g_.globalLock, 0);
         lockHeld_ = false;
+        stampEpoch(g_.watchdog.clockEpoch);
     }
 }
 
@@ -134,7 +157,7 @@ LockElisionSession::onComplete()
     }
     mode_ = Mode::kFast;
     attempts_ = 0;
-    backoff_.reset();
+    cm_.reset();
 }
 
 } // namespace rhtm

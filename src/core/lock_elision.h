@@ -24,7 +24,8 @@ class LockElisionSession : public TxSession
 {
   public:
     LockElisionSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
-                       ThreadStats *stats, const RetryPolicy &policy);
+                       ThreadStats *stats, const RetryPolicy &policy,
+                       uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
     uint64_t read(const uint64_t *addr) override;
@@ -47,8 +48,9 @@ class LockElisionSession : public TxSession
     TmGlobals &g_;
     HtmTxn &htm_;
     ThreadStats *stats_;
-    RetryPolicy policy_;
-    Backoff backoff_;
+    // Reference, not a copy: post-construction knob changes apply.
+    const RetryPolicy &policy_;
+    ContentionManager cm_;
     Mode mode_ = Mode::kFast;
     unsigned attempts_ = 0;
     bool lockHeld_ = false;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/core/fault_points.h"
+#include "src/core/progress.h"
 
 namespace rhtm
 {
@@ -12,9 +13,11 @@ RhNOrecSession::RhNOrecSession(HtmEngine &eng, TmGlobals &globals,
                                HtmTxn &htm, ThreadStats *stats,
                                const RetryPolicy &policy,
                                const RhConfig &rh,
-                               unsigned access_penalty)
+                               unsigned access_penalty,
+                               uint64_t cm_seed)
     : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
-      retryBudget_(policy), rh_(rh), penalty_(access_penalty),
+      retryBudget_(policy_), rh_(rh), penalty_(access_penalty),
+      cm_(policy_, &globals, cm_seed),
       expectedPrefixLen_(rh.maxPrefixLength)
 {
     undo_.reserve(256);
@@ -74,9 +77,12 @@ RhNOrecSession::startSoftwareMixed()
     }
     writeDetected_ = false;
     undo_.clear();
-    txVersion_ = eng_.directLoad(&g_.clock);
-    if (clockIsLocked(txVersion_))
-        restart();
+    // Wait out a locked clock stall-aware instead of restarting:
+    // restarting on a locked clock burns a slow-path restart (and
+    // eventually a serial escalation) on what is just another writer's
+    // publication window -- under a stalled publisher that lemmings
+    // every thread into serial mode.
+    txVersion_ = stableClockRead(eng_, g_, policy_, stats_);
 }
 
 void
@@ -106,13 +112,11 @@ RhNOrecSession::begin(TxnHint hint)
         }
     }
     if (mode_ == Mode::kSerial && !serialHeld_) {
-        for (;;) {
-            uint64_t expected = 0;
-            if (eng_.directCas(&g_.serialLock, expected, 1))
-                break;
-            spinUntil([&] { return eng_.directLoad(&g_.serialLock) == 0; });
-        }
+        serialLockAcquire(eng_, g_, policy_, stats_);
         serialHeld_ = true;
+        // Fired after serialHeld_ is set: if the injected fault
+        // unwinds, the release paths still see the lock as ours.
+        sessionFaultPoint(htm_, FaultSite::kSerialHeld);
     }
     // Mixed slow path: try the HTM prefix first (once per transaction,
     // Section 3.4), otherwise the software start.
@@ -167,6 +171,7 @@ RhNOrecSession::handleFirstWrite()
         restart();
     clockHeld_ = true;
     writeDetected_ = true;
+    stampEpoch(g_.watchdog.clockEpoch);
     // The clock is now locked: a scripted delay here stretches the
     // window every concurrent reader/committer spins on, and a
     // scripted abort exercises the clock-release path in
@@ -269,6 +274,7 @@ RhNOrecSession::commit()
     }
     eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
     clockHeld_ = false;
+    stampEpoch(g_.watchdog.clockEpoch);
     writeDetected_ = false;
     // The undo journal is dead once the writes are committed; a later
     // attempt's rollback must never replay it.
@@ -295,6 +301,7 @@ RhNOrecSession::rollbackWriter()
         // concurrent readers that glimpsed undone values to restart.
         eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
         clockHeld_ = false;
+        stampEpoch(g_.watchdog.clockEpoch);
     }
     writeDetected_ = false;
 }
@@ -335,7 +342,7 @@ RhNOrecSession::onHtmAbort(const HtmAbort &abort)
         if (!abort.retryOk)
             killSwitchOnHardwareFailure(g_, policy_, stats_);
         if (abort.retryOk && attempts_ < retryBudget_.budget()) {
-            backoff_.pause();
+            cm_.onWait(waitCauseOf(abort));
             return; // Retry in hardware.
         }
         retryBudget_.onFallback(attempts_);
@@ -355,7 +362,7 @@ RhNOrecSession::onHtmAbort(const HtmAbort &abort)
     if (postfixActive_)
         postfixActive_ = false;
     rollbackWriter();
-    backoff_.pause();
+    cm_.onWait(waitCauseOf(abort));
 }
 
 void
@@ -365,7 +372,7 @@ RhNOrecSession::onRestart()
         // User retry() inside the hardware fast path: discard the
         // hardware transaction and re-execute.
         htm_.cancel();
-        backoff_.pause();
+        cm_.onWait(WaitCause::kRestart);
         return;
     }
     if (prefixActive_ || postfixActive_) {
@@ -380,7 +387,7 @@ RhNOrecSession::onRestart()
         mode_ == Mode::kMixed) {
         mode_ = Mode::kSerial;
     }
-    backoff_.pause();
+    cm_.onWait(WaitCause::kRestart);
 }
 
 void
@@ -395,7 +402,7 @@ RhNOrecSession::onUserAbort()
         registered_ = false;
     }
     if (serialHeld_) {
-        eng_.directStore(&g_.serialLock, 0);
+        serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
     mode_ = Mode::kFast;
@@ -432,7 +439,7 @@ RhNOrecSession::onComplete()
         registered_ = false;
     }
     if (serialHeld_) {
-        eng_.directStore(&g_.serialLock, 0);
+        serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
     if (prefixSucceeded_)
@@ -443,7 +450,7 @@ RhNOrecSession::onComplete()
     prefixTries_ = 0;
     postfixTries_ = 0;
     prefixSucceeded_ = false;
-    backoff_.reset();
+    cm_.reset();
 }
 
 } // namespace rhtm

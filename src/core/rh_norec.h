@@ -61,7 +61,8 @@ class RhNOrecSession : public TxSession
   public:
     RhNOrecSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
                    ThreadStats *stats, const RetryPolicy &policy,
-                   const RhConfig &rh, unsigned access_penalty = 0);
+                   const RhConfig &rh, unsigned access_penalty = 0,
+                   uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
     uint64_t read(const uint64_t *addr) override;
@@ -117,11 +118,13 @@ class RhNOrecSession : public TxSession
     TmGlobals &g_;
     HtmTxn &htm_;
     ThreadStats *stats_;
-    RetryPolicy policy_;
+    // Reference, not a copy: knob changes made after construction
+    // (tests, adaptive tuning) must be visible to every consumer.
+    const RetryPolicy &policy_;
     AdaptiveRetryBudget retryBudget_;
     RhConfig rh_;
     unsigned penalty_;
-    Backoff backoff_;
+    ContentionManager cm_;
 
     Mode mode_ = Mode::kFast;
     unsigned attempts_ = 0;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/core/fault_points.h"
+#include "src/core/progress.h"
 
 namespace rhtm
 {
@@ -10,10 +11,10 @@ namespace rhtm
 RhTl2Session::RhTl2Session(HtmEngine &eng, TmGlobals &globals,
                            RhTl2Globals &tl2, HtmTxn &htm,
                            ThreadStats *stats, const RetryPolicy &policy,
-                           unsigned access_penalty)
+                           unsigned access_penalty, uint64_t cm_seed)
     : eng_(eng), g_(globals), tl2_(tl2), htm_(htm), stats_(stats),
-      policy_(policy), retryBudget_(policy), penalty_(access_penalty),
-      writes_(12)
+      policy_(policy), retryBudget_(policy_), penalty_(access_penalty),
+      cm_(policy_, &globals, cm_seed), writes_(12)
 {
     readLog_.reserve(1024);
     writeAddrs_.reserve(256);
@@ -129,16 +130,24 @@ RhTl2Session::commitMixedSoftware()
 {
     // Serialize under the global HTM lock: the store dooms every
     // hardware fast path and in-flight commit transaction, making the
-    // non-atomic write-back safe.
-    for (;;) {
-        uint64_t expected = 0;
-        if (eng_.directCas(&g_.htmLock, expected, 1))
-            break;
-        spinUntil([&] { return eng_.directLoad(&g_.htmLock) == 0; });
+    // non-atomic write-back safe. The wait is stall-aware: a preempted
+    // or fault-delayed write-back holder is detected via the clock
+    // epoch and waited out with yields/sleeps.
+    {
+        StallAwareWaiter waiter(g_, policy_, stats_,
+                                g_.watchdog.clockEpoch);
+        for (;;) {
+            uint64_t expected = 0;
+            if (eng_.directCas(&g_.htmLock, expected, 1))
+                break;
+            waiter.step();
+        }
     }
+    stampEpoch(g_.watchdog.clockEpoch);
     for (const ReadEntry &e : readLog_) {
         if (eng_.directLoad(e.orec) != e.version) {
             eng_.directStore(&g_.htmLock, 0);
+            stampEpoch(g_.watchdog.clockEpoch);
             restart();
         }
     }
@@ -180,6 +189,7 @@ RhTl2Session::commitMixedSoftware()
     });
     eng_.directStore(tl2_.clock(), wv);
     eng_.directStore(&g_.htmLock, 0);
+    stampEpoch(g_.watchdog.clockEpoch);
 }
 
 void
@@ -230,7 +240,7 @@ RhTl2Session::onHtmAbort(const HtmAbort &abort)
         if (!abort.retryOk)
             killSwitchOnHardwareFailure(g_, policy_, stats_);
         if (abort.retryOk && attempts_ < retryBudget_.budget()) {
-            backoff_.pause();
+            cm_.onWait(waitCauseOf(abort));
             return;
         }
         retryBudget_.onFallback(attempts_);
@@ -241,7 +251,7 @@ RhTl2Session::onHtmAbort(const HtmAbort &abort)
     }
     // The commit transaction failed mechanically (capacity, injected):
     // retry the attempt; the next commit() uses the software path.
-    backoff_.pause();
+    cm_.onWait(waitCauseOf(abort));
 }
 
 void
@@ -250,7 +260,7 @@ RhTl2Session::onRestart()
     htm_.cancel();
     if (mode_ != Mode::kFast && stats_)
         stats_->inc(Counter::kSlowPathRestarts);
-    backoff_.pause();
+    cm_.onWait(WaitCause::kRestart);
 }
 
 void
@@ -287,7 +297,7 @@ RhTl2Session::onComplete()
     mode_ = Mode::kFast;
     attempts_ = 0;
     commitHtmTries_ = 0;
-    backoff_.reset();
+    cm_.reset();
 }
 
 } // namespace rhtm

@@ -77,7 +77,8 @@ class RhTl2Session : public TxSession
   public:
     RhTl2Session(HtmEngine &eng, TmGlobals &globals, RhTl2Globals &tl2,
                  HtmTxn &htm, ThreadStats *stats,
-                 const RetryPolicy &policy, unsigned access_penalty = 0);
+                 const RetryPolicy &policy, unsigned access_penalty = 0,
+                 uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
     uint64_t read(const uint64_t *addr) override;
@@ -115,10 +116,11 @@ class RhTl2Session : public TxSession
     RhTl2Globals &tl2_;
     HtmTxn &htm_;
     ThreadStats *stats_;
-    RetryPolicy policy_;
+    // Reference, not a copy: post-construction knob changes apply.
+    const RetryPolicy &policy_;
     AdaptiveRetryBudget retryBudget_;
     unsigned penalty_;
-    Backoff backoff_;
+    ContentionManager cm_;
 
     Mode mode_ = Mode::kFast;
     unsigned attempts_ = 0;

@@ -19,6 +19,7 @@ faultSiteName(FaultSite site)
       case FaultSite::kPostfixCommit: return "postfix-commit";
       case FaultSite::kSoftwareWrite: return "software-write";
       case FaultSite::kFallbackStart: return "fallback-start";
+      case FaultSite::kSerialHeld: return "serial-held";
       case FaultSite::kNumSites: break;
     }
     return "unknown";

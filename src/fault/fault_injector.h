@@ -47,6 +47,7 @@ enum class FaultSite : unsigned
     kPostfixCommit,   //!< RH postfix about to publish (Algorithm 2).
     kSoftwareWrite,   //!< Software slow-path write (undo-logged).
     kFallbackStart,   //!< Software/mixed slow-path attempt begins.
+    kSerialHeld,      //!< Serial ticket lock just granted (held window).
     kNumSites
 };
 

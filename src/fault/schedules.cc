@@ -1,5 +1,7 @@
 #include "src/fault/schedules.h"
 
+#include <algorithm>
+
 namespace rhtm
 {
 
@@ -11,13 +13,20 @@ chaosScheduleNames()
         "postfix-kill",
         "capacity-squeeze",
         "delay-in-publish-window",
+        "stall-serial",
+        "stall-publisher",
     };
     return names;
 }
 
 bool
-makeChaosSchedule(const std::string &name, uint64_t seed, FaultPlan &out)
+makeChaosSchedule(const std::string &raw_name, uint64_t seed,
+                  FaultPlan &out)
 {
+    // Accept underscore spellings ("stall_serial") for shell callers.
+    std::string name = raw_name;
+    std::replace(name.begin(), name.end(), '_', '-');
+
     out = FaultPlan{};
     out.seed = seed;
 
@@ -90,6 +99,60 @@ makeChaosSchedule(const std::string &name, uint64_t seed, FaultPlan &out)
         rw.probability = 0.25;
         rw.delaySpins = 4000;
         out.add(rw);
+        return true;
+    }
+    if (name == "stall-serial") {
+        // Herd transactions into serial mode: abort nearly every
+        // software slow-path start so the restart counter races to the
+        // serialization threshold...
+        FaultRule rf;
+        rf.site = FaultSite::kFallbackStart;
+        rf.kind = FaultKind::kAbortOther;
+        rf.period = 1;
+        rf.probability = 0.9;
+        out.add(rf);
+        // ...then stall the winner inside its held window, leaving the
+        // queued tickets staring at a motionless serial epoch (the
+        // watchdog's prime target).
+        FaultRule rh;
+        rh.site = FaultSite::kSerialHeld;
+        rh.kind = FaultKind::kDelay;
+        rh.period = 1;
+        rh.delaySpins = 200000;
+        out.add(rh);
+        FaultRule ry;
+        ry.site = FaultSite::kSerialHeld;
+        ry.kind = FaultKind::kYield;
+        ry.period = 1;
+        ry.probability = 0.25;
+        out.add(ry);
+        return true;
+    }
+    if (name == "stall-publisher") {
+        // Push a healthy fraction of transactions onto the slow path...
+        FaultRule rd;
+        rd.site = FaultSite::kTxRead;
+        rd.kind = FaultKind::kAbortConflict;
+        rd.period = 1;
+        rd.probability = 0.01;
+        out.add(rd);
+        // ...and stall writers while they hold the commit clock, so
+        // every start-time subscriber and validating reader waits out
+        // a dead publication window on the clock epoch.
+        FaultRule rw;
+        rw.site = FaultSite::kPostFirstWrite;
+        rw.kind = FaultKind::kDelay;
+        rw.period = 1;
+        rw.probability = 0.5;
+        rw.delaySpins = 150000;
+        out.add(rw);
+        FaultRule rp;
+        rp.site = FaultSite::kPublishWindow;
+        rp.kind = FaultKind::kDelay;
+        rp.period = 1;
+        rp.probability = 0.2;
+        rp.delaySpins = 50000;
+        out.add(rp);
         return true;
     }
     return false;

@@ -31,8 +31,13 @@ const std::vector<std::string> &chaosScheduleNames();
  *    lines for a span of transactions.
  *  - "delay-in-publish-window": stall and yield inside publication
  *    windows and right after slow-path clock acquisition.
+ *  - "stall-serial": herd threads into serial mode, then stall the
+ *    serial-lock holder inside its held window (watchdog target).
+ *  - "stall-publisher": stall writers that hold the commit clock, so
+ *    every subscriber waits out a dead publication window.
  *
- * @param name One of chaosScheduleNames().
+ * @param name One of chaosScheduleNames(); underscores in @p name are
+ *             accepted as dashes ("stall_serial" == "stall-serial").
  * @param seed Base seed (drives every probabilistic rule).
  * @param out Receives the plan.
  * @return false for an unknown name.

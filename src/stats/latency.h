@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fixed-size log2 latency histogram for per-operation timings.
+ *
+ * HDR-style layout: each power-of-two octave is split into 4 linear
+ * sub-buckets, giving <= 25% relative error per bucket over the full
+ * uint64 nanosecond range in 256 counters. Recording is two shifts and
+ * an increment -- cheap enough to sit inside the bench worker loop
+ * without perturbing the measured run -- and percentiles are computed
+ * once at the end by walking the counters.
+ */
+
+#ifndef RHTM_STATS_LATENCY_H
+#define RHTM_STATS_LATENCY_H
+
+#include <array>
+#include <cstdint>
+
+namespace rhtm
+{
+
+/** Log2-octave histogram of nanosecond latencies. */
+class LatencyHistogram
+{
+  public:
+    /** Linear sub-buckets per power-of-two octave. */
+    static constexpr unsigned kSubBuckets = 4;
+
+    /** Total counter slots. */
+    static constexpr unsigned kNumBuckets = 64 * kSubBuckets;
+
+    /** Record one sample of @p ns nanoseconds. */
+    void
+    record(uint64_t ns)
+    {
+        ++count_;
+        if (ns > max_)
+            max_ = ns;
+        ++buckets_[bucketOf(ns)];
+    }
+
+    /** Fold another histogram (e.g. another thread's) into this one. */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        count_ += other.count_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+        for (unsigned i = 0; i < kNumBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+    }
+
+    /** Samples recorded. */
+    uint64_t count() const { return count_; }
+
+    /** Largest sample seen (exact, not bucketed). */
+    uint64_t maxNs() const { return max_; }
+
+    /**
+     * Value at percentile @p pct in [0, 100]: the lower bound of the
+     * bucket holding the pct-th sample (conservative estimate).
+     */
+    uint64_t
+    percentileNs(double pct) const
+    {
+        if (count_ == 0)
+            return 0;
+        uint64_t target =
+            static_cast<uint64_t>(pct / 100.0 *
+                                  static_cast<double>(count_));
+        if (target < 1)
+            target = 1;
+        if (target > count_)
+            target = count_;
+        uint64_t seen = 0;
+        for (unsigned i = 0; i < kNumBuckets; ++i) {
+            seen += buckets_[i];
+            if (seen >= target)
+                return bucketLowNs(i);
+        }
+        return max_;
+    }
+
+  private:
+    static constexpr unsigned kSubBits = 2; // log2(kSubBuckets)
+
+    static unsigned
+    bucketOf(uint64_t ns)
+    {
+        if (ns < kSubBuckets)
+            return static_cast<unsigned>(ns);
+        unsigned msb =
+            63u - static_cast<unsigned>(__builtin_clzll(ns));
+        unsigned sub = static_cast<unsigned>(
+            (ns >> (msb - kSubBits)) & (kSubBuckets - 1));
+        unsigned idx = (msb - kSubBits + 1) * kSubBuckets + sub;
+        return idx < kNumBuckets ? idx : kNumBuckets - 1;
+    }
+
+    static uint64_t
+    bucketLowNs(unsigned idx)
+    {
+        if (idx < kSubBuckets)
+            return idx;
+        unsigned octave = idx / kSubBuckets + kSubBits - 1;
+        unsigned sub = idx % kSubBuckets;
+        return (uint64_t(1) << octave) +
+               (uint64_t(sub) << (octave - kSubBits));
+    }
+
+    std::array<uint64_t, kNumBuckets> buckets_{};
+    uint64_t count_ = 0;
+    uint64_t max_ = 0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_STATS_LATENCY_H

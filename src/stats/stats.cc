@@ -107,7 +107,15 @@ StatsSummary::toString() const
        << " (" << restartsPerSlowPath() << "/slow-path)\n"
        << "slow-path ratio:       " << slowPathRatio() << "\n"
        << "prefix success ratio:  " << prefixSuccessRatio() << "\n"
-       << "postfix success ratio: " << postfixSuccessRatio() << "\n";
+       << "postfix success ratio: " << postfixSuccessRatio() << "\n"
+       << "serial acquires:       " << get(Counter::kSerialAcquires)
+       << " (" << ratio(get(Counter::kSerialWaitTicks),
+                        get(Counter::kSerialAcquires))
+       << " wait-ticks each)\n"
+       << "stalls detected:       " << get(Counter::kStallsDetected)
+       << " (yields " << get(Counter::kStallYields) << ", sleeps "
+       << get(Counter::kStallSleeps) << ", recovered "
+       << get(Counter::kStallRecoveries) << ")\n";
     return os.str();
 }
 

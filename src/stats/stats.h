@@ -40,6 +40,12 @@ enum class Counter : unsigned
     kPostfixSuccesses,      //!< RH HTM-postfix transactions committed.
     kOperations,            //!< Committed top-level transactions.
     kReadOnlyCommits,       //!< Transactions committed read-only.
+    kSerialAcquires,        //!< Serial ticket-lock acquisitions.
+    kSerialWaitTicks,       //!< Wait iterations spent queued for it.
+    kStallsDetected,        //!< Watchdog: holder exceeded stall budget.
+    kStallYields,           //!< Watchdog escalation: yield steps.
+    kStallSleeps,           //!< Watchdog escalation: sleep steps.
+    kStallRecoveries,       //!< Stalled waits that cleared and resumed.
     kNumCounters
 };
 

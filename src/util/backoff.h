@@ -40,6 +40,13 @@ simDelay(unsigned cycles)
         asm volatile("");
 }
 
+/** What one backoff step did (observable for tests and stats). */
+enum class BackoffAction : uint8_t
+{
+    kSpun,   //!< Busy-spun with PAUSE hints.
+    kYielded //!< Yielded the OS thread (escalated wait).
+};
+
 /**
  * Bounded exponential backoff for contended retry loops.
  *
@@ -56,20 +63,27 @@ class Backoff
     {}
 
     /** Wait one backoff step and grow the next step. */
-    void
+    BackoffAction
     pause()
     {
         if (limit_ >= maxSpins_) {
             std::this_thread::yield();
-            return;
+            return BackoffAction::kYielded;
         }
         for (uint32_t i = 0; i < limit_; ++i)
             cpuRelax();
         limit_ <<= 1;
+        return BackoffAction::kSpun;
     }
 
     /** Reset to the initial (shortest) wait. */
     void reset() { limit_ = 1; }
+
+    /** Spin count of the next kSpun step (doubles until the cap). */
+    uint32_t limit() const { return limit_; }
+
+    /** Cap at which steps turn into yields. */
+    uint32_t maxSpins() const { return maxSpins_; }
 
   private:
     uint32_t limit_;

@@ -153,6 +153,30 @@ TEST(KillSwitchTest, HardwareCommitResetsTheStreak)
     EXPECT_GT(s.get(Counter::kCommitsFastPath), 0u);
 }
 
+TEST(KillSwitchTest, StreakResetBelongsToTheReopeningDecayAlone)
+{
+    // Regression: a completer that lost the decay CAS used to reset
+    // the failure streak anyway when its stale snapshot read 1, wiping
+    // failures accumulated after another thread actually re-opened the
+    // breaker and deferring the next trip.
+    TmGlobals g;
+    g.killSwitch.cooldown.store(2);
+    g.killSwitch.consecutiveFailures.store(5);
+
+    killSwitchOnComplete(g); // Decays 2 -> 1: still tripped.
+    EXPECT_EQ(g.killSwitch.cooldown.load(), 1u);
+    EXPECT_EQ(g.killSwitch.consecutiveFailures.load(), 5u)
+        << "the streak survives until the breaker re-opens";
+
+    killSwitchOnComplete(g); // Decays 1 -> 0: re-opens and resets.
+    EXPECT_EQ(g.killSwitch.cooldown.load(), 0u);
+    EXPECT_EQ(g.killSwitch.consecutiveFailures.load(), 0u)
+        << "re-opening starts the next probe with a clean streak";
+
+    killSwitchOnComplete(g); // Already open: a no-op.
+    EXPECT_EQ(g.killSwitch.cooldown.load(), 0u);
+}
+
 TEST(KillSwitchTest, SharedAcrossThreads)
 {
     // The breaker is global: one thread's failure streak shields every

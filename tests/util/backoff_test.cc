@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the bounded exponential Backoff helper: the spin limit
+ * doubles per step up to the cap, steps at the cap turn into OS
+ * yields, and reset() drops back to the shortest wait.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+namespace
+{
+
+TEST(BackoffTest, LimitDoublesPerStepUntilTheCap)
+{
+    Backoff b(64);
+    EXPECT_EQ(b.limit(), 1u);
+    EXPECT_EQ(b.maxSpins(), 64u);
+    uint32_t expected = 1;
+    while (b.limit() < b.maxSpins()) {
+        EXPECT_EQ(b.limit(), expected);
+        EXPECT_EQ(b.pause(), BackoffAction::kSpun);
+        expected <<= 1;
+    }
+    EXPECT_EQ(b.limit(), 64u) << "doubling saturates exactly at the cap";
+}
+
+TEST(BackoffTest, StepsAtTheCapYieldInsteadOfSpinning)
+{
+    Backoff b(8);
+    while (b.limit() < b.maxSpins())
+        b.pause();
+    // Once saturated, every further step hands the CPU to the OS so a
+    // preempted lock holder can run; the limit stops growing.
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(b.pause(), BackoffAction::kYielded);
+        EXPECT_EQ(b.limit(), 8u);
+    }
+}
+
+TEST(BackoffTest, ResetRestartsTheDoubling)
+{
+    Backoff b(16);
+    b.pause();
+    b.pause();
+    EXPECT_GT(b.limit(), 1u);
+    b.reset();
+    EXPECT_EQ(b.limit(), 1u);
+    EXPECT_EQ(b.pause(), BackoffAction::kSpun);
+}
+
+TEST(BackoffTest, DefaultCapIsReachedInTenSteps)
+{
+    // The default cap (1024 = 2^10) bounds the pre-yield spinning to
+    // ~2k relax hints total; a regression here silently turns short
+    // waits into scheduler round-trips (or unbounded spins).
+    Backoff b;
+    int spun = 0;
+    while (b.pause() == BackoffAction::kSpun)
+        ++spun;
+    EXPECT_EQ(spun, 10);
+}
+
+} // namespace
+} // namespace rhtm

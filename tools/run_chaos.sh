@@ -8,7 +8,8 @@
 #
 # Environment:
 #   RHTM_SANITIZE  Sanitizer for the build (default: thread; set to
-#                  'address' for ASan or '' for an uninstrumented run).
+#                  'address' for ASan, 'undefined' for UBSan, or ''
+#                  for an uninstrumented run).
 #   SEEDS          Space-separated seed matrix (default: "1 2 3").
 set -euo pipefail
 
@@ -28,7 +29,7 @@ done
 
 SANITIZE="${RHTM_SANITIZE-thread}"
 SEEDS="${SEEDS:-1 2 3}"
-SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window"
+SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window stall-serial stall-publisher"
 
 echo "== configure ($BUILD_DIR, sanitizer: ${SANITIZE:-none}) =="
 cmake -B "$BUILD_DIR" -S . -DRHTM_SANITIZE="$SANITIZE" >/dev/null

@@ -15,15 +15,19 @@ COLS = [
     "bench", "algo", "threads", "seconds", "ops", "throughput",
     "conflict", "capacity", "restarts", "slowpath", "prefix",
     "postfix", "injected", "subscription", "attempts", "ks_act",
-    "ks_bypass", "verified",
+    "ks_bypass", "p50_us", "p99_us", "max_us", "stalls", "verified",
 ]
+
+# Captures from before the latency/stall columns were added.
+PRE_LATENCY_COLS = COLS[:17] + ["verified"]
 
 # Captures from before the fault-injection columns were added.
 LEGACY_COLS = COLS[:12] + ["verified"]
 
 FLOAT_COLS = ("throughput", "conflict", "capacity", "restarts",
               "slowpath", "prefix", "postfix", "injected",
-              "subscription", "attempts", "ks_bypass")
+              "subscription", "attempts", "ks_bypass", "p50_us",
+              "p99_us", "max_us")
 
 
 def parse(path):
@@ -36,15 +40,22 @@ def parse(path):
             parts = line.split(",")
             if len(parts) == len(COLS):
                 row = dict(zip(COLS, parts))
+            elif len(parts) == len(PRE_LATENCY_COLS):
+                row = dict(zip(PRE_LATENCY_COLS, parts))
+                row.update(p50_us="0", p99_us="0", max_us="0",
+                           stalls="0")
             elif len(parts) == len(LEGACY_COLS):
                 row = dict(zip(LEGACY_COLS, parts))
                 row.update(injected="0", subscription="0",
-                           attempts="0", ks_act="0", ks_bypass="0")
+                           attempts="0", ks_act="0", ks_bypass="0",
+                           p50_us="0", p99_us="0", max_us="0",
+                           stalls="0")
             else:
                 continue
             try:
                 row["threads"] = int(row["threads"])
                 row["ks_act"] = int(row["ks_act"])
+                row["stalls"] = int(row["stalls"])
                 for k in FLOAT_COLS:
                     row[k] = float(row[k])
             except ValueError:
@@ -72,11 +83,17 @@ def main():
         print(f"### {bench} @ {threads} threads\n")
         show_faults = any(r["injected"] > 0 or r["ks_act"] > 0
                           for r in benches[bench])
+        show_lat = any(r["max_us"] > 0 or r["stalls"] > 0
+                       for r in benches[bench])
         fault_hdr = " inj/op | ks | " if show_faults else " "
         fault_sep = "---|---|" if show_faults else ""
+        lat_hdr = " p50us | p99us | stalls | " if show_lat else " "
+        lat_sep = "---|---|---|" if show_lat else ""
+        extra_hdr = fault_hdr.rstrip() + lat_hdr
         print("| algo | ops/s | conf/op | cap/op | restarts | "
-              f"slow% | prefix | postfix |{fault_hdr}ok |")
-        print(f"|---|---|---|---|---|---|---|---|{fault_sep}---|")
+              f"slow% | prefix | postfix |{extra_hdr}ok |")
+        print(f"|---|---|---|---|---|---|---|---|{fault_sep}"
+              f"{lat_sep}---|")
         by_algo = {}
         for r in benches[bench]:
             by_algo[r["algo"]] = r
@@ -84,11 +101,15 @@ def main():
             if show_faults:
                 fault_cells = (f" {r['injected']:.4f} "
                                f"| {r['ks_act']} |")
+            lat_cells = ""
+            if show_lat:
+                lat_cells = (f" {r['p50_us']:.1f} | {r['p99_us']:.1f} "
+                             f"| {r['stalls']} |")
             print(f"| {r['algo']} | {r['throughput']:,.0f} "
                   f"| {r['conflict']:.4f} | {r['capacity']:.4f} "
                   f"| {r['restarts']:.3f} | {100 * r['slowpath']:.1f} "
                   f"| {r['prefix']:.2f} | {r['postfix']:.2f} "
-                  f"|{fault_cells} {r['verified']} |")
+                  f"|{fault_cells}{lat_cells} {r['verified']} |")
         rh, hy = by_algo.get("rh-norec"), by_algo.get("hy-norec")
         if rh and hy:
             tput = rh["throughput"] / hy["throughput"] if hy[
