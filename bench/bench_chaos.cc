@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/core/fault_points.h"
 #include "src/fault/schedules.h"
 #include "src/structures/tx_hashmap.h"
 
@@ -65,24 +66,56 @@ class ChaosBankWorkload : public Workload
             uint64_t from = rng.nextBounded(accounts_);
             uint64_t to = rng.nextBounded(accounts_);
             uint64_t amount = 1 + rng.nextBounded(50);
-            rt.run(ctx, [&](Txn &tx) {
-                uint64_t balance = 0;
-                bank_.get(tx, from, balance);
-                if (balance < amount)
-                    return; // No overdrafts; still conserves.
-                bank_.put(tx, from, balance - amount);
-                bank_.addTo(tx, to, amount);
-            });
+            // Decided outside the transaction: a transfer that must
+            // also notify an external system (the irrevocability use
+            // case) makes the same choice on every replayed attempt.
+            bool want_irrevocable = irrevocablePct_ > 0 &&
+                                    rng.nextPercent(irrevocablePct_);
+            bool upgraded = false;
+            try {
+                rt.run(ctx, [&](Txn &tx) {
+                    // Opt-in: lets the schedule script a user
+                    // exception at the top of the body, before any
+                    // upgrade (docs/LIFECYCLE.md).
+                    userExceptionFaultPoint(ctx.injector());
+                    uint64_t balance = 0;
+                    bank_.get(tx, from, balance);
+                    if (balance < amount)
+                        return; // No overdrafts; still conserves.
+                    if (want_irrevocable) {
+                        tx.becomeIrrevocable();
+                        // Simulated external side effect: runs exactly
+                        // once per granted transaction, never replayed
+                        // (verify() counts it against upgraded
+                        // commits).
+                        sideEffects_.fetch_add(1,
+                                               std::memory_order_relaxed);
+                        upgraded = true;
+                    }
+                    bank_.put(tx, from, balance - amount);
+                    bank_.addTo(tx, to, amount);
+                });
+            } catch (const InjectedUserException &) {
+                return; // Aborted cleanly; conservation is unchanged.
+            }
+            if (upgraded)
+                irrevocableCommits_.fetch_add(1,
+                                              std::memory_order_relaxed);
         } else {
             uint64_t sum = 0;
-            rt.run(ctx, [&](Txn &tx) {
-                sum = 0; // The body may re-execute under faults.
-                for (uint64_t a = 0; a < accounts_; ++a) {
-                    uint64_t balance = 0;
-                    bank_.get(tx, a, balance);
-                    sum += balance;
-                }
-            });
+            try {
+                rt.run(ctx, [&](Txn &tx) {
+                    userExceptionFaultPoint(ctx.injector());
+                    sum = 0; // The body may re-execute under faults.
+                    for (uint64_t a = 0; a < accounts_; ++a) {
+                        uint64_t balance = 0;
+                        bank_.get(tx, a, balance);
+                        sum += balance;
+                    }
+                });
+            } catch (const InjectedUserException &) {
+                return; // Aborted mid-sum; the snapshot is void.
+            }
             if (sum != total_)
                 tornTotals_.fetch_add(1, std::memory_order_relaxed);
         }
@@ -95,6 +128,16 @@ class ChaosBankWorkload : public Workload
             if (why)
                 *why = std::to_string(torn) +
                        " torn bank totals (opacity violation)";
+            return false;
+        }
+        uint64_t effects = sideEffects_.load();
+        uint64_t upgrades = irrevocableCommits_.load();
+        if (effects != upgrades) {
+            if (why)
+                *why = "irrevocable side effects ran " +
+                       std::to_string(effects) + " times for " +
+                       std::to_string(upgrades) +
+                       " upgraded commits (replayed grant)";
             return false;
         }
         uint64_t final_total = 0;
@@ -137,6 +180,8 @@ class ChaosBankWorkload : public Workload
     uint64_t total_;
     TxHashMap bank_;
     std::atomic<uint64_t> tornTotals_{0};
+    std::atomic<uint64_t> sideEffects_{0};
+    std::atomic<uint64_t> irrevocableCommits_{0};
 };
 
 /** Per-cell per-cause abort and kill-switch breakdown. */
@@ -149,7 +194,8 @@ printStatsBlock(const std::string &name,
         std::printf(
             "# stats %s %s@%u: conflict=%llu capacity=%llu "
             "explicit=%llu other=%llu injected=%llu subscription=%llu "
-            "attempts=%llu ks-activations=%llu ks-bypasses=%llu\n",
+            "attempts=%llu ks-activations=%llu ks-bypasses=%llu "
+            "irrev-upgrades=%llu user-exc-aborts=%llu\n",
             name.c_str(), algoKindName(c.algo), c.threads,
             (unsigned long long)s.get(Counter::kHtmConflictAborts),
             (unsigned long long)s.get(Counter::kHtmCapacityAborts),
@@ -159,7 +205,9 @@ printStatsBlock(const std::string &name,
             (unsigned long long)s.get(Counter::kHtmSubscriptionAborts),
             (unsigned long long)s.get(Counter::kFastPathAttempts),
             (unsigned long long)s.get(Counter::kKillSwitchActivations),
-            (unsigned long long)s.get(Counter::kKillSwitchBypasses));
+            (unsigned long long)s.get(Counter::kKillSwitchBypasses),
+            (unsigned long long)s.get(Counter::kIrrevocableUpgrades),
+            (unsigned long long)s.get(Counter::kUserExceptionAborts));
     }
 }
 

@@ -54,6 +54,14 @@ parseBenchConfig(const CliOptions &opts)
         opts.getInt("stall-budget",
                     static_cast<int64_t>(
                         cfg.runtime.retry.stallBudgetTicks)));
+    int64_t irrev = opts.getInt("irrevocable-pct", 0);
+    if (irrev < 0 || irrev > 100) {
+        std::fprintf(stderr,
+                     "--irrevocable-pct must be in [0,100] (got %lld)\n",
+                     static_cast<long long>(irrev));
+        std::exit(2);
+    }
+    cfg.irrevocablePct = static_cast<unsigned>(irrev);
     if (opts.has("cm")) {
         std::string cm = opts.getString("cm", "");
         if (cm == "static") {
@@ -119,7 +127,7 @@ printCsvHeader()
         "injected_aborts_per_op,subscription_aborts_per_op,"
         "fastpath_attempts_per_op,killswitch_activations,"
         "killswitch_bypass_ratio,p50_us,p99_us,max_us,"
-        "stalls_detected,verified\n");
+        "stalls_detected,irrevocable_upgrades,verified\n");
 }
 
 void
@@ -132,7 +140,8 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
     double bypass_ratio =
         ops ? double(s.get(Counter::kKillSwitchBypasses)) / ops : 0.0;
     std::printf("%s,%s,%u,%.2f,%llu,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f,"
-                "%.4f,%.4f,%.4f,%.4f,%llu,%.4f,%.2f,%.2f,%.2f,%llu,%s\n",
+                "%.4f,%.4f,%.4f,%.4f,%llu,%.4f,%.2f,%.2f,%.2f,%llu,"
+                "%llu,%s\n",
                 bench_name.c_str(), algoKindName(cell.algo),
                 cell.threads, cell.seconds,
                 static_cast<unsigned long long>(cell.ops),
@@ -149,6 +158,8 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
                 cell.latency.maxNs() / 1000.0,
                 static_cast<unsigned long long>(
                     s.get(Counter::kStallsDetected)),
+                static_cast<unsigned long long>(
+                    s.get(Counter::kIrrevocableUpgrades)),
                 cell.verified ? "ok" : "FAIL");
     std::fflush(stdout);
 }
@@ -164,6 +175,7 @@ runCell(const WorkloadFactory &make, const BenchConfig &cfg,
     rt_cfg.rngSeed = cfg.seed;
     TmRuntime rt(algo, rt_cfg);
     std::unique_ptr<Workload> workload = make();
+    workload->setIrrevocablePct(cfg.irrevocablePct);
 
     {
         ThreadCtx &setup_ctx = rt.registerThread();

@@ -41,6 +41,7 @@ struct BenchConfig
     RuntimeConfig runtime;              //!< Base runtime config.
     bool verify = true;                 //!< Check invariants per cell.
     uint64_t seed = 1;
+    unsigned irrevocablePct = 0;        //!< Upgraded-op percentage.
 
     BenchConfig();
 };
@@ -57,6 +58,8 @@ struct BenchConfig
  *                               0 disables the watchdog)
  *   --cm=static|causeaware     (contention manager: legacy doubling
  *                               backoff vs cause-keyed randomized)
+ *   --irrevocable-pct=N        (percent of ops upgraded to
+ *                               irrevocability, workloads permitting)
  * Exits with a message on unknown algorithms or stray arguments.
  */
 BenchConfig parseBenchConfig(const CliOptions &opts);

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deferred commit/abort action hooks with NOrec-correct ordering.
+ *
+ * A transaction body may register handlers that must run exactly once,
+ * outside the transaction: onCommit handlers after the commit is
+ * linearized and every coordination lock (serial/clock/orec) has been
+ * dropped, onAbort handlers after the attempt's rollback completes.
+ * The memory manager's alloc/free journal is folded in as stage zero
+ * of both paths, so this log is the single ordering authority for
+ * everything that happens "after" a transaction (docs/LIFECYCLE.md).
+ */
+
+#ifndef RHTM_API_ACTION_LOG_H
+#define RHTM_API_ACTION_LOG_H
+
+#include <functional>
+#include <vector>
+
+#include "src/mem/memory_manager.h"
+#include "src/stats/stats.h"
+
+namespace rhtm
+{
+
+/**
+ * Per-thread log of deferred actions for the transaction in flight.
+ *
+ * Ordering contract (see docs/LIFECYCLE.md):
+ *  - runCommit: the memory journal commits first (frees retire,
+ *    allocations become permanent), then user commit handlers run in
+ *    FIFO registration order. The caller must have already dropped
+ *    every TM lock, so a handler may perform I/O, take OS locks, or
+ *    even start new transactions.
+ *  - runAbort: the memory journal rolls back first (allocations
+ *    retire, frees are dropped), then user abort handlers run in LIFO
+ *    registration order -- compensation unwinds like a scope stack.
+ *    Abort handlers run once per aborted *attempt* (a restarted body
+ *    re-registers its handlers when it re-executes).
+ *
+ * Handlers must not throw; an escaping handler exception would unwind
+ * the retry loop in a half-stepped state, so it is swallowed here
+ * (the handler slot still counts as run).
+ *
+ * Single-threaded by construction: owned by one ThreadCtx.
+ */
+class ActionLog
+{
+  public:
+    /** Queue @p fn to run after the transaction commits (FIFO). */
+    void
+    registerCommit(std::function<void()> fn)
+    {
+        commit_.push_back(std::move(fn));
+    }
+
+    /** Queue @p fn to run if the attempt aborts (LIFO). */
+    void
+    registerAbort(std::function<void()> fn)
+    {
+        abort_.push_back(std::move(fn));
+    }
+
+    /**
+     * The transaction committed: commit the memory journal, then run
+     * the commit handlers FIFO. Clears both lists.
+     */
+    void
+    runCommit(ThreadMem &mem, ThreadStats *stats)
+    {
+        mem.onCommit();
+        for (auto &fn : commit_) {
+            if (stats)
+                stats->inc(Counter::kCommitActionsRun);
+            try {
+                fn();
+            } catch (...) {
+                // Deferred handlers are noexcept by contract; a late
+                // throw has nothing left to abort, so it is dropped.
+            }
+        }
+        commit_.clear();
+        abort_.clear();
+    }
+
+    /**
+     * The attempt aborted (restart or user exception): roll back the
+     * memory journal, then run the abort handlers LIFO. Clears both
+     * lists.
+     */
+    void
+    runAbort(ThreadMem &mem, ThreadStats *stats)
+    {
+        mem.onAbort();
+        for (auto it = abort_.rbegin(); it != abort_.rend(); ++it) {
+            if (stats)
+                stats->inc(Counter::kAbortActionsRun);
+            try {
+                (*it)();
+            } catch (...) {
+            }
+        }
+        commit_.clear();
+        abort_.clear();
+    }
+
+    /** Drop everything without running (fresh top-level transaction). */
+    void
+    clear()
+    {
+        commit_.clear();
+        abort_.clear();
+    }
+
+    /** Queued commit handlers (tests). */
+    size_t pendingCommit() const { return commit_.size(); }
+
+    /** Queued abort handlers (tests). */
+    size_t pendingAbort() const { return abort_.size(); }
+
+  private:
+    std::vector<std::function<void()>> commit_;
+    std::vector<std::function<void()>> abort_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_API_ACTION_LOG_H

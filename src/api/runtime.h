@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/api/action_log.h"
 #include "src/api/tx_defs.h"
 #include "src/api/txn.h"
 #include "src/core/globals.h"
@@ -107,6 +108,9 @@ class ThreadCtx
      */
     FaultInjector *injector() { return fault_.get(); }
 
+    /** This thread's deferred-action log (exposed for tests). */
+    ActionLog &actions() { return actions_; }
+
   private:
     friend class TmRuntime;
 
@@ -115,6 +119,7 @@ class ThreadCtx
     unsigned tid_;
     ThreadMem *mem_;
     ThreadStats stats_;
+    ActionLog actions_;
     std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<HtmTxn> htm_;
     std::unique_ptr<TxSession> session_;
@@ -164,37 +169,50 @@ class TmRuntime
     {
         if (ctx.inTxn_) {
             // Flat nesting: execute within the enclosing transaction.
-            Txn tx(ctx.session_.get(), ctx.mem_, ctx.tid());
+            Txn tx(ctx.session_.get(), ctx.mem_, ctx.tid(),
+                   &ctx.actions_);
             body(tx);
             return;
         }
         EpochManager &ep = mem_.epochs();
         ep.enterRegion(ctx.tid());
         ctx.inTxn_ = true;
+        ctx.actions_.clear();
         TxSession &s = *ctx.session_;
         for (;;) {
             try {
                 s.begin(hint);
-                Txn tx(&s, ctx.mem_, ctx.tid());
+                Txn tx(&s, ctx.mem_, ctx.tid(), &ctx.actions_);
                 body(tx);
                 s.commit();
                 break;
             } catch (const HtmAbort &abort) {
-                ctx.mem_->onAbort();
+                // Rollback first (the session releases any held locks
+                // and undoes in-place writes), THEN the action log:
+                // abort handlers observe post-rollback state, and the
+                // memory journal retires this attempt's allocations.
                 s.onHtmAbort(abort);
+                ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
             } catch (const TxRestart &) {
-                ctx.mem_->onAbort();
                 s.onRestart();
+                ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
             } catch (...) {
+                // A user exception: full abort (locks released, HTM
+                // buffers discarded, journals rolled back, epoch slot
+                // quiesced), then rethrow to the caller exactly once.
+                ctx.stats_.inc(Counter::kUserExceptionAborts);
                 s.onUserAbort();
-                ctx.mem_->onAbort();
+                ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
                 ctx.inTxn_ = false;
                 ep.exitRegion(ctx.tid());
                 throw;
             }
         }
+        // Commit is linearized and onComplete() has dropped the
+        // serial/global locks; only now may deferred commit actions
+        // (journal retirement, then user handlers) run.
         s.onComplete();
-        ctx.mem_->onCommit();
+        ctx.actions_.runCommit(*ctx.mem_, &ctx.stats_);
         ctx.stats_.inc(Counter::kOperations);
         ctx.inTxn_ = false;
         ep.exitRegion(ctx.tid());

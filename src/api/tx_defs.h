@@ -67,6 +67,21 @@ class TxSession
     /** Finish the attempt; throws HtmAbort/TxRestart on failure. */
     virtual void commit() = 0;
 
+    /**
+     * Upgrade the attempt so it can no longer abort (docs/LIFECYCLE.md).
+     *
+     * Contract: either this returns with irrevocability granted --
+     * after which read()/write()/commit() never throw and the
+     * transaction is guaranteed to commit -- or it unwinds (HtmAbort
+     * with kNeedIrrevocable on a hardware path, TxRestart on a failed
+     * software validation) BEFORE granting, so the body re-executes
+     * from the top and any post-upgrade side effect runs at most once.
+     */
+    virtual void becomeIrrevocable() = 0;
+
+    /** True once the current attempt has been granted irrevocability. */
+    virtual bool isIrrevocable() const = 0;
+
     /** The attempt unwound with a (simulated) hardware abort. */
     virtual void onHtmAbort(const HtmAbort &abort) = 0;
 

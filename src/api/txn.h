@@ -7,8 +7,10 @@
 #define RHTM_API_TXN_H
 
 #include <cstdint>
+#include <functional>
 #include <type_traits>
 
+#include "src/api/action_log.h"
 #include "src/api/tx_defs.h"
 #include "src/mem/memory_manager.h"
 
@@ -28,8 +30,9 @@ class Txn
 {
   public:
     /** Built by the runtime; user code never constructs one. */
-    Txn(TxSession *session, ThreadMem *mem, unsigned tid)
-        : session_(session), mem_(mem), tid_(tid)
+    Txn(TxSession *session, ThreadMem *mem, unsigned tid,
+        ActionLog *actions = nullptr)
+        : session_(session), mem_(mem), actions_(actions), tid_(tid)
     {}
 
     /** Transactional load. @p addr must be 8-byte aligned. */
@@ -118,12 +121,50 @@ class Txn
         throw TxRestart{};
     }
 
+    /**
+     * Upgrade this transaction so it can no longer abort: after this
+     * returns, reads and writes go straight through and commit cannot
+     * fail, so the body may safely perform a side effect that must not
+     * replay (I/O, a syscall). May unwind and re-execute the body from
+     * the top -- but only BEFORE the upgrade is granted, never after
+     * (see docs/LIFECYCLE.md for the per-algorithm protocol).
+     */
+    void becomeIrrevocable() { session_->becomeIrrevocable(); }
+
+    /** True once this attempt holds irrevocability. */
+    bool isIrrevocable() const { return session_->isIrrevocable(); }
+
+    /**
+     * Register @p fn to run after this transaction commits, once the
+     * commit is linearized and every TM lock is dropped (FIFO order).
+     * Runs at most once; discarded if the enclosing attempt aborts.
+     */
+    void
+    onCommit(std::function<void()> fn)
+    {
+        if (actions_)
+            actions_->registerCommit(std::move(fn));
+    }
+
+    /**
+     * Register @p fn to run if this attempt aborts, after its rollback
+     * completes (LIFO order). A restarted body re-registers handlers
+     * when it re-executes.
+     */
+    void
+    onAbort(std::function<void()> fn)
+    {
+        if (actions_)
+            actions_->registerAbort(std::move(fn));
+    }
+
     /** Runtime-assigned id of the executing thread. */
     unsigned tid() const { return tid_; }
 
   private:
     TxSession *session_;
     ThreadMem *mem_;
+    ActionLog *actions_;
     unsigned tid_;
 };
 

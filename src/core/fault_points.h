@@ -62,6 +62,69 @@ sessionFaultPoint(HtmTxn &htm, FaultSite site)
     }
 }
 
+/**
+ * Like sessionFaultPoint(), but scripted aborts are absorbed instead
+ * of unwinding: used at windows reached after an irrevocability grant,
+ * where the transaction must not abort by contract. Delays and yields
+ * still apply (they stretch the window without breaking the promise),
+ * and the injector still counts the hit/fire for test assertions.
+ */
+inline void
+sessionFaultPointNoAbort(HtmTxn &htm, FaultSite site)
+{
+    FaultInjector *fault = htm.injector();
+    if (fault == nullptr)
+        return;
+    uint32_t spins = 0;
+    switch (fault->fire(site, &spins)) {
+      case FaultKind::kDelay:
+        simDelay(spins);
+        return;
+      case FaultKind::kYield:
+        std::this_thread::yield();
+        return;
+      default:
+        return; // An irrevocable transaction never unwinds.
+    }
+}
+
+/**
+ * Thrown by userExceptionFaultPoint(): stands in for an arbitrary
+ * exception escaping a user transaction body. Deliberately not derived
+ * from std::exception, so only the runtime's catch-all sees it.
+ */
+struct InjectedUserException
+{
+};
+
+/**
+ * Body-side opt-in fault point: transaction bodies (workloads, tests)
+ * call this with their ThreadCtx's injector to let a chaos schedule
+ * deterministically script user exceptions mid-body. Any scripted
+ * abort kind at kUserException throws InjectedUserException; delays
+ * and yields apply in place.
+ */
+inline void
+userExceptionFaultPoint(FaultInjector *fault)
+{
+    if (fault == nullptr)
+        return;
+    uint32_t spins = 0;
+    switch (fault->fire(FaultSite::kUserException, &spins)) {
+      case FaultKind::kNone:
+      case FaultKind::kCapacitySqueeze:
+        return;
+      case FaultKind::kDelay:
+        simDelay(spins);
+        return;
+      case FaultKind::kYield:
+        std::this_thread::yield();
+        return;
+      default:
+        throw InjectedUserException{};
+    }
+}
+
 } // namespace rhtm
 
 #endif // RHTM_CORE_FAULT_POINTS_H

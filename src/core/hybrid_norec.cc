@@ -116,7 +116,10 @@ HybridNOrecSession::write(uint64_t *addr, uint64_t value)
     simDelay(penalty_); // Instrumented slow-path access (DESIGN.md).
     if (!writeDetected_)
         handleFirstWrite();
-    sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
+    if (irrevocable_)
+        sessionFaultPointNoAbort(htm_, FaultSite::kSoftwareWrite);
+    else
+        sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
     undo_.push_back({addr, eng_.directLoad(addr)});
     eng_.directStore(addr, value);
 }
@@ -161,6 +164,40 @@ HybridNOrecSession::commit()
 }
 
 void
+HybridNOrecSession::becomeIrrevocable()
+{
+    if (irrevocable_)
+        return;
+    if (mode_ == Mode::kFast) {
+        // Cannot grant inside best-effort HTM: unwind, and onHtmAbort
+        // routes the next attempt straight to serial mode.
+        htm_.abortNeedIrrevocable();
+    }
+    if (!writeDetected_) {
+        // Read phase: we hold neither the clock nor the HTM lock, so
+        // queueing on the serial FIFO is deadlock-free (lock order:
+        // serial BEFORE clock, docs/LIFECYCLE.md). The lock serializes
+        // concurrent upgraders in ticket order.
+        mode_ = Mode::kSerial;
+        if (!serialHeld_) {
+            serialLockAcquire(eng_, g_, policy_, stats_);
+            serialHeld_ = true;
+        }
+        sessionFaultPoint(htm_, FaultSite::kIrrevocableUpgrade);
+        // Lock the clock exactly as a first write would: a failed CAS
+        // means some writer committed since our snapshot, so our reads
+        // may be stale -- restart() BEFORE granting (the serial lock
+        // stays held, so the replayed attempt upgrades unopposed).
+        handleFirstWrite();
+    }
+    // Clock and HTM lock held: reads are direct, no one else can
+    // commit, and commit() is a plain unlock-advance. Infallible.
+    irrevocable_ = true;
+    if (stats_)
+        stats_->inc(Counter::kIrrevocableUpgrades);
+}
+
+void
 HybridNOrecSession::rollbackWriter()
 {
     if (!writeDetected_)
@@ -189,6 +226,15 @@ HybridNOrecSession::onHtmAbort(const HtmAbort &abort)
     // A real abort already reset the hardware transaction; an injected
     // one (tests, policy probes) may not have.
     htm_.cancel();
+    if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
+        // The body asked for irrevocability: no amount of hardware
+        // retrying can satisfy it, so skip the budget and go straight
+        // to the serial slow path.
+        mode_ = Mode::kSerial;
+        if (stats_)
+            stats_->inc(Counter::kFallbacks);
+        return;
+    }
     if (!abort.retryOk)
         killSwitchOnHardwareFailure(g_, policy_, stats_);
     if (abort.retryOk && attempts_ < retryBudget_.budget()) {
@@ -213,6 +259,7 @@ HybridNOrecSession::onRestart()
         return;
     }
     rollbackWriter();
+    irrevocable_ = false;
     if (stats_)
         stats_->inc(Counter::kSlowPathRestarts);
     if (++slowRestarts_ >= policy_.maxSlowPathRestarts &&
@@ -236,6 +283,7 @@ HybridNOrecSession::onUserAbort()
         serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
+    irrevocable_ = false;
     mode_ = Mode::kFast;
     attempts_ = 0;
     slowRestarts_ = 0;
@@ -270,6 +318,7 @@ HybridNOrecSession::onComplete()
         serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
+    irrevocable_ = false;
     mode_ = Mode::kFast;
     attempts_ = 0;
     slowRestarts_ = 0;

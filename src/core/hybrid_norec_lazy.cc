@@ -84,6 +84,11 @@ HybridNOrecLazySession::read(const uint64_t *addr)
     uint64_t buffered;
     if (writes_.lookup(addr, buffered))
         return buffered;
+    if (clockHeld_) {
+        // We hold the clock (irrevocable upgrade): no writer can
+        // commit, so memory is frozen and reads go straight through.
+        return eng_.directLoad(addr);
+    }
     uint64_t v = eng_.directLoad(addr);
     while (eng_.directLoad(&g_.clock) != txVersion_) {
         txVersion_ = validate();
@@ -101,7 +106,10 @@ HybridNOrecLazySession::write(uint64_t *addr, uint64_t value)
         return;
     }
     simDelay(penalty_);
-    sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
+    if (irrevocable_)
+        sessionFaultPointNoAbort(htm_, FaultSite::kSoftwareWrite);
+    else
+        sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
     writes_.putGrowing(addr, value);
 }
 
@@ -127,30 +135,47 @@ HybridNOrecLazySession::commit()
         return;
     }
     if (writes_.empty()) {
+        if (clockHeld_) {
+            // Irrevocable upgrade that turned out read-only: nothing
+            // was published, so restore the clock unchanged.
+            eng_.directStore(&g_.clock, txVersion_);
+            clockHeld_ = false;
+            stampEpoch(g_.watchdog.clockEpoch);
+        }
         if (stats_)
             stats_->inc(Counter::kReadOnlyCommits);
         return;
     }
-    // Acquire the clock (revalidating on contention), then raise the
-    // HTM lock only for the short write-back window: this is the lazy
-    // design's advantage over the eager one, which holds it from the
-    // first write onward.
-    uint64_t expected = txVersion_;
-    while (!eng_.directCas(&g_.clock, expected,
-                           clockWithLock(txVersion_))) {
-        txVersion_ = validate();
-        expected = txVersion_;
+    if (!clockHeld_) {
+        // Acquire the clock (revalidating on contention), then raise
+        // the HTM lock only for the short write-back window: this is
+        // the lazy design's advantage over the eager one, which holds
+        // it from the first write onward. An irrevocable upgrade
+        // hoisted this acquisition to the upgrade point, in which case
+        // the commit below must not (and cannot) fail.
+        uint64_t expected = txVersion_;
+        while (!eng_.directCas(&g_.clock, expected,
+                               clockWithLock(txVersion_))) {
+            txVersion_ = validate();
+            expected = txVersion_;
+        }
+        clockHeld_ = true;
+        stampEpoch(g_.watchdog.clockEpoch);
     }
-    clockHeld_ = true;
-    stampEpoch(g_.watchdog.clockEpoch);
-    sessionFaultPoint(htm_, FaultSite::kPostFirstWrite);
+    if (irrevocable_)
+        sessionFaultPointNoAbort(htm_, FaultSite::kPostFirstWrite);
+    else
+        sessionFaultPoint(htm_, FaultSite::kPostFirstWrite);
     eng_.directStore(&g_.htmLock, 1);
     htmLockSet_ = true;
     // The lazy design's publication window: clock and HTM lock held
     // while the write set is flushed. A scripted delay stretches it;
     // an abort exercises releaseCommitLocks() (writes already flushed
     // stay -- the advanced clock forces readers to revalidate).
-    sessionFaultPoint(htm_, FaultSite::kPublishWindow);
+    if (irrevocable_)
+        sessionFaultPointNoAbort(htm_, FaultSite::kPublishWindow);
+    else
+        sessionFaultPoint(htm_, FaultSite::kPublishWindow);
     writes_.forEach([this](uint64_t *addr, uint64_t value) {
         eng_.directStore(addr, value);
     });
@@ -159,6 +184,46 @@ HybridNOrecLazySession::commit()
     eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
     clockHeld_ = false;
     stampEpoch(g_.watchdog.clockEpoch);
+}
+
+void
+HybridNOrecLazySession::becomeIrrevocable()
+{
+    if (irrevocable_)
+        return;
+    if (mode_ == Mode::kFast) {
+        // Cannot grant inside best-effort HTM: unwind, and onHtmAbort
+        // routes the next attempt straight to serial mode.
+        htm_.abortNeedIrrevocable();
+    }
+    if (!clockHeld_) {
+        // Read phase (the lazy design holds no lock before commit):
+        // queue on the serial FIFO first -- we hold nothing, so this
+        // is deadlock-free (lock order: serial BEFORE clock,
+        // docs/LIFECYCLE.md) -- then take the clock the way commit()
+        // would, revalidating the read log on contention. Either CAS
+        // retry unwinds pre-grant via validate()'s restart, or we end
+        // holding the clock with a consistent snapshot.
+        mode_ = Mode::kSerial;
+        if (!serialHeld_) {
+            serialLockAcquire(eng_, g_, policy_, stats_);
+            serialHeld_ = true;
+        }
+        sessionFaultPoint(htm_, FaultSite::kIrrevocableUpgrade);
+        uint64_t expected = txVersion_;
+        while (!eng_.directCas(&g_.clock, expected,
+                               clockWithLock(txVersion_))) {
+            txVersion_ = validate();
+            expected = txVersion_;
+        }
+        clockHeld_ = true;
+        stampEpoch(g_.watchdog.clockEpoch);
+    }
+    // Clock held: no writer can publish, reads go direct, buffered
+    // writes flush unconditionally at commit. Infallible from here.
+    irrevocable_ = true;
+    if (stats_)
+        stats_->inc(Counter::kIrrevocableUpgrades);
 }
 
 void
@@ -188,6 +253,14 @@ HybridNOrecLazySession::onHtmAbort(const HtmAbort &abort)
 {
     assert(mode_ == Mode::kFast);
     htm_.cancel();
+    if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
+        // The body asked for irrevocability: hardware retries cannot
+        // satisfy it, so skip the budget and go straight to serial.
+        mode_ = Mode::kSerial;
+        if (stats_)
+            stats_->inc(Counter::kFallbacks);
+        return;
+    }
     if (!abort.retryOk)
         killSwitchOnHardwareFailure(g_, policy_, stats_);
     if (abort.retryOk && attempts_ < retryBudget_.budget()) {
@@ -209,6 +282,7 @@ HybridNOrecLazySession::onRestart()
         return;
     }
     releaseCommitLocks();
+    irrevocable_ = false;
     if (stats_)
         stats_->inc(Counter::kSlowPathRestarts);
     if (++slowRestarts_ >= policy_.maxSlowPathRestarts &&
@@ -231,6 +305,7 @@ HybridNOrecLazySession::onUserAbort()
         serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
+    irrevocable_ = false;
     mode_ = Mode::kFast;
     attempts_ = 0;
     slowRestarts_ = 0;
@@ -265,6 +340,7 @@ HybridNOrecLazySession::onComplete()
         serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
+    irrevocable_ = false;
     mode_ = Mode::kFast;
     attempts_ = 0;
     slowRestarts_ = 0;

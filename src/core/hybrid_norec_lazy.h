@@ -46,6 +46,8 @@ class HybridNOrecLazySession : public TxSession
     uint64_t read(const uint64_t *addr) override;
     void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
+    void becomeIrrevocable() override;
+    bool isIrrevocable() const override { return irrevocable_; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -96,6 +98,7 @@ class HybridNOrecLazySession : public TxSession
     bool serialHeld_ = false;
     bool clockHeld_ = false;
     bool htmLockSet_ = false;
+    bool irrevocable_ = false;
     uint64_t txVersion_ = 0;
     std::vector<ReadEntry> readLog_;
     WriteBuffer writes_;

@@ -94,12 +94,36 @@ LockElisionSession::commit()
 }
 
 void
+LockElisionSession::becomeIrrevocable()
+{
+    if (mode_ == Mode::kSerial) {
+        // Holding the global lock already means nothing can abort us:
+        // serial mode is inherently irrevocable.
+        if (stats_)
+            stats_->inc(Counter::kIrrevocableUpgrades);
+        return;
+    }
+    // Irrevocability cannot be granted inside best-effort HTM; unwind
+    // with kNeedIrrevocable so onHtmAbort routes straight to serial
+    // mode without burning the retry budget.
+    htm_.abortNeedIrrevocable();
+}
+
+void
 LockElisionSession::onHtmAbort(const HtmAbort &abort)
 {
     assert(mode_ == Mode::kFast);
     // A real abort already reset the hardware transaction; an injected
     // one (tests, policy probes) may not have.
     htm_.cancel();
+    if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
+        // The body asked for irrevocability: go straight to the global
+        // lock; retrying in hardware could never satisfy the request.
+        mode_ = Mode::kSerial;
+        if (stats_)
+            stats_->inc(Counter::kFallbacks);
+        return;
+    }
     if (!abort.retryOk)
         killSwitchOnHardwareFailure(g_, policy_, stats_);
     if (abort.cause == HtmAbortCause::kExplicit) {

@@ -31,6 +31,8 @@ class LockElisionSession : public TxSession
     uint64_t read(const uint64_t *addr) override;
     void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
+    void becomeIrrevocable() override;
+    bool isIrrevocable() const override { return lockHeld_; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;

@@ -186,6 +186,61 @@ serialLockRelease(HtmEngine &eng, TmGlobals &g)
 }
 
 /**
+ * RAII holder for the global HTM lock: acquires with a stall-aware CAS
+ * loop (watching the clock epoch) and guarantees the release on every
+ * exit path -- a commit routine that validates, restarts, or throws
+ * mid-critical-section can never leak the lock and doom every hardware
+ * fast path forever. Call release() at the happy-path end; the
+ * destructor covers the unwinds.
+ */
+class ScopedHtmLock
+{
+  public:
+    ScopedHtmLock(HtmEngine &eng, TmGlobals &g,
+                  const RetryPolicy &policy, ThreadStats *stats)
+        : eng_(eng), g_(g)
+    {
+        StallAwareWaiter waiter(g, policy, stats, g.watchdog.clockEpoch);
+        for (;;) {
+            uint64_t expected = 0;
+            if (eng_.directCas(&g_.htmLock, expected, 1))
+                break;
+            waiter.step();
+        }
+        held_ = true;
+        stampEpoch(g_.watchdog.clockEpoch);
+    }
+
+    ~ScopedHtmLock() { release(); }
+
+    ScopedHtmLock(const ScopedHtmLock &) = delete;
+    ScopedHtmLock &operator=(const ScopedHtmLock &) = delete;
+
+    /** Drop the lock early (idempotent). */
+    void
+    release()
+    {
+        if (!held_)
+            return;
+        held_ = false;
+        eng_.directStore(&g_.htmLock, 0);
+        stampEpoch(g_.watchdog.clockEpoch);
+    }
+
+    /**
+     * Hand ownership to the caller: the lock stays up and this guard
+     * forgets it. Used by the irrevocable upgrade, whose hold outlives
+     * the acquiring scope (the session releases at commit/rollback).
+     */
+    void disown() { held_ = false; }
+
+  private:
+    HtmEngine &eng_;
+    TmGlobals &g_;
+    bool held_ = false;
+};
+
+/**
  * Read the global clock, waiting out a writer's lock bit stall-aware
  * (watching the clock epoch) instead of restarting. Returns an
  * unlocked clock value.

@@ -215,9 +215,69 @@ RhNOrecSession::write(uint64_t *addr, uint64_t value)
             return;
         }
     }
-    sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
+    if (irrevocable_)
+        sessionFaultPointNoAbort(htm_, FaultSite::kSoftwareWrite);
+    else
+        sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
     undo_.push_back({addr, eng_.directLoad(addr)});
     eng_.directStore(addr, value);
+}
+
+void
+RhNOrecSession::becomeIrrevocable()
+{
+    if (irrevocable_)
+        return;
+    if (mode_ == Mode::kFast) {
+        // Cannot grant inside best-effort HTM: unwind, and onHtmAbort
+        // routes the next attempt straight to serial mode.
+        htm_.abortNeedIrrevocable();
+    }
+    if (postfixActive_) {
+        // Mid-postfix: the small HTM is best-effort too, so it cannot
+        // carry the grant. Unwind (pre-grant; the buffered writes are
+        // discarded, nothing was published) and replay serially.
+        htm_.abortNeedIrrevocable();
+    }
+    if (prefixActive_) {
+        // Close the prefix first: its commit registers the fallback
+        // and snapshots the clock atomically. It may abort (HtmAbort,
+        // pre-grant) if the clock is locked.
+        commitPrefix();
+    }
+    if (!writeDetected_) {
+        // Read phase, holding nothing: queue on the serial FIFO
+        // (deadlock-free; lock order serial BEFORE clock,
+        // docs/LIFECYCLE.md), then lock the clock at our snapshot. A
+        // failed CAS means a writer committed since -- restart BEFORE
+        // granting; the serial lock stays held, so the replay upgrades
+        // unopposed.
+        mode_ = Mode::kSerial;
+        if (!serialHeld_) {
+            serialLockAcquire(eng_, g_, policy_, stats_);
+            serialHeld_ = true;
+        }
+        sessionFaultPoint(htm_, FaultSite::kIrrevocableUpgrade);
+        uint64_t expected = txVersion_;
+        if (!eng_.directCas(&g_.clock, expected,
+                            clockWithLock(txVersion_)))
+            restart();
+        clockHeld_ = true;
+        writeDetected_ = true;
+        stampEpoch(g_.watchdog.clockEpoch);
+        // Post-grant writes go in place in software (never a postfix:
+        // write() skips handleFirstWrite once writeDetected_ is set),
+        // so raise the HTM lock now -- fast paths must never observe a
+        // partial in-place update.
+        eng_.directStore(&g_.htmLock, 1);
+        htmLockSet_ = true;
+    }
+    // Clock held (and the HTM lock raised on any in-place write path):
+    // reads are direct, nothing else can commit, and commit() is a
+    // plain unlock-advance. Infallible.
+    irrevocable_ = true;
+    if (stats_)
+        stats_->inc(Counter::kIrrevocableUpgrades);
 }
 
 void
@@ -338,6 +398,20 @@ RhNOrecSession::onHtmAbort(const HtmAbort &abort)
     // A real abort already reset the hardware transaction; an injected
     // one (tests, policy probes) may not have.
     htm_.cancel();
+    if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
+        // The body asked for irrevocability inside the fast path or a
+        // postfix: no hardware retry can satisfy it. Roll back any
+        // software-phase state and replay straight in serial mode,
+        // without charging the retry budget.
+        prefixActive_ = false;
+        postfixActive_ = false;
+        if (mode_ != Mode::kFast)
+            rollbackWriter();
+        mode_ = Mode::kSerial;
+        if (stats_)
+            stats_->inc(Counter::kFallbacks);
+        return;
+    }
     if (mode_ == Mode::kFast) {
         if (!abort.retryOk)
             killSwitchOnHardwareFailure(g_, policy_, stats_);
@@ -381,6 +455,7 @@ RhNOrecSession::onRestart()
         postfixActive_ = false;
     }
     rollbackWriter();
+    irrevocable_ = false;
     if (stats_)
         stats_->inc(Counter::kSlowPathRestarts);
     if (++slowRestarts_ >= policy_.maxSlowPathRestarts &&
@@ -405,6 +480,7 @@ RhNOrecSession::onUserAbort()
         serialLockRelease(eng_, g_);
         serialHeld_ = false;
     }
+    irrevocable_ = false;
     mode_ = Mode::kFast;
     attempts_ = 0;
     slowRestarts_ = 0;
@@ -444,6 +520,7 @@ RhNOrecSession::onComplete()
     }
     if (prefixSucceeded_)
         adaptPrefixUp();
+    irrevocable_ = false;
     mode_ = Mode::kFast;
     attempts_ = 0;
     slowRestarts_ = 0;

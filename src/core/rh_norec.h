@@ -68,6 +68,8 @@ class RhNOrecSession : public TxSession
     uint64_t read(const uint64_t *addr) override;
     void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
+    void becomeIrrevocable() override;
+    bool isIrrevocable() const override { return irrevocable_; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -143,6 +145,7 @@ class RhNOrecSession : public TxSession
     bool registered_ = false;
     bool serialHeld_ = false;
     bool prefixSucceeded_ = false;
+    bool irrevocable_ = false;
     uint64_t txVersion_ = 0;
     uint32_t prefixReads_ = 0;
     uint32_t maxReads_ = 0;

@@ -67,6 +67,11 @@ RhTl2Session::read(const uint64_t *addr)
     uint64_t buffered;
     if (writes_.lookup(addr, buffered))
         return buffered;
+    if (irrevocable_) {
+        // We hold the global HTM lock: every fast path is doomed and
+        // no committer can pass the lock CAS, so memory is frozen.
+        return eng_.directLoad(addr);
+    }
     uint64_t *orec = tl2_.orecOf(addr);
     uint64_t o1 = eng_.directLoad(orec);
     if (o1 > rv_)
@@ -126,61 +131,22 @@ RhTl2Session::commitMixedHtm()
 }
 
 void
-RhTl2Session::commitMixedSoftware()
+RhTl2Session::writeBack()
 {
-    // Serialize under the global HTM lock: the store dooms every
-    // hardware fast path and in-flight commit transaction, making the
-    // non-atomic write-back safe. The wait is stall-aware: a preempted
-    // or fault-delayed write-back holder is detected via the clock
-    // epoch and waited out with yields/sleeps.
-    {
-        StallAwareWaiter waiter(g_, policy_, stats_,
-                                g_.watchdog.clockEpoch);
-        for (;;) {
-            uint64_t expected = 0;
-            if (eng_.directCas(&g_.htmLock, expected, 1))
-                break;
-            waiter.step();
-        }
-    }
-    stampEpoch(g_.watchdog.clockEpoch);
-    for (const ReadEntry &e : readLog_) {
-        if (eng_.directLoad(e.orec) != e.version) {
-            eng_.directStore(&g_.htmLock, 0);
-            stampEpoch(g_.watchdog.clockEpoch);
-            restart();
-        }
-    }
     // Compute wv but publish the clock only *after* the write-back:
     // a reader that begins mid-write-back must have rv < wv so the
     // fresh orecs fail its validation (publishing the clock first
     // would let it accept a mixed old/new snapshot). Concurrent commit
-    // transactions cannot slip a same-valued wv in between: the
-    // htmLock store above doomed every in-flight one, and later ones
-    // abort on their start-time subscription.
+    // transactions cannot slip a same-valued wv in between: the held
+    // HTM lock doomed every in-flight one, and later ones abort on
+    // their start-time subscription.
     uint64_t wv = eng_.directLoad(tl2_.clock()) + 2;
     // The HTM lock is up and every fast path is doomed: this is the
-    // serialized publication window. A scripted delay stretches it.
-    {
-        FaultInjector *fault = htm_.injector();
-        uint32_t spins = 0;
-        if (fault != nullptr) {
-            switch (fault->fire(FaultSite::kPublishWindow, &spins)) {
-              case FaultKind::kDelay:
-                simDelay(spins);
-                break;
-              case FaultKind::kYield:
-                std::this_thread::yield();
-                break;
-              default:
-                // Aborts are ignored here: the write-back is the
-                // transaction's linearization and cannot be unwound
-                // without replaying the whole commit; the other
-                // schedules cover the abort paths.
-                break;
-            }
-        }
-    }
+    // serialized publication window. A scripted delay stretches it;
+    // aborts are absorbed -- the write-back is the transaction's
+    // linearization and cannot be unwound without replaying the whole
+    // commit; the other schedules cover the abort paths.
+    sessionFaultPointNoAbort(htm_, FaultSite::kPublishWindow);
     writes_.forEach([&](uint64_t *addr, uint64_t value) {
         // Orec first: a concurrent reader that sees the new data also
         // sees a version beyond its snapshot and restarts.
@@ -188,8 +154,25 @@ RhTl2Session::commitMixedSoftware()
         eng_.directStore(addr, value);
     });
     eng_.directStore(tl2_.clock(), wv);
-    eng_.directStore(&g_.htmLock, 0);
-    stampEpoch(g_.watchdog.clockEpoch);
+}
+
+void
+RhTl2Session::commitMixedSoftware()
+{
+    // Serialize under the global HTM lock: the store dooms every
+    // hardware fast path and in-flight commit transaction, making the
+    // non-atomic write-back safe. The RAII guard's acquisition is
+    // stall-aware (a preempted or fault-delayed holder is detected via
+    // the clock epoch and waited out), and the guard -- not a bare
+    // store on the happy path -- owns the release, so the validation
+    // restart below can never leak the lock.
+    ScopedHtmLock lock(eng_, g_, policy_, stats_);
+    for (const ReadEntry &e : readLog_) {
+        if (eng_.directLoad(e.orec) != e.version)
+            restart(); // The guard drops the HTM lock on the unwind.
+    }
+    writeBack();
+    lock.release();
 }
 
 void
@@ -215,15 +198,77 @@ RhTl2Session::commit()
         return;
     }
     if (writes_.empty()) {
+        if (irrevocable_)
+            releaseIrrevocable(); // Nothing published; just unfreeze.
         if (stats_)
             stats_->inc(Counter::kReadOnlyCommits);
         return; // Reads were validated individually against rv_.
+    }
+    if (irrevocable_) {
+        // Validated at the grant and frozen since (we hold the HTM
+        // lock): publish without revalidation -- infallible -- and
+        // unfreeze. The serial lock drops in onComplete.
+        writeBack();
+        releaseIrrevocable();
+        return;
     }
     if (commitHtmTries_ < policy_.smallHtmAttempts) {
         commitMixedHtm();
         return;
     }
     commitMixedSoftware();
+}
+
+void
+RhTl2Session::becomeIrrevocable()
+{
+    if (irrevocable_)
+        return;
+    if (mode_ == Mode::kFast) {
+        // Cannot grant inside best-effort HTM: unwind, and onHtmAbort
+        // routes the next attempt to the mixed slow path.
+        htm_.abortNeedIrrevocable();
+    }
+    // Serialize concurrent upgraders FIFO before touching the HTM
+    // lock: we hold nothing here, so queueing is deadlock-free, and
+    // the lock order (serial BEFORE htmLock, docs/LIFECYCLE.md) means
+    // an upgrader never waits on the HTM lock held by another
+    // upgrader -- only on bounded software commit windows.
+    if (!serialHeld_) {
+        serialLockAcquire(eng_, g_, policy_, stats_);
+        serialHeld_ = true;
+    }
+    sessionFaultPoint(htm_, FaultSite::kIrrevocableUpgrade);
+    {
+        ScopedHtmLock lock(eng_, g_, policy_, stats_);
+        // Validate the read set BEFORE granting: a stale read must
+        // unwind before the promise, never after. The guard drops the
+        // HTM lock on the restart; the serial lock stays held, so the
+        // replayed attempt upgrades unopposed.
+        for (const ReadEntry &e : readLog_) {
+            if (eng_.directLoad(e.orec) != e.version)
+                restart();
+        }
+        lock.disown(); // Hold until commit/rollback.
+        htmLockHeld_ = true;
+    }
+    // HTM lock held with a validated read set: fast paths are doomed,
+    // no committer can pass the lock CAS, reads go direct, and commit
+    // is an unconditional write-back. Infallible from here.
+    irrevocable_ = true;
+    if (stats_)
+        stats_->inc(Counter::kIrrevocableUpgrades);
+}
+
+void
+RhTl2Session::releaseIrrevocable()
+{
+    if (htmLockHeld_) {
+        eng_.directStore(&g_.htmLock, 0);
+        htmLockHeld_ = false;
+        stampEpoch(g_.watchdog.clockEpoch);
+    }
+    irrevocable_ = false;
 }
 
 void
@@ -236,6 +281,14 @@ void
 RhTl2Session::onHtmAbort(const HtmAbort &abort)
 {
     htm_.cancel();
+    if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
+        // The body asked for irrevocability: skip the retry budget and
+        // replay on the mixed slow path, which can grant it.
+        mode_ = Mode::kMixed;
+        if (stats_)
+            stats_->inc(Counter::kFallbacks);
+        return;
+    }
     if (mode_ == Mode::kFast) {
         if (!abort.retryOk)
             killSwitchOnHardwareFailure(g_, policy_, stats_);
@@ -258,6 +311,9 @@ void
 RhTl2Session::onRestart()
 {
     htm_.cancel();
+    // A pre-grant upgrade restart keeps the serial lock (the replay
+    // upgrades unopposed); anything the grant held is dropped.
+    releaseIrrevocable();
     if (mode_ != Mode::kFast && stats_)
         stats_->inc(Counter::kSlowPathRestarts);
     cm_.onWait(WaitCause::kRestart);
@@ -268,10 +324,16 @@ RhTl2Session::onUserAbort()
 {
     htm_.cancel();
     // Lazy everywhere: nothing was published, no locks held outside
-    // the commit routines (which release before unwinding).
+    // the commit routines (which release before unwinding) and an
+    // irrevocable upgrade (dropped here).
+    releaseIrrevocable();
     if (registered_) {
         eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
         registered_ = false;
+    }
+    if (serialHeld_) {
+        serialLockRelease(eng_, g_);
+        serialHeld_ = false;
     }
     mode_ = Mode::kFast;
     attempts_ = 0;
@@ -294,6 +356,11 @@ RhTl2Session::onComplete()
         eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
         registered_ = false;
     }
+    if (serialHeld_) {
+        serialLockRelease(eng_, g_);
+        serialHeld_ = false;
+    }
+    irrevocable_ = false;
     mode_ = Mode::kFast;
     attempts_ = 0;
     commitHtmTries_ = 0;

@@ -84,6 +84,8 @@ class RhTl2Session : public TxSession
     uint64_t read(const uint64_t *addr) override;
     void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
+    void becomeIrrevocable() override;
+    bool isIrrevocable() const override { return irrevocable_; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -109,6 +111,12 @@ class RhTl2Session : public TxSession
     /** Serialized software commit under the global HTM lock. */
     void commitMixedSoftware();
 
+    /** Publish the write set under an already-held HTM lock. */
+    void writeBack();
+
+    /** Drop the HTM lock / serial lock held by an upgrade. */
+    void releaseIrrevocable();
+
     [[noreturn]] void restart();
 
     HtmEngine &eng_;
@@ -126,6 +134,9 @@ class RhTl2Session : public TxSession
     unsigned attempts_ = 0;
     unsigned commitHtmTries_ = 0;
     bool registered_ = false;
+    bool serialHeld_ = false;
+    bool htmLockHeld_ = false;
+    bool irrevocable_ = false;
     uint64_t rv_ = 0;
     std::vector<ReadEntry> readLog_;
     WriteBuffer writes_;

@@ -20,6 +20,8 @@ faultSiteName(FaultSite site)
       case FaultSite::kSoftwareWrite: return "software-write";
       case FaultSite::kFallbackStart: return "fallback-start";
       case FaultSite::kSerialHeld: return "serial-held";
+      case FaultSite::kIrrevocableUpgrade: return "irrevocable-upgrade";
+      case FaultSite::kUserException: return "user-exception";
       case FaultSite::kNumSites: break;
     }
     return "unknown";

@@ -48,6 +48,8 @@ enum class FaultSite : unsigned
     kSoftwareWrite,   //!< Software slow-path write (undo-logged).
     kFallbackStart,   //!< Software/mixed slow-path attempt begins.
     kSerialHeld,      //!< Serial ticket lock just granted (held window).
+    kIrrevocableUpgrade, //!< becomeIrrevocable() upgrade in progress.
+    kUserException,   //!< Body opt-in: simulate a user exception here.
     kNumSites
 };
 

@@ -15,6 +15,7 @@ chaosScheduleNames()
         "delay-in-publish-window",
         "stall-serial",
         "stall-publisher",
+        "irrevocable-storm",
     };
     return names;
 }
@@ -126,6 +127,52 @@ makeChaosSchedule(const std::string &raw_name, uint64_t seed,
         ry.period = 1;
         ry.probability = 0.25;
         out.add(ry);
+        return true;
+    }
+    if (name == "irrevocable-storm") {
+        // Background conflict pressure keeps ordinary transactions
+        // restarting around the upgraders...
+        FaultRule rd;
+        rd.site = FaultSite::kTxRead;
+        rd.kind = FaultKind::kAbortConflict;
+        rd.period = 1;
+        rd.probability = 0.005;
+        out.add(rd);
+        // ...upgrades are harassed in their pre-grant window: half are
+        // stretched (stressing the FIFO queue behind the upgrader) and
+        // a quarter unwound outright (the grant-barrier path -- the
+        // replay must upgrade unopposed, with zero side-effect
+        // replays)...
+        FaultRule ru;
+        ru.site = FaultSite::kIrrevocableUpgrade;
+        ru.kind = FaultKind::kDelay;
+        ru.period = 1;
+        ru.probability = 0.5;
+        ru.delaySpins = 20000;
+        out.add(ru);
+        FaultRule ra;
+        ra.site = FaultSite::kIrrevocableUpgrade;
+        ra.kind = FaultKind::kAbortConflict;
+        ra.period = 1;
+        ra.probability = 0.25;
+        out.add(ra);
+        // ...the post-grant clock-held window is stretched (post-grant
+        // sites absorb aborts by contract; the delay still applies)...
+        FaultRule rw;
+        rw.site = FaultSite::kPostFirstWrite;
+        rw.kind = FaultKind::kDelay;
+        rw.period = 1;
+        rw.probability = 0.25;
+        rw.delaySpins = 10000;
+        out.add(rw);
+        // ...and user bodies that opt in throw sporadically, crossing
+        // the exception unwind with the irrevocability machinery.
+        FaultRule re;
+        re.site = FaultSite::kUserException;
+        re.kind = FaultKind::kAbortOther;
+        re.period = 1;
+        re.probability = 0.02;
+        out.add(re);
         return true;
     }
     if (name == "stall-publisher") {

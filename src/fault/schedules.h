@@ -35,6 +35,9 @@ const std::vector<std::string> &chaosScheduleNames();
  *    serial-lock holder inside its held window (watchdog target).
  *  - "stall-publisher": stall writers that hold the commit clock, so
  *    every subscriber waits out a dead publication window.
+ *  - "irrevocable-storm": stretch and abort irrevocability upgrades in
+ *    their pre-grant window, stretch the post-grant clock hold, and
+ *    sprinkle user exceptions into opted-in bodies.
  *
  * @param name One of chaosScheduleNames(); underscores in @p name are
  *             accepted as dashes ("stall_serial" == "stall-serial").

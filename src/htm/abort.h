@@ -25,6 +25,7 @@ enum class HtmAbortCause : uint8_t
     kCapacity,   //!< Read or write tracking set exceeded the model.
     kExplicit,   //!< HTM_Abort() called by the transaction itself.
     kOther,      //!< Injected interrupt/page-fault style abort.
+    kNeedIrrevocable, //!< Body asked for irrevocability inside HTM.
 };
 
 /** Printable name for an abort cause. */

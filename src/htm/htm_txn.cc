@@ -15,6 +15,7 @@ htmAbortCauseName(HtmAbortCause cause)
       case HtmAbortCause::kCapacity: return "capacity";
       case HtmAbortCause::kExplicit: return "explicit";
       case HtmAbortCause::kOther: return "other";
+      case HtmAbortCause::kNeedIrrevocable: return "need-irrevocable";
     }
     return "unknown";
 }
@@ -82,6 +83,7 @@ HtmTxn::fail(HtmAbortCause cause, bool retry_ok, uint8_t code,
             stats_->inc(Counter::kHtmCapacityAborts);
             break;
           case HtmAbortCause::kExplicit:
+          case HtmAbortCause::kNeedIrrevocable:
             stats_->inc(Counter::kHtmExplicitAborts);
             break;
           default:
@@ -260,6 +262,13 @@ HtmTxn::abortInjected(HtmAbortCause cause, bool retry_ok)
 {
     assert(active_);
     fail(cause, retry_ok, 0, true);
+}
+
+void
+HtmTxn::abortNeedIrrevocable()
+{
+    assert(active_);
+    fail(HtmAbortCause::kNeedIrrevocable, true, 0);
 }
 
 } // namespace rhtm

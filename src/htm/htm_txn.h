@@ -85,6 +85,16 @@ class HtmTxn
      */
     [[noreturn]] void abortInjected(HtmAbortCause cause, bool retry_ok);
 
+    /**
+     * Abort because the body called Txn::becomeIrrevocable() while a
+     * hardware transaction was live. Irrevocability cannot be granted
+     * inside best-effort HTM (the hardware may abort at any time), so
+     * the transaction unwinds with kNeedIrrevocable and the session's
+     * onHtmAbort() routes the retry loop straight to its
+     * serial/software mode without consuming the retry budget.
+     */
+    [[noreturn]] void abortNeedIrrevocable();
+
     /** The per-thread fault injector, or null when none is wired. */
     FaultInjector *injector() const { return fault_; }
 

@@ -1,10 +1,31 @@
 #include "src/mem/memory_manager.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace rhtm
 {
+
+ThreadMem::~ThreadMem()
+{
+#ifdef RHTM_SANITIZE_BUILD
+    // Not assert(): NDEBUG builds would compile it away, and sanitizer
+    // runs are exactly where this lifecycle bug must be loud.
+    if (!txAllocs_.empty() || !txFrees_.empty()) {
+        std::fprintf(stderr,
+                     "ThreadMem tid=%u destroyed with a live journal "
+                     "(%zu allocs, %zu frees): owner unwound without "
+                     "commit/abort\n",
+                     tid_, txAllocs_.size(), txFrees_.size());
+        std::abort();
+    }
+#endif
+    // Clear-and-retire: abort semantics for whatever is still
+    // journaled (allocations go to limbo, frees are dropped).
+    onAbort();
+}
 
 void *
 ThreadMem::txAlloc(size_t size)

@@ -40,6 +40,15 @@ class MemoryManager;
 class ThreadMem
 {
   public:
+    /**
+     * A ThreadMem destroyed with a live journal (its owner unwound
+     * without commit or abort) retires the journaled allocations as an
+     * abort would and drops the pending frees, so nothing leaks and
+     * nothing double-frees. Under RHTM_SANITIZE builds this is treated
+     * as the lifecycle bug it is: the process aborts with a diagnostic.
+     */
+    ~ThreadMem();
+
     /** Allocate inside the current transaction (journaled). */
     void *txAlloc(size_t size);
 

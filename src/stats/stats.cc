@@ -115,7 +115,14 @@ StatsSummary::toString() const
        << "stalls detected:       " << get(Counter::kStallsDetected)
        << " (yields " << get(Counter::kStallYields) << ", sleeps "
        << get(Counter::kStallSleeps) << ", recovered "
-       << get(Counter::kStallRecoveries) << ")\n";
+       << get(Counter::kStallRecoveries) << ")\n"
+       << "irrevocable upgrades:  "
+       << get(Counter::kIrrevocableUpgrades) << "\n"
+       << "deferred actions:      commit "
+       << get(Counter::kCommitActionsRun) << ", abort "
+       << get(Counter::kAbortActionsRun) << "\n"
+       << "user-exception aborts: "
+       << get(Counter::kUserExceptionAborts) << "\n";
     return os.str();
 }
 

@@ -46,6 +46,10 @@ enum class Counter : unsigned
     kStallYields,           //!< Watchdog escalation: yield steps.
     kStallSleeps,           //!< Watchdog escalation: sleep steps.
     kStallRecoveries,       //!< Stalled waits that cleared and resumed.
+    kIrrevocableUpgrades,   //!< becomeIrrevocable() grants.
+    kCommitActionsRun,      //!< Deferred onCommit handlers executed.
+    kAbortActionsRun,       //!< Deferred onAbort handlers executed.
+    kUserExceptionAborts,   //!< Bodies unwound by a user exception.
     kNumCounters
 };
 

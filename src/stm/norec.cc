@@ -106,6 +106,25 @@ NOrecEagerSession::commit()
 }
 
 void
+NOrecEagerSession::becomeIrrevocable()
+{
+    if (irrevocable_)
+        return;
+    if (!writeDetected_) {
+        // Holding the clock is what makes an eager NOrec writer
+        // infallible: no other writer can commit, every read is
+        // direct, and commit() is a plain unlock-and-advance. A failed
+        // CAS means some writer moved the clock since our snapshot --
+        // restart BEFORE granting (no side effect has run yet).
+        acquireClockLock();
+        writeDetected_ = true;
+    }
+    irrevocable_ = true;
+    if (stats_)
+        stats_->inc(Counter::kIrrevocableUpgrades);
+}
+
+void
 NOrecEagerSession::rollbackWriter()
 {
     if (!writeDetected_)
@@ -135,6 +154,7 @@ void
 NOrecEagerSession::onRestart()
 {
     rollbackWriter();
+    irrevocable_ = false;
     if (stats_)
         stats_->inc(Counter::kSlowPathRestarts);
     if (++restarts_ >= kSerializeAfterRestarts)
@@ -146,6 +166,15 @@ void
 NOrecEagerSession::onUserAbort()
 {
     rollbackWriter();
+    // The transaction is over (the exception propagates to the
+    // caller): reset the per-transaction escalation state exactly as
+    // onComplete() would, so the next transaction does not inherit a
+    // stale serialized/restart-count hangover.
+    irrevocable_ = false;
+    serialized_ = false;
+    restarts_ = 0;
+    backoff_.reset();
+    undo_.clear();
 }
 
 void
@@ -153,6 +182,7 @@ NOrecEagerSession::onComplete()
 {
     if (stats_)
         stats_->inc(Counter::kCommitsSoftwarePath);
+    irrevocable_ = false;
     serialized_ = false;
     restarts_ = 0;
     backoff_.reset();
@@ -268,6 +298,31 @@ NOrecLazySession::commit()
 }
 
 void
+NOrecLazySession::becomeIrrevocable()
+{
+    if (irrevocable_)
+        return;
+    if (!clockHeld_) {
+        // Same commit-time protocol, hoisted to the upgrade point:
+        // CAS-lock the clock, revalidating by value on every failure.
+        // validate() restarts on a changed value -- always BEFORE the
+        // grant, so the re-executed body replays no side effect.
+        uint64_t expected = txVersion_;
+        while (!mem_.cas(&g_.clock, expected,
+                         clockWithLock(txVersion_))) {
+            txVersion_ = validate();
+            expected = txVersion_;
+        }
+        clockHeld_ = true;
+    }
+    // From here on reads go direct (the clockHeld_ branch in read()),
+    // writes stay buffered, and commit() write-back cannot fail.
+    irrevocable_ = true;
+    if (stats_)
+        stats_->inc(Counter::kIrrevocableUpgrades);
+}
+
+void
 NOrecLazySession::restart()
 {
     throw TxRestart{};
@@ -288,6 +343,7 @@ NOrecLazySession::onRestart()
         mem_.store(&g_.clock, txVersion_);
         clockHeld_ = false;
     }
+    irrevocable_ = false;
     if (stats_)
         stats_->inc(Counter::kSlowPathRestarts);
     if (++restarts_ >= kSerializeAfterRestarts)
@@ -302,6 +358,12 @@ NOrecLazySession::onUserAbort()
         mem_.store(&g_.clock, txVersion_);
         clockHeld_ = false;
     }
+    // The transaction ends here; clear the escalation state like
+    // onComplete() so the next transaction starts fresh.
+    irrevocable_ = false;
+    serialized_ = false;
+    restarts_ = 0;
+    backoff_.reset();
 }
 
 void
@@ -309,6 +371,7 @@ NOrecLazySession::onComplete()
 {
     if (stats_)
         stats_->inc(Counter::kCommitsSoftwarePath);
+    irrevocable_ = false;
     serialized_ = false;
     restarts_ = 0;
     backoff_.reset();

@@ -54,6 +54,8 @@ class NOrecEagerSession : public TxSession
     uint64_t read(const uint64_t *addr) override;
     void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
+    void becomeIrrevocable() override;
+    bool isIrrevocable() const override { return irrevocable_; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -86,6 +88,7 @@ class NOrecEagerSession : public TxSession
     uint64_t txVersion_ = 0;
     bool writeDetected_ = false;
     bool serialized_ = false;
+    bool irrevocable_ = false;
     unsigned restarts_ = 0;
     std::vector<UndoEntry> undo_;
 };
@@ -105,6 +108,8 @@ class NOrecLazySession : public TxSession
     uint64_t read(const uint64_t *addr) override;
     void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
+    void becomeIrrevocable() override;
+    bool isIrrevocable() const override { return irrevocable_; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -136,6 +141,7 @@ class NOrecLazySession : public TxSession
     uint64_t txVersion_ = 0;
     bool serialized_ = false;
     bool clockHeld_ = false;
+    bool irrevocable_ = false;
     unsigned restarts_ = 0;
     std::vector<ReadEntry> readLog_;
     WriteBuffer writes_;

@@ -29,6 +29,14 @@ Tl2Session::read(const uint64_t *addr)
 {
     simDelay(penalty_);
     size_t idx = g_.orecOf(addr);
+    if (irrevocable_) {
+        // 2PL phase: lock-then-read. All earlier reads are pinned by
+        // their locks, so the current committed value of a fresh line
+        // is always consistent with them; no rv validation, no
+        // restart.
+        lockOrecIrrevocable(idx, false);
+        return mem_.load(addr);
+    }
     uint64_t o1 = g_.orec(idx).load(std::memory_order_acquire);
     if (Tl2Globals::isLocked(o1)) {
         if (Tl2Globals::ownerOf(o1) == tid_) {
@@ -52,6 +60,12 @@ Tl2Session::write(uint64_t *addr, uint64_t value)
 {
     simDelay(penalty_);
     size_t idx = g_.orecOf(addr);
+    if (irrevocable_) {
+        lockOrecIrrevocable(idx, false);
+        undo_.push_back({addr, mem_.load(addr)});
+        mem_.store(addr, value);
+        return;
+    }
     uint64_t o = g_.orec(idx).load(std::memory_order_acquire);
     if (Tl2Globals::isLocked(o)) {
         if (Tl2Globals::ownerOf(o) != tid_)
@@ -75,11 +89,14 @@ Tl2Session::commit()
 {
     if (owned_.empty()) {
         // Read-only: every read was consistent at rv_.
+        releaseIrrevocable();
         return;
     }
     uint64_t wv = g_.clock().fetch_add(2, std::memory_order_acq_rel) + 2;
-    if (wv != rv_ + 2) {
+    if (!irrevocable_ && wv != rv_ + 2) {
         // Someone committed since our snapshot: revalidate the reads.
+        // (An irrevocable committer owns its whole read set, so the
+        // scan would be a no-op and commit must not restart anyway.)
         for (size_t idx : readLog_) {
             uint64_t o = g_.orec(idx).load(std::memory_order_acquire);
             if (Tl2Globals::isLocked(o)) {
@@ -94,6 +111,70 @@ Tl2Session::commit()
         g_.orec(oo.idx).store(wv, std::memory_order_release);
     owned_.clear();
     undo_.clear();
+    releaseIrrevocable();
+}
+
+bool
+Tl2Session::lockOrecIrrevocable(size_t idx, bool validate_rv)
+{
+    for (;;) {
+        uint64_t o = g_.orec(idx).load(std::memory_order_acquire);
+        if (Tl2Globals::isLocked(o)) {
+            if (Tl2Globals::ownerOf(o) == tid_)
+                return true;
+            // Wait the owner out. Safe for the token holder only:
+            // every other TL2 thread restarts on contention (never
+            // blocks), so the owner always runs to commit or rollback
+            // and releases.
+            backoff_.pause();
+            continue;
+        }
+        if (validate_rv && o > rv_)
+            return false; // Stale read; caller restarts pre-grant.
+        if (g_.orec(idx).compare_exchange_strong(
+                o, Tl2Globals::lockFor(tid_),
+                std::memory_order_acq_rel)) {
+            owned_.push_back({idx, o});
+            return true;
+        }
+    }
+}
+
+void
+Tl2Session::becomeIrrevocable()
+{
+    if (irrevocable_)
+        return;
+    uint64_t expected = 0;
+    if (!g_.irrevocableOwner().compare_exchange_strong(
+            expected, uint64_t(tid_) + 1, std::memory_order_acq_rel)) {
+        // Another irrevocable transaction is live. We may already hold
+        // orecs, so blocking here could deadlock against it; restart
+        // (pre-grant, so the body replays no side effect).
+        restart();
+    }
+    // Escalate to 2PL: lock every line we have read, verifying it has
+    // not changed since our snapshot. After this loop nobody can
+    // invalidate a read, writes wait instead of restarting, and
+    // commit() skips validation -- the transaction cannot abort.
+    for (size_t idx : readLog_) {
+        if (!lockOrecIrrevocable(idx, true)) {
+            g_.irrevocableOwner().store(0, std::memory_order_release);
+            restart(); // rollback() releases the locked orecs.
+        }
+    }
+    irrevocable_ = true;
+    if (stats_)
+        stats_->inc(Counter::kIrrevocableUpgrades);
+}
+
+void
+Tl2Session::releaseIrrevocable()
+{
+    if (!irrevocable_)
+        return;
+    g_.irrevocableOwner().store(0, std::memory_order_release);
+    irrevocable_ = false;
 }
 
 void
@@ -105,6 +186,7 @@ Tl2Session::rollback()
         g_.orec(oo.idx).store(oo.oldValue, std::memory_order_release);
     owned_.clear();
     undo_.clear();
+    releaseIrrevocable();
 }
 
 void

@@ -54,6 +54,15 @@ class Tl2Globals
     /** The global version clock (advances by 2). */
     std::atomic<uint64_t> &clock() { return clock_; }
 
+    /**
+     * The irrevocability token: 0 when free, owner tid + 1 while an
+     * irrevocable transaction is live. At most one transaction may be
+     * irrevocable at a time; the holder is the only TL2 thread ever
+     * allowed to wait on a locked orec (everyone else restarts), which
+     * keeps the 2PL upgrade deadlock-free.
+     */
+    std::atomic<uint64_t> &irrevocableOwner() { return irrevocable_; }
+
     /** True when @p orec_value is a lock. */
     static bool isLocked(uint64_t orec_value) { return orec_value & 1; }
 
@@ -73,6 +82,7 @@ class Tl2Globals
 
   private:
     alignas(64) std::atomic<uint64_t> clock_;
+    alignas(64) std::atomic<uint64_t> irrevocable_{0};
     unsigned shift_;
     std::vector<std::atomic<uint64_t>> orecs_;
 };
@@ -91,6 +101,8 @@ class Tl2Session : public TxSession
     uint64_t read(const uint64_t *addr) override;
     void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
+    void becomeIrrevocable() override;
+    bool isIrrevocable() const override { return irrevocable_; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -113,6 +125,17 @@ class Tl2Session : public TxSession
     /** Undo writes and release owned orecs at their old versions. */
     void rollback();
 
+    /**
+     * Acquire the orec at @p idx for the irrevocable 2PL phase,
+     * waiting out other owners (only the token holder may wait).
+     * @return false when @p validate_rv is set and the unlocked orec
+     *         is newer than our snapshot (caller must restart).
+     */
+    bool lockOrecIrrevocable(size_t idx, bool validate_rv);
+
+    /** Release the irrevocability token if this session holds it. */
+    void releaseIrrevocable();
+
     [[noreturn]] void restart();
 
     Tl2Globals &g_;
@@ -122,6 +145,7 @@ class Tl2Session : public TxSession
     RawMem mem_;
     Backoff backoff_;
     uint64_t rv_ = 0;
+    bool irrevocable_ = false;
     std::vector<size_t> readLog_;
     std::vector<OwnedOrec> owned_;
     std::vector<UndoEntry> undo_;

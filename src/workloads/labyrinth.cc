@@ -27,6 +27,8 @@ LabyrinthWorkload::setup(TmRuntime &rt, ThreadCtx &ctx)
         p.clear();
     nextRouteId_.store(1, std::memory_order_release);
     routed_.store(0, std::memory_order_release);
+    irrevocableRouted_.store(0, std::memory_order_release);
+    sideEffects_.store(0, std::memory_order_release);
 }
 
 void
@@ -76,6 +78,12 @@ LabyrinthWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
     route.id = id;
     buildPath(x0, y0, x1, y1, route.cells);
 
+    // Decide outside the transaction so a restarted attempt makes the
+    // same choice: e.g. a route whose claim must reach an external
+    // system (a real router would emit the path to hardware).
+    bool want_irrevocable =
+        irrevocablePct_ > 0 && rng.nextBounded(100) < irrevocablePct_;
+
     bool claimed = false;
     rt.run(ctx, [&](Txn &tx) {
         claimed = false;
@@ -83,6 +91,13 @@ LabyrinthWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
         for (size_t cell : route.cells) {
             if (tx.load(&grid_[cell]) != 0)
                 return; // Blocked: commit nothing.
+        }
+        if (want_irrevocable) {
+            // The path is claimable: upgrade between probe and claim.
+            // Everything above may replay (the upgrade itself can
+            // restart pre-grant); everything below runs exactly once.
+            tx.becomeIrrevocable();
+            sideEffects_.fetch_add(1, std::memory_order_acq_rel);
         }
         // ...then claim it (large write set).
         for (size_t cell : route.cells)
@@ -92,6 +107,8 @@ LabyrinthWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
 
     if (claimed) {
         routed_.fetch_add(1, std::memory_order_acq_rel);
+        if (want_irrevocable)
+            irrevocableRouted_.fetch_add(1, std::memory_order_acq_rel);
         my_pending.push_back(std::move(route));
     }
 }
@@ -100,6 +117,22 @@ bool
 LabyrinthWorkload::verify(TmRuntime &rt, std::string *why) const
 {
     (void)rt;
+    // The zero-replay invariant: a side effect performed after an
+    // irrevocability grant runs exactly once per upgraded claim. A
+    // granted transaction that was aborted and replayed (the bug class
+    // irrevocability exists to exclude) would double-run it.
+    uint64_t effects = sideEffects_.load(std::memory_order_acquire);
+    uint64_t upgraded = irrevocableRouted_.load(std::memory_order_acquire);
+    if (effects != upgraded) {
+        if (why) {
+            std::ostringstream os;
+            os << "irrevocable side effects ran " << effects
+               << " times for " << upgraded
+               << " upgraded claims (replayed grant)";
+            *why = os.str();
+        }
+        return false;
+    }
     // Every outstanding route owns its complete path; no cell belongs
     // to a route that is not outstanding.
     std::map<uint64_t, uint64_t> owned_cells;

@@ -47,6 +47,23 @@ class LabyrinthWorkload : public Workload
         return routed_.load(std::memory_order_acquire);
     }
 
+    /** Routes claimed by an irrevocable transaction. */
+    uint64_t irrevocableRouted() const
+    {
+        return irrevocableRouted_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Simulated external side effects performed after an
+     * irrevocability grant (one per upgraded claim). verify() checks
+     * this equals irrevocableRouted(): a granted transaction that
+     * aborted and replayed would run its side effect twice.
+     */
+    uint64_t sideEffects() const
+    {
+        return sideEffects_.load(std::memory_order_acquire);
+    }
+
   private:
     struct Route
     {
@@ -68,6 +85,8 @@ class LabyrinthWorkload : public Workload
     std::vector<uint64_t> grid_; //!< 0 = free, else route id.
     std::atomic<uint64_t> nextRouteId_{1};
     std::atomic<uint64_t> routed_{0};
+    std::atomic<uint64_t> irrevocableRouted_{0};
+    std::atomic<uint64_t> sideEffects_{0};
     // Per-thread pending routes awaiting rip-up (indexed by tid).
     std::vector<std::vector<Route>> pending_;
 };

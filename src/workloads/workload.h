@@ -52,6 +52,19 @@ class Workload
      * @return true when consistent.
      */
     virtual bool verify(TmRuntime &rt, std::string *why) const = 0;
+
+    /**
+     * Ask the kernel to upgrade roughly @p pct percent of its ops to
+     * irrevocability mid-transaction (0 disables). Kernels that have
+     * no natural upgrade point may ignore it.
+     */
+    void setIrrevocablePct(unsigned pct) { irrevocablePct_ = pct; }
+
+    /** Configured irrevocable-op percentage. */
+    unsigned irrevocablePct() const { return irrevocablePct_; }
+
+  protected:
+    unsigned irrevocablePct_ = 0;
 };
 
 } // namespace rhtm

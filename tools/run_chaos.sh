@@ -29,7 +29,7 @@ done
 
 SANITIZE="${RHTM_SANITIZE-thread}"
 SEEDS="${SEEDS:-1 2 3}"
-SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window stall-serial stall-publisher"
+SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window stall-serial stall-publisher irrevocable-storm"
 
 echo "== configure ($BUILD_DIR, sanitizer: ${SANITIZE:-none}) =="
 cmake -B "$BUILD_DIR" -S . -DRHTM_SANITIZE="$SANITIZE" >/dev/null
@@ -48,12 +48,34 @@ for schedule in $SCHEDULES; do
         if ! "$BUILD_DIR/bench/bench_chaos" \
                 --schedule="$schedule" --seed="$seed" \
                 --seconds="$SECONDS_PER_CELL" --threads="$THREADS" \
-                --algos=rh-norec,hy-norec-lazy --stats; then
+                --algos=rh-norec,hy-norec-lazy \
+                --irrevocable-pct=20 --stats; then
             echo "FAILED: $schedule seed=$seed" >&2
             fail=1
         fi
     done
 done
+
+# The irrevocable-storm schedule crosses lock handoffs with exception
+# unwinds; run it under UBSan too (the TSan matrix above cannot see
+# e.g. invalid shifts or misaligned unwinds), unless this whole run
+# already is the UBSan one.
+if [ "$SANITIZE" != "undefined" ]; then
+    UB_BUILD_DIR="${BUILD_DIR}-ubsan"
+    echo "== irrevocable-storm under UBSan ($UB_BUILD_DIR) =="
+    cmake -B "$UB_BUILD_DIR" -S . -DRHTM_SANITIZE=undefined >/dev/null
+    cmake --build "$UB_BUILD_DIR" -j "$(nproc)" --target bench_chaos
+    for seed in $SEEDS; do
+        echo "-- irrevocable-storm (ubsan) seed=$seed"
+        if ! "$UB_BUILD_DIR/bench/bench_chaos" \
+                --schedule=irrevocable-storm --seed="$seed" \
+                --seconds="$SECONDS_PER_CELL" --threads="$THREADS" \
+                --irrevocable-pct=20 --stats; then
+            echo "FAILED: irrevocable-storm (ubsan) seed=$seed" >&2
+            fail=1
+        fi
+    done
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "chaos matrix FAILED" >&2

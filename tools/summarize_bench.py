@@ -15,8 +15,12 @@ COLS = [
     "bench", "algo", "threads", "seconds", "ops", "throughput",
     "conflict", "capacity", "restarts", "slowpath", "prefix",
     "postfix", "injected", "subscription", "attempts", "ks_act",
-    "ks_bypass", "p50_us", "p99_us", "max_us", "stalls", "verified",
+    "ks_bypass", "p50_us", "p99_us", "max_us", "stalls", "irrev",
+    "verified",
 ]
+
+# Captures from before the irrevocable-upgrades column was added.
+PRE_IRREV_COLS = COLS[:21] + ["verified"]
 
 # Captures from before the latency/stall columns were added.
 PRE_LATENCY_COLS = COLS[:17] + ["verified"]
@@ -40,22 +44,26 @@ def parse(path):
             parts = line.split(",")
             if len(parts) == len(COLS):
                 row = dict(zip(COLS, parts))
+            elif len(parts) == len(PRE_IRREV_COLS):
+                row = dict(zip(PRE_IRREV_COLS, parts))
+                row.update(irrev="0")
             elif len(parts) == len(PRE_LATENCY_COLS):
                 row = dict(zip(PRE_LATENCY_COLS, parts))
                 row.update(p50_us="0", p99_us="0", max_us="0",
-                           stalls="0")
+                           stalls="0", irrev="0")
             elif len(parts) == len(LEGACY_COLS):
                 row = dict(zip(LEGACY_COLS, parts))
                 row.update(injected="0", subscription="0",
                            attempts="0", ks_act="0", ks_bypass="0",
                            p50_us="0", p99_us="0", max_us="0",
-                           stalls="0")
+                           stalls="0", irrev="0")
             else:
                 continue
             try:
                 row["threads"] = int(row["threads"])
                 row["ks_act"] = int(row["ks_act"])
                 row["stalls"] = int(row["stalls"])
+                row["irrev"] = int(row["irrev"])
                 for k in FLOAT_COLS:
                     row[k] = float(row[k])
             except ValueError:
@@ -85,15 +93,18 @@ def main():
                           for r in benches[bench])
         show_lat = any(r["max_us"] > 0 or r["stalls"] > 0
                        for r in benches[bench])
+        show_irrev = any(r["irrev"] > 0 for r in benches[bench])
         fault_hdr = " inj/op | ks | " if show_faults else " "
         fault_sep = "---|---|" if show_faults else ""
         lat_hdr = " p50us | p99us | stalls | " if show_lat else " "
         lat_sep = "---|---|---|" if show_lat else ""
-        extra_hdr = fault_hdr.rstrip() + lat_hdr
+        irrev_hdr = " irrev | " if show_irrev else " "
+        irrev_sep = "---|" if show_irrev else ""
+        extra_hdr = fault_hdr.rstrip() + lat_hdr.rstrip() + irrev_hdr
         print("| algo | ops/s | conf/op | cap/op | restarts | "
               f"slow% | prefix | postfix |{extra_hdr}ok |")
         print(f"|---|---|---|---|---|---|---|---|{fault_sep}"
-              f"{lat_sep}---|")
+              f"{lat_sep}{irrev_sep}---|")
         by_algo = {}
         for r in benches[bench]:
             by_algo[r["algo"]] = r
@@ -105,11 +116,13 @@ def main():
             if show_lat:
                 lat_cells = (f" {r['p50_us']:.1f} | {r['p99_us']:.1f} "
                              f"| {r['stalls']} |")
+            irrev_cells = f" {r['irrev']} |" if show_irrev else ""
             print(f"| {r['algo']} | {r['throughput']:,.0f} "
                   f"| {r['conflict']:.4f} | {r['capacity']:.4f} "
                   f"| {r['restarts']:.3f} | {100 * r['slowpath']:.1f} "
                   f"| {r['prefix']:.2f} | {r['postfix']:.2f} "
-                  f"|{fault_cells}{lat_cells} {r['verified']} |")
+                  f"|{fault_cells}{lat_cells}{irrev_cells} "
+                  f"{r['verified']} |")
         rh, hy = by_algo.get("rh-norec"), by_algo.get("hy-norec")
         if rh and hy:
             tput = rh["throughput"] / hy["throughput"] if hy[
