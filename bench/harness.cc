@@ -99,7 +99,12 @@ parseBenchConfig(const CliOptions &opts)
                 list.substr(pos, comma == std::string::npos
                                      ? std::string::npos
                                      : comma - pos);
-            if (!name.empty()) {
+            if (name == "all") {
+                // Sweep mode: every registered algorithm, in the
+                // canonical allAlgoKinds() order.
+                for (AlgoKind kind : allAlgoKinds())
+                    cfg.algos.push_back(kind);
+            } else if (!name.empty()) {
                 AlgoKind kind;
                 if (!algoKindFromString(name, kind)) {
                     std::fprintf(stderr, "unknown algorithm: %s\n",
@@ -127,7 +132,8 @@ printCsvHeader()
         "injected_aborts_per_op,subscription_aborts_per_op,"
         "fastpath_attempts_per_op,killswitch_activations,"
         "killswitch_bypass_ratio,p50_us,p99_us,max_us,"
-        "stalls_detected,irrevocable_upgrades,verified\n");
+        "stalls_detected,irrevocable_upgrades,accesses_per_op,"
+        "verified\n");
 }
 
 void
@@ -141,7 +147,7 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
         ops ? double(s.get(Counter::kKillSwitchBypasses)) / ops : 0.0;
     std::printf("%s,%s,%u,%.2f,%llu,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f,"
                 "%.4f,%.4f,%.4f,%.4f,%llu,%.4f,%.2f,%.2f,%.2f,%llu,"
-                "%llu,%s\n",
+                "%llu,%.4f,%s\n",
                 bench_name.c_str(), algoKindName(cell.algo),
                 cell.threads, cell.seconds,
                 static_cast<unsigned long long>(cell.ops),
@@ -160,7 +166,7 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
                     s.get(Counter::kStallsDetected)),
                 static_cast<unsigned long long>(
                     s.get(Counter::kIrrevocableUpgrades)),
-                cell.verified ? "ok" : "FAIL");
+                s.accessesPerOp(), cell.verified ? "ok" : "FAIL");
     std::fflush(stdout);
 }
 

@@ -49,6 +49,7 @@ struct BenchConfig
 /**
  * Parse the common flags:
  *   --threads=1,2,4,8  --seconds=1.0  --algos=rh-norec,hy-norec
+ *   --algos=all                (sweep every registered algorithm)
  *   --seed=N           --no-verify
  *   --ht-from=8 --ht-scale=2   (HyperThreading capacity model)
  *   --abort-prob=5e-4          (interrupt-style HTM abort injection)

@@ -1,106 +1,14 @@
 /**
  * @file
- * Core types shared by the TM algorithms: restart signalling, hints,
- * and the per-thread session interface every algorithm implements.
+ * Compatibility forwarder: the session interface and restart/hint
+ * types moved into the shared transaction engine
+ * (src/core/engine/session.h). Kept so existing includes keep
+ * working; new code should include the engine header directly.
  */
 
 #ifndef RHTM_API_TX_DEFS_H
 #define RHTM_API_TX_DEFS_H
 
-#include <cstdint>
-
-#include "src/htm/abort.h"
-
-namespace rhtm
-{
-
-/**
- * Thrown by an algorithm to abort and restart the current transaction
- * attempt (the library analogue of libitm's longjmp back to the
- * transaction entry). Caught by TmRuntime's retry loop; never escapes
- * to user code.
- */
-struct TxRestart
-{
-};
-
-/**
- * Caller-provided static hints, standing in for the GCC TM compiler
- * analysis the paper's implementation used (Section 3: "detection of
- * read-only fast-paths is based on the GCC compiler static analysis").
- */
-enum class TxnHint : uint8_t
-{
-    kNone = 0,
-    kReadOnly, //!< The body performs no transactional writes.
-};
-
-/**
- * Per-thread algorithm state driving one transaction at a time.
- *
- * Lifecycle per transaction, orchestrated by TmRuntime::run:
- *
- *   begin(hint) -> body calls read()/write() -> commit()
- *
- * Any of these may throw HtmAbort (a simulated hardware abort) or
- * TxRestart (a software consistency abort); the runtime then calls
- * onHtmAbort()/onRestart() and re-enters begin(). After a successful
- * commit() the runtime calls onComplete().
- *
- * Implementations are single-threaded objects: exactly one owning
- * thread ever calls into a session.
- */
-class TxSession
-{
-  public:
-    virtual ~TxSession() = default;
-
-    /** Start a fresh attempt of the current transaction. */
-    virtual void begin(TxnHint hint) = 0;
-
-    /** Transactional load of an aligned 64-bit word. */
-    virtual uint64_t read(const uint64_t *addr) = 0;
-
-    /** Transactional store of an aligned 64-bit word. */
-    virtual void write(uint64_t *addr, uint64_t value) = 0;
-
-    /** Finish the attempt; throws HtmAbort/TxRestart on failure. */
-    virtual void commit() = 0;
-
-    /**
-     * Upgrade the attempt so it can no longer abort (docs/LIFECYCLE.md).
-     *
-     * Contract: either this returns with irrevocability granted --
-     * after which read()/write()/commit() never throw and the
-     * transaction is guaranteed to commit -- or it unwinds (HtmAbort
-     * with kNeedIrrevocable on a hardware path, TxRestart on a failed
-     * software validation) BEFORE granting, so the body re-executes
-     * from the top and any post-upgrade side effect runs at most once.
-     */
-    virtual void becomeIrrevocable() = 0;
-
-    /** True once the current attempt has been granted irrevocability. */
-    virtual bool isIrrevocable() const = 0;
-
-    /** The attempt unwound with a (simulated) hardware abort. */
-    virtual void onHtmAbort(const HtmAbort &abort) = 0;
-
-    /** The attempt unwound with a software restart. */
-    virtual void onRestart() = 0;
-
-    /**
-     * A user exception unwound the body: release any held locks and
-     * roll back in-place writes so the exception can propagate safely.
-     */
-    virtual void onUserAbort() = 0;
-
-    /** The attempt committed; record commit-path statistics. */
-    virtual void onComplete() = 0;
-
-    /** Algorithm name for reports. */
-    virtual const char *name() const = 0;
-};
-
-} // namespace rhtm
+#include "src/core/engine/session.h"
 
 #endif // RHTM_API_TX_DEFS_H

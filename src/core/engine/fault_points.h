@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Protocol-level fault points for the algorithm sessions.
+ *
+ * HtmTxn fires the hardware-level sites itself; the sessions call
+ * sessionFaultPoint() at the protocol windows (prefix commit, the
+ * post-first-write clock-held window, postfix publication, software
+ * writes), where the right unwind depends on whether a small hardware
+ * transaction is live: inside one, a scripted abort must look like a
+ * hardware abort (HtmAbort, so the session's reversion logic runs);
+ * in a software phase it must look like a consistency restart
+ * (TxRestart, so rollbackWriter and the restart bookkeeping run).
+ */
+
+#ifndef RHTM_CORE_ENGINE_FAULT_POINTS_H
+#define RHTM_CORE_ENGINE_FAULT_POINTS_H
+
+#include <thread>
+
+#include "src/core/engine/session.h"
+#include "src/fault/fault_injector.h"
+#include "src/htm/htm_txn.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/** Fire @p site on @p htm's injector (if any) and apply the fault. */
+inline void
+sessionFaultPoint(HtmTxn &htm, FaultSite site)
+{
+    FaultInjector *fault = htm.injector();
+    if (fault == nullptr)
+        return;
+    uint32_t spins = 0;
+    switch (fault->fire(site, &spins)) {
+      case FaultKind::kNone:
+      case FaultKind::kCapacitySqueeze:
+        return;
+      case FaultKind::kDelay:
+        simDelay(spins);
+        return;
+      case FaultKind::kYield:
+        std::this_thread::yield();
+        return;
+      case FaultKind::kAbortConflict:
+        if (htm.active())
+            htm.abortInjected(HtmAbortCause::kConflict, true);
+        throw TxRestart{};
+      case FaultKind::kAbortCapacity:
+        if (htm.active())
+            htm.abortInjected(HtmAbortCause::kCapacity, false);
+        throw TxRestart{};
+      case FaultKind::kAbortOther:
+        if (htm.active())
+            htm.abortInjected(HtmAbortCause::kOther, false);
+        throw TxRestart{};
+      case FaultKind::kAbortExplicit:
+        if (htm.active())
+            htm.abortInjected(HtmAbortCause::kExplicit, true);
+        throw TxRestart{};
+    }
+}
+
+/**
+ * Like sessionFaultPoint(), but scripted aborts are absorbed instead
+ * of unwinding: used at windows reached after an irrevocability grant,
+ * where the transaction must not abort by contract. Delays and yields
+ * still apply (they stretch the window without breaking the promise),
+ * and the injector still counts the hit/fire for test assertions.
+ */
+inline void
+sessionFaultPointNoAbort(HtmTxn &htm, FaultSite site)
+{
+    FaultInjector *fault = htm.injector();
+    if (fault == nullptr)
+        return;
+    uint32_t spins = 0;
+    switch (fault->fire(site, &spins)) {
+      case FaultKind::kDelay:
+        simDelay(spins);
+        return;
+      case FaultKind::kYield:
+        std::this_thread::yield();
+        return;
+      default:
+        return; // An irrevocable transaction never unwinds.
+    }
+}
+
+/**
+ * Thrown by userExceptionFaultPoint(): stands in for an arbitrary
+ * exception escaping a user transaction body. Deliberately not derived
+ * from std::exception, so only the runtime's catch-all sees it.
+ */
+struct InjectedUserException
+{
+};
+
+/**
+ * Body-side opt-in fault point: transaction bodies (workloads, tests)
+ * call this with their ThreadCtx's injector to let a chaos schedule
+ * deterministically script user exceptions mid-body. Any scripted
+ * abort kind at kUserException throws InjectedUserException; delays
+ * and yields apply in place.
+ */
+inline void
+userExceptionFaultPoint(FaultInjector *fault)
+{
+    if (fault == nullptr)
+        return;
+    uint32_t spins = 0;
+    switch (fault->fire(FaultSite::kUserException, &spins)) {
+      case FaultKind::kNone:
+      case FaultKind::kCapacitySqueeze:
+        return;
+      case FaultKind::kDelay:
+        simDelay(spins);
+        return;
+      case FaultKind::kYield:
+        std::this_thread::yield();
+        return;
+      default:
+        throw InjectedUserException{};
+    }
+}
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_ENGINE_FAULT_POINTS_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Write journals and the value-based read log shared by every
+ * algorithm's software phase.
+ *
+ * Eager algorithms (NOrec eager, hybrid NOrec, RH NOrec, TL2) write in
+ * place and keep an UndoJournal of old values to replay backwards on
+ * abort. Lazy algorithms buffer writes in a RedoBuffer and publish at
+ * commit. Value-based algorithms (the NOrec family) additionally keep
+ * a ValueReadLog and revalidate it whenever the global clock moves.
+ *
+ * The UndoJournal inlines its first entries so the common short
+ * transaction never touches the heap on its write path.
+ */
+
+#ifndef RHTM_CORE_ENGINE_JOURNAL_H
+#define RHTM_CORE_ENGINE_JOURNAL_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/engine/session.h"
+#include "src/htm/fixed_table.h"
+
+namespace rhtm
+{
+
+/** One in-place write to undo if the transaction aborts. */
+struct UndoEntry
+{
+    uint64_t *addr;
+    uint64_t oldValue;
+};
+
+/**
+ * Old-value journal for eager (write-in-place) phases. Rolled back in
+ * reverse push order so a location written twice ends at its pre-txn
+ * value. The first kInlineEntries live in the object itself;
+ * pathological write sets spill to a vector that keeps its capacity
+ * across transactions.
+ */
+class UndoJournal
+{
+  public:
+    static constexpr size_t kInlineEntries = 64;
+
+    /** Record @p addr's pre-write value. */
+    void
+    push(uint64_t *addr, uint64_t oldValue)
+    {
+        if (size_ < kInlineEntries)
+            inline_[size_] = {addr, oldValue};
+        else
+            overflow_.push_back({addr, oldValue});
+        ++size_;
+    }
+
+    /** Replay old values newest-first through @p mem. */
+    template <typename Mem>
+    void
+    rollback(const Mem &mem)
+    {
+        for (size_t i = size_; i > kInlineEntries; --i) {
+            const UndoEntry &e = overflow_[i - kInlineEntries - 1];
+            mem.store(e.addr, e.oldValue);
+        }
+        size_t live = size_ < kInlineEntries ? size_ : kInlineEntries;
+        for (size_t i = live; i > 0; --i) {
+            const UndoEntry &e = inline_[i - 1];
+            mem.store(e.addr, e.oldValue);
+        }
+    }
+
+    void
+    clear()
+    {
+        size_ = 0;
+        overflow_.clear();
+    }
+
+    bool empty() const { return size_ == 0; }
+
+    size_t size() const { return size_; }
+
+  private:
+    std::array<UndoEntry, kInlineEntries> inline_;
+    std::vector<UndoEntry> overflow_;
+    size_t size_ = 0;
+};
+
+/**
+ * Speculative write buffer for lazy (buffered) phases: lookups service
+ * read-after-write, forEach publishes in program order at commit. The
+ * open-addressing table itself lives in src/htm/fixed_table.h because
+ * the simulated HTM uses the identical structure for its own write
+ * set.
+ */
+using RedoBuffer = WriteBuffer;
+
+/** One value-validated read (NOrec family). */
+struct ReadEntry
+{
+    const uint64_t *addr;
+    uint64_t value;
+};
+
+/**
+ * Value-based read log (NOrec's validation set): remembers every
+ * location/value a software read phase observed and re-checks them
+ * whenever the global clock moves.
+ */
+class ValueReadLog
+{
+  public:
+    ValueReadLog() { log_.reserve(1024); }
+
+    void
+    push(const uint64_t *addr, uint64_t value)
+    {
+        log_.push_back({addr, value});
+    }
+
+    void clear() { log_.clear(); }
+
+    bool empty() const { return log_.empty(); }
+
+    size_t size() const { return log_.size(); }
+
+    /** True when every logged location still holds its logged value. */
+    template <typename Mem>
+    bool
+    consistent(const Mem &mem) const
+    {
+        for (const ReadEntry &e : log_) {
+            if (mem.load(e.addr) != e.value)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * NOrec's validation loop: take a stable (unlocked) clock sample,
+     * value-check the log, and retry until the clock holds still
+     * across the check. Returns the snapshot the log is now valid at;
+     * throws TxRestart if any value changed.
+     */
+    template <typename Mem, typename StableRead>
+    uint64_t
+    revalidate(const Mem &mem, const uint64_t *clock,
+               StableRead stableRead) const
+    {
+        for (;;) {
+            uint64_t snapshot = stableRead();
+            if (!consistent(mem))
+                throw TxRestart{};
+            if (mem.load(clock) == snapshot)
+                return snapshot;
+        }
+    }
+
+  private:
+    std::vector<ReadEntry> log_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_ENGINE_JOURNAL_H

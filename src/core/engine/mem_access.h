@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Memory-access policies for the software paths.
+ *
+ * A software transaction that can run concurrently with simulated
+ * hardware transactions must route every access through the HtmEngine
+ * so that (a) its loads never observe a torn hardware commit and (b)
+ * its stores doom hardware transactions tracking the line -- that is
+ * exactly what cache coherence gives the real slow path for free.
+ *
+ * A pure-software runtime (NOrec STM, TL2 STM) has no hardware
+ * transactions to coordinate with, so it uses plain sequentially
+ * consistent atomics and keeps its natural scalability. The engine's
+ * protocol objects (CommitSeqlock, UndoJournal, ValueReadLog) and the
+ * STM algorithms are templated over this policy and instantiated both
+ * ways.
+ */
+
+#ifndef RHTM_CORE_ENGINE_MEM_ACCESS_H
+#define RHTM_CORE_ENGINE_MEM_ACCESS_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/htm/htm_engine.h"
+
+namespace rhtm
+{
+
+/** Accesses via plain seq_cst atomics (pure-software runtimes). */
+struct RawMem
+{
+    RawMem() = default;
+
+    uint64_t
+    load(const uint64_t *addr) const
+    {
+        return std::atomic_ref<const uint64_t>(*addr).load(
+            std::memory_order_seq_cst);
+    }
+
+    void
+    store(uint64_t *addr, uint64_t value) const
+    {
+        std::atomic_ref<uint64_t>(*addr).store(value,
+                                               std::memory_order_seq_cst);
+    }
+
+    bool
+    cas(uint64_t *addr, uint64_t &expected, uint64_t desired) const
+    {
+        return std::atomic_ref<uint64_t>(*addr).compare_exchange_strong(
+            expected, desired, std::memory_order_seq_cst);
+    }
+
+    uint64_t
+    fetchAdd(uint64_t *addr, uint64_t delta) const
+    {
+        return std::atomic_ref<uint64_t>(*addr).fetch_add(
+            delta, std::memory_order_seq_cst);
+    }
+};
+
+/** Accesses via the HtmEngine (slow paths of the hybrid TMs). */
+struct EngineMem
+{
+    explicit EngineMem(HtmEngine &eng) : eng_(&eng) {}
+
+    uint64_t load(const uint64_t *addr) const
+    {
+        return eng_->directLoad(addr);
+    }
+
+    void store(uint64_t *addr, uint64_t value) const
+    {
+        eng_->directStore(addr, value);
+    }
+
+    bool cas(uint64_t *addr, uint64_t &expected, uint64_t desired) const
+    {
+        return eng_->directCas(addr, expected, desired);
+    }
+
+    uint64_t fetchAdd(uint64_t *addr, uint64_t delta) const
+    {
+        return eng_->directFetchAdd(addr, delta);
+    }
+
+  private:
+    HtmEngine *eng_;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_ENGINE_MEM_ACCESS_H

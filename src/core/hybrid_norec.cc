@@ -2,8 +2,8 @@
 
 #include <cassert>
 
-#include "src/core/fault_points.h"
-#include "src/core/progress.h"
+#include "src/core/engine/fault_points.h"
+#include "src/util/backoff.h"
 
 namespace rhtm
 {
@@ -13,151 +13,157 @@ HybridNOrecSession::HybridNOrecSession(HtmEngine &eng, TmGlobals &globals,
                                        const RetryPolicy &policy,
                                        unsigned access_penalty,
                                        uint64_t cm_seed)
-    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
-      retryBudget_(policy_), penalty_(access_penalty),
-      cm_(policy_, &globals, cm_seed)
+    : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
+      seqlock_(EngineMem(eng), &globals.clock,
+               &globals.watchdog.clockEpoch)
+{}
+
+//
+// Per-mode accessors
+//
+
+uint64_t
+HybridNOrecSession::fastRead(void *self, const uint64_t *addr)
 {
-    undo_.reserve(256);
+    auto *s = static_cast<HybridNOrecSession *>(self);
+    ++s->core_.tally.fastReads;
+    return s->core_.htm.read(addr); // Uninstrumented (simulated) load.
+}
+
+void
+HybridNOrecSession::fastWrite(void *self, uint64_t *addr, uint64_t value)
+{
+    auto *s = static_cast<HybridNOrecSession *>(self);
+    ++s->core_.tally.fastWrites;
+    s->core_.htm.write(addr, value);
+}
+
+uint64_t
+HybridNOrecSession::readPhaseRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<HybridNOrecSession *>(self);
+    simDelay(s->core_.penalty); // Instrumented access (DESIGN.md).
+    ++s->core_.tally.slowReads;
+    uint64_t v = s->core_.eng.directLoad(addr);
+    if (s->core_.eng.directLoad(&s->core_.g.clock) != s->core_.txVersion)
+        s->restart(); // Eager NOrec: no read log, restart on any commit.
+    return v;
+}
+
+void
+HybridNOrecSession::readPhaseWrite(void *self, uint64_t *addr,
+                                   uint64_t value)
+{
+    auto *s = static_cast<HybridNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowWrites;
+    s->handleFirstWrite();
+    s->inPlaceWrite(addr, value);
+}
+
+uint64_t
+HybridNOrecSession::writerRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<HybridNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowReads;
+    // We hold the clock and the HTM lock: nothing can commit.
+    return s->core_.eng.directLoad(addr);
+}
+
+void
+HybridNOrecSession::writerWrite(void *self, uint64_t *addr,
+                                uint64_t value)
+{
+    auto *s = static_cast<HybridNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowWrites;
+    s->inPlaceWrite(addr, value);
 }
 
 void
 HybridNOrecSession::beginSoftware()
 {
-    sessionFaultPoint(htm_, FaultSite::kFallbackStart);
-    if (mode_ == Mode::kSerial && !serialHeld_) {
-        serialLockAcquire(eng_, g_, policy_, stats_);
-        serialHeld_ = true;
-        // After serialHeld_: an unwinding fault must not leak the lock.
-        sessionFaultPoint(htm_, FaultSite::kSerialHeld);
+    sessionFaultPoint(core_.htm, FaultSite::kFallbackStart);
+    if (core_.mode == ExecMode::kSerial && !core_.serialHeld) {
+        core_.acquireSerial();
+        // After serialHeld: an unwinding fault must not leak the lock.
+        sessionFaultPoint(core_.htm, FaultSite::kSerialHeld);
     }
-    if (!registered_) {
-        // Register once per transaction, not per attempt: every bump of
-        // the fallback counter costs concurrent fast paths a tracked
-        // line, so churn is kept minimal.
-        eng_.directFetchAdd(&g_.fallbacks, 1);
-        registered_ = true;
-    }
+    // Register once per transaction, not per attempt: every bump of
+    // the fallback counter costs concurrent fast paths a tracked
+    // line, so churn is kept minimal.
+    core_.registerFallback();
     writeDetected_ = false;
     undo_.clear();
     // Wait out a mid-flight writer stall-aware instead of restarting:
     // a restart here charges the slow-path budget for another thread's
     // publication window and lemmings everyone into serial mode when
     // that writer stalls.
-    txVersion_ = stableClockRead(eng_, g_, policy_, stats_);
+    core_.txVersion = core_.stableClock();
+    bindDispatch(kReadPhaseDispatch, this);
 }
 
 void
 HybridNOrecSession::begin(TxnHint hint)
 {
     (void)hint;
-    if (mode_ == Mode::kFast) {
-        if (killSwitchBypass(g_, policy_)) {
-            mode_ = Mode::kSoftware;
-            if (stats_) {
-                stats_->inc(Counter::kKillSwitchBypasses);
-                stats_->inc(Counter::kFallbacks);
-            }
-        } else {
-            ++attempts_;
-            if (stats_)
-                stats_->inc(Counter::kFastPathAttempts);
-            htm_.begin();
-            // Early subscription (the Hybrid NOrec bottleneck): any
-            // slow path that raises the HTM lock aborts us from this
-            // point on.
-            if (htm_.read(&g_.htmLock) != 0)
-                htm_.abortSubscription();
+    if (core_.mode == ExecMode::kFast) {
+        // Early subscription (the Hybrid NOrec bottleneck): any slow
+        // path that raises the HTM lock aborts us from this point on.
+        if (core_.beginFastPath(ExecMode::kSlow, &core_.g.htmLock)) {
+            bindDispatch(kFastDispatch, this);
             return;
         }
     }
     beginSoftware();
 }
 
-uint64_t
-HybridNOrecSession::read(const uint64_t *addr)
-{
-    if (mode_ == Mode::kFast)
-        return htm_.read(addr); // Uninstrumented (simulated) load.
-    simDelay(penalty_); // Instrumented slow-path access (DESIGN.md).
-    if (writeDetected_) {
-        // We hold the clock and the HTM lock: nothing can commit.
-        return eng_.directLoad(addr);
-    }
-    uint64_t v = eng_.directLoad(addr);
-    if (eng_.directLoad(&g_.clock) != txVersion_)
-        restart(); // Eager NOrec: no read log, restart on any commit.
-    return v;
-}
-
 void
 HybridNOrecSession::handleFirstWrite()
 {
-    uint64_t expected = txVersion_;
-    if (!eng_.directCas(&g_.clock, expected, clockWithLock(txVersion_)))
+    if (!seqlock_.tryAcquireAt(core_.txVersion))
         restart();
     writeDetected_ = true;
-    stampEpoch(g_.watchdog.clockEpoch);
     // Eager writes are about to become visible: kill every hardware
     // fast path before the first store (Section 3.1).
-    eng_.directStore(&g_.htmLock, 1);
+    core_.eng.directStore(&core_.g.htmLock, 1);
     htmLockSet_ = true;
+    bindDispatch(kWriterDispatch, this);
     // Clock and HTM lock are both held here; a scripted abort
     // exercises their release in rollbackWriter().
-    sessionFaultPoint(htm_, FaultSite::kPostFirstWrite);
+    sessionFaultPoint(core_.htm, FaultSite::kPostFirstWrite);
 }
 
 void
-HybridNOrecSession::write(uint64_t *addr, uint64_t value)
+HybridNOrecSession::inPlaceWrite(uint64_t *addr, uint64_t value)
 {
-    if (mode_ == Mode::kFast) {
-        htm_.write(addr, value);
-        return;
-    }
-    simDelay(penalty_); // Instrumented slow-path access (DESIGN.md).
-    if (!writeDetected_)
-        handleFirstWrite();
-    if (irrevocable_)
-        sessionFaultPointNoAbort(htm_, FaultSite::kSoftwareWrite);
+    if (core_.irrevocable)
+        sessionFaultPointNoAbort(core_.htm, FaultSite::kSoftwareWrite);
     else
-        sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
-    undo_.push_back({addr, eng_.directLoad(addr)});
-    eng_.directStore(addr, value);
+        sessionFaultPoint(core_.htm, FaultSite::kSoftwareWrite);
+    undo_.push(addr, core_.eng.directLoad(addr));
+    core_.eng.directStore(addr, value);
 }
 
 void
 HybridNOrecSession::commit()
 {
-    if (mode_ == Mode::kFast) {
-        if (htm_.isReadOnly()) {
-            // Read-only fast paths never signal the slow paths (the
-            // GCC static read-only analysis in the paper; here the
-            // write buffer tells us exactly).
-            htm_.commit();
-            if (stats_)
-                stats_->inc(Counter::kReadOnlyCommits);
-            return;
-        }
-        if (htm_.read(&g_.fallbacks) > 0) {
-            uint64_t clock = htm_.read(&g_.clock);
-            if (clockIsLocked(clock))
-                htm_.abortExplicit();
-            if (htm_.read(&g_.serialLock) != 0)
-                htm_.abortExplicit(); // Serialized slow path running.
-            // Notify the slow paths that memory changed.
-            htm_.write(&g_.clock, clock + 2);
-        }
-        htm_.commit();
+    if (core_.mode == ExecMode::kFast) {
+        // Read-only fast paths never signal the slow paths (the GCC
+        // static read-only analysis in the paper; here the write
+        // buffer tells us exactly); writers check the clock lock and
+        // serial lock, then notify the slow paths that memory changed.
+        core_.fastCommitNOrec();
         return;
     }
     if (!writeDetected_) {
-        if (stats_)
-            stats_->inc(Counter::kReadOnlyCommits);
+        core_.count(Counter::kReadOnlyCommits);
         return; // Read-only slow path: validated by every read.
     }
-    eng_.directStore(&g_.htmLock, 0);
+    core_.eng.directStore(&core_.g.htmLock, 0);
     htmLockSet_ = false;
-    eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
-    stampEpoch(g_.watchdog.clockEpoch);
+    seqlock_.releaseAdvance(core_.txVersion);
     writeDetected_ = false;
     // The undo journal is dead once the writes are committed.
     undo_.clear();
@@ -166,24 +172,19 @@ HybridNOrecSession::commit()
 void
 HybridNOrecSession::becomeIrrevocable()
 {
-    if (irrevocable_)
+    if (core_.irrevocable)
         return;
-    if (mode_ == Mode::kFast) {
+    if (core_.mode == ExecMode::kFast) {
         // Cannot grant inside best-effort HTM: unwind, and onHtmAbort
         // routes the next attempt straight to serial mode.
-        htm_.abortNeedIrrevocable();
+        core_.htm.abortNeedIrrevocable();
     }
     if (!writeDetected_) {
         // Read phase: we hold neither the clock nor the HTM lock, so
         // queueing on the serial FIFO is deadlock-free (lock order:
         // serial BEFORE clock, docs/LIFECYCLE.md). The lock serializes
         // concurrent upgraders in ticket order.
-        mode_ = Mode::kSerial;
-        if (!serialHeld_) {
-            serialLockAcquire(eng_, g_, policy_, stats_);
-            serialHeld_ = true;
-        }
-        sessionFaultPoint(htm_, FaultSite::kIrrevocableUpgrade);
+        core_.grantBarrierEnter();
         // Lock the clock exactly as a first write would: a failed CAS
         // means some writer committed since our snapshot, so our reads
         // may be stale -- restart() BEFORE granting (the serial lock
@@ -192,9 +193,7 @@ HybridNOrecSession::becomeIrrevocable()
     }
     // Clock and HTM lock held: reads are direct, no one else can
     // commit, and commit() is a plain unlock-advance. Infallible.
-    irrevocable_ = true;
-    if (stats_)
-        stats_->inc(Counter::kIrrevocableUpgrades);
+    core_.grantIrrevocable();
 }
 
 void
@@ -202,14 +201,13 @@ HybridNOrecSession::rollbackWriter()
 {
     if (!writeDetected_)
         return;
-    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
-        eng_.directStore(it->addr, it->oldValue);
+    undo_.rollback(EngineMem(core_.eng));
+    undo_.clear();
     if (htmLockSet_) {
-        eng_.directStore(&g_.htmLock, 0);
+        core_.eng.directStore(&core_.g.htmLock, 0);
         htmLockSet_ = false;
     }
-    eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
-    stampEpoch(g_.watchdog.clockEpoch);
+    seqlock_.releaseAdvance(core_.txVersion);
     writeDetected_ = false;
 }
 
@@ -222,107 +220,49 @@ HybridNOrecSession::restart()
 void
 HybridNOrecSession::onHtmAbort(const HtmAbort &abort)
 {
-    assert(mode_ == Mode::kFast);
+    assert(core_.mode == ExecMode::kFast);
     // A real abort already reset the hardware transaction; an injected
     // one (tests, policy probes) may not have.
-    htm_.cancel();
+    core_.htm.cancel();
     if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
         // The body asked for irrevocability: no amount of hardware
         // retrying can satisfy it, so skip the budget and go straight
         // to the serial slow path.
-        mode_ = Mode::kSerial;
-        if (stats_)
-            stats_->inc(Counter::kFallbacks);
+        core_.fallbackUncharged(ExecMode::kSerial);
         return;
     }
-    if (!abort.retryOk)
-        killSwitchOnHardwareFailure(g_, policy_, stats_);
-    if (abort.retryOk && attempts_ < retryBudget_.budget()) {
-        cm_.onWait(waitCauseOf(abort));
-        return; // Conflict-style abort: retry in hardware.
-    }
-    // Capacity aborts (and exhausted budgets) go to software at once
-    // (Section 3.3).
-    retryBudget_.onFallback(attempts_);
-    mode_ = Mode::kSoftware;
-    if (stats_)
-        stats_->inc(Counter::kFallbacks);
+    // Conflict-style aborts retry in hardware; capacity aborts (and
+    // exhausted budgets) go to software at once (Section 3.3).
+    core_.htmAbortFast(abort, ExecMode::kSlow);
 }
 
 void
 HybridNOrecSession::onRestart()
 {
-    if (mode_ == Mode::kFast) {
+    if (core_.mode == ExecMode::kFast) {
         // User retry() inside the hardware fast path.
-        htm_.cancel();
-        cm_.onWait(WaitCause::kRestart);
+        core_.htm.cancel();
+        core_.cm.onWait(WaitCause::kRestart);
         return;
     }
     rollbackWriter();
-    irrevocable_ = false;
-    if (stats_)
-        stats_->inc(Counter::kSlowPathRestarts);
-    if (++slowRestarts_ >= policy_.maxSlowPathRestarts &&
-        mode_ == Mode::kSoftware) {
-        mode_ = Mode::kSerial;
-    }
-    cm_.onWait(WaitCause::kRestart);
+    core_.restartEscalate();
 }
 
 void
 HybridNOrecSession::onUserAbort()
 {
-    htm_.cancel();
-    if (mode_ != Mode::kFast)
+    core_.htm.cancel();
+    if (core_.mode != ExecMode::kFast)
         rollbackWriter();
-    if (registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
-        registered_ = false;
-    }
-    if (serialHeld_) {
-        serialLockRelease(eng_, g_);
-        serialHeld_ = false;
-    }
-    irrevocable_ = false;
-    mode_ = Mode::kFast;
-    attempts_ = 0;
-    slowRestarts_ = 0;
+    core_.unwindTail();
 }
 
 void
 HybridNOrecSession::onComplete()
 {
-    if (mode_ == Mode::kFast) {
-        retryBudget_.onFastCommit(attempts_);
-        killSwitchOnHardwareCommit(g_);
-    }
-    killSwitchOnComplete(g_);
-    if (stats_) {
-        switch (mode_) {
-          case Mode::kFast:
-            stats_->inc(Counter::kCommitsFastPath);
-            break;
-          case Mode::kSoftware:
-            stats_->inc(Counter::kCommitsSoftwarePath);
-            break;
-          case Mode::kSerial:
-            stats_->inc(Counter::kCommitsSerialPath);
-            break;
-        }
-    }
-    if (registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
-        registered_ = false;
-    }
-    if (serialHeld_) {
-        serialLockRelease(eng_, g_);
-        serialHeld_ = false;
-    }
-    irrevocable_ = false;
-    mode_ = Mode::kFast;
-    attempts_ = 0;
-    slowRestarts_ = 0;
-    cm_.reset();
+    core_.completeTail(Counter::kCommitsSoftwarePath);
+    core_.finishReset();
 }
 
 } // namespace rhtm

@@ -14,20 +14,24 @@
  *
  * The serial starvation lock of Section 3.3 backs a slow path that
  * restarts too often.
+ *
+ * Composition over the shared engine: SessionCore + CommitSeqlock +
+ * UndoJournal; the fast path, the validating software read phase, and
+ * the clock-held write phase are three TxDispatch descriptors.
  */
 
 #ifndef RHTM_CORE_HYBRID_NOREC_H
 #define RHTM_CORE_HYBRID_NOREC_H
 
 #include <cstdint>
-#include <vector>
 
-#include "src/api/tx_defs.h"
-#include "src/core/globals.h"
-#include "src/core/retry_policy.h"
+#include "src/core/engine/commit_seqlock.h"
+#include "src/core/engine/journal.h"
+#include "src/core/engine/mem_access.h"
+#include "src/core/engine/session.h"
+#include "src/core/engine/session_core.h"
 #include "src/htm/htm_txn.h"
 #include "src/stats/stats.h"
-#include "src/util/backoff.h"
 
 namespace rhtm
 {
@@ -42,11 +46,9 @@ class HybridNOrecSession : public TxSession
                        uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
-    uint64_t read(const uint64_t *addr) override;
-    void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
     void becomeIrrevocable() override;
-    bool isIrrevocable() const override { return irrevocable_; }
+    bool isIrrevocable() const override { return core_.irrevocable; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -54,18 +56,19 @@ class HybridNOrecSession : public TxSession
     const char *name() const override { return "hy-norec"; }
 
   private:
-    enum class Mode
-    {
-        kFast,     //!< Hardware fast path.
-        kSoftware, //!< Eager NOrec software slow path.
-        kSerial,   //!< Software slow path holding the serial lock.
-    };
+    static uint64_t fastRead(void *self, const uint64_t *addr);
+    static void fastWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t readPhaseRead(void *self, const uint64_t *addr);
+    static void readPhaseWrite(void *self, uint64_t *addr,
+                               uint64_t value);
+    static uint64_t writerRead(void *self, const uint64_t *addr);
+    static void writerWrite(void *self, uint64_t *addr, uint64_t value);
 
-    struct UndoEntry
-    {
-        uint64_t *addr;
-        uint64_t oldValue;
-    };
+    static constexpr TxDispatch kFastDispatch = {&fastRead, &fastWrite};
+    static constexpr TxDispatch kReadPhaseDispatch = {&readPhaseRead,
+                                                      &readPhaseWrite};
+    static constexpr TxDispatch kWriterDispatch = {&writerRead,
+                                                   &writerWrite};
 
     /** Begin a software (or serial) slow-path attempt. */
     void beginSoftware();
@@ -73,31 +76,20 @@ class HybridNOrecSession : public TxSession
     /** First slow-path write: lock clock, raise the HTM lock. */
     void handleFirstWrite();
 
+    /** Journal-backed in-place write (clock + HTM lock held). */
+    void inPlaceWrite(uint64_t *addr, uint64_t value);
+
     /** Undo slow-path writes and drop both locks. */
     void rollbackWriter();
 
     [[noreturn]] void restart();
 
-    HtmEngine &eng_;
-    TmGlobals &g_;
-    HtmTxn &htm_;
-    ThreadStats *stats_;
-    // Reference, not a copy: post-construction knob changes apply.
-    const RetryPolicy &policy_;
-    AdaptiveRetryBudget retryBudget_;
-    unsigned penalty_;
-    ContentionManager cm_;
+    SessionCore core_;
+    CommitSeqlock<EngineMem> seqlock_;
 
-    Mode mode_ = Mode::kFast;
-    unsigned attempts_ = 0;
-    unsigned slowRestarts_ = 0;
-    bool registered_ = false;
-    bool serialHeld_ = false;
     bool writeDetected_ = false;
     bool htmLockSet_ = false;
-    bool irrevocable_ = false;
-    uint64_t txVersion_ = 0;
-    std::vector<UndoEntry> undo_;
+    UndoJournal undo_;
 };
 
 } // namespace rhtm

@@ -2,8 +2,8 @@
 
 #include <cassert>
 
-#include "src/core/fault_points.h"
-#include "src/core/progress.h"
+#include "src/core/engine/fault_points.h"
+#include "src/util/backoff.h"
 
 namespace rhtm
 {
@@ -11,50 +11,111 @@ namespace rhtm
 HybridNOrecLazySession::HybridNOrecLazySession(
     HtmEngine &eng, TmGlobals &globals, HtmTxn &htm, ThreadStats *stats,
     const RetryPolicy &policy, unsigned access_penalty, uint64_t cm_seed)
-    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
-      retryBudget_(policy_), penalty_(access_penalty),
-      cm_(policy_, &globals, cm_seed), writes_(12)
+    : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
+      seqlock_(EngineMem(eng), &globals.clock,
+               &globals.watchdog.clockEpoch),
+      writes_(12)
+{}
+
+//
+// Per-mode accessors
+//
+
+uint64_t
+HybridNOrecLazySession::fastRead(void *self, const uint64_t *addr)
 {
-    readLog_.reserve(1024);
+    auto *s = static_cast<HybridNOrecLazySession *>(self);
+    ++s->core_.tally.fastReads;
+    return s->core_.htm.read(addr);
+}
+
+void
+HybridNOrecLazySession::fastWrite(void *self, uint64_t *addr,
+                                  uint64_t value)
+{
+    auto *s = static_cast<HybridNOrecLazySession *>(self);
+    ++s->core_.tally.fastWrites;
+    s->core_.htm.write(addr, value);
+}
+
+uint64_t
+HybridNOrecLazySession::softRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<HybridNOrecLazySession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowReads;
+    uint64_t buffered;
+    if (s->writes_.lookup(addr, buffered))
+        return buffered;
+    uint64_t v = s->core_.eng.directLoad(addr);
+    while (s->core_.eng.directLoad(&s->core_.g.clock) !=
+           s->core_.txVersion) {
+        s->core_.txVersion = s->validate();
+        v = s->core_.eng.directLoad(addr);
+    }
+    s->readLog_.push(addr, v);
+    return v;
+}
+
+void
+HybridNOrecLazySession::softWrite(void *self, uint64_t *addr,
+                                  uint64_t value)
+{
+    auto *s = static_cast<HybridNOrecLazySession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowWrites;
+    sessionFaultPoint(s->core_.htm, FaultSite::kSoftwareWrite);
+    s->writes_.putGrowing(addr, value);
+}
+
+uint64_t
+HybridNOrecLazySession::pinnedRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<HybridNOrecLazySession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowReads;
+    uint64_t buffered;
+    if (s->writes_.lookup(addr, buffered))
+        return buffered;
+    // We hold the clock (irrevocable upgrade): no writer can commit,
+    // so memory is frozen and reads go straight through.
+    return s->core_.eng.directLoad(addr);
+}
+
+void
+HybridNOrecLazySession::pinnedWrite(void *self, uint64_t *addr,
+                                    uint64_t value)
+{
+    auto *s = static_cast<HybridNOrecLazySession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowWrites;
+    sessionFaultPointNoAbort(s->core_.htm, FaultSite::kSoftwareWrite);
+    s->writes_.putGrowing(addr, value);
 }
 
 void
 HybridNOrecLazySession::beginSoftware()
 {
-    sessionFaultPoint(htm_, FaultSite::kFallbackStart);
-    if (mode_ == Mode::kSerial && !serialHeld_) {
-        serialLockAcquire(eng_, g_, policy_, stats_);
-        serialHeld_ = true;
-        // After serialHeld_: an unwinding fault must not leak the lock.
-        sessionFaultPoint(htm_, FaultSite::kSerialHeld);
+    sessionFaultPoint(core_.htm, FaultSite::kFallbackStart);
+    if (core_.mode == ExecMode::kSerial && !core_.serialHeld) {
+        core_.acquireSerial();
+        // After serialHeld: an unwinding fault must not leak the lock.
+        sessionFaultPoint(core_.htm, FaultSite::kSerialHeld);
     }
-    if (!registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, 1);
-        registered_ = true;
-    }
+    core_.registerFallback();
     readLog_.clear();
     writes_.clear();
-    txVersion_ = stableClockRead(eng_, g_, policy_, stats_);
+    core_.txVersion = core_.stableClock();
+    bindDispatch(kSoftDispatch, this);
 }
 
 void
 HybridNOrecLazySession::begin(TxnHint hint)
 {
     (void)hint;
-    if (mode_ == Mode::kFast) {
-        if (killSwitchBypass(g_, policy_)) {
-            mode_ = Mode::kSoftware;
-            if (stats_) {
-                stats_->inc(Counter::kKillSwitchBypasses);
-                stats_->inc(Counter::kFallbacks);
-            }
-        } else {
-            ++attempts_;
-            if (stats_)
-                stats_->inc(Counter::kFastPathAttempts);
-            htm_.begin();
-            if (htm_.read(&g_.htmLock) != 0)
-                htm_.abortSubscription();
+    if (core_.mode == ExecMode::kFast) {
+        if (core_.beginFastPath(ExecMode::kSlow, &core_.g.htmLock)) {
+            bindDispatch(kFastDispatch, this);
             return;
         }
     }
@@ -64,86 +125,25 @@ HybridNOrecLazySession::begin(TxnHint hint)
 uint64_t
 HybridNOrecLazySession::validate()
 {
-    for (;;) {
-        uint64_t t = stableClockRead(eng_, g_, policy_, stats_);
-        for (const ReadEntry &e : readLog_) {
-            if (eng_.directLoad(e.addr) != e.value)
-                restart();
-        }
-        if (eng_.directLoad(&g_.clock) == t)
-            return t;
-    }
-}
-
-uint64_t
-HybridNOrecLazySession::read(const uint64_t *addr)
-{
-    if (mode_ == Mode::kFast)
-        return htm_.read(addr);
-    simDelay(penalty_);
-    uint64_t buffered;
-    if (writes_.lookup(addr, buffered))
-        return buffered;
-    if (clockHeld_) {
-        // We hold the clock (irrevocable upgrade): no writer can
-        // commit, so memory is frozen and reads go straight through.
-        return eng_.directLoad(addr);
-    }
-    uint64_t v = eng_.directLoad(addr);
-    while (eng_.directLoad(&g_.clock) != txVersion_) {
-        txVersion_ = validate();
-        v = eng_.directLoad(addr);
-    }
-    readLog_.push_back({addr, v});
-    return v;
-}
-
-void
-HybridNOrecLazySession::write(uint64_t *addr, uint64_t value)
-{
-    if (mode_ == Mode::kFast) {
-        htm_.write(addr, value);
-        return;
-    }
-    simDelay(penalty_);
-    if (irrevocable_)
-        sessionFaultPointNoAbort(htm_, FaultSite::kSoftwareWrite);
-    else
-        sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
-    writes_.putGrowing(addr, value);
+    return readLog_.revalidate(EngineMem(core_.eng), &core_.g.clock,
+                               [this] { return core_.stableClock(); });
 }
 
 void
 HybridNOrecLazySession::commit()
 {
-    if (mode_ == Mode::kFast) {
-        if (htm_.isReadOnly()) {
-            htm_.commit();
-            if (stats_)
-                stats_->inc(Counter::kReadOnlyCommits);
-            return;
-        }
-        if (htm_.read(&g_.fallbacks) > 0) {
-            uint64_t clock = htm_.read(&g_.clock);
-            if (clockIsLocked(clock))
-                htm_.abortExplicit();
-            if (htm_.read(&g_.serialLock) != 0)
-                htm_.abortExplicit();
-            htm_.write(&g_.clock, clock + 2);
-        }
-        htm_.commit();
+    if (core_.mode == ExecMode::kFast) {
+        core_.fastCommitNOrec();
         return;
     }
     if (writes_.empty()) {
         if (clockHeld_) {
             // Irrevocable upgrade that turned out read-only: nothing
             // was published, so restore the clock unchanged.
-            eng_.directStore(&g_.clock, txVersion_);
+            seqlock_.releaseRestore(core_.txVersion);
             clockHeld_ = false;
-            stampEpoch(g_.watchdog.clockEpoch);
         }
-        if (stats_)
-            stats_->inc(Counter::kReadOnlyCommits);
+        core_.count(Counter::kReadOnlyCommits);
         return;
     }
     if (!clockHeld_) {
@@ -153,48 +153,42 @@ HybridNOrecLazySession::commit()
         // it from the first write onward. An irrevocable upgrade
         // hoisted this acquisition to the upgrade point, in which case
         // the commit below must not (and cannot) fail.
-        uint64_t expected = txVersion_;
-        while (!eng_.directCas(&g_.clock, expected,
-                               clockWithLock(txVersion_))) {
-            txVersion_ = validate();
-            expected = txVersion_;
-        }
+        core_.txVersion = seqlock_.acquireValidating(
+            core_.txVersion, [this] { return validate(); });
         clockHeld_ = true;
-        stampEpoch(g_.watchdog.clockEpoch);
     }
-    if (irrevocable_)
-        sessionFaultPointNoAbort(htm_, FaultSite::kPostFirstWrite);
+    if (core_.irrevocable)
+        sessionFaultPointNoAbort(core_.htm, FaultSite::kPostFirstWrite);
     else
-        sessionFaultPoint(htm_, FaultSite::kPostFirstWrite);
-    eng_.directStore(&g_.htmLock, 1);
+        sessionFaultPoint(core_.htm, FaultSite::kPostFirstWrite);
+    core_.eng.directStore(&core_.g.htmLock, 1);
     htmLockSet_ = true;
     // The lazy design's publication window: clock and HTM lock held
     // while the write set is flushed. A scripted delay stretches it;
     // an abort exercises releaseCommitLocks() (writes already flushed
     // stay -- the advanced clock forces readers to revalidate).
-    if (irrevocable_)
-        sessionFaultPointNoAbort(htm_, FaultSite::kPublishWindow);
+    if (core_.irrevocable)
+        sessionFaultPointNoAbort(core_.htm, FaultSite::kPublishWindow);
     else
-        sessionFaultPoint(htm_, FaultSite::kPublishWindow);
+        sessionFaultPoint(core_.htm, FaultSite::kPublishWindow);
     writes_.forEach([this](uint64_t *addr, uint64_t value) {
-        eng_.directStore(addr, value);
+        core_.eng.directStore(addr, value);
     });
-    eng_.directStore(&g_.htmLock, 0);
+    core_.eng.directStore(&core_.g.htmLock, 0);
     htmLockSet_ = false;
-    eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    seqlock_.releaseAdvance(core_.txVersion);
     clockHeld_ = false;
-    stampEpoch(g_.watchdog.clockEpoch);
 }
 
 void
 HybridNOrecLazySession::becomeIrrevocable()
 {
-    if (irrevocable_)
+    if (core_.irrevocable)
         return;
-    if (mode_ == Mode::kFast) {
+    if (core_.mode == ExecMode::kFast) {
         // Cannot grant inside best-effort HTM: unwind, and onHtmAbort
         // routes the next attempt straight to serial mode.
-        htm_.abortNeedIrrevocable();
+        core_.htm.abortNeedIrrevocable();
     }
     if (!clockHeld_) {
         // Read phase (the lazy design holds no lock before commit):
@@ -204,41 +198,29 @@ HybridNOrecLazySession::becomeIrrevocable()
         // would, revalidating the read log on contention. Either CAS
         // retry unwinds pre-grant via validate()'s restart, or we end
         // holding the clock with a consistent snapshot.
-        mode_ = Mode::kSerial;
-        if (!serialHeld_) {
-            serialLockAcquire(eng_, g_, policy_, stats_);
-            serialHeld_ = true;
-        }
-        sessionFaultPoint(htm_, FaultSite::kIrrevocableUpgrade);
-        uint64_t expected = txVersion_;
-        while (!eng_.directCas(&g_.clock, expected,
-                               clockWithLock(txVersion_))) {
-            txVersion_ = validate();
-            expected = txVersion_;
-        }
+        core_.grantBarrierEnter();
+        core_.txVersion = seqlock_.acquireValidating(
+            core_.txVersion, [this] { return validate(); });
         clockHeld_ = true;
-        stampEpoch(g_.watchdog.clockEpoch);
     }
     // Clock held: no writer can publish, reads go direct, buffered
     // writes flush unconditionally at commit. Infallible from here.
-    irrevocable_ = true;
-    if (stats_)
-        stats_->inc(Counter::kIrrevocableUpgrades);
+    core_.grantIrrevocable();
+    bindDispatch(kPinnedDispatch, this);
 }
 
 void
 HybridNOrecLazySession::releaseCommitLocks()
 {
     if (htmLockSet_) {
-        eng_.directStore(&g_.htmLock, 0);
+        core_.eng.directStore(&core_.g.htmLock, 0);
         htmLockSet_ = false;
     }
     if (clockHeld_) {
         // Nothing (or everything) was written back before the unwind;
         // advance to force concurrent readers to revalidate.
-        eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+        seqlock_.releaseAdvance(core_.txVersion);
         clockHeld_ = false;
-        stampEpoch(g_.watchdog.clockEpoch);
     }
 }
 
@@ -251,100 +233,42 @@ HybridNOrecLazySession::restart()
 void
 HybridNOrecLazySession::onHtmAbort(const HtmAbort &abort)
 {
-    assert(mode_ == Mode::kFast);
-    htm_.cancel();
+    assert(core_.mode == ExecMode::kFast);
+    core_.htm.cancel();
     if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
         // The body asked for irrevocability: hardware retries cannot
         // satisfy it, so skip the budget and go straight to serial.
-        mode_ = Mode::kSerial;
-        if (stats_)
-            stats_->inc(Counter::kFallbacks);
+        core_.fallbackUncharged(ExecMode::kSerial);
         return;
     }
-    if (!abort.retryOk)
-        killSwitchOnHardwareFailure(g_, policy_, stats_);
-    if (abort.retryOk && attempts_ < retryBudget_.budget()) {
-        cm_.onWait(waitCauseOf(abort));
-        return;
-    }
-    retryBudget_.onFallback(attempts_);
-    mode_ = Mode::kSoftware;
-    if (stats_)
-        stats_->inc(Counter::kFallbacks);
+    core_.htmAbortFast(abort, ExecMode::kSlow);
 }
 
 void
 HybridNOrecLazySession::onRestart()
 {
-    if (mode_ == Mode::kFast) {
-        htm_.cancel();
-        cm_.onWait(WaitCause::kRestart);
+    if (core_.mode == ExecMode::kFast) {
+        core_.htm.cancel();
+        core_.cm.onWait(WaitCause::kRestart);
         return;
     }
     releaseCommitLocks();
-    irrevocable_ = false;
-    if (stats_)
-        stats_->inc(Counter::kSlowPathRestarts);
-    if (++slowRestarts_ >= policy_.maxSlowPathRestarts &&
-        mode_ == Mode::kSoftware) {
-        mode_ = Mode::kSerial;
-    }
-    cm_.onWait(WaitCause::kRestart);
+    core_.restartEscalate();
 }
 
 void
 HybridNOrecLazySession::onUserAbort()
 {
-    htm_.cancel();
+    core_.htm.cancel();
     releaseCommitLocks();
-    if (registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
-        registered_ = false;
-    }
-    if (serialHeld_) {
-        serialLockRelease(eng_, g_);
-        serialHeld_ = false;
-    }
-    irrevocable_ = false;
-    mode_ = Mode::kFast;
-    attempts_ = 0;
-    slowRestarts_ = 0;
+    core_.unwindTail();
 }
 
 void
 HybridNOrecLazySession::onComplete()
 {
-    if (mode_ == Mode::kFast) {
-        retryBudget_.onFastCommit(attempts_);
-        killSwitchOnHardwareCommit(g_);
-    }
-    killSwitchOnComplete(g_);
-    if (stats_) {
-        switch (mode_) {
-          case Mode::kFast:
-            stats_->inc(Counter::kCommitsFastPath);
-            break;
-          case Mode::kSoftware:
-            stats_->inc(Counter::kCommitsSoftwarePath);
-            break;
-          case Mode::kSerial:
-            stats_->inc(Counter::kCommitsSerialPath);
-            break;
-        }
-    }
-    if (registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
-        registered_ = false;
-    }
-    if (serialHeld_) {
-        serialLockRelease(eng_, g_);
-        serialHeld_ = false;
-    }
-    irrevocable_ = false;
-    mode_ = Mode::kFast;
-    attempts_ = 0;
-    slowRestarts_ = 0;
-    cm_.reset();
+    core_.completeTail(Counter::kCommitsSoftwarePath);
+    core_.finishReset();
 }
 
 } // namespace rhtm

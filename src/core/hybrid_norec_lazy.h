@@ -13,21 +13,25 @@
  * longer against slow-path writers -- at the price of logging on every
  * access and commit-time revalidation. The ablation bench quantifies
  * the trade.
+ *
+ * Composition over the shared engine: SessionCore + CommitSeqlock +
+ * ValueReadLog + RedoBuffer; the fast path, the logging software
+ * phase, and the clock-held (irrevocable) phase are three TxDispatch
+ * descriptors.
  */
 
 #ifndef RHTM_CORE_HYBRID_NOREC_LAZY_H
 #define RHTM_CORE_HYBRID_NOREC_LAZY_H
 
 #include <cstdint>
-#include <vector>
 
-#include "src/api/tx_defs.h"
-#include "src/core/globals.h"
-#include "src/core/retry_policy.h"
-#include "src/htm/fixed_table.h"
+#include "src/core/engine/commit_seqlock.h"
+#include "src/core/engine/journal.h"
+#include "src/core/engine/mem_access.h"
+#include "src/core/engine/session.h"
+#include "src/core/engine/session_core.h"
 #include "src/htm/htm_txn.h"
 #include "src/stats/stats.h"
-#include "src/util/backoff.h"
 
 namespace rhtm
 {
@@ -43,11 +47,9 @@ class HybridNOrecLazySession : public TxSession
                            uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
-    uint64_t read(const uint64_t *addr) override;
-    void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
     void becomeIrrevocable() override;
-    bool isIrrevocable() const override { return irrevocable_; }
+    bool isIrrevocable() const override { return core_.irrevocable; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -55,18 +57,17 @@ class HybridNOrecLazySession : public TxSession
     const char *name() const override { return "hy-norec-lazy"; }
 
   private:
-    enum class Mode
-    {
-        kFast,
-        kSoftware,
-        kSerial,
-    };
+    static uint64_t fastRead(void *self, const uint64_t *addr);
+    static void fastWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t softRead(void *self, const uint64_t *addr);
+    static void softWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t pinnedRead(void *self, const uint64_t *addr);
+    static void pinnedWrite(void *self, uint64_t *addr, uint64_t value);
 
-    struct ReadEntry
-    {
-        const uint64_t *addr;
-        uint64_t value;
-    };
+    static constexpr TxDispatch kFastDispatch = {&fastRead, &fastWrite};
+    static constexpr TxDispatch kSoftDispatch = {&softRead, &softWrite};
+    static constexpr TxDispatch kPinnedDispatch = {&pinnedRead,
+                                                   &pinnedWrite};
 
     void beginSoftware();
 
@@ -81,27 +82,13 @@ class HybridNOrecLazySession : public TxSession
 
     [[noreturn]] void restart();
 
-    HtmEngine &eng_;
-    TmGlobals &g_;
-    HtmTxn &htm_;
-    ThreadStats *stats_;
-    // Reference, not a copy: post-construction knob changes apply.
-    const RetryPolicy &policy_;
-    AdaptiveRetryBudget retryBudget_;
-    unsigned penalty_;
-    ContentionManager cm_;
+    SessionCore core_;
+    CommitSeqlock<EngineMem> seqlock_;
 
-    Mode mode_ = Mode::kFast;
-    unsigned attempts_ = 0;
-    unsigned slowRestarts_ = 0;
-    bool registered_ = false;
-    bool serialHeld_ = false;
     bool clockHeld_ = false;
     bool htmLockSet_ = false;
-    bool irrevocable_ = false;
-    uint64_t txVersion_ = 0;
-    std::vector<ReadEntry> readLog_;
-    WriteBuffer writes_;
+    ValueReadLog readLog_;
+    RedoBuffer writes_;
 };
 
 } // namespace rhtm

@@ -2,8 +2,8 @@
 
 #include <cassert>
 
-#include "src/core/fault_points.h"
-#include "src/core/progress.h"
+#include "src/core/engine/fault_points.h"
+#include "src/core/engine/progress.h"
 
 namespace rhtm
 {
@@ -12,138 +12,152 @@ LockElisionSession::LockElisionSession(HtmEngine &eng, TmGlobals &globals,
                                        HtmTxn &htm, ThreadStats *stats,
                                        const RetryPolicy &policy,
                                        uint64_t cm_seed)
-    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
-      cm_(policy_, &globals, cm_seed)
+    : core_(eng, globals, htm, stats, policy, /*accessPenalty=*/0,
+            cm_seed)
 {}
+
+//
+// Per-mode accessors
+//
+
+uint64_t
+LockElisionSession::fastRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<LockElisionSession *>(self);
+    ++s->core_.tally.fastReads;
+    return s->core_.htm.read(addr);
+}
+
+void
+LockElisionSession::fastWrite(void *self, uint64_t *addr, uint64_t value)
+{
+    auto *s = static_cast<LockElisionSession *>(self);
+    ++s->core_.tally.fastWrites;
+    s->core_.htm.write(addr, value);
+}
+
+uint64_t
+LockElisionSession::serialRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<LockElisionSession *>(self);
+    ++s->core_.tally.slowReads;
+    return s->core_.eng.directLoad(addr);
+}
+
+void
+LockElisionSession::serialWrite(void *self, uint64_t *addr,
+                                uint64_t value)
+{
+    auto *s = static_cast<LockElisionSession *>(self);
+    ++s->core_.tally.slowWrites;
+    s->core_.eng.directStore(addr, value);
+}
+
+void
+LockElisionSession::beginSerial()
+{
+    sessionFaultPoint(core_.htm, FaultSite::kFallbackStart);
+    // Take the global lock for real; the store dooms every elided
+    // transaction subscribed to it. Wait stall-aware: a preempted
+    // holder is detected via the clock epoch and waited out with
+    // yields/sleeps instead of a blind spin.
+    {
+        StallAwareWaiter waiter(core_.g, core_.policy, core_.stats,
+                                core_.g.watchdog.clockEpoch);
+        for (;;) {
+            uint64_t expected = 0;
+            if (core_.eng.directCas(&core_.g.globalLock, expected, 1))
+                break;
+            waiter.step();
+        }
+        if (core_.stats != nullptr) {
+            core_.stats->inc(Counter::kSerialAcquires);
+            core_.stats->inc(Counter::kSerialWaitTicks, waiter.ticks());
+        }
+    }
+    stampEpoch(core_.g.watchdog.clockEpoch);
+    lockHeld_ = true;
+    bindDispatch(kSerialDispatch, this);
+    // After lockHeld_: an unwinding fault must not leak the lock.
+    sessionFaultPoint(core_.htm, FaultSite::kSerialHeld);
+}
 
 void
 LockElisionSession::begin(TxnHint hint)
 {
     (void)hint;
-    if (mode_ == Mode::kFast && killSwitchBypass(g_, policy_)) {
-        mode_ = Mode::kSerial;
-        if (stats_) {
-            stats_->inc(Counter::kKillSwitchBypasses);
-            stats_->inc(Counter::kFallbacks);
+    if (core_.mode == ExecMode::kFast) {
+        // Subscribe: if the lock is held, the elided run cannot be
+        // atomic with respect to the lock holder.
+        if (core_.beginFastPath(ExecMode::kSerial,
+                                &core_.g.globalLock)) {
+            bindDispatch(kFastDispatch, this);
+            return;
         }
     }
-    if (mode_ == Mode::kSerial) {
-        sessionFaultPoint(htm_, FaultSite::kFallbackStart);
-        // Take the global lock for real; the store dooms every elided
-        // transaction subscribed to it. Wait stall-aware: a preempted
-        // holder is detected via the clock epoch and waited out with
-        // yields/sleeps instead of a blind spin.
-        {
-            StallAwareWaiter waiter(g_, policy_, stats_,
-                                    g_.watchdog.clockEpoch);
-            for (;;) {
-                uint64_t expected = 0;
-                if (eng_.directCas(&g_.globalLock, expected, 1))
-                    break;
-                waiter.step();
-            }
-            if (stats_ != nullptr) {
-                stats_->inc(Counter::kSerialAcquires);
-                stats_->inc(Counter::kSerialWaitTicks, waiter.ticks());
-            }
-        }
-        stampEpoch(g_.watchdog.clockEpoch);
-        lockHeld_ = true;
-        // After lockHeld_: an unwinding fault must not leak the lock.
-        sessionFaultPoint(htm_, FaultSite::kSerialHeld);
-        return;
-    }
-    ++attempts_;
-    if (stats_)
-        stats_->inc(Counter::kFastPathAttempts);
-    htm_.begin();
-    // Subscribe: if the lock is held, the elided run cannot be atomic
-    // with respect to the lock holder.
-    if (htm_.read(&g_.globalLock) != 0)
-        htm_.abortSubscription();
-}
-
-uint64_t
-LockElisionSession::read(const uint64_t *addr)
-{
-    if (mode_ == Mode::kSerial)
-        return eng_.directLoad(addr);
-    return htm_.read(addr);
-}
-
-void
-LockElisionSession::write(uint64_t *addr, uint64_t value)
-{
-    if (mode_ == Mode::kSerial) {
-        eng_.directStore(addr, value);
-        return;
-    }
-    htm_.write(addr, value);
+    beginSerial();
 }
 
 void
 LockElisionSession::commit()
 {
-    if (mode_ == Mode::kSerial) {
-        eng_.directStore(&g_.globalLock, 0);
+    if (core_.mode == ExecMode::kSerial) {
+        core_.eng.directStore(&core_.g.globalLock, 0);
         lockHeld_ = false;
-        stampEpoch(g_.watchdog.clockEpoch);
+        stampEpoch(core_.g.watchdog.clockEpoch);
         return;
     }
-    htm_.commit();
+    core_.htm.commit();
 }
 
 void
 LockElisionSession::becomeIrrevocable()
 {
-    if (mode_ == Mode::kSerial) {
+    if (core_.mode == ExecMode::kSerial) {
         // Holding the global lock already means nothing can abort us:
         // serial mode is inherently irrevocable.
-        if (stats_)
-            stats_->inc(Counter::kIrrevocableUpgrades);
+        core_.count(Counter::kIrrevocableUpgrades);
         return;
     }
     // Irrevocability cannot be granted inside best-effort HTM; unwind
     // with kNeedIrrevocable so onHtmAbort routes straight to serial
     // mode without burning the retry budget.
-    htm_.abortNeedIrrevocable();
+    core_.htm.abortNeedIrrevocable();
 }
 
 void
 LockElisionSession::onHtmAbort(const HtmAbort &abort)
 {
-    assert(mode_ == Mode::kFast);
+    assert(core_.mode == ExecMode::kFast);
     // A real abort already reset the hardware transaction; an injected
     // one (tests, policy probes) may not have.
-    htm_.cancel();
+    core_.htm.cancel();
     if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
         // The body asked for irrevocability: go straight to the global
         // lock; retrying in hardware could never satisfy the request.
-        mode_ = Mode::kSerial;
-        if (stats_)
-            stats_->inc(Counter::kFallbacks);
+        core_.fallbackUncharged(ExecMode::kSerial);
         return;
     }
     if (!abort.retryOk)
-        killSwitchOnHardwareFailure(g_, policy_, stats_);
+        killSwitchOnHardwareFailure(core_.g, core_.policy, core_.stats);
     if (abort.cause == HtmAbortCause::kExplicit) {
         // Subscription abort: the lock is (or was) held. Wait for it
         // to clear before re-eliding instead of burning the retry
         // budget against a held lock (standard HLE practice). The wait
         // is stall-aware: a preempted lock holder is waited out with
         // yields/sleeps rather than a blind spin.
-        StallAwareWaiter waiter(g_, policy_, stats_,
-                                g_.watchdog.clockEpoch);
-        while (eng_.directLoad(&g_.globalLock) != 0)
+        StallAwareWaiter waiter(core_.g, core_.policy, core_.stats,
+                                core_.g.watchdog.clockEpoch);
+        while (core_.eng.directLoad(&core_.g.globalLock) != 0)
             waiter.step();
     }
-    if (abort.retryOk && attempts_ < policy_.maxFastPathRetries) {
-        cm_.onWait(waitCauseOf(abort));
+    // The fixed policy budget, not the adaptive one: Lock Elision is
+    // the baseline the adaptive machinery is measured against.
+    if (abort.retryOk && core_.attempts < core_.policy.maxFastPathRetries) {
+        core_.cm.onWait(waitCauseOf(abort));
         return; // Retry in hardware.
     }
-    mode_ = Mode::kSerial;
-    if (stats_)
-        stats_->inc(Counter::kFallbacks);
+    core_.fallbackUncharged(ExecMode::kSerial);
 }
 
 void
@@ -152,36 +166,37 @@ LockElisionSession::onRestart()
     // Lock Elision never throws TxRestart; only a user retry() can land
     // here. Release the lock so other threads can progress.
     onUserAbort();
-    cm_.onWait(WaitCause::kRestart);
+    core_.cm.onWait(WaitCause::kRestart);
 }
 
 void
 LockElisionSession::onUserAbort()
 {
-    htm_.cancel();
+    core_.htm.cancel();
     if (lockHeld_) {
         // Serial writes happened in place and cannot be rolled back;
         // like a real elided lock, an exception inside the critical
         // section leaves its partial updates visible.
-        eng_.directStore(&g_.globalLock, 0);
+        core_.eng.directStore(&core_.g.globalLock, 0);
         lockHeld_ = false;
-        stampEpoch(g_.watchdog.clockEpoch);
+        stampEpoch(core_.g.watchdog.clockEpoch);
     }
+    core_.tally.flush(core_.stats);
 }
 
 void
 LockElisionSession::onComplete()
 {
-    if (mode_ == Mode::kFast)
-        killSwitchOnHardwareCommit(g_);
-    killSwitchOnComplete(g_);
-    if (stats_) {
-        stats_->inc(mode_ == Mode::kFast ? Counter::kCommitsFastPath
-                                         : Counter::kCommitsSerialPath);
-    }
-    mode_ = Mode::kFast;
-    attempts_ = 0;
-    cm_.reset();
+    if (core_.mode == ExecMode::kFast)
+        killSwitchOnHardwareCommit(core_.g);
+    killSwitchOnComplete(core_.g);
+    core_.count(core_.mode == ExecMode::kFast
+                    ? Counter::kCommitsFastPath
+                    : Counter::kCommitsSerialPath);
+    core_.tally.flush(core_.stats);
+    core_.mode = ExecMode::kFast;
+    core_.attempts = 0;
+    core_.cm.reset();
 }
 
 } // namespace rhtm

@@ -4,17 +4,23 @@
  * hardware transaction subscribed to a single global lock; after the
  * retry budget, acquire the lock for real, which aborts every hardware
  * transaction and serializes execution.
+ *
+ * Composition over the shared engine: SessionCore carries the
+ * mode/attempt bookkeeping; the elided and the lock-holding phases are
+ * two TxDispatch descriptors. The global lock is the raw
+ * TmGlobals::globalLock word (not the FIFO serial lock), exactly as a
+ * real HLE deployment elides one application mutex, and the retry
+ * budget is the fixed policy knob -- Lock Elision predates the
+ * adaptive budget and stays the simplest baseline.
  */
 
 #ifndef RHTM_CORE_LOCK_ELISION_H
 #define RHTM_CORE_LOCK_ELISION_H
 
-#include "src/api/tx_defs.h"
-#include "src/core/globals.h"
-#include "src/core/retry_policy.h"
+#include "src/core/engine/session.h"
+#include "src/core/engine/session_core.h"
 #include "src/htm/htm_txn.h"
 #include "src/stats/stats.h"
-#include "src/util/backoff.h"
 
 namespace rhtm
 {
@@ -28,8 +34,6 @@ class LockElisionSession : public TxSession
                        uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
-    uint64_t read(const uint64_t *addr) override;
-    void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
     void becomeIrrevocable() override;
     bool isIrrevocable() const override { return lockHeld_; }
@@ -40,21 +44,19 @@ class LockElisionSession : public TxSession
     const char *name() const override { return "lock-elision"; }
 
   private:
-    enum class Mode
-    {
-        kFast,   //!< Elided: body in a hardware transaction.
-        kSerial, //!< Holding the global lock.
-    };
+    static uint64_t fastRead(void *self, const uint64_t *addr);
+    static void fastWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t serialRead(void *self, const uint64_t *addr);
+    static void serialWrite(void *self, uint64_t *addr, uint64_t value);
 
-    HtmEngine &eng_;
-    TmGlobals &g_;
-    HtmTxn &htm_;
-    ThreadStats *stats_;
-    // Reference, not a copy: post-construction knob changes apply.
-    const RetryPolicy &policy_;
-    ContentionManager cm_;
-    Mode mode_ = Mode::kFast;
-    unsigned attempts_ = 0;
+    static constexpr TxDispatch kFastDispatch = {&fastRead, &fastWrite};
+    static constexpr TxDispatch kSerialDispatch = {&serialRead,
+                                                   &serialWrite};
+
+    /** Acquire the global lock for real (stall-aware). */
+    void beginSerial();
+
+    SessionCore core_;
     bool lockHeld_ = false;
 };
 

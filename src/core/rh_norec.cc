@@ -1,10 +1,9 @@
 #include "src/core/rh_norec.h"
 
 #include <algorithm>
-#include <cassert>
 
-#include "src/core/fault_points.h"
-#include "src/core/progress.h"
+#include "src/core/engine/fault_points.h"
+#include "src/util/backoff.h"
 
 namespace rhtm
 {
@@ -15,12 +14,111 @@ RhNOrecSession::RhNOrecSession(HtmEngine &eng, TmGlobals &globals,
                                const RhConfig &rh,
                                unsigned access_penalty,
                                uint64_t cm_seed)
-    : eng_(eng), g_(globals), htm_(htm), stats_(stats), policy_(policy),
-      retryBudget_(policy_), rh_(rh), penalty_(access_penalty),
-      cm_(policy_, &globals, cm_seed),
-      expectedPrefixLen_(rh.maxPrefixLength)
+    : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
+      seqlock_(EngineMem(eng), &globals.clock,
+               &globals.watchdog.clockEpoch),
+      rh_(rh), expectedPrefixLen_(rh.maxPrefixLength)
+{}
+
+//
+// Per-mode accessors
+//
+
+uint64_t
+RhNOrecSession::fastRead(void *self, const uint64_t *addr)
 {
-    undo_.reserve(256);
+    auto *s = static_cast<RhNOrecSession *>(self);
+    ++s->core_.tally.fastReads;
+    return s->core_.htm.read(addr);
+}
+
+void
+RhNOrecSession::fastWrite(void *self, uint64_t *addr, uint64_t value)
+{
+    auto *s = static_cast<RhNOrecSession *>(self);
+    ++s->core_.tally.fastWrites;
+    s->core_.htm.write(addr, value);
+}
+
+uint64_t
+RhNOrecSession::prefixRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<RhNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowReads;
+    ++s->prefixReads_;
+    if (s->prefixReads_ < s->maxReads_)
+        return s->core_.htm.read(addr);
+    // Expected length reached: move to the software phase (Algorithm 3
+    // lines 33-35) and finish as a clock-validated software read.
+    s->commitPrefix();
+    return s->softwareRead(addr);
+}
+
+void
+RhNOrecSession::prefixWrite(void *self, uint64_t *addr, uint64_t value)
+{
+    auto *s = static_cast<RhNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowWrites;
+    s->commitPrefix(); // Algorithm 3 lines 40-43.
+    s->routeFirstWrite(addr, value);
+}
+
+uint64_t
+RhNOrecSession::readPhaseRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<RhNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowReads;
+    return s->softwareRead(addr);
+}
+
+void
+RhNOrecSession::readPhaseWrite(void *self, uint64_t *addr,
+                               uint64_t value)
+{
+    auto *s = static_cast<RhNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowWrites;
+    s->routeFirstWrite(addr, value);
+}
+
+uint64_t
+RhNOrecSession::writerRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<RhNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowReads;
+    // We hold the clock: no writer can commit, reads are stable.
+    return s->core_.eng.directLoad(addr);
+}
+
+void
+RhNOrecSession::writerWrite(void *self, uint64_t *addr, uint64_t value)
+{
+    auto *s = static_cast<RhNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowWrites;
+    s->inPlaceWrite(addr, value);
+}
+
+uint64_t
+RhNOrecSession::postfixRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<RhNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowReads;
+    return s->core_.htm.read(addr);
+}
+
+void
+RhNOrecSession::postfixWrite(void *self, uint64_t *addr, uint64_t value)
+{
+    auto *s = static_cast<RhNOrecSession *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowWrites;
+    s->core_.htm.write(addr, value);
 }
 
 //
@@ -31,15 +129,14 @@ void
 RhNOrecSession::startPrefix()
 {
     ++prefixTries_;
-    if (stats_)
-        stats_->inc(Counter::kPrefixAttempts);
-    htm_.begin();
+    core_.count(Counter::kPrefixAttempts);
+    core_.htm.begin();
     prefixActive_ = true;
     // Subscribe to the HTM lock for opacity, like the fast path.
-    if (htm_.read(&g_.htmLock) != 0)
-        htm_.abortSubscription();
+    htmEarlySubscribe(core_.htm, &core_.g.htmLock);
     maxReads_ = expectedPrefixLen_;
     prefixReads_ = 0;
+    bindDispatch(kPrefixDispatch, this);
 }
 
 void
@@ -48,19 +145,20 @@ RhNOrecSession::commitPrefix()
     // Register as a fallback and snapshot the clock *inside* the
     // hardware transaction: the commit validates that neither moved,
     // so registration and snapshot are one atomic step.
-    htm_.write(&g_.fallbacks, htm_.read(&g_.fallbacks) + 1);
-    uint64_t clock = htm_.read(&g_.clock);
+    HtmTxn &htm = core_.htm;
+    htm.write(&core_.g.fallbacks, htm.read(&core_.g.fallbacks) + 1);
+    uint64_t clock = htm.read(&core_.g.clock);
     if (clockIsLocked(clock))
-        htm_.abortExplicit();
-    sessionFaultPoint(htm_, FaultSite::kPrefixCommit);
-    htm_.commit();
+        htm.abortExplicit();
+    sessionFaultPoint(htm, FaultSite::kPrefixCommit);
+    htm.commit();
     prefixActive_ = false;
-    registered_ = true;
+    core_.registered = true;
     writeDetected_ = false;
-    txVersion_ = clock;
+    core_.txVersion = clock;
     prefixSucceeded_ = true;
-    if (stats_)
-        stats_->inc(Counter::kPrefixSuccesses);
+    core_.count(Counter::kPrefixSuccesses);
+    bindDispatch(kReadPhaseDispatch, this);
 }
 
 //
@@ -70,11 +168,8 @@ RhNOrecSession::commitPrefix()
 void
 RhNOrecSession::startSoftwareMixed()
 {
-    sessionFaultPoint(htm_, FaultSite::kFallbackStart);
-    if (!registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, 1);
-        registered_ = true;
-    }
+    sessionFaultPoint(core_.htm, FaultSite::kFallbackStart);
+    core_.registerFallback();
     writeDetected_ = false;
     undo_.clear();
     // Wait out a locked clock stall-aware instead of restarting:
@@ -82,46 +177,33 @@ RhNOrecSession::startSoftwareMixed()
     // eventually a serial escalation) on what is just another writer's
     // publication window -- under a stalled publisher that lemmings
     // every thread into serial mode.
-    txVersion_ = stableClockRead(eng_, g_, policy_, stats_);
+    core_.txVersion = core_.stableClock();
+    bindDispatch(kReadPhaseDispatch, this);
 }
 
 void
 RhNOrecSession::begin(TxnHint hint)
 {
     (void)hint;
-    if (mode_ == Mode::kFast) {
-        if (killSwitchBypass(g_, policy_)) {
-            // Breaker tripped: don't burn a doomed hardware attempt,
-            // go straight to the mixed slow path.
-            mode_ = Mode::kMixed;
-            if (stats_) {
-                stats_->inc(Counter::kKillSwitchBypasses);
-                stats_->inc(Counter::kFallbacks);
-            }
-        } else {
-            ++attempts_;
-            if (stats_)
-                stats_->inc(Counter::kFastPathAttempts);
-            htm_.begin();
-            // Algorithm 1: subscribe only to the HTM lock -- the clock
-            // is not touched until commit (the whole point of RH
-            // NOrec).
-            if (htm_.read(&g_.htmLock) != 0)
-                htm_.abortSubscription();
+    if (core_.mode == ExecMode::kFast) {
+        // Algorithm 1: subscribe only to the HTM lock -- the clock is
+        // not touched until commit (the whole point of RH NOrec).
+        if (core_.beginFastPath(ExecMode::kSlow, &core_.g.htmLock)) {
+            bindDispatch(kFastDispatch, this);
             return;
         }
     }
-    if (mode_ == Mode::kSerial && !serialHeld_) {
-        serialLockAcquire(eng_, g_, policy_, stats_);
-        serialHeld_ = true;
-        // Fired after serialHeld_ is set: if the injected fault
+    if (core_.mode == ExecMode::kSerial && !core_.serialHeld) {
+        core_.acquireSerial();
+        // Fired after serialHeld is set: if the injected fault
         // unwinds, the release paths still see the lock as ours.
-        sessionFaultPoint(htm_, FaultSite::kSerialHeld);
+        sessionFaultPoint(core_.htm, FaultSite::kSerialHeld);
     }
     // Mixed slow path: try the HTM prefix first (once per transaction,
     // Section 3.4), otherwise the software start.
-    if (rh_.enablePrefix && prefixTries_ < policy_.smallHtmAttempts &&
-        mode_ != Mode::kSerial) {
+    if (rh_.enablePrefix &&
+        prefixTries_ < core_.policy.smallHtmAttempts &&
+        core_.mode != ExecMode::kSerial) {
         startPrefix();
         return;
     }
@@ -129,30 +211,10 @@ RhNOrecSession::begin(TxnHint hint)
 }
 
 uint64_t
-RhNOrecSession::read(const uint64_t *addr)
+RhNOrecSession::softwareRead(const uint64_t *addr)
 {
-    if (mode_ == Mode::kFast)
-        return htm_.read(addr);
-    // Every mixed slow-path access runs through the instrumented
-    // clone, whether it lands in a small HTM or in software.
-    simDelay(penalty_);
-    if (postfixActive_)
-        return htm_.read(addr);
-    if (prefixActive_) {
-        ++prefixReads_;
-        if (prefixReads_ < maxReads_)
-            return htm_.read(addr);
-        // Expected length reached: move to the software phase
-        // (Algorithm 3 lines 33-35) and fall through to a software
-        // read of this address.
-        commitPrefix();
-    }
-    if (writeDetected_) {
-        // We hold the clock: no writer can commit, reads are stable.
-        return eng_.directLoad(addr);
-    }
-    uint64_t v = eng_.directLoad(addr);
-    if (eng_.directLoad(&g_.clock) != txVersion_)
+    uint64_t v = core_.eng.directLoad(addr);
+    if (core_.eng.directLoad(&core_.g.clock) != core_.txVersion)
         restart();
     return v;
 }
@@ -166,78 +228,71 @@ RhNOrecSession::handleFirstWrite()
 {
     // acquire_clock_lock: lock the clock iff it still matches our
     // snapshot (lines 47-56).
-    uint64_t expected = txVersion_;
-    if (!eng_.directCas(&g_.clock, expected, clockWithLock(txVersion_)))
+    if (!seqlock_.tryAcquireAt(core_.txVersion))
         restart();
     clockHeld_ = true;
     writeDetected_ = true;
-    stampEpoch(g_.watchdog.clockEpoch);
     // The clock is now locked: a scripted delay here stretches the
     // window every concurrent reader/committer spins on, and a
     // scripted abort exercises the clock-release path in
     // rollbackWriter().
-    sessionFaultPoint(htm_, FaultSite::kPostFirstWrite);
-    if (rh_.enablePostfix && postfixTries_ < policy_.smallHtmAttempts) {
+    sessionFaultPoint(core_.htm, FaultSite::kPostFirstWrite);
+    if (rh_.enablePostfix &&
+        postfixTries_ < core_.policy.smallHtmAttempts) {
         ++postfixTries_;
-        if (stats_)
-            stats_->inc(Counter::kPostfixAttempts);
-        htm_.begin();
+        core_.count(Counter::kPostfixAttempts);
+        core_.htm.begin();
         postfixActive_ = true;
         // No subscription needed: we hold the clock, so no other
         // slow-path writer can run, and fast paths never raise the
         // HTM lock.
+        bindDispatch(kPostfixDispatch, this);
         return;
     }
     // Postfix budget exhausted: abort all hardware transactions and
     // execute the writes in software (lines 28-30).
-    eng_.directStore(&g_.htmLock, 1);
+    core_.eng.directStore(&core_.g.htmLock, 1);
     htmLockSet_ = true;
+    bindDispatch(kWriterDispatch, this);
 }
 
 void
-RhNOrecSession::write(uint64_t *addr, uint64_t value)
+RhNOrecSession::routeFirstWrite(uint64_t *addr, uint64_t value)
 {
-    if (mode_ == Mode::kFast) {
-        htm_.write(addr, value);
-        return;
-    }
-    simDelay(penalty_);
+    handleFirstWrite();
     if (postfixActive_) {
-        htm_.write(addr, value);
+        core_.htm.write(addr, value);
         return;
     }
-    if (prefixActive_)
-        commitPrefix(); // Algorithm 3 lines 40-43.
-    if (!writeDetected_) {
-        handleFirstWrite();
-        if (postfixActive_) {
-            htm_.write(addr, value);
-            return;
-        }
-    }
-    if (irrevocable_)
-        sessionFaultPointNoAbort(htm_, FaultSite::kSoftwareWrite);
+    inPlaceWrite(addr, value);
+}
+
+void
+RhNOrecSession::inPlaceWrite(uint64_t *addr, uint64_t value)
+{
+    if (core_.irrevocable)
+        sessionFaultPointNoAbort(core_.htm, FaultSite::kSoftwareWrite);
     else
-        sessionFaultPoint(htm_, FaultSite::kSoftwareWrite);
-    undo_.push_back({addr, eng_.directLoad(addr)});
-    eng_.directStore(addr, value);
+        sessionFaultPoint(core_.htm, FaultSite::kSoftwareWrite);
+    undo_.push(addr, core_.eng.directLoad(addr));
+    core_.eng.directStore(addr, value);
 }
 
 void
 RhNOrecSession::becomeIrrevocable()
 {
-    if (irrevocable_)
+    if (core_.irrevocable)
         return;
-    if (mode_ == Mode::kFast) {
+    if (core_.mode == ExecMode::kFast) {
         // Cannot grant inside best-effort HTM: unwind, and onHtmAbort
         // routes the next attempt straight to serial mode.
-        htm_.abortNeedIrrevocable();
+        core_.htm.abortNeedIrrevocable();
     }
     if (postfixActive_) {
         // Mid-postfix: the small HTM is best-effort too, so it cannot
         // carry the grant. Unwind (pre-grant; the buffered writes are
         // discarded, nothing was published) and replay serially.
-        htm_.abortNeedIrrevocable();
+        core_.htm.abortNeedIrrevocable();
     }
     if (prefixActive_) {
         // Close the prefix first: its commit registers the fallback
@@ -252,89 +307,61 @@ RhNOrecSession::becomeIrrevocable()
         // failed CAS means a writer committed since -- restart BEFORE
         // granting; the serial lock stays held, so the replay upgrades
         // unopposed.
-        mode_ = Mode::kSerial;
-        if (!serialHeld_) {
-            serialLockAcquire(eng_, g_, policy_, stats_);
-            serialHeld_ = true;
-        }
-        sessionFaultPoint(htm_, FaultSite::kIrrevocableUpgrade);
-        uint64_t expected = txVersion_;
-        if (!eng_.directCas(&g_.clock, expected,
-                            clockWithLock(txVersion_)))
+        core_.grantBarrierEnter();
+        if (!seqlock_.tryAcquireAt(core_.txVersion))
             restart();
         clockHeld_ = true;
         writeDetected_ = true;
-        stampEpoch(g_.watchdog.clockEpoch);
         // Post-grant writes go in place in software (never a postfix:
-        // write() skips handleFirstWrite once writeDetected_ is set),
-        // so raise the HTM lock now -- fast paths must never observe a
-        // partial in-place update.
-        eng_.directStore(&g_.htmLock, 1);
+        // the writer descriptor is bound now, so routeFirstWrite never
+        // runs again), so raise the HTM lock -- fast paths must never
+        // observe a partial in-place update.
+        core_.eng.directStore(&core_.g.htmLock, 1);
         htmLockSet_ = true;
+        bindDispatch(kWriterDispatch, this);
     }
     // Clock held (and the HTM lock raised on any in-place write path):
     // reads are direct, nothing else can commit, and commit() is a
     // plain unlock-advance. Infallible.
-    irrevocable_ = true;
-    if (stats_)
-        stats_->inc(Counter::kIrrevocableUpgrades);
+    core_.grantIrrevocable();
 }
 
 void
 RhNOrecSession::commit()
 {
-    if (mode_ == Mode::kFast) {
+    if (core_.mode == ExecMode::kFast) {
         // Algorithm 1, fast_path_commit.
-        if (htm_.isReadOnly()) {
-            htm_.commit();
-            if (stats_)
-                stats_->inc(Counter::kReadOnlyCommits);
-            return;
-        }
-        if (htm_.read(&g_.fallbacks) > 0) {
-            uint64_t clock = htm_.read(&g_.clock);
-            if (clockIsLocked(clock))
-                htm_.abortExplicit();
-            if (htm_.read(&g_.serialLock) != 0)
-                htm_.abortExplicit(); // Section 3.3.
-            htm_.write(&g_.clock, clock + 2);
-        }
-        htm_.commit();
+        core_.fastCommitNOrec();
         return;
     }
     if (prefixActive_) {
         // The whole body fit in the prefix (Algorithm 3 lines 59-62):
         // a purely hardware, read-only mixed slow path.
-        htm_.commit();
+        core_.htm.commit();
         prefixActive_ = false;
         prefixSucceeded_ = true;
-        if (stats_) {
-            stats_->inc(Counter::kPrefixSuccesses);
-            stats_->inc(Counter::kReadOnlyCommits);
-        }
+        core_.count(Counter::kPrefixSuccesses);
+        core_.count(Counter::kReadOnlyCommits);
         return;
     }
     if (!writeDetected_) {
-        if (stats_)
-            stats_->inc(Counter::kReadOnlyCommits);
+        core_.count(Counter::kReadOnlyCommits);
         return; // Read-only software phase: validated by every read.
     }
     if (postfixActive_) {
         // Publish every slow-path write atomically; a concurrent fast
         // path can never observe a partial update (Figure 2).
-        sessionFaultPoint(htm_, FaultSite::kPostfixCommit);
-        htm_.commit();
+        sessionFaultPoint(core_.htm, FaultSite::kPostfixCommit);
+        core_.htm.commit();
         postfixActive_ = false;
-        if (stats_)
-            stats_->inc(Counter::kPostfixSuccesses);
+        core_.count(Counter::kPostfixSuccesses);
     }
     if (htmLockSet_) {
-        eng_.directStore(&g_.htmLock, 0);
+        core_.eng.directStore(&core_.g.htmLock, 0);
         htmLockSet_ = false;
     }
-    eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    seqlock_.releaseAdvance(core_.txVersion);
     clockHeld_ = false;
-    stampEpoch(g_.watchdog.clockEpoch);
     writeDetected_ = false;
     // The undo journal is dead once the writes are committed; a later
     // attempt's rollback must never replay it.
@@ -346,22 +373,18 @@ RhNOrecSession::rollbackWriter()
 {
     // Replay the undo journal only while its writes are live (pushed
     // between the first software write and commit/rollback).
-    if (writeDetected_) {
-        for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
-            eng_.directStore(it->addr, it->oldValue);
-    }
+    if (writeDetected_)
+        undo_.rollback(EngineMem(core_.eng));
     undo_.clear();
     if (htmLockSet_) {
-        eng_.directStore(&g_.htmLock, 0);
+        core_.eng.directStore(&core_.g.htmLock, 0);
         htmLockSet_ = false;
     }
     if (clockHeld_) {
-        // Nothing (visible) was published; restore the snapshot if no
-        // in-place writes happened, otherwise advance to force
-        // concurrent readers that glimpsed undone values to restart.
-        eng_.directStore(&g_.clock, clockUnlockAndAdvance(txVersion_));
+        // Nothing (visible) was published; advance to force concurrent
+        // readers that glimpsed undone values to restart.
+        seqlock_.releaseAdvance(core_.txVersion);
         clockHeld_ = false;
-        stampEpoch(g_.watchdog.clockEpoch);
     }
     writeDetected_ = false;
 }
@@ -397,7 +420,7 @@ RhNOrecSession::onHtmAbort(const HtmAbort &abort)
 {
     // A real abort already reset the hardware transaction; an injected
     // one (tests, policy probes) may not have.
-    htm_.cancel();
+    core_.htm.cancel();
     if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
         // The body asked for irrevocability inside the fast path or a
         // postfix: no hardware retry can satisfy it. Roll back any
@@ -405,24 +428,13 @@ RhNOrecSession::onHtmAbort(const HtmAbort &abort)
         // without charging the retry budget.
         prefixActive_ = false;
         postfixActive_ = false;
-        if (mode_ != Mode::kFast)
+        if (core_.mode != ExecMode::kFast)
             rollbackWriter();
-        mode_ = Mode::kSerial;
-        if (stats_)
-            stats_->inc(Counter::kFallbacks);
+        core_.fallbackUncharged(ExecMode::kSerial);
         return;
     }
-    if (mode_ == Mode::kFast) {
-        if (!abort.retryOk)
-            killSwitchOnHardwareFailure(g_, policy_, stats_);
-        if (abort.retryOk && attempts_ < retryBudget_.budget()) {
-            cm_.onWait(waitCauseOf(abort));
-            return; // Retry in hardware.
-        }
-        retryBudget_.onFallback(attempts_);
-        mode_ = Mode::kMixed;
-        if (stats_)
-            stats_->inc(Counter::kFallbacks);
+    if (core_.mode == ExecMode::kFast) {
+        core_.htmAbortFast(abort, ExecMode::kSlow);
         return;
     }
     // A small HTM (prefix or postfix) aborted mid-attempt. Real
@@ -433,57 +445,38 @@ RhNOrecSession::onHtmAbort(const HtmAbort &abort)
         if (rh_.adaptivePrefix)
             adaptPrefixDown();
     }
-    if (postfixActive_)
-        postfixActive_ = false;
+    postfixActive_ = false;
     rollbackWriter();
-    cm_.onWait(waitCauseOf(abort));
+    core_.cm.onWait(waitCauseOf(abort));
 }
 
 void
 RhNOrecSession::onRestart()
 {
-    if (mode_ == Mode::kFast) {
+    if (core_.mode == ExecMode::kFast) {
         // User retry() inside the hardware fast path: discard the
         // hardware transaction and re-execute.
-        htm_.cancel();
-        cm_.onWait(WaitCause::kRestart);
+        core_.htm.cancel();
+        core_.cm.onWait(WaitCause::kRestart);
         return;
     }
     if (prefixActive_ || postfixActive_) {
-        htm_.cancel();
+        core_.htm.cancel();
         prefixActive_ = false;
         postfixActive_ = false;
     }
     rollbackWriter();
-    irrevocable_ = false;
-    if (stats_)
-        stats_->inc(Counter::kSlowPathRestarts);
-    if (++slowRestarts_ >= policy_.maxSlowPathRestarts &&
-        mode_ == Mode::kMixed) {
-        mode_ = Mode::kSerial;
-    }
-    cm_.onWait(WaitCause::kRestart);
+    core_.restartEscalate();
 }
 
 void
 RhNOrecSession::onUserAbort()
 {
-    htm_.cancel(); // Covers the fast path and both small HTMs.
+    core_.htm.cancel(); // Covers the fast path and both small HTMs.
     prefixActive_ = false;
     postfixActive_ = false;
     rollbackWriter();
-    if (registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
-        registered_ = false;
-    }
-    if (serialHeld_) {
-        serialLockRelease(eng_, g_);
-        serialHeld_ = false;
-    }
-    irrevocable_ = false;
-    mode_ = Mode::kFast;
-    attempts_ = 0;
-    slowRestarts_ = 0;
+    core_.unwindTail();
     prefixTries_ = 0;
     postfixTries_ = 0;
     prefixSucceeded_ = false;
@@ -492,42 +485,13 @@ RhNOrecSession::onUserAbort()
 void
 RhNOrecSession::onComplete()
 {
-    if (mode_ == Mode::kFast) {
-        retryBudget_.onFastCommit(attempts_);
-        killSwitchOnHardwareCommit(g_);
-    }
-    killSwitchOnComplete(g_);
-    if (stats_) {
-        switch (mode_) {
-          case Mode::kFast:
-            stats_->inc(Counter::kCommitsFastPath);
-            break;
-          case Mode::kMixed:
-            stats_->inc(Counter::kCommitsMixedPath);
-            break;
-          case Mode::kSerial:
-            stats_->inc(Counter::kCommitsSerialPath);
-            break;
-        }
-    }
-    if (registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
-        registered_ = false;
-    }
-    if (serialHeld_) {
-        serialLockRelease(eng_, g_);
-        serialHeld_ = false;
-    }
+    core_.completeTail(Counter::kCommitsMixedPath);
     if (prefixSucceeded_)
         adaptPrefixUp();
-    irrevocable_ = false;
-    mode_ = Mode::kFast;
-    attempts_ = 0;
-    slowRestarts_ = 0;
     prefixTries_ = 0;
     postfixTries_ = 0;
     prefixSucceeded_ = false;
-    cm_.reset();
+    core_.finishReset();
 }
 
 } // namespace rhtm

@@ -31,6 +31,13 @@
  * clock reading, and the postfix by raising global_htm_lock (aborting
  * all hardware transactions) and writing in software.
  *
+ * Composition over the shared engine: SessionCore carries the mode /
+ * retry / serial-lock / fallback bookkeeping, CommitSeqlock the clock
+ * protocol, UndoJournal the in-place write log. Each phase of the
+ * mixed protocol is a TxDispatch descriptor (fast, prefix, software
+ * read phase, clock-held writer, postfix); phase transitions rebind
+ * the descriptor, so the per-access path has no mode branches.
+ *
  * Simulation divergence (documented in DESIGN.md): real hardware
  * resumes a failed small HTM at its XBEGIN checkpoint mid-body; a
  * library cannot restore CPU state, so a small-HTM failure restarts
@@ -43,14 +50,14 @@
 #define RHTM_CORE_RH_NOREC_H
 
 #include <cstdint>
-#include <vector>
 
-#include "src/api/tx_defs.h"
-#include "src/core/globals.h"
-#include "src/core/retry_policy.h"
+#include "src/core/engine/commit_seqlock.h"
+#include "src/core/engine/journal.h"
+#include "src/core/engine/mem_access.h"
+#include "src/core/engine/session.h"
+#include "src/core/engine/session_core.h"
 #include "src/htm/htm_txn.h"
 #include "src/stats/stats.h"
-#include "src/util/backoff.h"
 
 namespace rhtm
 {
@@ -65,11 +72,9 @@ class RhNOrecSession : public TxSession
                    uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
-    uint64_t read(const uint64_t *addr) override;
-    void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
     void becomeIrrevocable() override;
-    bool isIrrevocable() const override { return irrevocable_; }
+    bool isIrrevocable() const override { return core_.irrevocable; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -80,18 +85,28 @@ class RhNOrecSession : public TxSession
     uint32_t expectedPrefixLength() const { return expectedPrefixLen_; }
 
   private:
-    enum class Mode
-    {
-        kFast,   //!< Pure hardware fast path (Algorithm 1).
-        kMixed,  //!< Mixed slow path (Algorithms 2-3).
-        kSerial, //!< Mixed slow path holding the serial lock.
-    };
+    // Per-mode accessors; bound as TxDispatch descriptors.
+    static uint64_t fastRead(void *self, const uint64_t *addr);
+    static void fastWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t prefixRead(void *self, const uint64_t *addr);
+    static void prefixWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t readPhaseRead(void *self, const uint64_t *addr);
+    static void readPhaseWrite(void *self, uint64_t *addr,
+                               uint64_t value);
+    static uint64_t writerRead(void *self, const uint64_t *addr);
+    static void writerWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t postfixRead(void *self, const uint64_t *addr);
+    static void postfixWrite(void *self, uint64_t *addr, uint64_t value);
 
-    struct UndoEntry
-    {
-        uint64_t *addr;
-        uint64_t oldValue;
-    };
+    static constexpr TxDispatch kFastDispatch = {&fastRead, &fastWrite};
+    static constexpr TxDispatch kPrefixDispatch = {&prefixRead,
+                                                   &prefixWrite};
+    static constexpr TxDispatch kReadPhaseDispatch = {&readPhaseRead,
+                                                      &readPhaseWrite};
+    static constexpr TxDispatch kWriterDispatch = {&writerRead,
+                                                   &writerWrite};
+    static constexpr TxDispatch kPostfixDispatch = {&postfixRead,
+                                                    &postfixWrite};
 
     /** Algorithm 3, start_rh_htm_prefix. */
     void startPrefix();
@@ -105,6 +120,15 @@ class RhNOrecSession : public TxSession
     /** Algorithm 2, handle_first_write. */
     void handleFirstWrite();
 
+    /** Clock-validated software read (read phase). */
+    uint64_t softwareRead(const uint64_t *addr);
+
+    /** First slow-path write: lock the clock, route to postfix/place. */
+    void routeFirstWrite(uint64_t *addr, uint64_t value);
+
+    /** Journal-backed in-place write (clock held). */
+    void inPlaceWrite(uint64_t *addr, uint64_t value);
+
     /** Undo any in-place software writes and drop held locks. */
     void rollbackWriter();
 
@@ -116,21 +140,9 @@ class RhNOrecSession : public TxSession
 
     [[noreturn]] void restart();
 
-    HtmEngine &eng_;
-    TmGlobals &g_;
-    HtmTxn &htm_;
-    ThreadStats *stats_;
-    // Reference, not a copy: knob changes made after construction
-    // (tests, adaptive tuning) must be visible to every consumer.
-    const RetryPolicy &policy_;
-    AdaptiveRetryBudget retryBudget_;
+    SessionCore core_;
+    CommitSeqlock<EngineMem> seqlock_;
     RhConfig rh_;
-    unsigned penalty_;
-    ContentionManager cm_;
-
-    Mode mode_ = Mode::kFast;
-    unsigned attempts_ = 0;
-    unsigned slowRestarts_ = 0;
 
     // Per-transaction (spanning attempts) small-HTM budgets.
     unsigned prefixTries_ = 0;
@@ -142,14 +154,10 @@ class RhNOrecSession : public TxSession
     bool writeDetected_ = false;
     bool clockHeld_ = false;
     bool htmLockSet_ = false;
-    bool registered_ = false;
-    bool serialHeld_ = false;
     bool prefixSucceeded_ = false;
-    bool irrevocable_ = false;
-    uint64_t txVersion_ = 0;
     uint32_t prefixReads_ = 0;
     uint32_t maxReads_ = 0;
-    std::vector<UndoEntry> undo_;
+    UndoJournal undo_;
 
     // Adaptive prefix length, persistent across transactions.
     uint32_t expectedPrefixLen_;

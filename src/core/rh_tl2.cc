@@ -2,8 +2,9 @@
 
 #include <cassert>
 
-#include "src/core/fault_points.h"
-#include "src/core/progress.h"
+#include "src/core/engine/fault_points.h"
+#include "src/core/engine/progress.h"
+#include "src/util/backoff.h"
 
 namespace rhtm
 {
@@ -12,122 +13,137 @@ RhTl2Session::RhTl2Session(HtmEngine &eng, TmGlobals &globals,
                            RhTl2Globals &tl2, HtmTxn &htm,
                            ThreadStats *stats, const RetryPolicy &policy,
                            unsigned access_penalty, uint64_t cm_seed)
-    : eng_(eng), g_(globals), tl2_(tl2), htm_(htm), stats_(stats),
-      policy_(policy), retryBudget_(policy_), penalty_(access_penalty),
-      cm_(policy_, &globals, cm_seed), writes_(12)
+    : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
+      tl2_(tl2), writes_(12)
 {
     readLog_.reserve(1024);
     writeAddrs_.reserve(256);
+}
+
+//
+// Per-mode accessors
+//
+
+uint64_t
+RhTl2Session::fastRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<RhTl2Session *>(self);
+    ++s->core_.tally.fastReads;
+    // The RH-TL2 selling point: hardware reads stay uninstrumented.
+    return s->core_.htm.read(addr);
+}
+
+void
+RhTl2Session::fastWrite(void *self, uint64_t *addr, uint64_t value)
+{
+    auto *s = static_cast<RhTl2Session *>(self);
+    ++s->core_.tally.fastWrites;
+    // Drawback #1 (Section 1.2): the fast path must update the
+    // per-location metadata for every write location before the
+    // hardware commit; the address log feeds those orec writes.
+    s->core_.htm.write(addr, value);
+    s->writeAddrs_.push_back(addr);
+}
+
+uint64_t
+RhTl2Session::mixedRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<RhTl2Session *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowReads;
+    uint64_t buffered;
+    if (s->writes_.lookup(addr, buffered))
+        return buffered;
+    uint64_t *orec = s->tl2_.orecOf(addr);
+    uint64_t o1 = s->core_.eng.directLoad(orec);
+    if (o1 > s->rv_)
+        s->restart(); // Written after our snapshot.
+    uint64_t v = s->core_.eng.directLoad(addr);
+    if (s->core_.eng.directLoad(orec) != o1)
+        s->restart();
+    s->readLog_.push_back({orec, o1});
+    return v;
+}
+
+void
+RhTl2Session::mixedWrite(void *self, uint64_t *addr, uint64_t value)
+{
+    auto *s = static_cast<RhTl2Session *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowWrites;
+    s->writes_.putGrowing(addr, value);
+}
+
+uint64_t
+RhTl2Session::pinnedRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<RhTl2Session *>(self);
+    simDelay(s->core_.penalty);
+    ++s->core_.tally.slowReads;
+    uint64_t buffered;
+    if (s->writes_.lookup(addr, buffered))
+        return buffered;
+    // We hold the global HTM lock: every fast path is doomed and no
+    // committer can pass the lock CAS, so memory is frozen.
+    return s->core_.eng.directLoad(addr);
+}
+
+void
+RhTl2Session::beginMixed()
+{
+    sessionFaultPoint(core_.htm, FaultSite::kFallbackStart);
+    // Like RH NOrec's num_of_fallbacks: fast paths only pay the
+    // metadata updates while a mixed path is live.
+    core_.registerFallback();
+    readLog_.clear();
+    writes_.clear();
+    rv_ = core_.eng.directLoad(tl2_.clock());
+    bindDispatch(kMixedDispatch, this);
 }
 
 void
 RhTl2Session::begin(TxnHint hint)
 {
     (void)hint;
-    if (mode_ == Mode::kFast) {
-        if (killSwitchBypass(g_, policy_)) {
-            mode_ = Mode::kMixed;
-            if (stats_) {
-                stats_->inc(Counter::kKillSwitchBypasses);
-                stats_->inc(Counter::kFallbacks);
-            }
-        } else {
-            ++attempts_;
-            if (stats_)
-                stats_->inc(Counter::kFastPathAttempts);
-            writeAddrs_.clear();
-            htm_.begin();
-            // Subscribe to the HTM lock: a serialized software commit
-            // may be writing back non-atomically.
-            if (htm_.read(&g_.htmLock) != 0)
-                htm_.abortSubscription();
+    if (core_.mode == ExecMode::kFast) {
+        writeAddrs_.clear();
+        // Subscribe to the HTM lock: a serialized software commit may
+        // be writing back non-atomically.
+        if (core_.beginFastPath(ExecMode::kSlow, &core_.g.htmLock)) {
+            bindDispatch(kFastDispatch, this);
             return;
         }
     }
-    sessionFaultPoint(htm_, FaultSite::kFallbackStart);
-    if (!registered_) {
-        // Like RH NOrec's num_of_fallbacks: fast paths only pay the
-        // metadata updates while a mixed path is live.
-        eng_.directFetchAdd(&g_.fallbacks, 1);
-        registered_ = true;
-    }
-    readLog_.clear();
-    writes_.clear();
-    rv_ = eng_.directLoad(tl2_.clock());
-}
-
-uint64_t
-RhTl2Session::read(const uint64_t *addr)
-{
-    if (mode_ == Mode::kFast) {
-        // The RH-TL2 selling point: hardware reads stay uninstrumented.
-        return htm_.read(addr);
-    }
-    simDelay(penalty_);
-    uint64_t buffered;
-    if (writes_.lookup(addr, buffered))
-        return buffered;
-    if (irrevocable_) {
-        // We hold the global HTM lock: every fast path is doomed and
-        // no committer can pass the lock CAS, so memory is frozen.
-        return eng_.directLoad(addr);
-    }
-    uint64_t *orec = tl2_.orecOf(addr);
-    uint64_t o1 = eng_.directLoad(orec);
-    if (o1 > rv_)
-        restart(); // Written after our snapshot.
-    uint64_t v = eng_.directLoad(addr);
-    if (eng_.directLoad(orec) != o1)
-        restart();
-    readLog_.push_back({orec, o1});
-    return v;
-}
-
-void
-RhTl2Session::write(uint64_t *addr, uint64_t value)
-{
-    if (mode_ == Mode::kFast) {
-        // Drawback #1 (Section 1.2): the fast path must update the
-        // per-location metadata for every write location before the
-        // hardware commit; the address log feeds those orec writes.
-        htm_.write(addr, value);
-        writeAddrs_.push_back(addr);
-        return;
-    }
-    simDelay(penalty_);
-    writes_.putGrowing(addr, value);
+    beginMixed();
 }
 
 void
 RhTl2Session::commitMixedHtm()
 {
     ++commitHtmTries_;
-    if (stats_)
-        stats_->inc(Counter::kPostfixAttempts);
-    htm_.begin();
-    if (htm_.read(&g_.htmLock) != 0)
-        htm_.abortSubscription();
+    core_.count(Counter::kPostfixAttempts);
+    core_.htm.begin();
+    htmEarlySubscribe(core_.htm, &core_.g.htmLock);
     // Drawback #2 (Section 1.2): this one small hardware transaction
     // carries the read-set validation *and* every write location, so
     // its footprint -- and failure probability -- is high.
-    for (const ReadEntry &e : readLog_) {
-        if (htm_.read(e.orec) != e.version) {
-            htm_.cancel();
+    for (const OrecEntry &e : readLog_) {
+        if (core_.htm.read(e.orec) != e.version) {
+            core_.htm.cancel();
             restart(); // Genuine conflict: restart the transaction.
         }
     }
-    uint64_t wv = htm_.read(tl2_.clock()) + 2;
-    htm_.write(tl2_.clock(), wv);
+    uint64_t wv = core_.htm.read(tl2_.clock()) + 2;
+    core_.htm.write(tl2_.clock(), wv);
     writes_.forEach([&](uint64_t *addr, uint64_t value) {
-        htm_.write(addr, value);
-        htm_.write(tl2_.orecOf(addr), wv);
+        core_.htm.write(addr, value);
+        core_.htm.write(tl2_.orecOf(addr), wv);
     });
     // The commit transaction is RH-TL2's analogue of the postfix: one
     // small HTM carrying validation plus the whole write-back.
-    sessionFaultPoint(htm_, FaultSite::kPostfixCommit);
-    htm_.commit();
-    if (stats_)
-        stats_->inc(Counter::kPostfixSuccesses);
+    sessionFaultPoint(core_.htm, FaultSite::kPostfixCommit);
+    core_.htm.commit();
+    core_.count(Counter::kPostfixSuccesses);
 }
 
 void
@@ -140,20 +156,20 @@ RhTl2Session::writeBack()
     // transactions cannot slip a same-valued wv in between: the held
     // HTM lock doomed every in-flight one, and later ones abort on
     // their start-time subscription.
-    uint64_t wv = eng_.directLoad(tl2_.clock()) + 2;
+    uint64_t wv = core_.eng.directLoad(tl2_.clock()) + 2;
     // The HTM lock is up and every fast path is doomed: this is the
     // serialized publication window. A scripted delay stretches it;
     // aborts are absorbed -- the write-back is the transaction's
     // linearization and cannot be unwound without replaying the whole
     // commit; the other schedules cover the abort paths.
-    sessionFaultPointNoAbort(htm_, FaultSite::kPublishWindow);
+    sessionFaultPointNoAbort(core_.htm, FaultSite::kPublishWindow);
     writes_.forEach([&](uint64_t *addr, uint64_t value) {
         // Orec first: a concurrent reader that sees the new data also
         // sees a version beyond its snapshot and restarts.
-        eng_.directStore(tl2_.orecOf(addr), wv);
-        eng_.directStore(addr, value);
+        core_.eng.directStore(tl2_.orecOf(addr), wv);
+        core_.eng.directStore(addr, value);
     });
-    eng_.directStore(tl2_.clock(), wv);
+    core_.eng.directStore(tl2_.clock(), wv);
 }
 
 void
@@ -166,9 +182,9 @@ RhTl2Session::commitMixedSoftware()
     // the clock epoch and waited out), and the guard -- not a bare
     // store on the happy path -- owns the release, so the validation
     // restart below can never leak the lock.
-    ScopedHtmLock lock(eng_, g_, policy_, stats_);
-    for (const ReadEntry &e : readLog_) {
-        if (eng_.directLoad(e.orec) != e.version)
+    ScopedHtmLock lock(core_.eng, core_.g, core_.policy, core_.stats);
+    for (const OrecEntry &e : readLog_) {
+        if (core_.eng.directLoad(e.orec) != e.version)
             restart(); // The guard drops the HTM lock on the unwind.
     }
     writeBack();
@@ -178,33 +194,31 @@ RhTl2Session::commitMixedSoftware()
 void
 RhTl2Session::commit()
 {
-    if (mode_ == Mode::kFast) {
+    if (core_.mode == ExecMode::kFast) {
         if (writeAddrs_.empty()) {
-            htm_.commit();
-            if (stats_)
-                stats_->inc(Counter::kReadOnlyCommits);
+            core_.htm.commit();
+            core_.count(Counter::kReadOnlyCommits);
             return;
         }
-        if (htm_.read(&g_.fallbacks) > 0) {
+        if (core_.htm.read(&core_.g.fallbacks) > 0) {
             // Version the written locations inside the hardware
             // transaction (metadata instrumentation, drawback #1);
             // only needed while mixed paths are live.
-            uint64_t wv = htm_.read(tl2_.clock()) + 2;
-            htm_.write(tl2_.clock(), wv);
+            uint64_t wv = core_.htm.read(tl2_.clock()) + 2;
+            core_.htm.write(tl2_.clock(), wv);
             for (uint64_t *addr : writeAddrs_)
-                htm_.write(tl2_.orecOf(addr), wv);
+                core_.htm.write(tl2_.orecOf(addr), wv);
         }
-        htm_.commit();
+        core_.htm.commit();
         return;
     }
     if (writes_.empty()) {
-        if (irrevocable_)
+        if (core_.irrevocable)
             releaseIrrevocable(); // Nothing published; just unfreeze.
-        if (stats_)
-            stats_->inc(Counter::kReadOnlyCommits);
+        core_.count(Counter::kReadOnlyCommits);
         return; // Reads were validated individually against rv_.
     }
-    if (irrevocable_) {
+    if (core_.irrevocable) {
         // Validated at the grant and frozen since (we hold the HTM
         // lock): publish without revalidation -- infallible -- and
         // unfreeze. The serial lock drops in onComplete.
@@ -212,7 +226,7 @@ RhTl2Session::commit()
         releaseIrrevocable();
         return;
     }
-    if (commitHtmTries_ < policy_.smallHtmAttempts) {
+    if (commitHtmTries_ < core_.policy.smallHtmAttempts) {
         commitMixedHtm();
         return;
     }
@@ -222,31 +236,29 @@ RhTl2Session::commit()
 void
 RhTl2Session::becomeIrrevocable()
 {
-    if (irrevocable_)
+    if (core_.irrevocable)
         return;
-    if (mode_ == Mode::kFast) {
+    if (core_.mode == ExecMode::kFast) {
         // Cannot grant inside best-effort HTM: unwind, and onHtmAbort
         // routes the next attempt to the mixed slow path.
-        htm_.abortNeedIrrevocable();
+        core_.htm.abortNeedIrrevocable();
     }
     // Serialize concurrent upgraders FIFO before touching the HTM
     // lock: we hold nothing here, so queueing is deadlock-free, and
     // the lock order (serial BEFORE htmLock, docs/LIFECYCLE.md) means
     // an upgrader never waits on the HTM lock held by another
-    // upgrader -- only on bounded software commit windows.
-    if (!serialHeld_) {
-        serialLockAcquire(eng_, g_, policy_, stats_);
-        serialHeld_ = true;
-    }
-    sessionFaultPoint(htm_, FaultSite::kIrrevocableUpgrade);
+    // upgrader -- only on bounded software commit windows. RH-TL2 has
+    // no serial execution mode, so the barrier leaves the mode alone.
+    core_.grantBarrierEnter(/*switchToSerialMode=*/false);
     {
-        ScopedHtmLock lock(eng_, g_, policy_, stats_);
+        ScopedHtmLock lock(core_.eng, core_.g, core_.policy,
+                           core_.stats);
         // Validate the read set BEFORE granting: a stale read must
         // unwind before the promise, never after. The guard drops the
         // HTM lock on the restart; the serial lock stays held, so the
         // replayed attempt upgrades unopposed.
-        for (const ReadEntry &e : readLog_) {
-            if (eng_.directLoad(e.orec) != e.version)
+        for (const OrecEntry &e : readLog_) {
+            if (core_.eng.directLoad(e.orec) != e.version)
                 restart();
         }
         lock.disown(); // Hold until commit/rollback.
@@ -255,20 +267,22 @@ RhTl2Session::becomeIrrevocable()
     // HTM lock held with a validated read set: fast paths are doomed,
     // no committer can pass the lock CAS, reads go direct, and commit
     // is an unconditional write-back. Infallible from here.
-    irrevocable_ = true;
-    if (stats_)
-        stats_->inc(Counter::kIrrevocableUpgrades);
+    core_.grantIrrevocable();
+    bindDispatch(kPinnedDispatch, this);
 }
 
 void
 RhTl2Session::releaseIrrevocable()
 {
     if (htmLockHeld_) {
-        eng_.directStore(&g_.htmLock, 0);
+        core_.eng.directStore(&core_.g.htmLock, 0);
         htmLockHeld_ = false;
-        stampEpoch(g_.watchdog.clockEpoch);
+        stampEpoch(core_.g.watchdog.clockEpoch);
     }
-    irrevocable_ = false;
+    if (core_.irrevocable) {
+        core_.irrevocable = false;
+        bindDispatch(kMixedDispatch, this);
+    }
 }
 
 void
@@ -280,91 +294,52 @@ RhTl2Session::restart()
 void
 RhTl2Session::onHtmAbort(const HtmAbort &abort)
 {
-    htm_.cancel();
+    core_.htm.cancel();
     if (abort.cause == HtmAbortCause::kNeedIrrevocable) {
         // The body asked for irrevocability: skip the retry budget and
         // replay on the mixed slow path, which can grant it.
-        mode_ = Mode::kMixed;
-        if (stats_)
-            stats_->inc(Counter::kFallbacks);
+        core_.fallbackUncharged(ExecMode::kSlow);
         return;
     }
-    if (mode_ == Mode::kFast) {
-        if (!abort.retryOk)
-            killSwitchOnHardwareFailure(g_, policy_, stats_);
-        if (abort.retryOk && attempts_ < retryBudget_.budget()) {
-            cm_.onWait(waitCauseOf(abort));
-            return;
-        }
-        retryBudget_.onFallback(attempts_);
-        mode_ = Mode::kMixed;
-        if (stats_)
-            stats_->inc(Counter::kFallbacks);
+    if (core_.mode == ExecMode::kFast) {
+        core_.htmAbortFast(abort, ExecMode::kSlow);
         return;
     }
     // The commit transaction failed mechanically (capacity, injected):
     // retry the attempt; the next commit() uses the software path.
-    cm_.onWait(waitCauseOf(abort));
+    core_.cm.onWait(waitCauseOf(abort));
 }
 
 void
 RhTl2Session::onRestart()
 {
-    htm_.cancel();
+    core_.htm.cancel();
     // A pre-grant upgrade restart keeps the serial lock (the replay
     // upgrades unopposed); anything the grant held is dropped.
     releaseIrrevocable();
-    if (mode_ != Mode::kFast && stats_)
-        stats_->inc(Counter::kSlowPathRestarts);
-    cm_.onWait(WaitCause::kRestart);
+    if (core_.mode != ExecMode::kFast)
+        core_.count(Counter::kSlowPathRestarts);
+    core_.cm.onWait(WaitCause::kRestart);
 }
 
 void
 RhTl2Session::onUserAbort()
 {
-    htm_.cancel();
+    core_.htm.cancel();
     // Lazy everywhere: nothing was published, no locks held outside
     // the commit routines (which release before unwinding) and an
     // irrevocable upgrade (dropped here).
     releaseIrrevocable();
-    if (registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
-        registered_ = false;
-    }
-    if (serialHeld_) {
-        serialLockRelease(eng_, g_);
-        serialHeld_ = false;
-    }
-    mode_ = Mode::kFast;
-    attempts_ = 0;
+    core_.unwindTail();
     commitHtmTries_ = 0;
 }
 
 void
 RhTl2Session::onComplete()
 {
-    if (mode_ == Mode::kFast) {
-        retryBudget_.onFastCommit(attempts_);
-        killSwitchOnHardwareCommit(g_);
-    }
-    killSwitchOnComplete(g_);
-    if (stats_) {
-        stats_->inc(mode_ == Mode::kFast ? Counter::kCommitsFastPath
-                                         : Counter::kCommitsMixedPath);
-    }
-    if (registered_) {
-        eng_.directFetchAdd(&g_.fallbacks, uint64_t(0) - 1);
-        registered_ = false;
-    }
-    if (serialHeld_) {
-        serialLockRelease(eng_, g_);
-        serialHeld_ = false;
-    }
-    irrevocable_ = false;
-    mode_ = Mode::kFast;
-    attempts_ = 0;
+    core_.completeTail(Counter::kCommitsMixedPath);
+    core_.finishReset();
     commitHtmTries_ = 0;
-    cm_.reset();
 }
 
 } // namespace rhtm

@@ -21,22 +21,26 @@
  * writes; commit in a small hardware transaction (validate read orecs
  * + publish writes and orec updates); on failure, a serialized
  * software commit that raises the global HTM lock.
+ *
+ * Composition over the shared engine: SessionCore (no serial mode --
+ * ExecMode::kSlow is the mixed path and irrevocability piggybacks on
+ * the serial FIFO without a mode change) + RedoBuffer; the fast path,
+ * the orec-validated mixed body, and the lock-frozen irrevocable
+ * phase are three TxDispatch descriptors.
  */
 
 #ifndef RHTM_CORE_RH_TL2_H
 #define RHTM_CORE_RH_TL2_H
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "src/api/tx_defs.h"
-#include "src/core/globals.h"
-#include "src/core/retry_policy.h"
-#include "src/htm/fixed_table.h"
+#include "src/core/engine/journal.h"
+#include "src/core/engine/mem_access.h"
+#include "src/core/engine/session.h"
+#include "src/core/engine/session_core.h"
 #include "src/htm/htm_txn.h"
 #include "src/stats/stats.h"
-#include "src/util/backoff.h"
 
 namespace rhtm
 {
@@ -81,11 +85,9 @@ class RhTl2Session : public TxSession
                  uint64_t cm_seed = 1);
 
     void begin(TxnHint hint) override;
-    uint64_t read(const uint64_t *addr) override;
-    void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
     void becomeIrrevocable() override;
-    bool isIrrevocable() const override { return irrevocable_; }
+    bool isIrrevocable() const override { return core_.irrevocable; }
     void onHtmAbort(const HtmAbort &abort) override;
     void onRestart() override;
     void onUserAbort() override;
@@ -93,17 +95,27 @@ class RhTl2Session : public TxSession
     const char *name() const override { return "rh-tl2"; }
 
   private:
-    enum class Mode
-    {
-        kFast,  //!< Hardware path (instrumented writes).
-        kMixed, //!< TL2-style software body, small-HTM commit.
-    };
-
-    struct ReadEntry
+    /** One orec-validated read (TL2's read log is versions, not values). */
+    struct OrecEntry
     {
         uint64_t *orec;
         uint64_t version;
     };
+
+    static uint64_t fastRead(void *self, const uint64_t *addr);
+    static void fastWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t mixedRead(void *self, const uint64_t *addr);
+    static void mixedWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t pinnedRead(void *self, const uint64_t *addr);
+
+    static constexpr TxDispatch kFastDispatch = {&fastRead, &fastWrite};
+    static constexpr TxDispatch kMixedDispatch = {&mixedRead,
+                                                  &mixedWrite};
+    static constexpr TxDispatch kPinnedDispatch = {&pinnedRead,
+                                                   &mixedWrite};
+
+    /** Begin a mixed slow-path attempt. */
+    void beginMixed();
 
     /** Commit the mixed path through the small hardware transaction. */
     void commitMixedHtm();
@@ -119,27 +131,14 @@ class RhTl2Session : public TxSession
 
     [[noreturn]] void restart();
 
-    HtmEngine &eng_;
-    TmGlobals &g_;
+    SessionCore core_;
     RhTl2Globals &tl2_;
-    HtmTxn &htm_;
-    ThreadStats *stats_;
-    // Reference, not a copy: post-construction knob changes apply.
-    const RetryPolicy &policy_;
-    AdaptiveRetryBudget retryBudget_;
-    unsigned penalty_;
-    ContentionManager cm_;
 
-    Mode mode_ = Mode::kFast;
-    unsigned attempts_ = 0;
     unsigned commitHtmTries_ = 0;
-    bool registered_ = false;
-    bool serialHeld_ = false;
     bool htmLockHeld_ = false;
-    bool irrevocable_ = false;
     uint64_t rv_ = 0;
-    std::vector<ReadEntry> readLog_;
-    WriteBuffer writes_;
+    std::vector<OrecEntry> readLog_;
+    RedoBuffer writes_;
     std::vector<uint64_t *> writeAddrs_; //!< Fast-path write log.
 };
 

@@ -69,6 +69,19 @@ StatsSummary::postfixSuccessRatio() const
                  get(Counter::kPostfixAttempts));
 }
 
+uint64_t
+StatsSummary::accesses() const
+{
+    return get(Counter::kFastPathReads) + get(Counter::kFastPathWrites) +
+           get(Counter::kSlowPathReads) + get(Counter::kSlowPathWrites);
+}
+
+double
+StatsSummary::accessesPerOp() const
+{
+    return ratio(accesses(), operations());
+}
+
 void
 StatsSummary::accumulate(const ThreadStats &ts)
 {
@@ -122,7 +135,9 @@ StatsSummary::toString() const
        << get(Counter::kCommitActionsRun) << ", abort "
        << get(Counter::kAbortActionsRun) << "\n"
        << "user-exception aborts: "
-       << get(Counter::kUserExceptionAborts) << "\n";
+       << get(Counter::kUserExceptionAborts) << "\n"
+       << "transactional accesses: " << accesses() << " ("
+       << accessesPerOp() << "/op)\n";
     return os.str();
 }
 

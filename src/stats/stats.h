@@ -50,6 +50,10 @@ enum class Counter : unsigned
     kCommitActionsRun,      //!< Deferred onCommit handlers executed.
     kAbortActionsRun,       //!< Deferred onAbort handlers executed.
     kUserExceptionAborts,   //!< Bodies unwound by a user exception.
+    kFastPathReads,         //!< Transactional reads inside HTM attempts.
+    kFastPathWrites,        //!< Transactional writes inside HTM attempts.
+    kSlowPathReads,         //!< Instrumented software/mixed-path reads.
+    kSlowPathWrites,        //!< Instrumented software/mixed-path writes.
     kNumCounters
 };
 
@@ -128,6 +132,12 @@ struct StatsSummary
 
     /** HTM-postfix success ratio (figure row 5). */
     double postfixSuccessRatio() const;
+
+    /** Total transactional reads+writes, every path and attempt. */
+    uint64_t accesses() const;
+
+    /** Transactional accesses per committed operation. */
+    double accessesPerOp() const;
 
     /** Merge another thread's counters into the totals. */
     void accumulate(const ThreadStats &ts);

@@ -20,10 +20,9 @@ constexpr unsigned kSerializeAfterRestarts = 64;
 NOrecEagerSession::NOrecEagerSession(TmGlobals &globals,
                                      ThreadStats *stats,
                                      unsigned access_penalty)
-    : g_(globals), stats_(stats), penalty_(access_penalty)
-{
-    undo_.reserve(256);
-}
+    : g_(globals), stats_(stats), penalty_(access_penalty),
+      seqlock_(mem_, &globals.clock)
+{}
 
 uint64_t
 NOrecEagerSession::stableClock()
@@ -44,56 +43,73 @@ NOrecEagerSession::begin(TxnHint hint)
     if (serialized_) {
         // Progress escape hatch: a transaction that keeps restarting
         // takes the writer lock up front and runs exclusively.
-        for (;;) {
-            uint64_t e = stableClock();
-            if (mem_.cas(&g_.clock, e, clockWithLock(e))) {
-                txVersion_ = e;
-                break;
-            }
-            backoff_.pause();
-        }
+        txVersion_ = seqlock_.acquireBlocking(
+            [this] { return stableClock(); },
+            [this] { backoff_.pause(); });
         writeDetected_ = true;
+        bindDispatch(kWriterDispatch, this);
         return;
     }
     writeDetected_ = false;
     txVersion_ = stableClock();
+    bindDispatch(kReadPhaseDispatch, this);
 }
 
 uint64_t
-NOrecEagerSession::read(const uint64_t *addr)
+NOrecEagerSession::readPhaseRead(void *self, const uint64_t *addr)
 {
-    simDelay(penalty_);
-    if (writeDetected_) {
-        // We hold the clock: no writer can commit, reads are stable.
-        return mem_.load(addr);
-    }
-    uint64_t v = mem_.load(addr);
-    if (mem_.load(&g_.clock) != txVersion_) {
+    auto *s = static_cast<NOrecEagerSession *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowReads;
+    uint64_t v = s->mem_.load(addr);
+    if (s->mem_.load(&s->g_.clock) != s->txVersion_) {
         // Some writer committed (or is writing): with no read log, the
         // eager design must restart (paper Section 3.1).
-        restart();
+        s->restart();
     }
     return v;
 }
 
 void
-NOrecEagerSession::acquireClockLock()
+NOrecEagerSession::readPhaseWrite(void *self, uint64_t *addr,
+                                  uint64_t value)
 {
-    uint64_t expected = txVersion_;
-    if (!mem_.cas(&g_.clock, expected, clockWithLock(txVersion_)))
-        restart();
+    auto *s = static_cast<NOrecEagerSession *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowWrites;
+    s->acquireClockLock();
+    s->writeDetected_ = true;
+    s->bindDispatch(kWriterDispatch, s);
+    s->undo_.push(addr, s->mem_.load(addr));
+    s->mem_.store(addr, value);
+}
+
+uint64_t
+NOrecEagerSession::writerRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<NOrecEagerSession *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowReads;
+    // We hold the clock: no writer can commit, reads are stable.
+    return s->mem_.load(addr);
 }
 
 void
-NOrecEagerSession::write(uint64_t *addr, uint64_t value)
+NOrecEagerSession::writerWrite(void *self, uint64_t *addr,
+                               uint64_t value)
 {
-    simDelay(penalty_);
-    if (!writeDetected_) {
-        acquireClockLock();
-        writeDetected_ = true;
-    }
-    undo_.push_back({addr, mem_.load(addr)});
-    mem_.store(addr, value);
+    auto *s = static_cast<NOrecEagerSession *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowWrites;
+    s->undo_.push(addr, s->mem_.load(addr));
+    s->mem_.store(addr, value);
+}
+
+void
+NOrecEagerSession::acquireClockLock()
+{
+    if (!seqlock_.tryAcquireAt(txVersion_))
+        restart();
 }
 
 void
@@ -101,7 +117,7 @@ NOrecEagerSession::commit()
 {
     if (!writeDetected_)
         return; // Read-only: validated by every read.
-    mem_.store(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    seqlock_.releaseAdvance(txVersion_);
     writeDetected_ = false;
 }
 
@@ -118,6 +134,7 @@ NOrecEagerSession::becomeIrrevocable()
         // restart BEFORE granting (no side effect has run yet).
         acquireClockLock();
         writeDetected_ = true;
+        bindDispatch(kWriterDispatch, this);
     }
     irrevocable_ = true;
     if (stats_)
@@ -129,11 +146,10 @@ NOrecEagerSession::rollbackWriter()
 {
     if (!writeDetected_)
         return;
-    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
-        mem_.store(it->addr, it->oldValue);
+    undo_.rollback(mem_);
     // Advance the clock anyway: a concurrent reader may have glimpsed
     // the undone values, and the bump forces it to restart.
-    mem_.store(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    seqlock_.releaseAdvance(txVersion_);
     writeDetected_ = false;
 }
 
@@ -175,6 +191,7 @@ NOrecEagerSession::onUserAbort()
     restarts_ = 0;
     backoff_.reset();
     undo_.clear();
+    tally_.flush(stats_);
 }
 
 void
@@ -187,6 +204,7 @@ NOrecEagerSession::onComplete()
     restarts_ = 0;
     backoff_.reset();
     undo_.clear();
+    tally_.flush(stats_);
 }
 
 //
@@ -196,10 +214,9 @@ NOrecEagerSession::onComplete()
 NOrecLazySession::NOrecLazySession(TmGlobals &globals,
                                    ThreadStats *stats,
                                    unsigned access_penalty)
-    : g_(globals), stats_(stats), penalty_(access_penalty), writes_(12)
-{
-    readLog_.reserve(1024);
-}
+    : g_(globals), stats_(stats), penalty_(access_penalty),
+      seqlock_(mem_, &globals.clock), writes_(12)
+{}
 
 uint64_t
 NOrecLazySession::stableClock()
@@ -220,56 +237,62 @@ NOrecLazySession::begin(TxnHint hint)
     writes_.clear();
     clockHeld_ = false;
     if (serialized_) {
-        for (;;) {
-            uint64_t e = stableClock();
-            if (mem_.cas(&g_.clock, e, clockWithLock(e))) {
-                txVersion_ = e;
-                clockHeld_ = true;
-                return;
-            }
-            backoff_.pause();
-        }
+        txVersion_ = seqlock_.acquireBlocking(
+            [this] { return stableClock(); },
+            [this] { backoff_.pause(); });
+        clockHeld_ = true;
+        bindDispatch(kPinnedDispatch, this);
+        return;
     }
     txVersion_ = stableClock();
+    bindDispatch(kSoftDispatch, this);
 }
 
 uint64_t
 NOrecLazySession::validate()
 {
-    for (;;) {
-        uint64_t t = stableClock();
-        for (const ReadEntry &e : readLog_) {
-            if (mem_.load(e.addr) != e.value)
-                restart();
-        }
-        if (mem_.load(&g_.clock) == t)
-            return t; // Snapshot extended to t.
-    }
+    return readLog_.revalidate(mem_, &g_.clock,
+                               [this] { return stableClock(); });
 }
 
 uint64_t
-NOrecLazySession::read(const uint64_t *addr)
+NOrecLazySession::softRead(void *self, const uint64_t *addr)
 {
-    simDelay(penalty_);
+    auto *s = static_cast<NOrecLazySession *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowReads;
     uint64_t buffered;
-    if (writes_.lookup(addr, buffered))
+    if (s->writes_.lookup(addr, buffered))
         return buffered;
-    if (clockHeld_)
-        return mem_.load(addr);
-    uint64_t v = mem_.load(addr);
-    while (mem_.load(&g_.clock) != txVersion_) {
-        txVersion_ = validate();
-        v = mem_.load(addr);
+    uint64_t v = s->mem_.load(addr);
+    while (s->mem_.load(&s->g_.clock) != s->txVersion_) {
+        s->txVersion_ = s->validate();
+        v = s->mem_.load(addr);
     }
-    readLog_.push_back({addr, v});
+    s->readLog_.push(addr, v);
     return v;
 }
 
 void
-NOrecLazySession::write(uint64_t *addr, uint64_t value)
+NOrecLazySession::softWrite(void *self, uint64_t *addr, uint64_t value)
 {
-    simDelay(penalty_);
-    writes_.putGrowing(addr, value);
+    auto *s = static_cast<NOrecLazySession *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowWrites;
+    s->writes_.putGrowing(addr, value);
+}
+
+uint64_t
+NOrecLazySession::pinnedRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<NOrecLazySession *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowReads;
+    uint64_t buffered;
+    if (s->writes_.lookup(addr, buffered))
+        return buffered;
+    // We hold the clock: no writer can commit, reads go direct.
+    return s->mem_.load(addr);
 }
 
 void
@@ -277,23 +300,19 @@ NOrecLazySession::commit()
 {
     if (writes_.empty()) {
         if (clockHeld_) { // Serialized but turned out read-only.
-            mem_.store(&g_.clock, txVersion_);
+            seqlock_.releaseRestore(txVersion_);
             clockHeld_ = false;
         }
         return;
     }
     if (!clockHeld_) {
-        uint64_t expected = txVersion_;
-        while (!mem_.cas(&g_.clock, expected,
-                         clockWithLock(txVersion_))) {
-            txVersion_ = validate();
-            expected = txVersion_;
-        }
+        txVersion_ = seqlock_.acquireValidating(
+            txVersion_, [this] { return validate(); });
         clockHeld_ = true;
     }
     writes_.forEach(
         [this](uint64_t *addr, uint64_t value) { mem_.store(addr, value); });
-    mem_.store(&g_.clock, clockUnlockAndAdvance(txVersion_));
+    seqlock_.releaseAdvance(txVersion_);
     clockHeld_ = false;
 }
 
@@ -307,17 +326,14 @@ NOrecLazySession::becomeIrrevocable()
         // CAS-lock the clock, revalidating by value on every failure.
         // validate() restarts on a changed value -- always BEFORE the
         // grant, so the re-executed body replays no side effect.
-        uint64_t expected = txVersion_;
-        while (!mem_.cas(&g_.clock, expected,
-                         clockWithLock(txVersion_))) {
-            txVersion_ = validate();
-            expected = txVersion_;
-        }
+        txVersion_ = seqlock_.acquireValidating(
+            txVersion_, [this] { return validate(); });
         clockHeld_ = true;
     }
-    // From here on reads go direct (the clockHeld_ branch in read()),
-    // writes stay buffered, and commit() write-back cannot fail.
+    // From here on reads go direct (the pinned descriptor), writes
+    // stay buffered, and commit() write-back cannot fail.
     irrevocable_ = true;
+    bindDispatch(kPinnedDispatch, this);
     if (stats_)
         stats_->inc(Counter::kIrrevocableUpgrades);
 }
@@ -340,7 +356,7 @@ NOrecLazySession::onRestart()
 {
     if (clockHeld_) {
         // Nothing was written back; restore the clock unchanged.
-        mem_.store(&g_.clock, txVersion_);
+        seqlock_.releaseRestore(txVersion_);
         clockHeld_ = false;
     }
     irrevocable_ = false;
@@ -355,7 +371,7 @@ void
 NOrecLazySession::onUserAbort()
 {
     if (clockHeld_) {
-        mem_.store(&g_.clock, txVersion_);
+        seqlock_.releaseRestore(txVersion_);
         clockHeld_ = false;
     }
     // The transaction ends here; clear the escalation state like
@@ -364,6 +380,7 @@ NOrecLazySession::onUserAbort()
     serialized_ = false;
     restarts_ = 0;
     backoff_.reset();
+    tally_.flush(stats_);
 }
 
 void
@@ -375,6 +392,7 @@ NOrecLazySession::onComplete()
     serialized_ = false;
     restarts_ = 0;
     backoff_.reset();
+    tally_.flush(stats_);
 }
 
 } // namespace rhtm

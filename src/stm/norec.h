@@ -13,19 +13,26 @@
  * These are the pure-software baselines ("NOrec" in the figures); the
  * hybrid algorithms in src/core implement their own slow paths
  * following the paper's pseudocode.
+ *
+ * Composition over the shared engine: both flavours use the
+ * CommitSeqlock clock protocol over RawMem (no watchdog epoch -- pure
+ * STMs predate the stall machinery and stamp nothing), the eager one
+ * the UndoJournal, the lazy one ValueReadLog + RedoBuffer. Each phase
+ * is a TxDispatch descriptor; there is no SessionCore because the pure
+ * STMs have no hardware transaction, mode ladder, or retry budget.
  */
 
 #ifndef RHTM_STM_NOREC_H
 #define RHTM_STM_NOREC_H
 
 #include <cstdint>
-#include <vector>
 
-#include "src/api/tx_defs.h"
-#include "src/core/globals.h"
-#include "src/htm/fixed_table.h"
+#include "src/core/engine/commit_seqlock.h"
+#include "src/core/engine/journal.h"
+#include "src/core/engine/mem_access.h"
+#include "src/core/engine/session.h"
+#include "src/core/engine/session_core.h"
 #include "src/stats/stats.h"
-#include "src/stm/mem_access.h"
 #include "src/util/backoff.h"
 
 namespace rhtm
@@ -51,8 +58,6 @@ class NOrecEagerSession : public TxSession
                       unsigned access_penalty = 0);
 
     void begin(TxnHint hint) override;
-    uint64_t read(const uint64_t *addr) override;
-    void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
     void becomeIrrevocable() override;
     bool isIrrevocable() const override { return irrevocable_; }
@@ -63,6 +68,17 @@ class NOrecEagerSession : public TxSession
     const char *name() const override { return "norec"; }
 
   private:
+    static uint64_t readPhaseRead(void *self, const uint64_t *addr);
+    static void readPhaseWrite(void *self, uint64_t *addr,
+                               uint64_t value);
+    static uint64_t writerRead(void *self, const uint64_t *addr);
+    static void writerWrite(void *self, uint64_t *addr, uint64_t value);
+
+    static constexpr TxDispatch kReadPhaseDispatch = {&readPhaseRead,
+                                                      &readPhaseWrite};
+    static constexpr TxDispatch kWriterDispatch = {&writerRead,
+                                                   &writerWrite};
+
     /** Spin until the clock is unlocked; returns the stable value. */
     uint64_t stableClock();
 
@@ -74,23 +90,19 @@ class NOrecEagerSession : public TxSession
 
     [[noreturn]] void restart();
 
-    struct UndoEntry
-    {
-        uint64_t *addr;
-        uint64_t oldValue;
-    };
-
     TmGlobals &g_;
     ThreadStats *stats_;
     unsigned penalty_;
     RawMem mem_;
+    CommitSeqlock<RawMem> seqlock_;
     Backoff backoff_;
+    AccessTally tally_;
     uint64_t txVersion_ = 0;
     bool writeDetected_ = false;
     bool serialized_ = false;
     bool irrevocable_ = false;
     unsigned restarts_ = 0;
-    std::vector<UndoEntry> undo_;
+    UndoJournal undo_;
 };
 
 /**
@@ -105,8 +117,6 @@ class NOrecLazySession : public TxSession
                      unsigned access_penalty = 0);
 
     void begin(TxnHint hint) override;
-    uint64_t read(const uint64_t *addr) override;
-    void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
     void becomeIrrevocable() override;
     bool isIrrevocable() const override { return irrevocable_; }
@@ -117,6 +127,14 @@ class NOrecLazySession : public TxSession
     const char *name() const override { return "norec-lazy"; }
 
   private:
+    static uint64_t softRead(void *self, const uint64_t *addr);
+    static void softWrite(void *self, uint64_t *addr, uint64_t value);
+    static uint64_t pinnedRead(void *self, const uint64_t *addr);
+
+    static constexpr TxDispatch kSoftDispatch = {&softRead, &softWrite};
+    static constexpr TxDispatch kPinnedDispatch = {&pinnedRead,
+                                                   &softWrite};
+
     uint64_t stableClock();
 
     /**
@@ -127,24 +145,20 @@ class NOrecLazySession : public TxSession
 
     [[noreturn]] void restart();
 
-    struct ReadEntry
-    {
-        const uint64_t *addr;
-        uint64_t value;
-    };
-
     TmGlobals &g_;
     ThreadStats *stats_;
     unsigned penalty_;
     RawMem mem_;
+    CommitSeqlock<RawMem> seqlock_;
     Backoff backoff_;
+    AccessTally tally_;
     uint64_t txVersion_ = 0;
     bool serialized_ = false;
     bool clockHeld_ = false;
     bool irrevocable_ = false;
     unsigned restarts_ = 0;
-    std::vector<ReadEntry> readLog_;
-    WriteBuffer writes_;
+    ValueReadLog readLog_;
+    RedoBuffer writes_;
 };
 
 } // namespace rhtm

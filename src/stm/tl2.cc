@@ -11,7 +11,6 @@ Tl2Session::Tl2Session(Tl2Globals &globals, ThreadStats *stats,
 {
     readLog_.reserve(1024);
     owned_.reserve(256);
-    undo_.reserve(256);
 }
 
 void
@@ -22,66 +21,83 @@ Tl2Session::begin(TxnHint hint)
     owned_.clear();
     undo_.clear();
     rv_ = g_.clock().load(std::memory_order_acquire);
+    bindDispatch(kOptimisticDispatch, this);
 }
 
 uint64_t
-Tl2Session::read(const uint64_t *addr)
+Tl2Session::optimisticRead(void *self, const uint64_t *addr)
 {
-    simDelay(penalty_);
-    size_t idx = g_.orecOf(addr);
-    if (irrevocable_) {
-        // 2PL phase: lock-then-read. All earlier reads are pinned by
-        // their locks, so the current committed value of a fresh line
-        // is always consistent with them; no rv validation, no
-        // restart.
-        lockOrecIrrevocable(idx, false);
-        return mem_.load(addr);
-    }
-    uint64_t o1 = g_.orec(idx).load(std::memory_order_acquire);
+    auto *s = static_cast<Tl2Session *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowReads;
+    size_t idx = s->g_.orecOf(addr);
+    uint64_t o1 = s->g_.orec(idx).load(std::memory_order_acquire);
     if (Tl2Globals::isLocked(o1)) {
-        if (Tl2Globals::ownerOf(o1) == tid_) {
+        if (Tl2Globals::ownerOf(o1) == s->tid_) {
             // We own the line (eager write already in place).
-            return mem_.load(addr);
+            return s->mem_.load(addr);
         }
-        restart();
+        s->restart();
     }
-    if (o1 > rv_)
-        restart(); // Written after our snapshot (no rv extension).
-    uint64_t v = mem_.load(addr);
-    uint64_t o2 = g_.orec(idx).load(std::memory_order_acquire);
+    if (o1 > s->rv_)
+        s->restart(); // Written after our snapshot (no rv extension).
+    uint64_t v = s->mem_.load(addr);
+    uint64_t o2 = s->g_.orec(idx).load(std::memory_order_acquire);
     if (o1 != o2)
-        restart();
-    readLog_.push_back(idx);
+        s->restart();
+    s->readLog_.push_back(idx);
     return v;
 }
 
 void
-Tl2Session::write(uint64_t *addr, uint64_t value)
+Tl2Session::optimisticWrite(void *self, uint64_t *addr, uint64_t value)
 {
-    simDelay(penalty_);
-    size_t idx = g_.orecOf(addr);
-    if (irrevocable_) {
-        lockOrecIrrevocable(idx, false);
-        undo_.push_back({addr, mem_.load(addr)});
-        mem_.store(addr, value);
-        return;
-    }
-    uint64_t o = g_.orec(idx).load(std::memory_order_acquire);
+    auto *s = static_cast<Tl2Session *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowWrites;
+    size_t idx = s->g_.orecOf(addr);
+    uint64_t o = s->g_.orec(idx).load(std::memory_order_acquire);
     if (Tl2Globals::isLocked(o)) {
-        if (Tl2Globals::ownerOf(o) != tid_)
-            restart();
+        if (Tl2Globals::ownerOf(o) != s->tid_)
+            s->restart();
     } else {
-        if (o > rv_)
-            restart();
-        if (!g_.orec(idx).compare_exchange_strong(
-                o, Tl2Globals::lockFor(tid_),
+        if (o > s->rv_)
+            s->restart();
+        if (!s->g_.orec(idx).compare_exchange_strong(
+                o, Tl2Globals::lockFor(s->tid_),
                 std::memory_order_acq_rel)) {
-            restart();
+            s->restart();
         }
-        owned_.push_back({idx, o});
+        s->owned_.push_back({idx, o});
     }
-    undo_.push_back({addr, mem_.load(addr)});
-    mem_.store(addr, value);
+    s->undo_.push(addr, s->mem_.load(addr));
+    s->mem_.store(addr, value);
+}
+
+uint64_t
+Tl2Session::pinnedRead(void *self, const uint64_t *addr)
+{
+    auto *s = static_cast<Tl2Session *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowReads;
+    size_t idx = s->g_.orecOf(addr);
+    // 2PL phase: lock-then-read. All earlier reads are pinned by
+    // their locks, so the current committed value of a fresh line is
+    // always consistent with them; no rv validation, no restart.
+    s->lockOrecIrrevocable(idx, false);
+    return s->mem_.load(addr);
+}
+
+void
+Tl2Session::pinnedWrite(void *self, uint64_t *addr, uint64_t value)
+{
+    auto *s = static_cast<Tl2Session *>(self);
+    simDelay(s->penalty_);
+    ++s->tally_.slowWrites;
+    size_t idx = s->g_.orecOf(addr);
+    s->lockOrecIrrevocable(idx, false);
+    s->undo_.push(addr, s->mem_.load(addr));
+    s->mem_.store(addr, value);
 }
 
 void
@@ -164,6 +180,7 @@ Tl2Session::becomeIrrevocable()
         }
     }
     irrevocable_ = true;
+    bindDispatch(kTwoPhaseDispatch, this);
     if (stats_)
         stats_->inc(Counter::kIrrevocableUpgrades);
 }
@@ -180,8 +197,7 @@ Tl2Session::releaseIrrevocable()
 void
 Tl2Session::rollback()
 {
-    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
-        mem_.store(it->addr, it->oldValue);
+    undo_.rollback(mem_);
     for (const OwnedOrec &oo : owned_)
         g_.orec(oo.idx).store(oo.oldValue, std::memory_order_release);
     owned_.clear();
@@ -215,6 +231,7 @@ void
 Tl2Session::onUserAbort()
 {
     rollback();
+    tally_.flush(stats_);
 }
 
 void
@@ -223,6 +240,7 @@ Tl2Session::onComplete()
     if (stats_)
         stats_->inc(Counter::kCommitsSoftwarePath);
     backoff_.reset();
+    tally_.flush(stats_);
 }
 
 } // namespace rhtm

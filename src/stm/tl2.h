@@ -6,6 +6,12 @@
  * commit-time revalidation. Higher constant costs than NOrec but
  * per-location conflict detection, hence better scalability under
  * write-heavy loads (the 40%-mutation crossover in Figure 4).
+ *
+ * Composition over the shared engine: the UndoJournal backs the eager
+ * writes; the optimistic phase and the irrevocable 2PL phase are two
+ * TxDispatch descriptors. TL2's clock and orecs are its own (no
+ * TmGlobals word is shared), so neither SessionCore nor CommitSeqlock
+ * applies.
  */
 
 #ifndef RHTM_STM_TL2_H
@@ -15,9 +21,11 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/api/tx_defs.h"
+#include "src/core/engine/journal.h"
+#include "src/core/engine/mem_access.h"
+#include "src/core/engine/session.h"
+#include "src/core/engine/session_core.h"
 #include "src/stats/stats.h"
-#include "src/stm/mem_access.h"
 #include "src/util/backoff.h"
 
 namespace rhtm
@@ -98,8 +106,6 @@ class Tl2Session : public TxSession
                unsigned access_penalty = 0);
 
     void begin(TxnHint hint) override;
-    uint64_t read(const uint64_t *addr) override;
-    void write(uint64_t *addr, uint64_t value) override;
     void commit() override;
     void becomeIrrevocable() override;
     bool isIrrevocable() const override { return irrevocable_; }
@@ -116,11 +122,16 @@ class Tl2Session : public TxSession
         uint64_t oldValue;
     };
 
-    struct UndoEntry
-    {
-        uint64_t *addr;
-        uint64_t oldValue;
-    };
+    static uint64_t optimisticRead(void *self, const uint64_t *addr);
+    static void optimisticWrite(void *self, uint64_t *addr,
+                                uint64_t value);
+    static uint64_t pinnedRead(void *self, const uint64_t *addr);
+    static void pinnedWrite(void *self, uint64_t *addr, uint64_t value);
+
+    static constexpr TxDispatch kOptimisticDispatch = {&optimisticRead,
+                                                       &optimisticWrite};
+    static constexpr TxDispatch kTwoPhaseDispatch = {&pinnedRead,
+                                                     &pinnedWrite};
 
     /** Undo writes and release owned orecs at their old versions. */
     void rollback();
@@ -144,11 +155,12 @@ class Tl2Session : public TxSession
     unsigned penalty_;
     RawMem mem_;
     Backoff backoff_;
+    AccessTally tally_;
     uint64_t rv_ = 0;
     bool irrevocable_ = false;
     std::vector<size_t> readLog_;
     std::vector<OwnedOrec> owned_;
-    std::vector<UndoEntry> undo_;
+    UndoJournal undo_;
 };
 
 } // namespace rhtm

@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/api/runtime.h"
@@ -390,6 +392,33 @@ TEST_P(AlgoTest, StatsReportCommits)
                        s.get(Counter::kCommitsSoftwarePath) +
                        s.get(Counter::kCommitsSerialPath);
     EXPECT_EQ(commits, 100u) << "every operation commits on some path";
+}
+
+TEST(AlgoKindNamesTest, NameStringRoundTripCoversEveryKind)
+{
+    // The registry, the CLI parser and the CSV emitter all key on the
+    // canonical names; a kind that cannot round-trip through its name
+    // silently drops out of --algos=all sweeps and bench summaries.
+    const std::vector<AlgoKind> &kinds = allAlgoKinds();
+    EXPECT_EQ(kinds.size(), 8u) << "the paper evaluates eight systems";
+    std::set<std::string> seen;
+    for (AlgoKind kind : kinds) {
+        const char *name = algoKindName(kind);
+        ASSERT_NE(name, nullptr);
+        EXPECT_NE(std::string(name), "unknown");
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate algorithm name: " << name;
+        AlgoKind parsed;
+        ASSERT_TRUE(algoKindFromString(name, parsed)) << name;
+        EXPECT_EQ(parsed, kind) << name;
+    }
+    AlgoKind out;
+    EXPECT_FALSE(algoKindFromString("", out));
+    EXPECT_FALSE(algoKindFromString("no-such-algo", out));
+    EXPECT_FALSE(algoKindFromString("NOREC", out))
+        << "names are case-sensitive";
+    EXPECT_FALSE(algoKindFromString("norec ", out))
+        << "names must match exactly, no trimming";
 }
 
 INSTANTIATE_TEST_SUITE_P(

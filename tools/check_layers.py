@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Include-layering lint for src/.
+
+The engine refactor fixed a strict layering for the library proper
+(tests, bench and examples are integration points and exempt):
+
+    util                                   (0)
+    stats, fault, mem                      (1)
+    htm                                    (2)
+    core/engine   -- the shared engine     (3)
+    stm           -- pure-STM sessions     (4)
+    core          -- hybrid sessions       (5)
+    api           -- runtime facade        (6)
+    structures                             (7)
+    workloads                              (8)
+
+A file may include project headers only from its own layer or lower
+ranks. In particular the engine must never include the api: the
+sessions are composed BY the runtime, they must not know about it
+(src/api re-exports engine headers for compatibility, not the other
+way around).
+
+Usage: tools/check_layers.py [repo-root]
+Exits 1 and lists every violating include edge when the layering is
+broken, 0 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# Longest-prefix match order: core/engine must be tested before core.
+LAYERS = [
+    ("core/engine", 3),
+    ("util", 0),
+    ("stats", 1),
+    ("fault", 1),
+    ("mem", 1),
+    ("htm", 2),
+    ("stm", 4),
+    ("core", 5),
+    ("api", 6),
+    ("structures", 7),
+    ("workloads", 8),
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(src/[^"]+)"')
+
+
+def layer_of(rel):
+    """Layer (name, rank) of a src/-relative path, or None."""
+    for prefix, rank in LAYERS:
+        if rel == prefix or rel.startswith(prefix + "/"):
+            return prefix, rank
+    return None
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..")
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        print(f"check_layers: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    violations = []
+    files = 0
+    edges = 0
+    for dirpath, _, names in os.walk(src):
+        for name in sorted(names):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            here = layer_of(os.path.relpath(path, src)
+                            .replace(os.sep, "/"))
+            if here is None:
+                violations.append(
+                    f"{rel}: not in any declared layer "
+                    f"(update tools/check_layers.py)")
+                continue
+            files += 1
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, 1):
+                    m = INCLUDE_RE.match(line)
+                    if not m:
+                        continue
+                    edges += 1
+                    target_rel = m.group(1)[len("src/"):]
+                    there = layer_of(target_rel)
+                    if there is None:
+                        violations.append(
+                            f"{rel}:{lineno}: includes {m.group(1)} "
+                            f"which is in no declared layer")
+                        continue
+                    if here[0] == "core/engine" and there[0] == "api":
+                        violations.append(
+                            f"{rel}:{lineno}: the engine must not "
+                            f"include the api ({m.group(1)})")
+                    elif there[1] > here[1]:
+                        violations.append(
+                            f"{rel}:{lineno}: layer '{here[0]}' "
+                            f"(rank {here[1]}) includes {m.group(1)} "
+                            f"from higher layer '{there[0]}' "
+                            f"(rank {there[1]})")
+
+    if violations:
+        print(f"include-layering violations ({len(violations)}):")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print(f"layering OK ({files} files, {edges} include edges)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-stop CI gate: the include-layering lint, the tier-1 build + test
+# suite, and a single ThreadSanitizer chaos leg as a concurrency smoke
+# check (the full sanitizer soak matrix lives in tools/run_chaos.sh).
+#
+# Usage: tools/ci.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-tsan) SKIP_TSAN=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "== include-layering lint =="
+python3 tools/check_layers.py
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure
+
+if [ "$SKIP_TSAN" -eq 0 ]; then
+    echo "== TSan chaos leg: stall-serial seed=1 =="
+    cmake -B build-tsan -S . -DRHTM_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$(nproc)" --target bench_chaos
+    build-tsan/bench/bench_chaos \
+        --schedule=stall-serial --seed=1 --seconds=2 --threads=1,4 \
+        --algos=rh-norec,hy-norec-lazy --irrevocable-pct=20 --stats
+fi
+
+echo "ci gate passed"

@@ -27,6 +27,9 @@ for arg in "$@"; do
     esac
 done
 
+echo "== include-layering lint =="
+python3 tools/check_layers.py
+
 SANITIZE="${RHTM_SANITIZE-thread}"
 SEEDS="${SEEDS:-1 2 3}"
 SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window stall-serial stall-publisher irrevocable-storm"

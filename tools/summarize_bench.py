@@ -16,8 +16,11 @@ COLS = [
     "conflict", "capacity", "restarts", "slowpath", "prefix",
     "postfix", "injected", "subscription", "attempts", "ks_act",
     "ks_bypass", "p50_us", "p99_us", "max_us", "stalls", "irrev",
-    "verified",
+    "accesses", "verified",
 ]
+
+# Captures from before the accesses-per-op column was added.
+PRE_ACCESS_COLS = COLS[:22] + ["verified"]
 
 # Captures from before the irrevocable-upgrades column was added.
 PRE_IRREV_COLS = COLS[:21] + ["verified"]
@@ -31,7 +34,14 @@ LEGACY_COLS = COLS[:12] + ["verified"]
 FLOAT_COLS = ("throughput", "conflict", "capacity", "restarts",
               "slowpath", "prefix", "postfix", "injected",
               "subscription", "attempts", "ks_bypass", "p50_us",
-              "p99_us", "max_us")
+              "p99_us", "max_us", "accesses")
+
+
+def ns_per_access(row):
+    """Average cost of one transactional access, derived from the
+    throughput and the per-op access rate (0 when not captured)."""
+    rate = row["throughput"] * row["accesses"]
+    return 1e9 / rate if rate > 0 else 0.0
 
 
 def parse(path):
@@ -44,19 +54,22 @@ def parse(path):
             parts = line.split(",")
             if len(parts) == len(COLS):
                 row = dict(zip(COLS, parts))
+            elif len(parts) == len(PRE_ACCESS_COLS):
+                row = dict(zip(PRE_ACCESS_COLS, parts))
+                row.update(accesses="0")
             elif len(parts) == len(PRE_IRREV_COLS):
                 row = dict(zip(PRE_IRREV_COLS, parts))
-                row.update(irrev="0")
+                row.update(irrev="0", accesses="0")
             elif len(parts) == len(PRE_LATENCY_COLS):
                 row = dict(zip(PRE_LATENCY_COLS, parts))
                 row.update(p50_us="0", p99_us="0", max_us="0",
-                           stalls="0", irrev="0")
+                           stalls="0", irrev="0", accesses="0")
             elif len(parts) == len(LEGACY_COLS):
                 row = dict(zip(LEGACY_COLS, parts))
                 row.update(injected="0", subscription="0",
                            attempts="0", ks_act="0", ks_bypass="0",
                            p50_us="0", p99_us="0", max_us="0",
-                           stalls="0", irrev="0")
+                           stalls="0", irrev="0", accesses="0")
             else:
                 continue
             try:
@@ -94,17 +107,21 @@ def main():
         show_lat = any(r["max_us"] > 0 or r["stalls"] > 0
                        for r in benches[bench])
         show_irrev = any(r["irrev"] > 0 for r in benches[bench])
+        show_access = any(r["accesses"] > 0 for r in benches[bench])
         fault_hdr = " inj/op | ks | " if show_faults else " "
         fault_sep = "---|---|" if show_faults else ""
         lat_hdr = " p50us | p99us | stalls | " if show_lat else " "
         lat_sep = "---|---|---|" if show_lat else ""
         irrev_hdr = " irrev | " if show_irrev else " "
         irrev_sep = "---|" if show_irrev else ""
-        extra_hdr = fault_hdr.rstrip() + lat_hdr.rstrip() + irrev_hdr
+        access_hdr = " acc/op | ns/acc | " if show_access else " "
+        access_sep = "---|---|" if show_access else ""
+        extra_hdr = (fault_hdr.rstrip() + lat_hdr.rstrip() +
+                     irrev_hdr.rstrip() + access_hdr)
         print("| algo | ops/s | conf/op | cap/op | restarts | "
               f"slow% | prefix | postfix |{extra_hdr}ok |")
         print(f"|---|---|---|---|---|---|---|---|{fault_sep}"
-              f"{lat_sep}{irrev_sep}---|")
+              f"{lat_sep}{irrev_sep}{access_sep}---|")
         by_algo = {}
         for r in benches[bench]:
             by_algo[r["algo"]] = r
@@ -117,12 +134,16 @@ def main():
                 lat_cells = (f" {r['p50_us']:.1f} | {r['p99_us']:.1f} "
                              f"| {r['stalls']} |")
             irrev_cells = f" {r['irrev']} |" if show_irrev else ""
+            access_cells = ""
+            if show_access:
+                access_cells = (f" {r['accesses']:.2f} "
+                                f"| {ns_per_access(r):.1f} |")
             print(f"| {r['algo']} | {r['throughput']:,.0f} "
                   f"| {r['conflict']:.4f} | {r['capacity']:.4f} "
                   f"| {r['restarts']:.3f} | {100 * r['slowpath']:.1f} "
                   f"| {r['prefix']:.2f} | {r['postfix']:.2f} "
-                  f"|{fault_cells}{lat_cells}{irrev_cells} "
-                  f"{r['verified']} |")
+                  f"|{fault_cells}{lat_cells}{irrev_cells}"
+                  f"{access_cells} {r['verified']} |")
         rh, hy = by_algo.get("rh-norec"), by_algo.get("hy-norec")
         if rh and hy:
             tput = rh["throughput"] / hy["throughput"] if hy[
