@@ -140,4 +140,29 @@ TmRuntime::resetStats()
         ctx->stats_.reset();
 }
 
+void
+TmRuntime::resetForTest()
+{
+    globals_.resetForTest();
+    if (tl2_ != nullptr)
+        tl2_->resetForTest();
+    if (rhTl2_ != nullptr)
+        rhTl2_->resetForTest();
+    for (auto &ctx : ctxs_) {
+        if (ctx->inTxn_) {
+            // A scheduler-poisoned run unwound without reaching run()'s
+            // cleanup; release the epoch slot it still occupies.
+            ctx->inTxn_ = false;
+            mem_.epochs().exitRegion(ctx->tid());
+        }
+        ctx->stats_.reset();
+        ctx->actions_.clear();
+        if (ctx->fault_ != nullptr)
+            ctx->fault_->resetForTest();
+        ctx->htm_->resetForTest();
+        ctx->session_->resetForTest();
+        ctx->mem_->resetForTest();
+    }
+}
+
 } // namespace rhtm

@@ -254,6 +254,37 @@ class TmRuntime
         eng_.directStore(addr, value);
     }
 
+    /** Number of registered threads (threads must be quiescent). */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(ctxs_.size());
+    }
+
+    /** Context of an already-registered tid (white-box tests). */
+    ThreadCtx &context(unsigned tid) { return *ctxs_[tid]; }
+
+    /**
+     * The live retry policy every session reads through its const
+     * reference. Tests mutate it mid-run to prove sessions see policy
+     * updates (the policy-by-value regression, docs/CHECKING.md);
+     * nothing else may write it after construction.
+     */
+    RetryPolicy &mutableRetryPolicyForTest() { return cfg_.retry; }
+
+    /**
+     * Restore the whole runtime -- coordination globals, TL2/RH-TL2
+     * clocks and orec tables, and every registered thread's stats,
+     * action log, fault injector, simulated-HTM context, session, and
+     * memory journal -- to its just-registered state. The interleaving
+     * explorer (src/check/) calls this between explored runs so each
+     * run starts from identical state; callers must guarantee no
+     * transaction is in flight. The HtmEngine's stripe versions are
+     * deliberately NOT rewound: they are only ever compared for
+     * equality within one run, so their absolute values cannot affect
+     * control flow, and rewinding them would race with nothing anyway.
+     */
+    void resetForTest();
+
   private:
     std::unique_ptr<TxSession> makeSession(ThreadCtx &ctx);
 

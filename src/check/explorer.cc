@@ -1,0 +1,264 @@
+#include "src/check/explorer.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace rhtm::check
+{
+
+const char *
+exploreModeName(ExploreMode mode)
+{
+    switch (mode) {
+      case ExploreMode::kRandom: return "random";
+      case ExploreMode::kPct: return "pct";
+      case ExploreMode::kDfs: return "dfs";
+    }
+    return "unknown";
+}
+
+bool
+exploreModeFromString(const std::string &name, ExploreMode &out)
+{
+    for (ExploreMode m : {ExploreMode::kRandom, ExploreMode::kPct,
+                          ExploreMode::kDfs}) {
+        if (name == exploreModeName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+Explorer::Explorer(AlgoKind kind, CheckProgram program)
+    : program_(std::move(program))
+{
+    // Instrumentation busy-work only slows exploration down; the
+    // scheduler supplies all the interleaving the penalty exists to
+    // provoke.
+    cfg_.stmAccessPenalty = 0;
+    if (program_.configure)
+        program_.configure(cfg_);
+    rt_ = std::make_unique<TmRuntime>(kind, cfg_);
+    // Register every context from this thread: tids are assigned in
+    // registration order, so thread i of the program is tid i.
+    for (size_t i = 0; i < program_.threads.size(); ++i)
+        rt_->registerThread();
+    if (program_.postRegister)
+        program_.postRegister(*rt_);
+    cells_.resize(program_.vars);
+}
+
+Explorer::~Explorer() = default;
+
+RunOutcome
+Explorer::runOnce(SchedStrategy &strategy, size_t max_steps,
+                  bool check_history)
+{
+    rt_->resetForTest();
+    // The controller has no SchedClient installed, so these pokes and
+    // hooks run unscheduled, before any program thread exists.
+    for (unsigned i = 0; i < program_.vars; ++i)
+        rt_->poke(&cells_[i].v,
+                  i < program_.init.size() ? program_.init[i] : 0);
+    if (program_.setup)
+        program_.setup(*rt_);
+    hist_.clear();
+
+    CoopScheduler sched(max_steps);
+    std::vector<std::function<void()>> fns;
+    fns.reserve(program_.threads.size());
+    for (unsigned i = 0; i < program_.threads.size(); ++i)
+        fns.push_back([this, i] { threadBody(i); });
+
+    RunOutcome out;
+    out.completed = sched.run(strategy, fns);
+    out.token = sched.token();
+    out.steps = sched.steps();
+    out.historyText = hist_.format();
+    if (out.completed) {
+        if (program_.invariant)
+            out.invariantOk =
+                program_.invariant(*rt_, &out.invariantWhy);
+        if (check_history)
+            out.check = checkHistory(
+                hist_, program_.init.empty()
+                           ? std::vector<uint64_t>(program_.vars, 0)
+                           : program_.init);
+    }
+    return out;
+}
+
+void
+Explorer::threadBody(unsigned tid)
+{
+    ThreadCtx &ctx = rt_->context(tid);
+    const ThreadSpec &spec = program_.threads[tid];
+    if (spec.waitKillSwitchOpen) {
+        TmGlobals::KillSwitch &ks = rt_->globals().killSwitch;
+        while (ks.tripped())
+            schedWaitPoint(SchedPoint::kWaitSpin, &ks.cooldown);
+    }
+    for (const TxnSpec &txn : spec.txns) {
+        hist_.push(tid, HistKind::kBegin);
+        // A RunAborted unwind (teardown poison) propagates through
+        // run()'s user-exception path and out of this loop; the
+        // commit marker is then correctly never logged.
+        rt_->run(
+            ctx,
+            [&](Txn &tx) {
+                hist_.push(tid, HistKind::kAttempt);
+                for (const TxOp &op : txn.ops)
+                    execOp(tx, tid, op);
+            },
+            txn.hint);
+        hist_.push(tid, HistKind::kCommit);
+    }
+}
+
+void
+Explorer::execOp(Txn &tx, unsigned tid, const TxOp &op)
+{
+    switch (op.kind) {
+      case TxOpKind::kRead: {
+        uint64_t v = tx.load(&cells_[op.var].v);
+        hist_.push(tid, HistKind::kRead, op.var, v);
+        break;
+      }
+      case TxOpKind::kWrite:
+        tx.store(&cells_[op.var].v, op.value);
+        hist_.push(tid, HistKind::kWrite, op.var, op.value);
+        break;
+      case TxOpKind::kAdd: {
+        uint64_t v = tx.load(&cells_[op.var].v);
+        hist_.push(tid, HistKind::kRead, op.var, v);
+        tx.store(&cells_[op.var].v, v + op.value);
+        hist_.push(tid, HistKind::kWrite, op.var, v + op.value);
+        break;
+      }
+      case TxOpKind::kIrrevocable:
+        tx.becomeIrrevocable();
+        break;
+    }
+}
+
+RunOutcome
+Explorer::replay(const std::string &token, size_t max_steps)
+{
+    ForcedStrategy forced(token);
+    return runOnce(forced, max_steps);
+}
+
+RunOutcome
+Explorer::sample(uint64_t seed, size_t max_steps)
+{
+    RandomWalkStrategy walk(seed);
+    return runOnce(walk, max_steps);
+}
+
+namespace
+{
+
+/**
+ * Shrink a failing replay token: binary-search the shortest failing
+ * prefix, then greedily delete single decisions, re-verifying every
+ * candidate by replay. `best` is failing at all times; monotonicity
+ * violations only cost optimality, never correctness.
+ */
+std::string
+minimizeToken(Explorer &explorer, const std::string &failing,
+              size_t max_steps, size_t budget)
+{
+    auto fails = [&](const std::string &tok) {
+        return explorer.replay(tok, max_steps).failed();
+    };
+    std::string best = failing;
+    size_t lo = 0;
+    size_t hi = best.size();
+    while (lo < hi && budget > 0) {
+        size_t mid = lo + (hi - lo) / 2;
+        --budget;
+        std::string cand = failing.substr(0, mid);
+        if (fails(cand)) {
+            best = cand;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    bool improved = true;
+    while (improved && budget > 0) {
+        improved = false;
+        for (size_t i = 0; i < best.size() && budget > 0; ++i) {
+            std::string cand = best;
+            cand.erase(i, 1);
+            --budget;
+            if (fails(cand)) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+ExploreResult
+Explorer::explore(const ExploreOptions &opts)
+{
+    ExploreResult res;
+    std::unordered_set<std::string> seen;
+    auto note = [&](RunOutcome &&outcome) {
+        ++res.runs;
+        seen.insert(outcome.token);
+        if (outcome.failed()) {
+            res.failed = true;
+            res.failure = std::move(outcome);
+            return true;
+        }
+        return false;
+    };
+
+    switch (opts.mode) {
+      case ExploreMode::kRandom:
+        for (size_t r = 0; r < opts.runs; ++r) {
+            RandomWalkStrategy walk(opts.seed + r);
+            if (note(runOnce(walk, opts.maxStepsPerRun,
+                             opts.checkHistories)))
+                break;
+        }
+        break;
+      case ExploreMode::kPct:
+        for (size_t r = 0; r < opts.runs; ++r) {
+            PctStrategy pct(opts.seed + r, opts.pctDepth,
+                            opts.pctExpectedSteps);
+            if (note(runOnce(pct, opts.maxStepsPerRun,
+                             opts.checkHistories)))
+                break;
+        }
+        break;
+      case ExploreMode::kDfs: {
+        DfsStrategy dfs(opts.dfsSleepSets);
+        bool more = dfs.nextRun();
+        bool stopped = false;
+        while (more && res.runs < opts.runs && !stopped) {
+            stopped = note(runOnce(dfs, opts.maxStepsPerRun,
+                                   opts.checkHistories));
+            if (!stopped)
+                more = dfs.nextRun();
+        }
+        res.exhausted = !more;
+        break;
+      }
+    }
+    res.distinct = seen.size();
+    if (res.failed)
+        res.minimizedToken =
+            minimizeToken(*this, res.failure.token,
+                          opts.maxStepsPerRun, opts.minimizeBudget);
+    return res;
+}
+
+} // namespace rhtm::check

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The interleaving explorer: drives a CheckProgram through many
+ * scheduled runs, records each run's history, checks it, and
+ * minimizes the first failing schedule into a replay token
+ * (docs/CHECKING.md).
+ */
+
+#ifndef RHTM_CHECK_EXPLORER_H
+#define RHTM_CHECK_EXPLORER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/runtime.h"
+#include "src/check/history.h"
+#include "src/check/program.h"
+#include "src/check/scheduler.h"
+#include "src/check/strategy.h"
+
+namespace rhtm::check
+{
+
+/** How schedules are generated. */
+enum class ExploreMode : uint8_t
+{
+    kRandom = 0, //!< Independent seeded random walks.
+    kPct,        //!< PCT randomized priorities, one seed per run.
+    kDfs,        //!< Bounded exhaustive DFS with sleep sets.
+};
+
+/** Printable mode name ("random", "pct", "dfs"). */
+const char *exploreModeName(ExploreMode mode);
+
+/** Parse a mode name; false when unknown. */
+bool exploreModeFromString(const std::string &name, ExploreMode &out);
+
+/** Exploration parameters. */
+struct ExploreOptions
+{
+    ExploreMode mode = ExploreMode::kRandom;
+
+    /** Runs for random/pct; the leaf cap for dfs. */
+    size_t runs = 256;
+
+    /** Base seed (run r uses seed + r). */
+    uint64_t seed = 1;
+
+    /** PCT depth d (d-1 priority change points per run). */
+    unsigned pctDepth = 3;
+
+    /** PCT horizon the change points are drawn from. */
+    unsigned pctExpectedSteps = 256;
+
+    /** Per-run scheduling-step limit (livelock backstop). */
+    size_t maxStepsPerRun = 100000;
+
+    /**
+     * DFS sleep-set reduction. On (default) the tree exhausts fastest;
+     * off, every ordering of commuting steps is its own leaf, which
+     * the coverage gate uses to count raw distinct schedules.
+     */
+    bool dfsSleepSets = true;
+
+    /** Run the serializability/opacity checker on each history. */
+    bool checkHistories = true;
+
+    /** Replays the minimizer may spend shrinking a failing token. */
+    size_t minimizeBudget = 400;
+};
+
+/** Everything observed about one scheduled run. */
+struct RunOutcome
+{
+    bool completed = false;  //!< False: poisoned at the step limit.
+    bool invariantOk = true; //!< Program invariant (if any).
+    std::string invariantWhy;
+    CheckResult check;       //!< History-checker verdict.
+    std::string token;       //!< Full executed schedule.
+    std::string historyText; //!< History::format() of the run.
+    size_t steps = 0;
+
+    /** True when the run violated anything. */
+    bool
+    failed() const
+    {
+        return !completed || !invariantOk || !check.ok();
+    }
+};
+
+/** Aggregate result of an exploration. */
+struct ExploreResult
+{
+    size_t runs = 0;
+    size_t distinct = 0;  //!< Distinct executed schedules.
+    bool exhausted = false; //!< DFS: the whole tree was covered.
+    bool failed = false;
+    RunOutcome failure;   //!< First failing run (when failed).
+    std::string minimizedToken; //!< Shrunk failing replay token.
+};
+
+/**
+ * Owns one runtime (algorithm kind + program) and executes scheduled
+ * runs over it. Construction registers every program thread's context
+ * up-front from the calling thread, so tids are deterministic; each
+ * run starts from TmRuntime::resetForTest() state.
+ */
+class Explorer
+{
+  public:
+    Explorer(AlgoKind kind, CheckProgram program);
+    ~Explorer();
+
+    Explorer(const Explorer &) = delete;
+    Explorer &operator=(const Explorer &) = delete;
+
+    /** Run the program under @p opts; stops at the first failure. */
+    ExploreResult explore(const ExploreOptions &opts);
+
+    /** Re-execute one schedule from its replay token. */
+    RunOutcome replay(const std::string &token,
+                      size_t max_steps = 100000);
+
+    /** One seeded random-walk run (replay-determinism tests). */
+    RunOutcome sample(uint64_t seed, size_t max_steps = 100000);
+
+    /** The program under exploration. */
+    const CheckProgram &program() const { return program_; }
+
+    /** The runtime (post-run inspection in tests). */
+    TmRuntime &runtime() { return *rt_; }
+
+  private:
+    /** One shared variable, padded so HTM conflict tracking treats
+     *  program variables independently. */
+    struct alignas(64) VarCell
+    {
+        uint64_t v = 0;
+    };
+
+    RunOutcome runOnce(SchedStrategy &strategy, size_t max_steps,
+                       bool check_history = true);
+    void threadBody(unsigned tid);
+    void execOp(Txn &tx, unsigned tid, const TxOp &op);
+
+    CheckProgram program_;
+    RuntimeConfig cfg_;
+    std::unique_ptr<TmRuntime> rt_;
+    std::vector<VarCell> cells_;
+    History hist_;
+};
+
+} // namespace rhtm::check
+
+#endif // RHTM_CHECK_EXPLORER_H

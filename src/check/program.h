@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Small declarative transaction programs for the interleaving
+ * explorer, the curated correctness matrix, and the reverted-fix
+ * regression programs (docs/CHECKING.md).
+ */
+
+#ifndef RHTM_CHECK_PROGRAM_H
+#define RHTM_CHECK_PROGRAM_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/api/runtime.h"
+
+namespace rhtm::check
+{
+
+/** One transactional operation inside a TxnSpec. */
+enum class TxOpKind : uint8_t
+{
+    kRead = 0,    //!< Load var; the observed value is recorded.
+    kWrite,       //!< Store value to var.
+    kAdd,         //!< Load var, store var + value (records both).
+    kIrrevocable, //!< becomeIrrevocable() (may restart pre-grant).
+};
+
+/** One operation. */
+struct TxOp
+{
+    TxOpKind kind;
+    unsigned var = 0;
+    uint64_t value = 0;
+};
+
+/** One transaction: its body ops and the runtime hint. */
+struct TxnSpec
+{
+    std::vector<TxOp> ops;
+    TxnHint hint = TxnHint::kNone;
+};
+
+/** One logical thread: its transactions, in order. */
+struct ThreadSpec
+{
+    std::vector<TxnSpec> txns;
+
+    /**
+     * Spin (at a scheduler wait point) until the anti-lemming kill
+     * switch is open before running any transaction. The kill-switch
+     * regression program gates its probing thread on the reopen this
+     * way.
+     */
+    bool waitKillSwitchOpen = false;
+};
+
+/**
+ * A complete explorable program: shared variables, threads, and
+ * optional hooks. Everything must stay deterministic: hooks may not
+ * consult time, randomness, or anything outside the runtime.
+ */
+struct CheckProgram
+{
+    std::string name;
+
+    /** Number of shared variables (var ids are 0..vars-1). */
+    unsigned vars = 0;
+
+    /** Initial value per var (missing entries start at 0). */
+    std::vector<uint64_t> init;
+
+    std::vector<ThreadSpec> threads;
+
+    /** Adjust the RuntimeConfig before the runtime is built. */
+    std::function<void(RuntimeConfig &)> configure;
+
+    /**
+     * Runs once after every thread registered (and never again):
+     * post-construction knob changes, e.g. the policy-freeze
+     * regression's live-policy mutation.
+     */
+    std::function<void(TmRuntime &)> postRegister;
+
+    /** Runs before every explored run, after resetForTest. */
+    std::function<void(TmRuntime &)> setup;
+
+    /**
+     * Checked after each completed run; returns false (with @p why
+     * filled) when the program-level invariant is violated. May read
+     * runtime state freely: every worker has finished.
+     */
+    std::function<bool(TmRuntime &, std::string *why)> invariant;
+};
+
+/**
+ * The curated correctness matrix (the ci.sh `check` leg runs each of
+ * these under every AlgoKind): write-skew, read-only snapshot,
+ * prefix race, postfix race, and an irrevocable-upgrade race.
+ */
+std::vector<CheckProgram> curatedPrograms();
+
+/** Look a curated program up by name; false when unknown. */
+bool curatedProgram(const std::string &name, CheckProgram &out);
+
+// ----------------------------------------------------------------------
+// Reverted-fix regression programs. Each builds the workload whose
+// invariant the historical bug breaks; pass reverted=true to flip the
+// matching RetryPolicy::revert* switch and re-introduce the bug.
+
+/**
+ * AdaptiveRetryBudget first-try-commit recovery: one injected
+ * non-retryable abort knocks thread 0's payoff score down; a train of
+ * first-try hardware commits must pull it back up. Deterministic on
+ * every schedule in both directions.
+ */
+CheckProgram makeFirstTryBudgetProgram(bool reverted);
+
+/**
+ * killSwitchOnComplete streak reset: a decayer parked between its
+ * cooldown load and CAS holds a stale "1"; under the bug its failed
+ * CAS still wipes failures a gated prober accumulated after the real
+ * reopen, so the breaker misses a trip. Fails only on schedules that
+ * park the decayer across the reopen and the prober's first failure.
+ */
+CheckProgram makeKillSwitchStreakProgram(bool reverted);
+
+/**
+ * Policy-by-value freeze: the adaptive budget must see knob changes
+ * made after session construction. The program flips the live policy
+ * to adaptive with a pinned budget post-registration; under the bug
+ * the frozen snapshot keeps serving the stale static budget. Fails
+ * deterministically on every schedule.
+ */
+CheckProgram makePolicySnapshotProgram(bool reverted);
+
+} // namespace rhtm::check
+
+#endif // RHTM_CHECK_PROGRAM_H

@@ -1,0 +1,227 @@
+#include "src/check/scheduler.h"
+#include <cstdio>
+#include <cstdlib>
+
+#include <thread>
+
+namespace rhtm::check
+{
+
+thread_local unsigned CoopScheduler::tlsTid_ = 0;
+
+bool
+CoopScheduler::run(SchedStrategy &strategy,
+                   const std::vector<std::function<void()>> &thread_fns)
+{
+    n_ = static_cast<unsigned>(thread_fns.size());
+    strategy_ = &strategy;
+    registered_ = 0;
+    current_ = -1;
+    poisonVictim_ = -1;
+    aborted_ = false;
+    steps_ = 0;
+    states_.assign(n_, State::kPending);
+    pending_.assign(n_, PendingStep{});
+    granted_.assign(n_, PendingStep{});
+    detached_.assign(n_, 0);
+    choices_.clear();
+
+    std::vector<std::thread> threads;
+    threads.reserve(n_);
+    for (unsigned i = 0; i < n_; ++i)
+        threads.emplace_back(
+            [this, i, &thread_fns] { threadMain(i, thread_fns[i]); });
+    for (std::thread &t : threads)
+        t.join();
+    return !aborted_;
+}
+
+std::string
+CoopScheduler::token() const
+{
+    std::string out;
+    out.reserve(choices_.size());
+    for (uint8_t c : choices_)
+        out.push_back(static_cast<char>('0' + c));
+    return out;
+}
+
+void
+CoopScheduler::threadMain(unsigned tid,
+                          const std::function<void()> &fn)
+{
+    tlsTid_ = tid;
+    setSchedClient(this);
+    bool runBody = true;
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        // The implicit first step: every thread starts with a pending
+        // kThreadStart so the strategy decides who runs first. The
+        // last thread to register opens scheduling; tids (assigned by
+        // the caller) are independent of OS spawn timing, so the
+        // candidate order is deterministic.
+        pending_[tid] = PendingStep{};
+        states_[tid] = State::kPending;
+        ++registered_;
+        if (registered_ == n_)
+            grantNextLocked();
+        cv_.notify_all();
+        cv_.wait(lk, [&] {
+            return current_ == static_cast<int>(tid) ||
+                   (aborted_ &&
+                    poisonVictim_ == static_cast<int>(tid));
+        });
+        if (current_ != static_cast<int>(tid)) {
+            // Poisoned before ever being scheduled: skip the body.
+            detached_[tid] = 1;
+            runBody = false;
+        }
+    }
+    try {
+        if (runBody)
+            fn();
+    } catch (const RunAborted &) {
+        // Normal teardown path; state was cleaned by the runtime's
+        // user-exception abort handling on the way out.
+    }
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        bool wasCurrent = current_ == static_cast<int>(tid);
+        states_[tid] = State::kDone;
+        if (wasCurrent)
+            current_ = -1;
+        if (poisonVictim_ == static_cast<int>(tid))
+            poisonVictim_ = -1;
+        if (aborted_) {
+            poisonNextLocked();
+        } else if (wasCurrent) {
+            // Thread exit completes its final step.
+            if (!granted_[tid].wait)
+                promoteParkedLocked();
+            grantNextLocked();
+        }
+        cv_.notify_all();
+    }
+    setSchedClient(nullptr);
+}
+
+void
+CoopScheduler::schedYield(SchedPoint point, const void *addr, bool wait)
+{
+    unsigned tid = tlsTid_;
+    if (detached_[tid] != 0) {
+        // Free-running teardown unwind: scheduling is disabled for
+        // this thread; everyone else stays blocked, so this cannot
+        // race.
+        return;
+    }
+    std::unique_lock<std::mutex> lk(m_);
+    // The code between the previous grant and this call is the step
+    // that just completed.
+    bool completedWait = granted_[tid].wait;
+    pending_[tid] = PendingStep{point, addr, wait};
+    states_[tid] = wait ? State::kParked : State::kPending;
+    current_ = -1;
+    if (!completedWait)
+        promoteParkedLocked();
+
+    ++steps_;
+    if (aborted_ || steps_ > maxSteps_) {
+        // This thread detected the overflow (or was mid-poison): it
+        // becomes the active unwinder.
+        aborted_ = true;
+        detached_[tid] = 1;
+        poisonVictim_ = static_cast<int>(tid);
+        cv_.notify_all();
+        throw RunAborted{};
+    }
+
+    grantNextLocked();
+    cv_.notify_all();
+    cv_.wait(lk, [&] {
+        return current_ == static_cast<int>(tid) ||
+               (aborted_ && poisonVictim_ == static_cast<int>(tid));
+    });
+    if (current_ != static_cast<int>(tid)) {
+        detached_[tid] = 1;
+        throw RunAborted{};
+    }
+}
+
+void
+CoopScheduler::grantNextLocked()
+{
+    if (aborted_)
+        return;
+    std::vector<Candidate> cands;
+    auto collect = [&] {
+        cands.clear();
+        for (unsigned t = 0; t < n_; ++t) {
+            if (states_[t] == State::kPending)
+                cands.push_back(Candidate{t, pending_[t].point,
+                                          pending_[t].addr,
+                                          pending_[t].wait});
+        }
+    };
+    collect();
+    if (cands.empty()) {
+        // Everyone runnable is parked: promote all so the spinners
+        // can re-check their conditions (covers predicates that were
+        // already true when the thread parked).
+        promoteParkedLocked();
+        collect();
+        if (cands.empty())
+            return; // Only finished threads remain.
+    }
+    // Wait steps write nothing shared: scheduling one while a real
+    // step is pending yields a state-equivalent schedule, so offering
+    // both would only let strategies burn the step budget spinning
+    // (DFS would even enumerate those spins as distinct leaves). Only
+    // all-wait rounds -- where a re-check IS the next real event, or
+    // the program is genuinely deadlocked -- offer wait candidates.
+    bool haveReal = false;
+    for (const Candidate &c : cands)
+        haveReal = haveReal || !c.wait;
+    if (haveReal) {
+        size_t keep = 0;
+        for (const Candidate &c : cands) {
+            if (!c.wait)
+                cands[keep++] = c;
+        }
+        cands.resize(keep);
+    }
+    if (steps_ > maxSteps_ - 40 && getenv("RHTM_SCHED_TRACE"))
+        for (const Candidate &c : cands)
+            fprintf(stderr, "step %zu cand t%u %s %p\n", steps_, c.tid,
+                    schedPointName(c.point), c.addr);
+    size_t i = strategy_->pick(cands) % cands.size();
+    unsigned t = cands[i].tid;
+    choices_.push_back(static_cast<uint8_t>(t));
+    granted_[t] = pending_[t];
+    states_[t] = State::kRunning;
+    current_ = static_cast<int>(t);
+}
+
+void
+CoopScheduler::promoteParkedLocked()
+{
+    for (unsigned t = 0; t < n_; ++t) {
+        if (states_[t] == State::kParked)
+            states_[t] = State::kPending;
+    }
+}
+
+void
+CoopScheduler::poisonNextLocked()
+{
+    if (poisonVictim_ != -1)
+        return;
+    for (unsigned t = 0; t < n_; ++t) {
+        if (states_[t] != State::kDone) {
+            poisonVictim_ = static_cast<int>(t);
+            return;
+        }
+    }
+}
+
+} // namespace rhtm::check

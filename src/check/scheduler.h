@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The cooperative deterministic scheduler behind the interleaving
+ * explorer (docs/CHECKING.md).
+ *
+ * CoopScheduler virtualizes thread interleaving over the scheduling
+ * points the TM stack exposes (src/util/sched_point.h): it runs each
+ * program thread on a real OS thread but blocks all of them on a
+ * condition variable, granting exactly ONE thread the right to run
+ * between consecutive scheduling points. Which thread runs next is a
+ * pluggable SchedStrategy decision; the sequence of decisions (one tid
+ * per step) is the schedule, recorded as a replay token.
+ *
+ * Wait points (schedWaitPoint) park the yielding thread: it is not a
+ * candidate again until some other thread completes a non-wait step
+ * (any shared-state change may unblock it), or until every runnable
+ * thread is parked, in which case all are promoted so spin loops can
+ * re-check their conditions. Unbounded spinning therefore cannot
+ * produce unbounded schedules for bounded programs; a step limit
+ * backstops genuine livelocks.
+ *
+ * Teardown: when the step limit trips, threads are poisoned ONE AT A
+ * TIME -- the victim's next scheduling point throws RunAborted, its
+ * unwind (which follows the runtime's user-exception abort path)
+ * free-runs with scheduling disabled while every other thread stays
+ * blocked, and only when it finishes does the next victim start. At
+ * no point do two threads run concurrently, so even a poisoned
+ * teardown is data-race-free.
+ */
+
+#ifndef RHTM_CHECK_SCHEDULER_H
+#define RHTM_CHECK_SCHEDULER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/sched_point.h"
+
+namespace rhtm::check
+{
+
+/** A thread's pending step, as offered to the strategy. */
+struct Candidate
+{
+    unsigned tid;
+    SchedPoint point;
+    const void *addr;
+
+    /**
+     * The step is a wait-loop iteration: running it cannot make
+     * progress until another thread acts. Strategies that concentrate
+     * on one thread (forced replay past its token, PCT priorities)
+     * must prefer non-wait candidates, or a spinner waiting FOR the
+     * starved threads turns the schedule into a synthetic livelock.
+     */
+    bool wait;
+};
+
+/**
+ * Picks the next thread to run. Candidates are always sorted by tid
+ * and non-empty; implementations must be deterministic functions of
+ * their own state and the candidate list (docs/CHECKING.md).
+ */
+class SchedStrategy
+{
+  public:
+    virtual ~SchedStrategy() = default;
+
+    /** @return An index into @p candidates. */
+    virtual size_t pick(const std::vector<Candidate> &candidates) = 0;
+};
+
+/** Thrown into program threads to tear an aborted run down. */
+struct RunAborted
+{
+};
+
+/** Two pending steps commute: reordering them cannot change state. */
+inline bool
+stepsIndependent(const Candidate &a, const Candidate &b)
+{
+    bool aw = schedPointWrites(a.point);
+    bool bw = schedPointWrites(b.point);
+    if (!aw && !bw)
+        return true; // Two reads always commute.
+    // A write is independent of the other step only when both
+    // footprints are known and disjoint.
+    return a.addr != nullptr && b.addr != nullptr && a.addr != b.addr;
+}
+
+/** One cooperative scheduler; usable for many runs, one at a time. */
+class CoopScheduler final : public SchedClient
+{
+  public:
+    /**
+     * @param max_steps Scheduling decisions before a run is declared
+     *        livelocked and torn down.
+     */
+    explicit CoopScheduler(size_t max_steps = 100000)
+        : maxSteps_(max_steps)
+    {}
+
+    /**
+     * Execute @p thread_fns (one per logical tid, tids = indices)
+     * under @p strategy. Blocks until every thread finished or the
+     * run was torn down.
+     *
+     * @return true when the run completed; false when it hit the step
+     *         limit and was poisoned.
+     */
+    bool run(SchedStrategy &strategy,
+             const std::vector<std::function<void()>> &thread_fns);
+
+    /** The decision sequence of the last run, one tid per step. */
+    const std::vector<uint8_t> &choices() const { return choices_; }
+
+    /** The last run's schedule as a replay token ("0110221..."). */
+    std::string token() const;
+
+    /** Decisions taken in the last run. */
+    size_t steps() const { return steps_; }
+
+    // SchedClient: called by instrumented TM code on program threads.
+    void schedYield(SchedPoint point, const void *addr,
+                    bool wait) override;
+
+  private:
+    enum class State : uint8_t
+    {
+        kPending, //!< Has a pending step, eligible to be scheduled.
+        kRunning, //!< Currently the one executing thread.
+        kParked,  //!< Waiting at a wait point; not yet eligible.
+        kDone,    //!< Thread function returned (or unwound).
+    };
+
+    struct PendingStep
+    {
+        SchedPoint point = SchedPoint::kThreadStart;
+        const void *addr = nullptr;
+        bool wait = false;
+    };
+
+    void threadMain(unsigned tid,
+                    const std::function<void()> &fn);
+
+    /** Pick and grant the next step (lock held, no current thread). */
+    void grantNextLocked();
+
+    /** Make every parked thread eligible again (lock held). */
+    void promoteParkedLocked();
+
+    /** Begin poisoning: pick the next live victim (lock held). */
+    void poisonNextLocked();
+
+    size_t maxSteps_;
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    SchedStrategy *strategy_ = nullptr;
+    unsigned n_ = 0;
+    unsigned registered_ = 0;
+    int current_ = -1;      //!< Running tid, or -1 while choosing.
+    int poisonVictim_ = -1; //!< Tid allowed to unwind, or -1.
+    bool aborted_ = false;
+    size_t steps_ = 0;
+    std::vector<State> states_;
+    std::vector<PendingStep> pending_;
+    std::vector<PendingStep> granted_; //!< Step each tid is executing.
+    // Byte-per-thread (NOT vector<bool>: each entry is read by its
+    // own thread outside the lock, and distinct bytes are distinct
+    // memory locations where packed bits are not).
+    std::vector<uint8_t> detached_; //!< Free-running teardown unwind.
+    std::vector<uint8_t> choices_;
+
+    static thread_local unsigned tlsTid_;
+};
+
+} // namespace rhtm::check
+
+#endif // RHTM_CHECK_SCHEDULER_H

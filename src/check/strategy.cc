@@ -1,0 +1,148 @@
+#include "src/check/strategy.h"
+
+#include <algorithm>
+
+namespace rhtm::check
+{
+
+PctStrategy::PctStrategy(uint64_t seed, unsigned depth,
+                         unsigned expected_steps)
+    : rng_(seed)
+{
+    // Initial priorities live above 2^32; demotion priorities count
+    // down from 2^32 so a demoted thread always ranks below every
+    // never-demoted one, and successive demotions stay ordered.
+    nextLow_ = uint64_t(1) << 32;
+    unsigned points = depth > 0 ? depth - 1 : 0;
+    changeAt_.reserve(points);
+    for (unsigned i = 0; i < points; ++i)
+        changeAt_.push_back(rng_.nextBounded(
+            expected_steps > 0 ? expected_steps : 1));
+    std::sort(changeAt_.begin(), changeAt_.end());
+}
+
+size_t
+PctStrategy::pick(const std::vector<Candidate> &candidates)
+{
+    for (const Candidate &c : candidates) {
+        while (priority_.size() <= c.tid)
+            priority_.push_back((uint64_t(1) << 32) + 1 +
+                                rng_.nextBounded(uint64_t(1) << 31));
+    }
+    // PCT's guarantee assumes the highest-priority RUNNABLE thread
+    // runs; a thread at a wait step cannot progress, so it only joins
+    // the priority race when every candidate is waiting (the promoted
+    // re-check round). Without this a high-priority spinner waiting
+    // FOR the demoted threads monopolizes the schedule forever.
+    auto eligible = [&](const Candidate &c) {
+        for (const Candidate &o : candidates) {
+            if (!o.wait)
+                return !c.wait;
+        }
+        return true; // All waiting: everyone competes.
+    };
+    auto repick = [&] {
+        size_t best = SIZE_MAX;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (!eligible(candidates[i]))
+                continue;
+            if (best == SIZE_MAX ||
+                priority_[candidates[i].tid] >
+                    priority_[candidates[best].tid])
+                best = i;
+        }
+        return best;
+    };
+    size_t best = repick();
+    // A change point demotes the thread that was ABOUT to run, then
+    // re-picks, mirroring the PCT paper's "after k steps, drop the
+    // priority of the running thread" rule at step granularity.
+    while (!changeAt_.empty() && step_ >= changeAt_.front()) {
+        changeAt_.erase(changeAt_.begin());
+        priority_[candidates[best].tid] = --nextLow_;
+        best = repick();
+    }
+    ++step_;
+    return best;
+}
+
+bool
+DfsStrategy::nextRun()
+{
+    depth_ = 0;
+    if (!started_) {
+        started_ = true;
+        replayLen_ = 0;
+        return true;
+    }
+    // Backtrack: retire the deepest node's chosen candidate into its
+    // sleep set and advance to the next non-sleeping sibling; pop
+    // fully explored nodes.
+    while (!stack_.empty()) {
+        Node &node = stack_.back();
+        node.sleepMask |= 1u << node.cands[node.chosen].tid;
+        size_t next = node.chosen + 1;
+        while (next < node.cands.size() &&
+               (node.sleepMask & (1u << node.cands[next].tid)) != 0)
+            ++next;
+        if (next < node.cands.size()) {
+            node.chosen = next;
+            replayLen_ = stack_.size();
+            return true;
+        }
+        stack_.pop_back();
+    }
+    return false;
+}
+
+size_t
+DfsStrategy::pick(const std::vector<Candidate> &candidates)
+{
+    size_t d = depth_++;
+    if (d < stack_.size()) {
+        // Replaying the prefix (or executing the freshly advanced
+        // divergence point at d == replayLen_ - 1). Runs are
+        // deterministic, so the candidate set matches the recorded
+        // one; guard anyway so a nondeterministic program degrades to
+        // lowest-tid rather than crashing.
+        Node &node = stack_[d];
+        if (node.chosen < candidates.size())
+            return node.chosen;
+        return 0;
+    }
+    // Fresh node. Inherit the parent's post-choice sleep set, waking
+    // every sleeper whose pending step depends on the step the parent
+    // just executed (classic sleep-set rule: only independent moves
+    // stay asleep across a step).
+    // With reduction off the mask still collects tried siblings during
+    // backtracking, but fresh nodes inherit nothing, so every ordering
+    // is enumerated.
+    uint32_t sleep = 0;
+    if (sleepSets_ && !stack_.empty()) {
+        const Node &parent = stack_.back();
+        const Candidate &executed = parent.cands[parent.chosen];
+        uint32_t parentSleep =
+            parent.sleepMask & ~(1u << executed.tid);
+        for (const Candidate &c : candidates) {
+            if ((parentSleep & (1u << c.tid)) != 0 &&
+                stepsIndependent(executed, c))
+                sleep |= 1u << c.tid;
+        }
+    }
+    size_t chosen = 0;
+    while (chosen < candidates.size() &&
+           (sleep & (1u << candidates[chosen].tid)) != 0)
+        ++chosen;
+    if (chosen == candidates.size()) {
+        // Every candidate is asleep: any continuation from here is
+        // equivalent to one already explored, but the run must still
+        // finish. Take the first move and mark the node exhausted so
+        // backtracking skips straight past it.
+        chosen = 0;
+        sleep = ~uint32_t(0);
+    }
+    stack_.push_back(Node{candidates, chosen, sleep});
+    return chosen;
+}
+
+} // namespace rhtm::check

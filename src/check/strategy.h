@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Scheduling strategies for the interleaving explorer: forced replay,
+ * seeded random walk, PCT randomized priorities, and bounded
+ * exhaustive DFS with sleep-set reduction (docs/CHECKING.md).
+ */
+
+#ifndef RHTM_CHECK_STRATEGY_H
+#define RHTM_CHECK_STRATEGY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/scheduler.h"
+#include "src/util/rng.h"
+
+namespace rhtm::check
+{
+
+/**
+ * Replays a recorded schedule token: while the token lasts, pick its
+ * tid when it is a candidate (fallback rule otherwise -- minimized
+ * tokens routinely name threads that are no longer pending); past the
+ * end, the fallback rule is the lowest-tid NON-wait candidate (lowest
+ * tid outright when all are waiting). Preferring non-wait steps keeps
+ * a post-token spinner from starving the very threads it waits on.
+ * Fully deterministic, so one token identifies one run.
+ */
+class ForcedStrategy final : public SchedStrategy
+{
+  public:
+    explicit ForcedStrategy(std::string token)
+        : token_(std::move(token))
+    {}
+
+    size_t
+    pick(const std::vector<Candidate> &candidates) override
+    {
+        if (pos_ < token_.size()) {
+            unsigned want =
+                static_cast<unsigned>(token_[pos_++] - '0');
+            for (size_t i = 0; i < candidates.size(); ++i) {
+                if (candidates[i].tid == want)
+                    return i;
+            }
+        }
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (!candidates[i].wait)
+                return i;
+        }
+        return 0;
+    }
+
+  private:
+    std::string token_;
+    size_t pos_ = 0;
+};
+
+/** Uniform seeded random walk over the candidate set. */
+class RandomWalkStrategy final : public SchedStrategy
+{
+  public:
+    explicit RandomWalkStrategy(uint64_t seed) : rng_(seed) {}
+
+    size_t
+    pick(const std::vector<Candidate> &candidates) override
+    {
+        return static_cast<size_t>(rng_.next() % candidates.size());
+    }
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * PCT (probabilistic concurrency testing, Burckhardt et al.): each
+ * thread gets a random priority; the highest-priority candidate runs.
+ * At d-1 random change points the running thread's priority drops
+ * below everything else, which guarantees bugs of "depth" d are hit
+ * with probability >= 1/(n * k^(d-1)) over schedules of k steps.
+ */
+class PctStrategy final : public SchedStrategy
+{
+  public:
+    /**
+     * @param seed Derives priorities and change points.
+     * @param depth The d parameter (number of priority drops + 1).
+     * @param expected_steps Horizon the change points are drawn from.
+     */
+    PctStrategy(uint64_t seed, unsigned depth,
+                unsigned expected_steps);
+
+    size_t pick(const std::vector<Candidate> &candidates) override;
+
+  private:
+    Rng rng_;
+    std::vector<uint64_t> priority_; //!< Indexed by tid; grown lazily.
+    std::vector<uint64_t> changeAt_; //!< Step indices, sorted.
+    uint64_t step_ = 0;
+    uint64_t nextLow_; //!< Descending priorities for demoted threads.
+};
+
+/**
+ * Bounded exhaustive DFS over the schedule tree, one run per leaf,
+ * with sleep-set partial-order reduction: after a subtree explored
+ * choice c at a node, c is put to sleep there, and stays asleep in
+ * descendants until a dependent step (same address, at least one
+ * write) executes. Redundant interleavings of commuting steps are
+ * skipped without sacrificing coverage of distinct behaviours.
+ *
+ * Usage: call nextRun() before each run (false = tree exhausted),
+ * then hand the strategy to CoopScheduler::run. Re-execution is
+ * stateless (CHESS-style): each run replays the decision prefix and
+ * diverges at the deepest node with an unexplored candidate.
+ */
+class DfsStrategy final : public SchedStrategy
+{
+  public:
+    /**
+     * @param sleep_sets Apply sleep-set reduction (default). Off, the
+     *        full tree is enumerated -- redundant interleavings of
+     *        commuting steps included -- which is what the coverage
+     *        gate uses to count raw distinct schedules.
+     */
+    explicit DfsStrategy(bool sleep_sets = true)
+        : sleepSets_(sleep_sets)
+    {}
+
+    /** Prepare the next leaf. @return false when exhausted. */
+    bool nextRun();
+
+    size_t pick(const std::vector<Candidate> &candidates) override;
+
+    /** Nodes currently on the DFS stack (diagnostic). */
+    size_t depth() const { return stack_.size(); }
+
+  private:
+    struct Node
+    {
+        std::vector<Candidate> cands;
+        size_t chosen;       //!< Index into cands.
+        uint32_t sleepMask;  //!< Tids asleep at this node.
+    };
+
+    bool sleepSets_;
+    bool started_ = false;
+    size_t replayLen_ = 0; //!< Nodes to replay before diverging.
+    size_t depth_ = 0;     //!< Current depth within the run.
+    std::vector<Node> stack_;
+};
+
+} // namespace rhtm::check
+
+#endif // RHTM_CHECK_STRATEGY_H

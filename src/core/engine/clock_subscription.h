@@ -21,6 +21,7 @@
 
 #include "src/core/engine/globals.h"
 #include "src/htm/htm_txn.h"
+#include "src/util/sched_point.h"
 
 namespace rhtm
 {
@@ -32,6 +33,11 @@ namespace rhtm
 inline void
 htmEarlySubscribe(HtmTxn &htm, const uint64_t *word)
 {
+    // The lazy-subscription hazard window the paper warns about lives
+    // exactly here: between the hardware attempt's begin and this
+    // read, a slow path may take the word. Let the explorer schedule
+    // into it.
+    schedPoint(SchedPoint::kEarlySubscribe, word);
     if (htm.read(word) != 0)
         htm.abortSubscription();
 }

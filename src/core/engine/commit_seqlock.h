@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "src/core/engine/globals.h"
+#include "src/util/sched_point.h"
 
 namespace rhtm
 {
@@ -44,6 +45,11 @@ class CommitSeqlock
     bool
     tryAcquireAt(uint64_t snapshot)
     {
+        // Dedicated point (on top of the Mem-level one inside cas):
+        // the explorer can tell "about to take the commit lock" from
+        // generic clock traffic, and can wedge another commit between
+        // a session's validation and its CAS.
+        schedPoint(SchedPoint::kSeqlockAcquire, clock_);
         uint64_t expected = snapshot;
         if (!mem_.cas(clock_, expected, clockWithLock(snapshot)))
             return false;
@@ -87,6 +93,7 @@ class CommitSeqlock
     void
     releaseAdvance(uint64_t snapshot)
     {
+        schedPoint(SchedPoint::kSeqlockRelease, clock_);
         mem_.store(clock_, clockUnlockAndAdvance(snapshot));
         stamp();
     }
@@ -95,6 +102,7 @@ class CommitSeqlock
     void
     releaseRestore(uint64_t snapshot)
     {
+        schedPoint(SchedPoint::kSeqlockRelease, clock_);
         mem_.store(clock_, snapshot);
         stamp();
     }

@@ -21,6 +21,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/htm/htm_txn.h"
 #include "src/util/backoff.h"
+#include "src/util/sched_point.h"
 
 namespace rhtm
 {
@@ -29,6 +30,9 @@ namespace rhtm
 inline void
 sessionFaultPoint(HtmTxn &htm, FaultSite site)
 {
+    // Before the injector check: the protocol windows these sites mark
+    // are scheduling points even when no fault plan is loaded.
+    schedPoint(SchedPoint::kFaultSite);
     FaultInjector *fault = htm.injector();
     if (fault == nullptr)
         return;
@@ -72,6 +76,7 @@ sessionFaultPoint(HtmTxn &htm, FaultSite site)
 inline void
 sessionFaultPointNoAbort(HtmTxn &htm, FaultSite site)
 {
+    schedPoint(SchedPoint::kFaultSite);
     FaultInjector *fault = htm.injector();
     if (fault == nullptr)
         return;

@@ -152,6 +152,34 @@ struct TmGlobals
     };
 
     alignas(64) Watchdog watchdog;
+
+    /**
+     * Restore every coordination word, the kill switch, and the
+     * watchdog to their power-on values. Test isolation only: the
+     * interleaving explorer (src/check/) calls this between explored
+     * runs so back-to-back runs start from identical global state.
+     * Callers must guarantee quiescence (no transaction in flight).
+     */
+    void
+    resetForTest()
+    {
+        clock = 0;
+        htmLock = 0;
+        fallbacks = 0;
+        serialLock = 0;
+        serialNextTicket = 0;
+        serialServing = 0;
+        globalLock = 0;
+        pad = 0;
+        killSwitch.consecutiveFailures.store(0,
+                                             std::memory_order_relaxed);
+        killSwitch.cooldown.store(0, std::memory_order_relaxed);
+        killSwitch.activations.store(0, std::memory_order_relaxed);
+        watchdog.clockEpoch.store(0, std::memory_order_relaxed);
+        watchdog.serialEpoch.store(0, std::memory_order_relaxed);
+        watchdog.stalledWaiters.store(0, std::memory_order_relaxed);
+        watchdog.stallEvents.store(0, std::memory_order_relaxed);
+    }
 };
 
 /** Stamp holder progress on a watchdog epoch word. */

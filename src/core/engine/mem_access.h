@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "src/htm/htm_engine.h"
+#include "src/util/sched_point.h"
 
 namespace rhtm
 {
@@ -35,6 +36,7 @@ struct RawMem
     uint64_t
     load(const uint64_t *addr) const
     {
+        schedPoint(SchedPoint::kRawLoad, addr);
         return std::atomic_ref<const uint64_t>(*addr).load(
             std::memory_order_seq_cst);
     }
@@ -42,6 +44,7 @@ struct RawMem
     void
     store(uint64_t *addr, uint64_t value) const
     {
+        schedPoint(SchedPoint::kRawStore, addr);
         std::atomic_ref<uint64_t>(*addr).store(value,
                                                std::memory_order_seq_cst);
     }
@@ -49,6 +52,7 @@ struct RawMem
     bool
     cas(uint64_t *addr, uint64_t &expected, uint64_t desired) const
     {
+        schedPoint(SchedPoint::kRawRmw, addr);
         return std::atomic_ref<uint64_t>(*addr).compare_exchange_strong(
             expected, desired, std::memory_order_seq_cst);
     }
@@ -56,6 +60,7 @@ struct RawMem
     uint64_t
     fetchAdd(uint64_t *addr, uint64_t delta) const
     {
+        schedPoint(SchedPoint::kRawRmw, addr);
         return std::atomic_ref<uint64_t>(*addr).fetch_add(
             delta, std::memory_order_seq_cst);
     }

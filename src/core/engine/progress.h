@@ -38,6 +38,7 @@
 #include "src/htm/htm_engine.h"
 #include "src/stats/stats.h"
 #include "src/util/backoff.h"
+#include "src/util/sched_point.h"
 
 namespace rhtm
 {
@@ -70,6 +71,10 @@ class StallAwareWaiter
     void
     step()
     {
+        // Every hybrid-path unbounded wait (locked clock, htmLock,
+        // serial FIFO) funnels through here; the explorer parks the
+        // thread until someone else makes progress.
+        schedWaitPoint(SchedPoint::kWaitSpin, &epoch_);
         ++ticks_;
         uint64_t now = epoch_.load(std::memory_order_relaxed);
         if (now != lastEpoch_) {
@@ -158,11 +163,13 @@ inline void
 serialLockAcquire(HtmEngine &eng, TmGlobals &g,
                   const RetryPolicy &policy, ThreadStats *stats)
 {
+    schedPoint(SchedPoint::kSerialTicket, &g.serialNextTicket);
     uint64_t ticket = eng.directFetchAdd(&g.serialNextTicket, 1);
     StallAwareWaiter waiter(g, policy, stats, g.watchdog.serialEpoch);
     while (eng.directLoad(&g.serialServing) != ticket)
         waiter.step();
     // Served: we are the unique owner until we advance serialServing.
+    schedPoint(SchedPoint::kSerialAcquired, &g.serialLock);
     eng.directStore(&g.serialLock, 1);
     stampEpoch(g.watchdog.serialEpoch);
     if (stats != nullptr) {
@@ -179,6 +186,7 @@ serialLockAcquire(HtmEngine &eng, TmGlobals &g,
 inline void
 serialLockRelease(HtmEngine &eng, TmGlobals &g)
 {
+    schedPoint(SchedPoint::kSerialRelease, &g.serialLock);
     uint64_t serving = eng.directLoad(&g.serialServing);
     eng.directStore(&g.serialLock, 0);
     eng.directStore(&g.serialServing, serving + 1);

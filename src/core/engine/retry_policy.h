@@ -15,6 +15,7 @@
 #include "src/stats/stats.h"
 #include "src/util/backoff.h"
 #include "src/util/rng.h"
+#include "src/util/sched_point.h"
 
 namespace rhtm
 {
@@ -86,6 +87,36 @@ struct RetryPolicy
 
     /** Sleep-escalation cap, microseconds. */
     uint32_t stallSleepMaxUs = 2000;
+
+    // ------------------------------------------------------------------
+    // Test-only fix-reversion switches. Each one re-introduces a bug
+    // this repo has already shipped a fix for, so the interleaving
+    // explorer's regression programs (tests/check/regression_test.cc,
+    // docs/CHECKING.md) can demonstrate that the checker would have
+    // caught it. Never set outside tests.
+
+    /**
+     * Revert the AdaptiveRetryBudget first-try-commit recovery:
+     * first-try hardware commits stop raising the payoff score, so a
+     * low-contention workload ratchets down to adaptiveMinRetries and
+     * never recovers.
+     */
+    bool revertFirstTryBudgetFix = false;
+
+    /**
+     * Revert the killSwitchOnComplete streak-reset fix: a thread that
+     * LOSES the cooldown-decay CAS while holding a stale `cooldown ==
+     * 1` snapshot resets the failure streak anyway, wiping failures
+     * accumulated after the real reopen and deferring the next trip.
+     */
+    bool revertKillSwitchStreakFix = false;
+
+    /**
+     * Revert the policy-by-value freeze fix: AdaptiveRetryBudget
+     * snapshots the policy at construction, so knob changes made after
+     * session construction are silently ignored.
+     */
+    bool revertPolicySnapshotFix = false;
 };
 
 /**
@@ -221,6 +252,18 @@ class ContentionManager
         staticLimit_ = 1;
     }
 
+    /**
+     * Restore the exact post-construction state (including the jitter
+     * RNG), so back-to-back explored runs see identical delays. Test
+     * isolation only (TxSession::resetForTest).
+     */
+    void
+    reseedForTest(uint64_t seed)
+    {
+        rng_ = Rng(seed);
+        reset();
+    }
+
     /** Current doubling level for @p cause (for tests). */
     uint32_t
     level(WaitCause cause) const
@@ -305,24 +348,32 @@ killSwitchOnHardwareCommit(TmGlobals &g)
 /**
  * A transaction committed on any path: decay the breaker's cooldown
  * so the fast path is eventually re-probed (half-open re-enable).
+ * @p policy is only consulted for the test-only reversion switch;
+ * call sites without one keep the fixed behaviour.
  */
 inline void
-killSwitchOnComplete(TmGlobals &g)
+killSwitchOnComplete(TmGlobals &g, const RetryPolicy *policy = nullptr)
 {
     TmGlobals::KillSwitch &ks = g.killSwitch;
     uint64_t v = ks.cooldown.load(std::memory_order_relaxed);
     if (v == 0)
         return;
+    // The load-to-CAS window is where the historical streak-reset bug
+    // lived; expose it to the interleaving explorer.
+    schedPoint(SchedPoint::kKillSwitchDecay, &ks.cooldown);
     // A lost race just means one decay step is skipped; harmless. The
     // streak reset, however, belongs to the thread whose CAS actually
     // re-opened the breaker (took cooldown 1 -> 0): a loser acting on
     // its stale v == 1 could wipe failures another thread accumulated
     // after the reopen and defer the next trip.
-    if (ks.cooldown.compare_exchange_strong(v, v - 1,
-                                            std::memory_order_relaxed) &&
-        v == 1) {
+    uint64_t snap = v; // CAS failure overwrites v with the observed value.
+    bool won = ks.cooldown.compare_exchange_strong(
+        v, snap - 1, std::memory_order_relaxed);
+    bool reset = won && snap == 1;
+    if (policy != nullptr && policy->revertKillSwitchStreakFix)
+        reset = snap == 1; // The shipped bug: losers reset on stale 1.
+    if (reset)
         ks.consecutiveFailures.store(0, std::memory_order_relaxed);
-    }
 }
 
 /**
@@ -347,7 +398,17 @@ class AdaptiveRetryBudget
   public:
     explicit AdaptiveRetryBudget(const RetryPolicy &policy)
         : policy_(&policy), score_(kScale / 2)
-    {}
+    {
+        if (policy.revertPolicySnapshotFix) {
+            // Test-only bug reversion: freeze a copy at construction,
+            // exactly what holding the policy by value used to do.
+            snapshot_ = policy;
+            policy_ = &snapshot_;
+        }
+    }
+
+    AdaptiveRetryBudget(const AdaptiveRetryBudget &) = delete;
+    AdaptiveRetryBudget &operator=(const AdaptiveRetryBudget &) = delete;
 
     /** Current fast-path attempt budget. */
     unsigned
@@ -368,6 +429,8 @@ class AdaptiveRetryBudget
         if (attempts > 1) {
             // Retrying rescued this transaction: worth the budget.
             score_ += (kScale - score_) / 8;
+        } else if (policy_->revertFirstTryBudgetFix) {
+            // Test-only bug reversion: drop the recovery below.
         } else {
             // A first-try commit is weak evidence too: hardware is
             // healthy, so granting retries is cheap. Without this
@@ -389,6 +452,9 @@ class AdaptiveRetryBudget
     /** Raw payoff score (for tests). */
     uint32_t score() const { return score_; }
 
+    /** Back to the post-construction score (test isolation). */
+    void resetForTest() { score_ = kScale / 2; }
+
   private:
     static constexpr uint32_t kScale = 1024;
 
@@ -397,6 +463,7 @@ class AdaptiveRetryBudget
     // reference to the one live RetryPolicy; a copy here silently
     // froze `adaptive` and the bounds at construction time).
     const RetryPolicy *policy_;
+    RetryPolicy snapshot_; //!< Used only under revertPolicySnapshotFix.
     uint32_t score_;
 };
 

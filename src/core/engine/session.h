@@ -156,6 +156,24 @@ class TxSession
     /** Algorithm name for reports. */
     virtual const char *name() const = 0;
 
+    /**
+     * Restore the exact post-construction state, including every
+     * cross-transaction adaptation (retry budgets, contention-manager
+     * curves and jitter RNG, prefix-length estimates). Used by the
+     * interleaving explorer between runs (docs/CHECKING.md) so a
+     * replayed schedule reproduces the identical history.
+     */
+    virtual void resetForTest() {}
+
+    /**
+     * Current fast-path attempt budget (whitebox probe for the
+     * checker's regression programs; 0 when the session has none).
+     */
+    virtual unsigned fastRetryBudgetForTest() const { return 0; }
+
+    /** Raw adaptive payoff score (same probe; 0 when absent). */
+    virtual uint32_t adaptiveScoreForTest() const { return 0; }
+
   protected:
     /**
      * Bind the accessor descriptor for the mode just entered. @p self

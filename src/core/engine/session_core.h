@@ -99,13 +99,38 @@ struct SessionCore
     uint64_t txVersion = 0;    //!< Clock snapshot reads validate at.
     AccessTally tally;
 
+  private:
+    uint64_t cmSeed_; //!< Kept so resetForTest can reseed the CM.
+
+  public:
+
     SessionCore(HtmEngine &engine, TmGlobals &globals, HtmTxn &htmTxn,
                 ThreadStats *threadStats, const RetryPolicy &retryPolicy,
                 unsigned accessPenalty, uint64_t cmSeed)
         : eng(engine), g(globals), htm(htmTxn), stats(threadStats),
           policy(retryPolicy), retryBudget(retryPolicy),
-          cm(retryPolicy, &globals, cmSeed), penalty(accessPenalty)
+          cm(retryPolicy, &globals, cmSeed), penalty(accessPenalty),
+          cmSeed_(cmSeed)
     {}
+
+    /**
+     * Restore the exact post-construction state (test isolation: the
+     * interleaving explorer resets sessions between runs so identical
+     * schedules replay identical histories). The per-transaction
+     * fields are covered by finishReset(); this additionally rewinds
+     * the cross-transaction adaptive state.
+     */
+    void
+    resetForTest()
+    {
+        finishReset();
+        registered = false;
+        serialHeld = false;
+        txVersion = 0;
+        tally = AccessTally{};
+        retryBudget.resetForTest();
+        cm.reseedForTest(cmSeed_);
+    }
 
     void
     count(Counter c)
@@ -316,7 +341,7 @@ struct SessionCore
             retryBudget.onFastCommit(attempts);
             killSwitchOnHardwareCommit(g);
         }
-        killSwitchOnComplete(g);
+        killSwitchOnComplete(g, &policy);
         switch (mode) {
           case ExecMode::kFast:
             count(Counter::kCommitsFastPath);

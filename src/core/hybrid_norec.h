@@ -55,6 +55,27 @@ class HybridNOrecSession : public TxSession
     void onComplete() override;
     const char *name() const override { return "hy-norec"; }
 
+    void
+    resetForTest() override
+    {
+        core_.resetForTest();
+        writeDetected_ = false;
+        htmLockSet_ = false;
+        undo_.clear();
+    }
+
+    unsigned
+    fastRetryBudgetForTest() const override
+    {
+        return core_.retryBudget.budget();
+    }
+
+    uint32_t
+    adaptiveScoreForTest() const override
+    {
+        return core_.retryBudget.score();
+    }
+
   private:
     static uint64_t fastRead(void *self, const uint64_t *addr);
     static void fastWrite(void *self, uint64_t *addr, uint64_t value);

@@ -56,6 +56,28 @@ class HybridNOrecLazySession : public TxSession
     void onComplete() override;
     const char *name() const override { return "hy-norec-lazy"; }
 
+    void
+    resetForTest() override
+    {
+        core_.resetForTest();
+        clockHeld_ = false;
+        htmLockSet_ = false;
+        readLog_.clear();
+        writes_.clear();
+    }
+
+    unsigned
+    fastRetryBudgetForTest() const override
+    {
+        return core_.retryBudget.budget();
+    }
+
+    uint32_t
+    adaptiveScoreForTest() const override
+    {
+        return core_.retryBudget.score();
+    }
+
   private:
     static uint64_t fastRead(void *self, const uint64_t *addr);
     static void fastWrite(void *self, uint64_t *addr, uint64_t value);

@@ -84,6 +84,36 @@ class RhNOrecSession : public TxSession
     /** Current adaptive prefix length (exposed for tests/benches). */
     uint32_t expectedPrefixLength() const { return expectedPrefixLen_; }
 
+    void
+    resetForTest() override
+    {
+        core_.resetForTest();
+        prefixTries_ = 0;
+        postfixTries_ = 0;
+        prefixActive_ = false;
+        postfixActive_ = false;
+        writeDetected_ = false;
+        clockHeld_ = false;
+        htmLockSet_ = false;
+        prefixSucceeded_ = false;
+        prefixReads_ = 0;
+        maxReads_ = 0;
+        undo_.clear();
+        expectedPrefixLen_ = rh_.maxPrefixLength;
+    }
+
+    unsigned
+    fastRetryBudgetForTest() const override
+    {
+        return core_.retryBudget.budget();
+    }
+
+    uint32_t
+    adaptiveScoreForTest() const override
+    {
+        return core_.retryBudget.score();
+    }
+
   private:
     // Per-mode accessors; bound as TxDispatch descriptors.
     static uint64_t fastRead(void *self, const uint64_t *addr);

@@ -32,6 +32,7 @@
 #ifndef RHTM_CORE_RH_TL2_H
 #define RHTM_CORE_RH_TL2_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -69,6 +70,17 @@ class RhTl2Globals
     /** The version clock (advances by 2; never locked). */
     uint64_t *clock() { return &clock_; }
 
+    /**
+     * Restore the power-on state (clock 2, all orecs version 0). Test
+     * isolation only; callers must guarantee quiescence.
+     */
+    void
+    resetForTest()
+    {
+        clock_ = 2;
+        std::fill(orecs_.begin(), orecs_.end(), 0);
+    }
+
   private:
     alignas(64) uint64_t clock_ = 2;
     unsigned shift_;
@@ -93,6 +105,30 @@ class RhTl2Session : public TxSession
     void onUserAbort() override;
     void onComplete() override;
     const char *name() const override { return "rh-tl2"; }
+
+    void
+    resetForTest() override
+    {
+        core_.resetForTest();
+        commitHtmTries_ = 0;
+        htmLockHeld_ = false;
+        rv_ = 0;
+        readLog_.clear();
+        writes_.clear();
+        writeAddrs_.clear();
+    }
+
+    unsigned
+    fastRetryBudgetForTest() const override
+    {
+        return core_.retryBudget.budget();
+    }
+
+    uint32_t
+    adaptiveScoreForTest() const override
+    {
+        return core_.retryBudget.score();
+    }
 
   private:
     /** One orec-validated read (TL2's read log is versions, not values). */

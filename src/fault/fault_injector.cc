@@ -44,7 +44,8 @@ faultKindName(FaultKind kind)
 }
 
 FaultInjector::FaultInjector(const FaultPlan &plan, unsigned tid)
-    : tid_(tid), rng_(plan.seed ^ (uint64_t(tid) * 0x9e3779b97f4a7c15ull)),
+    : tid_(tid), seed_(plan.seed),
+      rng_(plan.seed ^ (uint64_t(tid) * 0x9e3779b97f4a7c15ull)),
       recordTrace_(plan.recordTrace)
 {
     rules_.reserve(plan.rules.size());
@@ -53,6 +54,21 @@ FaultInjector::FaultInjector(const FaultPlan &plan, unsigned tid)
             continue;
         rules_.push_back(RuleState{rule, 0});
     }
+}
+
+void
+FaultInjector::resetForTest()
+{
+    rng_ = Rng(seed_ ^ (uint64_t(tid_) * 0x9e3779b97f4a7c15ull));
+    for (RuleState &rs : rules_)
+        rs.fired = 0;
+    hits_.fill(0);
+    fires_.fill(0);
+    totalFires_ = 0;
+    squeezeUntil_ = 0;
+    squeezeRead_ = 0;
+    squeezeWrite_ = 0;
+    trace_.clear();
 }
 
 FaultKind

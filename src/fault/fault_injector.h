@@ -220,6 +220,15 @@ class FaultInjector
     /** This injector's thread id. */
     unsigned tid() const { return tid_; }
 
+    /**
+     * Restore the exact post-construction state: hit/fire counts,
+     * per-rule firing caps, the private RNG, squeeze state, and the
+     * trace. In-place (not reconstruction) because HtmTxn holds a raw
+     * pointer to this injector for the lifetime of its thread. Test
+     * isolation only (docs/CHECKING.md).
+     */
+    void resetForTest();
+
   private:
     struct RuleState
     {
@@ -228,6 +237,7 @@ class FaultInjector
     };
 
     unsigned tid_;
+    uint64_t seed_; //!< Plan base seed, kept for resetForTest.
     Rng rng_;
     bool recordTrace_;
     std::vector<RuleState> rules_;

@@ -1,5 +1,7 @@
 #include "src/htm/htm_engine.h"
 
+#include "src/util/sched_point.h"
+
 namespace rhtm
 {
 
@@ -13,9 +15,15 @@ HtmEngine::HtmEngine(const HtmConfig &cfg)
         s.store(0, std::memory_order_relaxed);
 }
 
+// The scheduling points below sit BEFORE the PublishGuard: the
+// explorer must never suspend a thread that holds publishLock_, or
+// every other thread would block on an OS mutex the scheduler cannot
+// see (src/util/sched_point.h, placement rule).
+
 uint64_t
 HtmEngine::directLoad(const uint64_t *addr) const
 {
+    schedPoint(SchedPoint::kDirectLoad, addr);
     auto ref = std::atomic_ref<const uint64_t>(*addr);
     for (;;) {
         uint64_t s1 = seq_.load(std::memory_order_acquire);
@@ -33,6 +41,7 @@ HtmEngine::directLoad(const uint64_t *addr) const
 void
 HtmEngine::directStore(uint64_t *addr, uint64_t value)
 {
+    schedPoint(SchedPoint::kDirectStore, addr);
     PublishGuard guard(*this);
     std::atomic_ref<uint64_t>(*addr).store(value,
                                            std::memory_order_release);
@@ -42,6 +51,7 @@ HtmEngine::directStore(uint64_t *addr, uint64_t value)
 bool
 HtmEngine::directCas(uint64_t *addr, uint64_t &expected, uint64_t desired)
 {
+    schedPoint(SchedPoint::kDirectRmw, addr);
     PublishGuard guard(*this);
     auto ref = std::atomic_ref<uint64_t>(*addr);
     uint64_t cur = ref.load(std::memory_order_acquire);
@@ -57,6 +67,7 @@ HtmEngine::directCas(uint64_t *addr, uint64_t &expected, uint64_t desired)
 uint64_t
 HtmEngine::directFetchAdd(uint64_t *addr, uint64_t delta)
 {
+    schedPoint(SchedPoint::kDirectRmw, addr);
     PublishGuard guard(*this);
     auto ref = std::atomic_ref<uint64_t>(*addr);
     uint64_t cur = ref.load(std::memory_order_acquire);

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/util/sched_point.h"
+
 namespace rhtm
 {
 
@@ -127,6 +129,10 @@ void
 HtmTxn::begin()
 {
     assert(!active_ && "simulated HTM does not nest");
+    // Scheduling points sit at the entry of begin/read/write/commit,
+    // outside the publication guard (HtmTxn::faultPoint must stay
+    // uninstrumented: it also fires at kPublishWindow, inside it).
+    schedPoint(SchedPoint::kHtmBegin);
     resetState();
     active_ = true;
     lastSeq_ = ~uint64_t(0); // Sentinel: no stable window observed yet.
@@ -142,6 +148,7 @@ uint64_t
 HtmTxn::read(const uint64_t *addr)
 {
     assert(active_);
+    schedPoint(SchedPoint::kHtmRead, addr);
     faultPoint(FaultSite::kTxRead);
 
     uint64_t buffered;
@@ -193,6 +200,7 @@ void
 HtmTxn::write(uint64_t *addr, uint64_t value)
 {
     assert(active_);
+    schedPoint(SchedPoint::kHtmWrite, addr);
     faultPoint(FaultSite::kTxWrite);
 
     bool inserted = false;
@@ -211,6 +219,7 @@ void
 HtmTxn::commit()
 {
     assert(active_);
+    schedPoint(SchedPoint::kHtmCommit);
     faultPoint(FaultSite::kPreCommit);
 
     if (writes_.empty()) {

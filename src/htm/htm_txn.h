@@ -117,6 +117,23 @@ class HtmTxn
     /** True when no write has been buffered yet. */
     bool isReadOnly() const { return writes_.empty(); }
 
+    /**
+     * Restore the exact post-construction state: discard any live
+     * transaction, undo capacity squeezes, and rewind the internal
+     * injector (if this txn owns one; an external injector is reset by
+     * its owner). Test isolation only (docs/CHECKING.md).
+     */
+    void
+    resetForTest()
+    {
+        resetState();
+        effReadCap_ = readCap_;
+        effWriteCap_ = writeCap_;
+        lastSeq_ = 0;
+        if (ownedFault_ != nullptr)
+            ownedFault_->resetForTest();
+    }
+
   private:
     struct ReadEntry
     {

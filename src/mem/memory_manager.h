@@ -87,6 +87,23 @@ class ThreadMem
      */
     void reclaim();
 
+    /**
+     * Drop any stale transactional journal and reset the reclaim
+     * cadence. Test isolation only (the interleaving explorer calls
+     * this between runs, after a run that may have been torn down by
+     * the scheduler mid-unwind): journaled allocations are retired as
+     * an abort would retire them, so nothing leaks or double-frees.
+     * The pool and limbo list are left alone -- they hold real memory
+     * whose lifecycle is independent of explored-run boundaries.
+     */
+    void
+    resetForTest()
+    {
+        if (!txAllocs_.empty() || !txFrees_.empty())
+            onAbort();
+        retiresSinceReclaim_ = 0;
+    }
+
   private:
     friend class MemoryManager;
 

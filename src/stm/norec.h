@@ -67,6 +67,19 @@ class NOrecEagerSession : public TxSession
     void onComplete() override;
     const char *name() const override { return "norec"; }
 
+    void
+    resetForTest() override
+    {
+        backoff_.reset();
+        tally_ = AccessTally{};
+        txVersion_ = 0;
+        writeDetected_ = false;
+        serialized_ = false;
+        irrevocable_ = false;
+        restarts_ = 0;
+        undo_.clear();
+    }
+
   private:
     static uint64_t readPhaseRead(void *self, const uint64_t *addr);
     static void readPhaseWrite(void *self, uint64_t *addr,
@@ -125,6 +138,20 @@ class NOrecLazySession : public TxSession
     void onUserAbort() override;
     void onComplete() override;
     const char *name() const override { return "norec-lazy"; }
+
+    void
+    resetForTest() override
+    {
+        backoff_.reset();
+        tally_ = AccessTally{};
+        txVersion_ = 0;
+        serialized_ = false;
+        clockHeld_ = false;
+        irrevocable_ = false;
+        restarts_ = 0;
+        readLog_.clear();
+        writes_.clear();
+    }
 
   private:
     static uint64_t softRead(void *self, const uint64_t *addr);

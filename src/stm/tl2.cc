@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/util/sched_point.h"
+
 namespace rhtm
 {
 
@@ -20,6 +22,7 @@ Tl2Session::begin(TxnHint hint)
     readLog_.clear();
     owned_.clear();
     undo_.clear();
+    schedPoint(SchedPoint::kRawLoad, &g_.clock());
     rv_ = g_.clock().load(std::memory_order_acquire);
     bindDispatch(kOptimisticDispatch, this);
 }
@@ -31,6 +34,7 @@ Tl2Session::optimisticRead(void *self, const uint64_t *addr)
     simDelay(s->penalty_);
     ++s->tally_.slowReads;
     size_t idx = s->g_.orecOf(addr);
+    schedPoint(SchedPoint::kRawLoad, &s->g_.orec(idx));
     uint64_t o1 = s->g_.orec(idx).load(std::memory_order_acquire);
     if (Tl2Globals::isLocked(o1)) {
         if (Tl2Globals::ownerOf(o1) == s->tid_) {
@@ -42,6 +46,7 @@ Tl2Session::optimisticRead(void *self, const uint64_t *addr)
     if (o1 > s->rv_)
         s->restart(); // Written after our snapshot (no rv extension).
     uint64_t v = s->mem_.load(addr);
+    schedPoint(SchedPoint::kRawLoad, &s->g_.orec(idx));
     uint64_t o2 = s->g_.orec(idx).load(std::memory_order_acquire);
     if (o1 != o2)
         s->restart();
@@ -56,6 +61,7 @@ Tl2Session::optimisticWrite(void *self, uint64_t *addr, uint64_t value)
     simDelay(s->penalty_);
     ++s->tally_.slowWrites;
     size_t idx = s->g_.orecOf(addr);
+    schedPoint(SchedPoint::kRawLoad, &s->g_.orec(idx));
     uint64_t o = s->g_.orec(idx).load(std::memory_order_acquire);
     if (Tl2Globals::isLocked(o)) {
         if (Tl2Globals::ownerOf(o) != s->tid_)
@@ -63,6 +69,7 @@ Tl2Session::optimisticWrite(void *self, uint64_t *addr, uint64_t value)
     } else {
         if (o > s->rv_)
             s->restart();
+        schedPoint(SchedPoint::kRawRmw, &s->g_.orec(idx));
         if (!s->g_.orec(idx).compare_exchange_strong(
                 o, Tl2Globals::lockFor(s->tid_),
                 std::memory_order_acq_rel)) {
@@ -108,12 +115,14 @@ Tl2Session::commit()
         releaseIrrevocable();
         return;
     }
+    schedPoint(SchedPoint::kRawRmw, &g_.clock());
     uint64_t wv = g_.clock().fetch_add(2, std::memory_order_acq_rel) + 2;
     if (!irrevocable_ && wv != rv_ + 2) {
         // Someone committed since our snapshot: revalidate the reads.
         // (An irrevocable committer owns its whole read set, so the
         // scan would be a no-op and commit must not restart anyway.)
         for (size_t idx : readLog_) {
+            schedPoint(SchedPoint::kRawLoad, &g_.orec(idx));
             uint64_t o = g_.orec(idx).load(std::memory_order_acquire);
             if (Tl2Globals::isLocked(o)) {
                 if (Tl2Globals::ownerOf(o) != tid_)
@@ -123,8 +132,10 @@ Tl2Session::commit()
             }
         }
     }
-    for (const OwnedOrec &oo : owned_)
+    for (const OwnedOrec &oo : owned_) {
+        schedPoint(SchedPoint::kRawStore, &g_.orec(oo.idx));
         g_.orec(oo.idx).store(wv, std::memory_order_release);
+    }
     owned_.clear();
     undo_.clear();
     releaseIrrevocable();
@@ -134,6 +145,7 @@ bool
 Tl2Session::lockOrecIrrevocable(size_t idx, bool validate_rv)
 {
     for (;;) {
+        schedPoint(SchedPoint::kRawLoad, &g_.orec(idx));
         uint64_t o = g_.orec(idx).load(std::memory_order_acquire);
         if (Tl2Globals::isLocked(o)) {
             if (Tl2Globals::ownerOf(o) == tid_)
@@ -147,6 +159,7 @@ Tl2Session::lockOrecIrrevocable(size_t idx, bool validate_rv)
         }
         if (validate_rv && o > rv_)
             return false; // Stale read; caller restarts pre-grant.
+        schedPoint(SchedPoint::kRawRmw, &g_.orec(idx));
         if (g_.orec(idx).compare_exchange_strong(
                 o, Tl2Globals::lockFor(tid_),
                 std::memory_order_acq_rel)) {
@@ -162,6 +175,7 @@ Tl2Session::becomeIrrevocable()
     if (irrevocable_)
         return;
     uint64_t expected = 0;
+    schedPoint(SchedPoint::kRawRmw, &g_.irrevocableOwner());
     if (!g_.irrevocableOwner().compare_exchange_strong(
             expected, uint64_t(tid_) + 1, std::memory_order_acq_rel)) {
         // Another irrevocable transaction is live. We may already hold
@@ -175,6 +189,7 @@ Tl2Session::becomeIrrevocable()
     // commit() skips validation -- the transaction cannot abort.
     for (size_t idx : readLog_) {
         if (!lockOrecIrrevocable(idx, true)) {
+            schedPoint(SchedPoint::kRawStore, &g_.irrevocableOwner());
             g_.irrevocableOwner().store(0, std::memory_order_release);
             restart(); // rollback() releases the locked orecs.
         }
@@ -190,6 +205,7 @@ Tl2Session::releaseIrrevocable()
 {
     if (!irrevocable_)
         return;
+    schedPoint(SchedPoint::kRawStore, &g_.irrevocableOwner());
     g_.irrevocableOwner().store(0, std::memory_order_release);
     irrevocable_ = false;
 }
@@ -198,8 +214,10 @@ void
 Tl2Session::rollback()
 {
     undo_.rollback(mem_);
-    for (const OwnedOrec &oo : owned_)
+    for (const OwnedOrec &oo : owned_) {
+        schedPoint(SchedPoint::kRawStore, &g_.orec(oo.idx));
         g_.orec(oo.idx).store(oo.oldValue, std::memory_order_release);
+    }
     owned_.clear();
     undo_.clear();
     releaseIrrevocable();

@@ -88,6 +88,21 @@ class Tl2Globals
         return (static_cast<uint64_t>(tid) << 1) | 1;
     }
 
+    /**
+     * Restore the power-on state: clock back to 2, the irrevocability
+     * token free, every orec back to version 0. Test isolation only
+     * (the interleaving explorer, between runs); callers must
+     * guarantee quiescence.
+     */
+    void
+    resetForTest()
+    {
+        clock_.store(2, std::memory_order_relaxed);
+        irrevocable_.store(0, std::memory_order_relaxed);
+        for (auto &o : orecs_)
+            o.store(0, std::memory_order_relaxed);
+    }
+
   private:
     alignas(64) std::atomic<uint64_t> clock_;
     alignas(64) std::atomic<uint64_t> irrevocable_{0};
@@ -114,6 +129,18 @@ class Tl2Session : public TxSession
     void onUserAbort() override;
     void onComplete() override;
     const char *name() const override { return "tl2"; }
+
+    void
+    resetForTest() override
+    {
+        backoff_.reset();
+        tally_ = AccessTally{};
+        rv_ = 0;
+        irrevocable_ = false;
+        readLog_.clear();
+        owned_.clear();
+        undo_.clear();
+    }
 
   private:
     struct OwnedOrec

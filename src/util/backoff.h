@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "src/util/sched_point.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -66,6 +68,11 @@ class Backoff
     BackoffAction
     pause()
     {
+        // Every pure-STM unbounded wait loop (NOrec/TL2 spinning on a
+        // locked clock) funnels through here, so this one wait point
+        // keeps the interleaving explorer from generating spin-only
+        // schedules for any of them.
+        schedWaitPoint(SchedPoint::kWaitSpin);
         if (limit_ >= maxSpins_) {
             std::this_thread::yield();
             return BackoffAction::kYielded;

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Interleaving-explorer acceptance tests (docs/CHECKING.md): the
+ * bounded-exhaustive DFS coverage gate (>= 1000 distinct write-skew
+ * schedules per AlgoKind), sleep-set reduction actually reducing,
+ * the curated program matrix passing the serializability/opacity
+ * checker under every algorithm, and per-run state isolation via
+ * TmRuntime::resetForTest().
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/api/runtime.h"
+#include "src/check/explorer.h"
+#include "src/check/program.h"
+
+namespace rhtm::check
+{
+namespace
+{
+
+std::string
+describeFailure(const ExploreResult &res)
+{
+    std::string out = "token=" + res.failure.token;
+    if (!res.failure.completed)
+        out += " [step-limit]";
+    if (!res.failure.invariantOk)
+        out += " invariant: " + res.failure.invariantWhy;
+    if (!res.failure.check.ok())
+        out += std::string(" checker: ") +
+               checkVerdictName(res.failure.check.verdict) + ": " +
+               res.failure.check.detail;
+    return out;
+}
+
+/** The acceptance gate: >= 1000 distinct schedules of the 2-thread
+ *  write-skew program per kind, every one passing the checker. */
+TEST(ExplorerDfsTest, WriteSkewExploresAThousandDistinctSchedules)
+{
+    CheckProgram program;
+    ASSERT_TRUE(curatedProgram("write-skew", program));
+    for (AlgoKind kind : allAlgoKinds()) {
+        Explorer explorer(kind, program);
+        ExploreOptions opts;
+        opts.mode = ExploreMode::kDfs;
+        opts.runs = 1000;
+        opts.dfsSleepSets = false; // Count raw schedules, unreduced.
+        ExploreResult res = explorer.explore(opts);
+        EXPECT_FALSE(res.failed)
+            << algoKindName(kind) << ": " << describeFailure(res);
+        EXPECT_GE(res.distinct, 1000u) << algoKindName(kind);
+    }
+}
+
+TEST(ExplorerDfsTest, SleepSetsExhaustStrictlyFewerSchedules)
+{
+    CheckProgram program;
+    ASSERT_TRUE(curatedProgram("write-skew", program));
+    // Fully-hardware lock elision has the smallest tree: reduction
+    // must exhaust it, below the unreduced count, with no failure.
+    Explorer explorer(AlgoKind::kLockElision, program);
+    ExploreOptions opts;
+    opts.mode = ExploreMode::kDfs;
+    opts.runs = 100000;
+    ExploreResult reduced = explorer.explore(opts);
+    EXPECT_TRUE(reduced.exhausted);
+    EXPECT_FALSE(reduced.failed) << describeFailure(reduced);
+    EXPECT_GT(reduced.distinct, 0u);
+
+    opts.dfsSleepSets = false;
+    opts.runs = reduced.distinct + 1;
+    ExploreResult raw = explorer.explore(opts);
+    EXPECT_FALSE(raw.failed) << describeFailure(raw);
+    EXPECT_GT(raw.distinct, reduced.distinct);
+}
+
+/** Every curated program passes the checker under every kind. */
+TEST(ExplorerMatrixTest, CuratedProgramsPassUnderEveryKind)
+{
+    for (AlgoKind kind : allAlgoKinds()) {
+        for (const CheckProgram &program : curatedPrograms()) {
+            Explorer explorer(kind, program);
+            ExploreOptions opts;
+            opts.mode = ExploreMode::kRandom;
+            opts.runs = 40;
+            ExploreResult res = explorer.explore(opts);
+            EXPECT_FALSE(res.failed)
+                << algoKindName(kind) << '/' << program.name << ": "
+                << describeFailure(res);
+            EXPECT_GT(res.distinct, 1u)
+                << algoKindName(kind) << '/' << program.name;
+        }
+    }
+}
+
+TEST(ExplorerMatrixTest, PctModePassesOnTheRaceHeavyPrograms)
+{
+    for (AlgoKind kind : allAlgoKinds()) {
+        for (const char *name : {"write-skew", "irrevocable-upgrade"}) {
+            CheckProgram program;
+            ASSERT_TRUE(curatedProgram(name, program));
+            Explorer explorer(kind, program);
+            ExploreOptions opts;
+            opts.mode = ExploreMode::kPct;
+            opts.runs = 64;
+            opts.pctDepth = 3;
+            ExploreResult res = explorer.explore(opts);
+            EXPECT_FALSE(res.failed)
+                << algoKindName(kind) << '/' << name << ": "
+                << describeFailure(res);
+        }
+    }
+}
+
+/** resetForTest() isolation: one Explorer, repeated explorations,
+ *  identical outcomes -- no state bleeds between runs. */
+TEST(ExplorerIsolationTest, RepeatedExplorationsAreIdentical)
+{
+    CheckProgram program;
+    ASSERT_TRUE(curatedProgram("postfix-race", program));
+    Explorer explorer(AlgoKind::kRhNOrec, program);
+    ExploreOptions opts;
+    opts.mode = ExploreMode::kRandom;
+    opts.runs = 32;
+    opts.seed = 11;
+    ExploreResult first = explorer.explore(opts);
+    ExploreResult second = explorer.explore(opts);
+    EXPECT_FALSE(first.failed) << describeFailure(first);
+    EXPECT_FALSE(second.failed) << describeFailure(second);
+    EXPECT_EQ(first.distinct, second.distinct);
+    EXPECT_EQ(first.runs, second.runs);
+}
+
+} // namespace
+} // namespace rhtm::check

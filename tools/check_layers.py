@@ -13,12 +13,15 @@ The engine refactor fixed a strict layering for the library proper
     api           -- runtime facade        (6)
     structures                             (7)
     workloads                              (8)
+    check         -- interleaving explorer (9)
 
 A file may include project headers only from its own layer or lower
 ranks. In particular the engine must never include the api: the
 sessions are composed BY the runtime, they must not know about it
 (src/api re-exports engine headers for compatibility, not the other
-way around).
+way around). And the check layer is a pure consumer: it may include
+anything below (it schedules the engine and drives the api), but no
+library code may include src/check -- only tests and bench link it.
 
 Usage: tools/check_layers.py [repo-root]
 Exits 1 and lists every violating include edge when the layering is
@@ -42,6 +45,7 @@ LAYERS = [
     ("api", 6),
     ("structures", 7),
     ("workloads", 8),
+    ("check", 9),
 ]
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(src/[^"]+)"')
@@ -97,6 +101,11 @@ def main():
                         violations.append(
                             f"{rel}:{lineno}: the engine must not "
                             f"include the api ({m.group(1)})")
+                    elif there[0] == "check" and here[0] != "check":
+                        violations.append(
+                            f"{rel}:{lineno}: src/check is a leaf "
+                            f"consumer; library code must not include "
+                            f"it ({m.group(1)})")
                     elif there[1] > here[1]:
                         violations.append(
                             f"{rel}:{lineno}: layer '{here[0]}' "

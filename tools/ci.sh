@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-stop CI gate: the include-layering lint, the tier-1 build + test
-# suite, and a single ThreadSanitizer chaos leg as a concurrency smoke
-# check (the full sanitizer soak matrix lives in tools/run_chaos.sh).
+# suite, the interleaving-explorer `check` leg (docs/CHECKING.md), and
+# a single ThreadSanitizer chaos leg as a concurrency smoke check (the
+# full sanitizer soak matrix lives in tools/run_chaos.sh).
 #
 # Usage: tools/ci.sh [--skip-tsan]
 set -euo pipefail
@@ -25,6 +26,37 @@ cmake --build build -j "$(nproc)"
 
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure
+
+echo "== check: curated matrix, every AlgoKind (random walks) =="
+build/bench/bench_check --mode=random --runs=40 --seed=1
+
+echo "== check: exhaustive write-skew coverage, every AlgoKind =="
+build/bench/bench_check --mode=dfs --program=write-skew \
+    --runs=1000 --no-sleep-sets
+
+echo "== check: reverted-fix regressions =="
+# Each historical bug must FAIL with its fix reverted and pass with
+# the fix in place. kill-switch-streak needs a schedule that parks the
+# stale decayer across the breaker reopen: PCT depth 3 with this
+# pinned seed reaches it; the other two fail on any schedule.
+if build/bench/bench_check --algo=hy-norec \
+        --regression=kill-switch-streak --revert \
+        --mode=pct --seed=1 --depth=3 --runs=20000 --max-steps=3000; then
+    echo "kill-switch-streak did not fail when reverted" >&2
+    exit 1
+fi
+build/bench/bench_check --algo=hy-norec \
+    --regression=kill-switch-streak \
+    --mode=pct --seed=1 --depth=3 --runs=20000 --max-steps=3000
+for reg in first-try-budget policy-snapshot; do
+    if build/bench/bench_check --algo=hy-norec \
+            --regression="$reg" --revert --mode=random --runs=8; then
+        echo "$reg did not fail when reverted" >&2
+        exit 1
+    fi
+    build/bench/bench_check --algo=hy-norec \
+        --regression="$reg" --mode=random --runs=8
+done
 
 if [ "$SKIP_TSAN" -eq 0 ]; then
     echo "== TSan chaos leg: stall-serial seed=1 =="

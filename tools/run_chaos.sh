@@ -37,11 +37,20 @@ SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window sta
 echo "== configure ($BUILD_DIR, sanitizer: ${SANITIZE:-none}) =="
 cmake -B "$BUILD_DIR" -S . -DRHTM_SANITIZE="$SANITIZE" >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_chaos \
-    fault_tests integration_tests
+    bench_check fault_tests integration_tests
 
 echo "== fault + chaos unit suites =="
 "$BUILD_DIR/tests/fault_tests"
 "$BUILD_DIR/tests/integration_tests" --gtest_filter='*Chaos*'
+
+# Interleaving-explorer leg (docs/CHECKING.md) under the same
+# sanitizer as the soak: the cooperative scheduler serializes every
+# step, so TSan here vets the scheduler/runtime handshake itself
+# (run_chaos with RHTM_SANITIZE='' gives the uninstrumented leg).
+echo "== check: explorer under ${SANITIZE:-no} sanitizer =="
+"$BUILD_DIR/bench/bench_check" --mode=random --runs=12 --seed=1
+"$BUILD_DIR/bench/bench_check" --mode=dfs --algo=rh-norec \
+    --program=write-skew --runs=300 --no-sleep-sets
 
 echo "== soak matrix: {$SCHEDULES} x seeds {$SEEDS} =="
 fail=0
