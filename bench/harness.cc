@@ -133,7 +133,8 @@ printCsvHeader()
         "fastpath_attempts_per_op,killswitch_activations,"
         "killswitch_bypass_ratio,p50_us,p99_us,max_us,"
         "stalls_detected,irrevocable_upgrades,accesses_per_op,"
-        "verified\n");
+        "crashes_injected,records_replayed,records_discarded,"
+        "recovery_ms,verified\n");
 }
 
 void
@@ -147,7 +148,7 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
         ops ? double(s.get(Counter::kKillSwitchBypasses)) / ops : 0.0;
     std::printf("%s,%s,%u,%.2f,%llu,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f,"
                 "%.4f,%.4f,%.4f,%.4f,%llu,%.4f,%.2f,%.2f,%.2f,%llu,"
-                "%llu,%.4f,%s\n",
+                "%llu,%.4f,%llu,%llu,%llu,%.3f,%s\n",
                 bench_name.c_str(), algoKindName(cell.algo),
                 cell.threads, cell.seconds,
                 static_cast<unsigned long long>(cell.ops),
@@ -166,7 +167,11 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
                     s.get(Counter::kStallsDetected)),
                 static_cast<unsigned long long>(
                     s.get(Counter::kIrrevocableUpgrades)),
-                s.accessesPerOp(), cell.verified ? "ok" : "FAIL");
+                s.accessesPerOp(),
+                static_cast<unsigned long long>(cell.crashesInjected),
+                static_cast<unsigned long long>(cell.recordsReplayed),
+                static_cast<unsigned long long>(cell.recordsDiscarded),
+                cell.recoveryMs, cell.verified ? "ok" : "FAIL");
     std::fflush(stdout);
 }
 

@@ -74,6 +74,14 @@ struct CellResult
     uint64_t ops;
     StatsSummary stats;
     LatencyHistogram latency; //!< Per-operation latency (merged).
+
+    // Persistence-overlay recovery counters (docs/PERSISTENCE.md);
+    // zero for benches that run without the overlay.
+    uint64_t crashesInjected = 0;
+    uint64_t recordsReplayed = 0;
+    uint64_t recordsDiscarded = 0;
+    double recoveryMs = 0.0; //!< Total recovery replay time.
+
     bool verified;
 };
 

@@ -57,6 +57,11 @@ TmRuntime::TmRuntime(AlgoKind kind, RuntimeConfig cfg)
         tl2_ = std::make_unique<Tl2Globals>();
     if (kind_ == AlgoKind::kRhTl2)
         rhTl2_ = std::make_unique<RhTl2Globals>();
+    if (cfg_.persist.enabled) {
+        if (cfg_.persist.seed == 0)
+            cfg_.persist.seed = cfg_.rngSeed;
+        nvm_ = std::make_unique<NvmSim>(cfg_.persist);
+    }
 }
 
 TmRuntime::~TmRuntime() = default;
@@ -69,35 +74,38 @@ TmRuntime::makeSession(ThreadCtx &ctx)
     // thread's backoff jitter to be independent of the others), derived
     // the same way as the HtmTxn seed.
     uint64_t cmSeed = cfg_.rngSeed + ctx.tid();
+    TxPersist *persist = ctx.persist_.get();
     switch (kind_) {
       case AlgoKind::kLockElision:
         return std::make_unique<LockElisionSession>(
-            eng_, globals_, *ctx.htm_, stats, cfg_.retry, cmSeed);
+            eng_, globals_, *ctx.htm_, stats, cfg_.retry, cmSeed,
+            persist);
       case AlgoKind::kNOrec:
         return std::make_unique<NOrecEagerSession>(
-            globals_, stats, cfg_.stmAccessPenalty);
+            globals_, stats, cfg_.stmAccessPenalty, persist);
       case AlgoKind::kNOrecLazy:
         return std::make_unique<NOrecLazySession>(
-            globals_, stats, cfg_.stmAccessPenalty);
+            globals_, stats, cfg_.stmAccessPenalty, persist);
       case AlgoKind::kTl2:
         return std::make_unique<Tl2Session>(*tl2_, stats, ctx.tid(),
-                                            cfg_.stmAccessPenalty);
+                                            cfg_.stmAccessPenalty,
+                                            persist);
       case AlgoKind::kHybridNOrec:
         return std::make_unique<HybridNOrecSession>(
             eng_, globals_, *ctx.htm_, stats, cfg_.retry,
-            cfg_.stmAccessPenalty, cmSeed);
+            cfg_.stmAccessPenalty, cmSeed, persist);
       case AlgoKind::kHybridNOrecLazy:
         return std::make_unique<HybridNOrecLazySession>(
             eng_, globals_, *ctx.htm_, stats, cfg_.retry,
-            cfg_.stmAccessPenalty, cmSeed);
+            cfg_.stmAccessPenalty, cmSeed, persist);
       case AlgoKind::kRhNOrec:
         return std::make_unique<RhNOrecSession>(
             eng_, globals_, *ctx.htm_, stats, cfg_.retry, cfg_.rh,
-            cfg_.stmAccessPenalty, cmSeed);
+            cfg_.stmAccessPenalty, cmSeed, persist);
       case AlgoKind::kRhTl2:
         return std::make_unique<RhTl2Session>(
             eng_, globals_, *rhTl2_, *ctx.htm_, stats, cfg_.retry,
-            cfg_.stmAccessPenalty, cmSeed);
+            cfg_.stmAccessPenalty, cmSeed, persist);
     }
     return nullptr;
 }
@@ -119,6 +127,10 @@ TmRuntime::registerThread()
     ctx->htm_ = std::make_unique<HtmTxn>(eng_, ctx->tid(), &ctx->stats_,
                                          cfg_.rngSeed + ctx->tid(),
                                          ctx->fault_.get());
+    if (nvm_ != nullptr) {
+        ctx->persist_ = std::make_unique<TxPersist>(
+            nvm_.get(), ctx->fault_.get(), &ctx->stats_, ctx->tid());
+    }
     ctx->session_ = makeSession(*ctx);
     ctxs_.push_back(std::move(ctx));
     return *ctxs_.back();
@@ -148,6 +160,8 @@ TmRuntime::resetForTest()
         tl2_->resetForTest();
     if (rhTl2_ != nullptr)
         rhTl2_->resetForTest();
+    if (nvm_ != nullptr)
+        nvm_->resetForTest();
     for (auto &ctx : ctxs_) {
         if (ctx->inTxn_) {
             // A scheduler-poisoned run unwound without reaching run()'s
@@ -160,6 +174,8 @@ TmRuntime::resetForTest()
         if (ctx->fault_ != nullptr)
             ctx->fault_->resetForTest();
         ctx->htm_->resetForTest();
+        if (ctx->persist_ != nullptr)
+            ctx->persist_->resetForTest();
         ctx->session_->resetForTest();
         ctx->mem_->resetForTest();
     }

@@ -22,6 +22,8 @@
 #include "src/fault/fault_injector.h"
 #include "src/htm/htm_txn.h"
 #include "src/mem/memory_manager.h"
+#include "src/persist/nvm_sim.h"
+#include "src/persist/tx_persist.h"
 #include "src/stats/stats.h"
 #include "src/core/rh_tl2.h"
 #include "src/stm/tl2.h"
@@ -71,6 +73,15 @@ struct RuntimeConfig
     FaultPlan fault;
 
     /**
+     * Simulated-NVM persistence overlay (docs/PERSISTENCE.md). When
+     * enabled the runtime owns an NvmSim device, each thread gets a
+     * TxPersist driver, slow-path commits run the durable seal/drain/
+     * mark protocol, and HTM fast paths escalate to the logged slow
+     * path. A seed of 0 inherits rngSeed.
+     */
+    PersistConfig persist;
+
+    /**
      * Instrumentation-cost model (DESIGN.md): cycles of busy work per
      * software-path shared access, standing in for the libitm dynamic
      * call + logging that the paper's instrumented slow paths pay and
@@ -111,6 +122,12 @@ class ThreadCtx
     /** This thread's deferred-action log (exposed for tests). */
     ActionLog &actions() { return actions_; }
 
+    /**
+     * This thread's durable-commit driver, or nullptr when the
+     * persistence overlay is disabled (exposed for white-box tests).
+     */
+    TxPersist *persistence() { return persist_.get(); }
+
   private:
     friend class TmRuntime;
 
@@ -122,6 +139,7 @@ class ThreadCtx
     ActionLog actions_;
     std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<HtmTxn> htm_;
+    std::unique_ptr<TxPersist> persist_;
     std::unique_ptr<TxSession> session_;
     bool inTxn_ = false;
 };
@@ -233,6 +251,14 @@ class TmRuntime
     /** The hybrid coordination globals (for white-box tests). */
     TmGlobals &globals() { return globals_; }
 
+    /**
+     * The simulated NVM device, or nullptr when the persistence
+     * overlay is disabled. Setup code registers durable heap ranges
+     * through it before transactions run; crash/recovery harnesses
+     * read its snapshots once threads are quiescent.
+     */
+    NvmSim *nvm() { return nvm_.get(); }
+
     /** Selected algorithm. */
     AlgoKind kind() const { return kind_; }
 
@@ -295,6 +321,7 @@ class TmRuntime
     TmGlobals globals_;
     std::unique_ptr<Tl2Globals> tl2_;
     std::unique_ptr<RhTl2Globals> rhTl2_;
+    std::unique_ptr<NvmSim> nvm_;
     std::mutex registerLock_;
     std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
 };

@@ -1,0 +1,132 @@
+#include "src/check/recovery.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rhtm
+{
+
+const char *
+recoveryVerdictName(RecoveryVerdict verdict)
+{
+    switch (verdict) {
+      case RecoveryVerdict::kOk: return "ok";
+      case RecoveryVerdict::kNotPrefix: return "not-prefix";
+      case RecoveryVerdict::kLostMarked: return "lost-marked";
+      case RecoveryVerdict::kMalformed: return "malformed";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+std::string
+format(const char *fmt, unsigned long long a, unsigned long long b)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, a, b);
+    return std::string(buf);
+}
+
+} // namespace
+
+RecoveryCheckResult
+checkRecoveryConsistency(const std::vector<uint64_t> &initialData,
+                         const std::vector<DurableTxnRecord> &history,
+                         const NvmImage &crashImage,
+                         const std::vector<uint64_t> &recoveredData)
+{
+    RecoveryCheckResult res;
+    if (recoveredData.size() != initialData.size()) {
+        res.verdict = RecoveryVerdict::kMalformed;
+        res.detail = format("recovered data region has %llu words, "
+                            "formatted region had %llu",
+                            recoveredData.size(), initialData.size());
+        return res;
+    }
+
+    // Which seal-order indices were durably acknowledged? A marker can
+    // only exist for a sealed record (its slot is reserved at seal
+    // time); anything else means the media is corrupt.
+    size_t required = 0; // Matched prefix must be >= this.
+    for (size_t i = 0; i < crashImage.marks.size(); ++i) {
+        if (crashImage.marks[i] == 0)
+            continue;
+        if (!nvmMarkValid(crashImage.marks[i])) {
+            res.verdict = RecoveryVerdict::kMalformed;
+            res.detail = format("marks[%llu] is neither zero nor a "
+                                "valid marker (0x%llx)",
+                                i, crashImage.marks[i]);
+            return res;
+        }
+        if (i >= history.size()) {
+            res.verdict = RecoveryVerdict::kMalformed;
+            res.detail = format("marker at slot %llu but only %llu "
+                                "sealed records exist",
+                                i, history.size());
+            return res;
+        }
+        required = std::max(required, i + 1);
+    }
+
+    // Walk the history forward, applying one sealed transaction at a
+    // time, and remember the longest prefix whose state equals the
+    // recovered image exactly.
+    std::vector<uint64_t> state = initialData;
+    bool matched = false;
+    size_t bestMatch = 0;
+    if (state == recoveredData) {
+        matched = true;
+        bestMatch = 0;
+    }
+    for (size_t k = 0; k < history.size(); ++k) {
+        for (const DurableWrite &w : history[k].writes) {
+            if (w.offset >= state.size()) {
+                res.verdict = RecoveryVerdict::kMalformed;
+                res.detail = format("history record %llu writes "
+                                    "offset %llu out of range",
+                                    k, w.offset);
+                return res;
+            }
+            state[w.offset] = w.value;
+        }
+        if (state == recoveredData) {
+            matched = true;
+            bestMatch = k + 1;
+        }
+    }
+
+    if (!matched) {
+        res.verdict = RecoveryVerdict::kNotPrefix;
+        res.detail = format("recovered state equals no prefix of the "
+                            "%llu-record history (%llu markers)",
+                            history.size(), required);
+        return res;
+    }
+    if (bestMatch < required) {
+        res.verdict = RecoveryVerdict::kLostMarked;
+        res.detail = format("longest matching prefix is %llu records "
+                            "but markers require at least %llu",
+                            bestMatch, required);
+        return res;
+    }
+    res.verdict = RecoveryVerdict::kOk;
+    res.prefixLength = bestMatch;
+    return res;
+}
+
+RecoveryCheckResult
+recoverAndCheck(const CrashSnapshot &snapshot,
+                const RecoveryOptions &opts, RecoveryReport *report)
+{
+    NvmImage image = snapshot.image;
+    RecoveryReport r = recoverImage(image, opts);
+    if (report != nullptr)
+        *report = r;
+    return checkRecoveryConsistency(snapshot.initialData,
+                                    snapshot.history, snapshot.image,
+                                    image.data);
+}
+
+} // namespace rhtm

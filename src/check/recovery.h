@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Recovery-consistency checker for the simulated-NVM persistence
+ * overlay (docs/PERSISTENCE.md "Durable linearizability").
+ *
+ * Contract checked: the post-recovery durable data region must equal
+ * the initial contents with some prefix of the seal-order history
+ * applied, and every transaction whose commit marker is durable must
+ * be inside that prefix. Equivalently:
+ *
+ *   - no unsealed (uncommitted) effect survives recovery,
+ *   - no marker-persisted (durably acknowledged) transaction is lost,
+ *   - recovery never invents or reorders effects: the durable state is
+ *     a strict-serializable prefix of the committed history.
+ *
+ * The prefix comparison is exact state equality, so any replay bug --
+ * an unsealed record replayed, an entry dropped, values applied out of
+ * last-write-wins order -- surfaces as kNotPrefix (see the reverted-
+ * fix leg in tools/ci.sh and tests/persist/recovery_check_test.cc).
+ */
+
+#ifndef RHTM_CHECK_RECOVERY_H
+#define RHTM_CHECK_RECOVERY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/persist/nvm_sim.h"
+
+namespace rhtm
+{
+
+/** Outcome of one recovery-consistency check. */
+enum class RecoveryVerdict
+{
+    kOk,         //!< A valid prefix containing every marked txn.
+    kNotPrefix,  //!< Recovered state matches no history prefix.
+    kLostMarked, //!< Prefix found, but a marked txn is past its end.
+    kMalformed,  //!< Sizes/marks inconsistent with the ground truth.
+};
+
+/** Human-readable verdict name. */
+const char *recoveryVerdictName(RecoveryVerdict verdict);
+
+/** One check's result. */
+struct RecoveryCheckResult
+{
+    RecoveryVerdict verdict = RecoveryVerdict::kMalformed;
+    /** Length of the matched history prefix (valid when kOk). */
+    size_t prefixLength = 0;
+    /** Diagnostic for failures (empty on kOk). */
+    std::string detail;
+};
+
+/**
+ * Verify that @p recoveredData is durably-linearizable against the
+ * ground truth captured with the crash.
+ *
+ * @param initialData Data region at format time (snapshot field).
+ * @param history Seal-order committed history at capture.
+ * @param crashImage Durable media as the crash left it (its marks
+ *        array decides which transactions were durably acknowledged).
+ * @param recoveredData Data region after recoverImage() ran.
+ *
+ * Concurrent disjoint-writeset commits (TL2) may seal in an order that
+ * differs from their log-append order; their effects commute, so exact
+ * prefix equality still holds (docs/PERSISTENCE.md "Non-seqlock commit
+ * orders").
+ */
+RecoveryCheckResult
+checkRecoveryConsistency(const std::vector<uint64_t> &initialData,
+                         const std::vector<DurableTxnRecord> &history,
+                         const NvmImage &crashImage,
+                         const std::vector<uint64_t> &recoveredData);
+
+/**
+ * Convenience wrapper: recover @p snapshot's image (under @p opts) and
+ * check it. @p report, when non-null, receives the recovery counters.
+ */
+RecoveryCheckResult
+recoverAndCheck(const CrashSnapshot &snapshot,
+                const RecoveryOptions &opts = {},
+                RecoveryReport *report = nullptr);
+
+} // namespace rhtm
+
+#endif // RHTM_CHECK_RECOVERY_H

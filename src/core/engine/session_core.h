@@ -29,6 +29,7 @@
 #include "src/core/engine/retry_policy.h"
 #include "src/htm/htm_engine.h"
 #include "src/htm/htm_txn.h"
+#include "src/persist/tx_persist.h"
 #include "src/stats/stats.h"
 
 namespace rhtm
@@ -99,6 +100,16 @@ struct SessionCore
     uint64_t txVersion = 0;    //!< Clock snapshot reads validate at.
     AccessTally tally;
 
+    /**
+     * Durable-commit driver, or nullptr when persistence is off
+     * (docs/PERSISTENCE.md). Set by the composing session right after
+     * construction; when attached, beginFastPath() escalates every
+     * attempt to the logged slow path, since a hardware transaction
+     * cannot contain the pwb/pfence ordering the durable redo log
+     * needs (the Persistent HyTM split).
+     */
+    TxPersist *persist = nullptr;
+
   private:
     uint64_t cmSeed_; //!< Kept so resetForTest can reseed the CM.
 
@@ -148,9 +159,25 @@ struct SessionCore
      * subscribed to @p subscribeWord, or false after routing the
      * attempt to @p bypassMode (bypass counted as a fallback).
      */
+    /** True when the durable-commit overlay is attached and armed. */
+    bool
+    persistOn() const
+    {
+        return persist != nullptr && persist->enabled();
+    }
+
     bool
     beginFastPath(ExecMode bypassMode, const uint64_t *subscribeWord)
     {
+        if (persistOn()) {
+            // Persistence escalation: route to the algorithm's logged
+            // fallback without charging the retry budget or the kill
+            // switch -- this is a mode requirement, not contention.
+            mode = bypassMode;
+            count(Counter::kPersistEscalations);
+            count(Counter::kFallbacks);
+            return false;
+        }
         if (killSwitchBypass(g, policy)) {
             mode = bypassMode;
             count(Counter::kKillSwitchBypasses);

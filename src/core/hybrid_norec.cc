@@ -12,11 +12,14 @@ HybridNOrecSession::HybridNOrecSession(HtmEngine &eng, TmGlobals &globals,
                                        HtmTxn &htm, ThreadStats *stats,
                                        const RetryPolicy &policy,
                                        unsigned access_penalty,
-                                       uint64_t cm_seed)
+                                       uint64_t cm_seed,
+                                       TxPersist *persist)
     : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
       seqlock_(EngineMem(eng), &globals.clock,
                &globals.watchdog.clockEpoch)
-{}
+{
+    core_.persist = persist;
+}
 
 //
 // Per-mode accessors
@@ -143,6 +146,8 @@ HybridNOrecSession::inPlaceWrite(uint64_t *addr, uint64_t value)
     else
         sessionFaultPoint(core_.htm, FaultSite::kSoftwareWrite);
     undo_.push(addr, core_.eng.directLoad(addr));
+    if (core_.persistOn())
+        core_.persist->stage(addr, value);
     core_.eng.directStore(addr, value);
 }
 
@@ -161,12 +166,18 @@ HybridNOrecSession::commit()
         core_.count(Counter::kReadOnlyCommits);
         return; // Read-only slow path: validated by every read.
     }
+    // Durable commit: seal while the clock and HTM lock still exclude
+    // every other committer (sealed set = prefix of commit order).
+    if (core_.persistOn())
+        core_.persist->sealStaged();
     core_.eng.directStore(&core_.g.htmLock, 0);
     htmLockSet_ = false;
     seqlock_.releaseAdvance(core_.txVersion);
     writeDetected_ = false;
     // The undo journal is dead once the writes are committed.
     undo_.clear();
+    if (core_.persistOn())
+        core_.persist->drainAndMark();
 }
 
 void
@@ -199,6 +210,8 @@ HybridNOrecSession::becomeIrrevocable()
 void
 HybridNOrecSession::rollbackWriter()
 {
+    if (core_.persistOn())
+        core_.persist->discardStaged();
     if (!writeDetected_)
         return;
     undo_.rollback(EngineMem(core_.eng));

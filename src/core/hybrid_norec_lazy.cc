@@ -10,12 +10,15 @@ namespace rhtm
 
 HybridNOrecLazySession::HybridNOrecLazySession(
     HtmEngine &eng, TmGlobals &globals, HtmTxn &htm, ThreadStats *stats,
-    const RetryPolicy &policy, unsigned access_penalty, uint64_t cm_seed)
+    const RetryPolicy &policy, unsigned access_penalty, uint64_t cm_seed,
+    TxPersist *persist)
     : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
       seqlock_(EngineMem(eng), &globals.clock,
                &globals.watchdog.clockEpoch),
       writes_(12)
-{}
+{
+    core_.persist = persist;
+}
 
 //
 // Per-mode accessors
@@ -172,12 +175,22 @@ HybridNOrecLazySession::commit()
     else
         sessionFaultPoint(core_.htm, FaultSite::kPublishWindow);
     writes_.forEach([this](uint64_t *addr, uint64_t value) {
+        // Stage-at-publish: the lazy write set becomes the durable
+        // redo payload only once validation has succeeded.
+        if (core_.persistOn())
+            core_.persist->stage(addr, value);
         core_.eng.directStore(addr, value);
     });
+    // Durable commit: seal while the clock and HTM lock still exclude
+    // every other committer (sealed set = prefix of commit order).
+    if (core_.persistOn())
+        core_.persist->sealStaged();
     core_.eng.directStore(&core_.g.htmLock, 0);
     htmLockSet_ = false;
     seqlock_.releaseAdvance(core_.txVersion);
     clockHeld_ = false;
+    if (core_.persistOn())
+        core_.persist->drainAndMark();
 }
 
 void
@@ -212,6 +225,12 @@ HybridNOrecLazySession::becomeIrrevocable()
 void
 HybridNOrecLazySession::releaseCommitLocks()
 {
+    // An unwind inside the publication window may leave some writes
+    // flushed in volatile memory but never sealed; discarding the
+    // staged payload means recovery drops them all, which is the
+    // all-or-nothing durable view of an aborted transaction.
+    if (core_.persistOn())
+        core_.persist->discardStaged();
     if (htmLockSet_) {
         core_.eng.directStore(&core_.g.htmLock, 0);
         htmLockSet_ = false;

@@ -44,7 +44,8 @@ class HybridNOrecLazySession : public TxSession
                            HtmTxn &htm, ThreadStats *stats,
                            const RetryPolicy &policy,
                            unsigned access_penalty = 0,
-                           uint64_t cm_seed = 1);
+                           uint64_t cm_seed = 1,
+                           TxPersist *persist = nullptr);
 
     void begin(TxnHint hint) override;
     void commit() override;

@@ -11,10 +11,13 @@ namespace rhtm
 LockElisionSession::LockElisionSession(HtmEngine &eng, TmGlobals &globals,
                                        HtmTxn &htm, ThreadStats *stats,
                                        const RetryPolicy &policy,
-                                       uint64_t cm_seed)
+                                       uint64_t cm_seed,
+                                       TxPersist *persist)
     : core_(eng, globals, htm, stats, policy, /*accessPenalty=*/0,
             cm_seed)
-{}
+{
+    core_.persist = persist;
+}
 
 //
 // Per-mode accessors
@@ -50,6 +53,8 @@ LockElisionSession::serialWrite(void *self, uint64_t *addr,
 {
     auto *s = static_cast<LockElisionSession *>(self);
     ++s->core_.tally.slowWrites;
+    if (s->core_.persistOn())
+        s->core_.persist->stage(addr, value);
     s->core_.eng.directStore(addr, value);
 }
 
@@ -102,9 +107,16 @@ void
 LockElisionSession::commit()
 {
     if (core_.mode == ExecMode::kSerial) {
+        // Durable commit: seal the redo record while the global lock
+        // still serializes us, so the sealed set is a prefix of the
+        // commit order; drain behind after the release.
+        if (core_.persistOn())
+            core_.persist->sealStaged();
         core_.eng.directStore(&core_.g.globalLock, 0);
         lockHeld_ = false;
         stampEpoch(core_.g.watchdog.clockEpoch);
+        if (core_.persistOn())
+            core_.persist->drainAndMark();
         return;
     }
     core_.htm.commit();
@@ -176,10 +188,19 @@ LockElisionSession::onUserAbort()
     if (lockHeld_) {
         // Serial writes happened in place and cannot be rolled back;
         // like a real elided lock, an exception inside the critical
-        // section leaves its partial updates visible.
+        // section leaves its partial updates visible. The durable
+        // image must match that (documented) weakness: seal and drain
+        // the partial write set so recovery reproduces exactly what
+        // the volatile heap shows.
+        if (core_.persistOn())
+            core_.persist->sealStaged();
         core_.eng.directStore(&core_.g.globalLock, 0);
         lockHeld_ = false;
         stampEpoch(core_.g.watchdog.clockEpoch);
+        if (core_.persistOn())
+            core_.persist->drainAndMark();
+    } else if (core_.persistOn()) {
+        core_.persist->discardStaged();
     }
     core_.tally.flush(core_.stats);
 }

@@ -31,7 +31,8 @@ class LockElisionSession : public TxSession
   public:
     LockElisionSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
                        ThreadStats *stats, const RetryPolicy &policy,
-                       uint64_t cm_seed = 1);
+                       uint64_t cm_seed = 1,
+                       TxPersist *persist = nullptr);
 
     void begin(TxnHint hint) override;
     void commit() override;

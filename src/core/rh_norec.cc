@@ -13,12 +13,15 @@ RhNOrecSession::RhNOrecSession(HtmEngine &eng, TmGlobals &globals,
                                const RetryPolicy &policy,
                                const RhConfig &rh,
                                unsigned access_penalty,
-                               uint64_t cm_seed)
+                               uint64_t cm_seed,
+                               TxPersist *persist)
     : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
       seqlock_(EngineMem(eng), &globals.clock,
                &globals.watchdog.clockEpoch),
       rh_(rh), expectedPrefixLen_(rh.maxPrefixLength)
-{}
+{
+    core_.persist = persist;
+}
 
 //
 // Per-mode accessors
@@ -200,8 +203,11 @@ RhNOrecSession::begin(TxnHint hint)
         sessionFaultPoint(core_.htm, FaultSite::kSerialHeld);
     }
     // Mixed slow path: try the HTM prefix first (once per transaction,
-    // Section 3.4), otherwise the software start.
-    if (rh_.enablePrefix &&
+    // Section 3.4), otherwise the software start. A durable run skips
+    // the small HTMs entirely: pwb/pfence ordering cannot live inside
+    // a best-effort hardware transaction (same reason the fast path
+    // escalates in SessionCore::beginFastPath).
+    if (rh_.enablePrefix && !core_.persistOn() &&
         prefixTries_ < core_.policy.smallHtmAttempts &&
         core_.mode != ExecMode::kSerial) {
         startPrefix();
@@ -237,7 +243,7 @@ RhNOrecSession::handleFirstWrite()
     // scripted abort exercises the clock-release path in
     // rollbackWriter().
     sessionFaultPoint(core_.htm, FaultSite::kPostFirstWrite);
-    if (rh_.enablePostfix &&
+    if (rh_.enablePostfix && !core_.persistOn() &&
         postfixTries_ < core_.policy.smallHtmAttempts) {
         ++postfixTries_;
         core_.count(Counter::kPostfixAttempts);
@@ -275,6 +281,8 @@ RhNOrecSession::inPlaceWrite(uint64_t *addr, uint64_t value)
     else
         sessionFaultPoint(core_.htm, FaultSite::kSoftwareWrite);
     undo_.push(addr, core_.eng.directLoad(addr));
+    if (core_.persistOn())
+        core_.persist->stage(addr, value);
     core_.eng.directStore(addr, value);
 }
 
@@ -356,6 +364,12 @@ RhNOrecSession::commit()
         postfixActive_ = false;
         core_.count(Counter::kPostfixSuccesses);
     }
+    // Durable commit: seal while the clock lock still excludes every
+    // other writer (sealed set = prefix of commit order). A durable
+    // run never has an active postfix, so all writes were staged at
+    // inPlaceWrite.
+    if (core_.persistOn())
+        core_.persist->sealStaged();
     if (htmLockSet_) {
         core_.eng.directStore(&core_.g.htmLock, 0);
         htmLockSet_ = false;
@@ -366,11 +380,15 @@ RhNOrecSession::commit()
     // The undo journal is dead once the writes are committed; a later
     // attempt's rollback must never replay it.
     undo_.clear();
+    if (core_.persistOn())
+        core_.persist->drainAndMark();
 }
 
 void
 RhNOrecSession::rollbackWriter()
 {
+    if (core_.persistOn())
+        core_.persist->discardStaged();
     // Replay the undo journal only while its writes are live (pushed
     // between the first software write and commit/rollback).
     if (writeDetected_)

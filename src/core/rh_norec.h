@@ -69,7 +69,8 @@ class RhNOrecSession : public TxSession
     RhNOrecSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
                    ThreadStats *stats, const RetryPolicy &policy,
                    const RhConfig &rh, unsigned access_penalty = 0,
-                   uint64_t cm_seed = 1);
+                   uint64_t cm_seed = 1,
+                   TxPersist *persist = nullptr);
 
     void begin(TxnHint hint) override;
     void commit() override;

@@ -12,10 +12,12 @@ namespace rhtm
 RhTl2Session::RhTl2Session(HtmEngine &eng, TmGlobals &globals,
                            RhTl2Globals &tl2, HtmTxn &htm,
                            ThreadStats *stats, const RetryPolicy &policy,
-                           unsigned access_penalty, uint64_t cm_seed)
+                           unsigned access_penalty, uint64_t cm_seed,
+                           TxPersist *persist)
     : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
       tl2_(tl2), writes_(12)
 {
+    core_.persist = persist;
     readLog_.reserve(1024);
     writeAddrs_.reserve(256);
 }
@@ -167,9 +169,17 @@ RhTl2Session::writeBack()
         // Orec first: a concurrent reader that sees the new data also
         // sees a version beyond its snapshot and restarts.
         core_.eng.directStore(tl2_.orecOf(addr), wv);
+        // Stage-at-publish: the lazy write set becomes the durable
+        // redo payload once the commit is past validation.
+        if (core_.persistOn())
+            core_.persist->stage(addr, value);
         core_.eng.directStore(addr, value);
     });
     core_.eng.directStore(tl2_.clock(), wv);
+    // Durable commit: seal while the HTM lock still serializes every
+    // committer (callers release the lock -- and drain -- after us).
+    if (core_.persistOn())
+        core_.persist->sealStaged();
 }
 
 void
@@ -189,6 +199,8 @@ RhTl2Session::commitMixedSoftware()
     }
     writeBack();
     lock.release();
+    if (core_.persistOn())
+        core_.persist->drainAndMark();
 }
 
 void
@@ -224,9 +236,15 @@ RhTl2Session::commit()
         // unfreeze. The serial lock drops in onComplete.
         writeBack();
         releaseIrrevocable();
+        if (core_.persistOn())
+            core_.persist->drainAndMark();
         return;
     }
-    if (commitHtmTries_ < core_.policy.smallHtmAttempts) {
+    // A durable run never commits through the small HTM: pwb/pfence
+    // ordering cannot live inside a best-effort hardware transaction,
+    // so go straight to the serialized software commit.
+    if (!core_.persistOn() &&
+        commitHtmTries_ < core_.policy.smallHtmAttempts) {
         commitMixedHtm();
         return;
     }
@@ -328,7 +346,11 @@ RhTl2Session::onUserAbort()
     core_.htm.cancel();
     // Lazy everywhere: nothing was published, no locks held outside
     // the commit routines (which release before unwinding) and an
-    // irrevocable upgrade (dropped here).
+    // irrevocable upgrade (dropped here). Nothing can be staged either
+    // (staging happens inside the infallible writeBack); the discard
+    // is defensive symmetry with the other sessions.
+    if (core_.persistOn())
+        core_.persist->discardStaged();
     releaseIrrevocable();
     core_.unwindTail();
     commitHtmTries_ = 0;

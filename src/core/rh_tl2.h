@@ -94,7 +94,8 @@ class RhTl2Session : public TxSession
     RhTl2Session(HtmEngine &eng, TmGlobals &globals, RhTl2Globals &tl2,
                  HtmTxn &htm, ThreadStats *stats,
                  const RetryPolicy &policy, unsigned access_penalty = 0,
-                 uint64_t cm_seed = 1);
+                 uint64_t cm_seed = 1,
+                 TxPersist *persist = nullptr);
 
     void begin(TxnHint hint) override;
     void commit() override;

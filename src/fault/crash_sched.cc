@@ -1,0 +1,53 @@
+#include "src/fault/crash_sched.h"
+
+namespace rhtm
+{
+
+CrashScheduler::CrashScheduler(CrashSchedule schedule)
+    : sched_(std::move(schedule)), fired_(sched_.points.size(), false)
+{}
+
+bool
+CrashScheduler::onSite(FaultSite site, unsigned tid)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    uint64_t hit = ++hits_[static_cast<unsigned>(site)];
+    bool crash = false;
+    for (size_t i = 0; i < sched_.points.size(); ++i) {
+        const CrashPoint &p = sched_.points[i];
+        if (fired_[i] || p.site != site || p.hit != hit)
+            continue;
+        if (p.tid >= 0 && static_cast<unsigned>(p.tid) != tid)
+            continue;
+        fired_[i] = true;
+        crash = true;
+    }
+    if (crash)
+        ++crashes_;
+    return crash;
+}
+
+uint64_t
+CrashScheduler::hits(FaultSite site) const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return hits_[static_cast<unsigned>(site)];
+}
+
+uint64_t
+CrashScheduler::crashesFired() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return crashes_;
+}
+
+void
+CrashScheduler::resetForTest()
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    fired_.assign(sched_.points.size(), false);
+    hits_.fill(0);
+    crashes_ = 0;
+}
+
+} // namespace rhtm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Scripted crash scheduling for the simulated-NVM persistence overlay.
+ *
+ * A CrashSchedule lists the exact (site, hit) coordinates at which the
+ * durable media must be snapshotted as if the machine lost power.
+ * Hits are counted globally across threads, so a schedule names "the
+ * 3rd time any thread reaches kCrashMidWriteback"; with one thread the
+ * coordinates are fully deterministic, which is what the crash-replay
+ * determinism guarantee (--crash-seed, docs/PERSISTENCE.md) relies on.
+ *
+ * The scheduler only *decides* where to crash. Capturing the durable
+ * snapshot -- including the adversarial treatment of un-fenced pwbs --
+ * is the NvmSim's job (src/persist/nvm_sim.h): the run keeps going
+ * after a capture, and every snapshot is recovered and checked after
+ * the run, so one soak exercises many independent crash points.
+ */
+
+#ifndef RHTM_FAULT_CRASH_SCHED_H
+#define RHTM_FAULT_CRASH_SCHED_H
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+
+namespace rhtm
+{
+
+/** One scripted crash coordinate. */
+struct CrashPoint
+{
+    /** Which persistence-protocol window (a kCrash* FaultSite). */
+    FaultSite site = FaultSite::kCrashPostMarker;
+
+    /** Fire on the Nth global hit of the site, 1-based. */
+    uint64_t hit = 1;
+
+    /** Restrict to one thread id; -1 = any thread. */
+    int tid = -1;
+};
+
+/** A full crash script: immutable input shared by a run. */
+struct CrashSchedule
+{
+    std::vector<CrashPoint> points;
+
+    bool empty() const { return points.empty(); }
+
+    /** Append a point (builder-style). */
+    CrashSchedule &
+    add(const CrashPoint &point)
+    {
+        points.push_back(point);
+        return *this;
+    }
+
+    /** Append a (site, hit) pair matching any thread. */
+    CrashSchedule &
+    at(FaultSite site, uint64_t hit)
+    {
+        return add(CrashPoint{site, hit, -1});
+    }
+};
+
+/**
+ * Run-scoped crash decision engine. Thread safe: hit counters are
+ * global across threads (see file comment); each scripted point fires
+ * at most once.
+ */
+class CrashScheduler
+{
+  public:
+    explicit CrashScheduler(CrashSchedule schedule);
+
+    CrashScheduler(const CrashScheduler &) = delete;
+    CrashScheduler &operator=(const CrashScheduler &) = delete;
+
+    /**
+     * Record a hit of @p site by thread @p tid; true when a scripted
+     * crash lands on this exact hit (the caller must then capture the
+     * durable snapshot before letting the run proceed).
+     */
+    bool onSite(FaultSite site, unsigned tid);
+
+    /** Global hits of @p site so far. */
+    uint64_t hits(FaultSite site) const;
+
+    /** Scripted points that have fired. */
+    uint64_t crashesFired() const;
+
+    /** Restore the exact post-construction state (test isolation). */
+    void resetForTest();
+
+  private:
+    mutable std::mutex mu_;
+    CrashSchedule sched_;
+    std::vector<bool> fired_;
+    std::array<uint64_t, kNumFaultSites> hits_{};
+    uint64_t crashes_ = 0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_FAULT_CRASH_SCHED_H

@@ -22,6 +22,11 @@ faultSiteName(FaultSite site)
       case FaultSite::kSerialHeld: return "serial-held";
       case FaultSite::kIrrevocableUpgrade: return "irrevocable-upgrade";
       case FaultSite::kUserException: return "user-exception";
+      case FaultSite::kCrashPreLogSeal: return "crash-pre-log-seal";
+      case FaultSite::kCrashPostSealPreWriteback:
+        return "crash-post-seal-pre-writeback";
+      case FaultSite::kCrashMidWriteback: return "crash-mid-writeback";
+      case FaultSite::kCrashPostMarker: return "crash-post-marker";
       case FaultSite::kNumSites: break;
     }
     return "unknown";

@@ -50,6 +50,18 @@ enum class FaultSite : unsigned
     kSerialHeld,      //!< Serial ticket lock just granted (held window).
     kIrrevocableUpgrade, //!< becomeIrrevocable() upgrade in progress.
     kUserException,   //!< Body opt-in: simulate a user exception here.
+
+    // Simulated-NVM crash sites (docs/PERSISTENCE.md). Fired by the
+    // persistence overlay around the durable-commit protocol; the
+    // scripted CrashScheduler (crash_sched.h) captures a durable-media
+    // snapshot at these points, and injector delay/yield rules widen
+    // the windows. Abort kinds are ignored here: a crash site is not
+    // an abort window (the commit is already past its point of no
+    // return when these fire).
+    kCrashPreLogSeal,          //!< Redo payload appended, seal not durable.
+    kCrashPostSealPreWriteback, //!< Seal durable, write-behind not started.
+    kCrashMidWriteback,        //!< Mid-drain: data pwbs pending, no fence.
+    kCrashPostMarker,          //!< Commit marker durable, handlers pending.
     kNumSites
 };
 

@@ -1,0 +1,348 @@
+#include "src/persist/nvm_sim.h"
+
+#include <chrono>
+
+namespace rhtm
+{
+
+uint64_t
+nvmChecksum(const uint64_t *words, size_t n)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t w = words[i];
+        for (unsigned b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xFF;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+RecoveryReport
+recoverImage(NvmImage &image, const RecoveryOptions &opts)
+{
+    auto start = std::chrono::steady_clock::now();
+    RecoveryReport report;
+    const std::vector<uint64_t> &log = image.log;
+    size_t pos = 0;
+    while (pos < log.size() && log[pos] != 0) {
+        uint64_t header = log[pos];
+        if (!nvmHeaderValid(header)) {
+            // Unparsable header: the append itself was cut short (or
+            // the media is corrupt); nothing beyond here has a known
+            // extent. Treat the tail as one discarded record.
+            ++report.recordsDiscarded;
+            break;
+        }
+        uint64_t entries = nvmHeaderEntries(header);
+        size_t sealPos = pos + 1 + 2 * entries;
+        if (sealPos >= log.size()) {
+            ++report.recordsDiscarded;
+            break;
+        }
+        uint64_t want = kNvmSealBase ^
+                        nvmChecksum(&log[pos], 1 + 2 * entries);
+        bool sealed = log[sealPos] == want;
+        if (sealed || opts.bugReplayUnsealed) {
+            for (uint64_t e = 0; e < entries; ++e) {
+                uint64_t off = log[pos + 1 + 2 * e];
+                uint64_t val = log[pos + 2 + 2 * e];
+                if (off < image.data.size()) {
+                    image.data[off] = val;
+                    ++report.entriesReplayed;
+                }
+            }
+            ++report.recordsReplayed;
+        } else {
+            ++report.recordsDiscarded;
+        }
+        pos = sealPos + 1;
+    }
+    for (uint64_t mark : image.marks) {
+        if (nvmMarkValid(mark))
+            ++report.marksObserved;
+    }
+    report.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return report;
+}
+
+NvmSim::NvmSim(const PersistConfig &cfg)
+    : cfg_(cfg), sched_(cfg.crashes)
+{}
+
+void
+NvmSim::registerRegion(const uint64_t *base, size_t words)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    uint64_t start = initialData_.size();
+    ranges_.push_back(Range{base, words, start});
+    for (size_t i = 0; i < words; ++i) {
+        uint64_t v = base[i];
+        initialData_.push_back(v);
+        vol_.data.push_back(v);
+        dur_.data.push_back(v); // Formatting is durable by definition.
+    }
+}
+
+bool
+NvmSim::mapOffset(const uint64_t *addr, uint64_t *offset) const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    for (const Range &r : ranges_) {
+        if (addr >= r.base && addr < r.base + r.words) {
+            *offset = r.startOffset +
+                      static_cast<uint64_t>(addr - r.base);
+            return true;
+        }
+    }
+    return false;
+}
+
+uint64_t *
+NvmSim::volSlot(uint8_t region, uint64_t offset)
+{
+    switch (region) {
+      case 0: return &vol_.data[offset];
+      case 1: return &vol_.log[offset];
+      default: return &vol_.marks[offset];
+    }
+}
+
+std::vector<NvmSim::PendingPwb> &
+NvmSim::pendingOf(unsigned tid)
+{
+    if (pending_.size() <= tid)
+        pending_.resize(tid + 1);
+    return pending_[tid];
+}
+
+void
+NvmSim::pwbLocked(unsigned tid, uint8_t region, uint64_t offset)
+{
+    pendingOf(tid).push_back(
+        PendingPwb{region, offset, *volSlot(region, offset)});
+    ++pwbs_;
+}
+
+void
+NvmSim::fenceLocked(unsigned tid)
+{
+    std::vector<PendingPwb> &queue = pendingOf(tid);
+    for (const PendingPwb &p : queue) {
+        switch (p.region) {
+          case 0: dur_.data[p.offset] = p.value; break;
+          case 1: dur_.log[p.offset] = p.value; break;
+          default: dur_.marks[p.offset] = p.value; break;
+        }
+    }
+    queue.clear();
+    ++pfences_;
+}
+
+uint64_t
+NvmSim::appendRecord(unsigned tid, uint64_t txnId,
+                     const std::vector<DurableWrite> &writes)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    uint64_t pos = vol_.log.size();
+    // Grow both images together: the media has capacity; only the
+    // *contents* go through the pwb/pfence discipline.
+    size_t grow = 2 + 2 * writes.size(); // header + payload + seal.
+    vol_.log.resize(pos + grow, 0);
+    dur_.log.resize(pos + grow, 0);
+    vol_.log[pos] = nvmRecordHeader(txnId, writes.size());
+    pwbLocked(tid, 1, pos);
+    for (size_t i = 0; i < writes.size(); ++i) {
+        vol_.log[pos + 1 + 2 * i] = writes[i].offset;
+        vol_.log[pos + 2 + 2 * i] = writes[i].value;
+        pwbLocked(tid, 1, pos + 1 + 2 * i);
+        pwbLocked(tid, 1, pos + 2 + 2 * i);
+    }
+    // Fence the payload before returning: recovery can then always
+    // parse an unsealed record's extent and skip it (the seal is the
+    // only commit point; see recoverImage()).
+    fenceLocked(tid);
+    return pos;
+}
+
+uint64_t
+NvmSim::sealRecord(unsigned tid, uint64_t txnId, uint64_t logPos,
+                   const std::vector<DurableWrite> &writes)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    uint64_t sealPos = logPos + 1 + 2 * writes.size();
+    vol_.log[sealPos] =
+        kNvmSealBase ^ nvmChecksum(&vol_.log[logPos],
+                                   1 + 2 * writes.size());
+    pwbLocked(tid, 1, sealPos);
+    fenceLocked(tid);
+    uint64_t index = history_.size();
+    history_.push_back(
+        DurableTxnRecord{txnId, tid, index, logPos, writes});
+    vol_.marks.push_back(0);
+    dur_.marks.push_back(0);
+    ++sealed_;
+    return index;
+}
+
+void
+NvmSim::dataWrite(unsigned tid, uint64_t offset, uint64_t value)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    vol_.data[offset] = value;
+    pwbLocked(tid, 0, offset);
+}
+
+void
+NvmSim::fence(unsigned tid)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    fenceLocked(tid);
+}
+
+void
+NvmSim::writeMark(unsigned tid, uint64_t recordIndex, uint64_t txnId)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    vol_.marks[recordIndex] = nvmMarkWord(txnId);
+    pwbLocked(tid, 2, recordIndex);
+    fenceLocked(tid);
+    ++marks_;
+}
+
+bool
+NvmSim::crashPoint(FaultSite site, unsigned tid)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!sched_.onSite(site, tid))
+        return false;
+    captureLocked(site, tid, sched_.hits(site));
+    return true;
+}
+
+void
+NvmSim::captureLocked(FaultSite site, unsigned tid, uint64_t siteHit)
+{
+    if (snapshots_.size() >= cfg_.maxSnapshots)
+        return;
+    CrashSnapshot snap;
+    snap.site = site;
+    snap.tid = tid;
+    snap.siteHit = siteHit;
+    snap.image = dur_;
+    // Unfenced pwbs at the power loss: by default none retired (the
+    // adversarial reading of "issued is not flushed"); with
+    // reorderedFlushes a seeded random subset did, and with tornWrites
+    // a surviving flush may carry only half the word. Seeded per
+    // snapshot index, so a fixed --crash-seed replays byte-identical
+    // images in single-threaded runs.
+    Rng rng(cfg_.seed + 0x9e3779b97f4a7c15ull * (snapshots_.size() + 1));
+    if (cfg_.reorderedFlushes) {
+        for (const std::vector<PendingPwb> &queue : pending_) {
+            for (const PendingPwb &p : queue) {
+                if (rng.nextBounded(2) == 0)
+                    continue; // This flush never retired.
+                uint64_t value = p.value;
+                std::vector<uint64_t> &region =
+                    p.region == 0   ? snap.image.data
+                    : p.region == 1 ? snap.image.log
+                                    : snap.image.marks;
+                if (cfg_.tornWrites && rng.nextBounded(2) == 0) {
+                    // Low half retired, high half did not.
+                    value = (region[p.offset] & 0xFFFFFFFF00000000ull) |
+                            (value & 0xFFFFFFFFull);
+                }
+                region[p.offset] = value;
+            }
+        }
+    }
+    snap.history = history_;
+    snap.initialData = initialData_;
+    snapshots_.push_back(std::move(snap));
+}
+
+NvmImage
+NvmSim::durableImage() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return dur_;
+}
+
+std::vector<DurableTxnRecord>
+NvmSim::historyCopy() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return history_;
+}
+
+std::vector<uint64_t>
+NvmSim::initialData() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return initialData_;
+}
+
+size_t
+NvmSim::dataWords() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return initialData_.size();
+}
+
+uint64_t
+NvmSim::pwbCount() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return pwbs_;
+}
+
+uint64_t
+NvmSim::pfenceCount() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return pfences_;
+}
+
+uint64_t
+NvmSim::recordsSealed() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return sealed_;
+}
+
+uint64_t
+NvmSim::marksWritten() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return marks_;
+}
+
+uint64_t
+NvmSim::crashesCaptured() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return snapshots_.size();
+}
+
+void
+NvmSim::resetForTest()
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    vol_.data = initialData_;
+    dur_.data = initialData_;
+    vol_.log.clear();
+    dur_.log.clear();
+    vol_.marks.clear();
+    dur_.marks.clear();
+    pending_.clear();
+    history_.clear();
+    snapshots_.clear();
+    pwbs_ = pfences_ = sealed_ = marks_ = 0;
+    sched_.resetForTest();
+}
+
+} // namespace rhtm

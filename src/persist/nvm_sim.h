@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Simulated non-volatile memory for the durable-commit overlay
+ * (docs/PERSISTENCE.md).
+ *
+ * The model follows the persistent-HyTM literature's machine model:
+ * stores reach a volatile cache first and become durable only after an
+ * explicit write-back (`pwb`, the CLWB analog) followed by a fence
+ * (`pfence`, the SFENCE analog). NvmSim keeps two images of the
+ * simulated media -- the volatile one every write lands in and the
+ * durable one only pfence-drained write-backs reach -- plus a
+ * per-thread queue of issued-but-unfenced pwbs.
+ *
+ * The media is three regions:
+ *   - data:  the shadow durable heap. Setup code registers ordinary
+ *            heap ranges; transactional writes to registered words are
+ *            redo-logged and written behind.
+ *   - log:   the append-only durable redo log. One record per durable
+ *            transaction: header, (offset,value) payload, seal word
+ *            (magic xor checksum). The payload is fenced before the
+ *            seal is written, and the seal is fenced before the commit
+ *            locks release, so the sealed set is exactly the durable
+ *            commit order.
+ *   - marks: one commit-marker word per sealed record, written (and
+ *            fenced) after the write-behind drain.
+ *
+ * A "crash" never kills the process: at a scripted CrashScheduler
+ * coordinate the NvmSim atomically snapshots the durable image --
+ * dropping, reordering, or tearing the still-unfenced pwbs under a
+ * seeded RNG -- together with the seal-order history that is the
+ * checker's ground truth. The run continues; every snapshot is
+ * recovered and verified after the run (src/check/recovery.h).
+ */
+
+#ifndef RHTM_PERSIST_NVM_SIM_H
+#define RHTM_PERSIST_NVM_SIM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/fault/crash_sched.h"
+#include "src/fault/fault_injector.h"
+#include "src/util/rng.h"
+
+namespace rhtm
+{
+
+/** Persistence-overlay configuration (RuntimeConfig::persist). */
+struct PersistConfig
+{
+    /**
+     * Master switch. When set, every HTM fast path escalates to the
+     * logged slow path (hardware transactions cannot contain pwb
+     * ordering, per the Persistent HyTM split) and slow-path commits
+     * run the seal/drain/mark protocol.
+     */
+    bool enabled = false;
+
+    /**
+     * Seed for the crash-capture RNG (torn/reordered pwb decisions);
+     * 0 inherits RuntimeConfig::rngSeed. This is the --crash-seed
+     * determinism knob: same seed, same single-threaded run, byte-
+     * identical durable images.
+     */
+    uint64_t seed = 0;
+
+    /** Crash capture may tear surviving unfenced pwbs (half a word). */
+    bool tornWrites = false;
+
+    /**
+     * Crash capture persists a seeded random subset of unfenced pwbs
+     * (flushes retire out of order). Default: drop them all.
+     */
+    bool reorderedFlushes = false;
+
+    /** Snapshot budget; further scripted crashes are ignored. */
+    size_t maxSnapshots = 64;
+
+    /** Scripted crash coordinates (src/fault/crash_sched.h). */
+    CrashSchedule crashes;
+};
+
+/** One word of redo payload: data-region offset and new value. */
+struct DurableWrite
+{
+    uint64_t offset;
+    uint64_t value;
+};
+
+/**
+ * The media image: plain word arrays, byte-comparable (the crash
+ * determinism guarantee is equality of this struct).
+ */
+struct NvmImage
+{
+    std::vector<uint64_t> data;
+    std::vector<uint64_t> log;
+    std::vector<uint64_t> marks;
+
+    bool operator==(const NvmImage &) const = default;
+};
+
+/**
+ * Ground-truth history entry: one sealed durable transaction, in seal
+ * order (== durable commit order; see the file comment).
+ */
+struct DurableTxnRecord
+{
+    uint64_t txnId;
+    unsigned tid;
+    uint64_t recordIndex; //!< Seal-order position; also its marks slot.
+    uint64_t logPos;      //!< Word offset of the record header in log.
+    std::vector<DurableWrite> writes;
+};
+
+/** Everything captured at one scripted crash point. */
+struct CrashSnapshot
+{
+    FaultSite site;    //!< Crash site that fired.
+    unsigned tid;      //!< Thread whose protocol step crashed.
+    uint64_t siteHit;  //!< Global hit index of the site at capture.
+    NvmImage image;    //!< Durable media as the power loss left it.
+    std::vector<DurableTxnRecord> history; //!< Sealed txns at capture.
+    std::vector<uint64_t> initialData;     //!< Data region at format.
+};
+
+// ---------------------------------------------------------------------
+// Log-record encoding (docs/PERSISTENCE.md "Log format").
+
+/** Record header magic, top 16 bits. */
+constexpr uint64_t kNvmRecordMagic = 0x52EC;
+
+/** Seal base; the seal word is this xor the record checksum. */
+constexpr uint64_t kNvmSealBase = 0x5EA1D00DFEEDFACEull;
+
+/** Commit-marker magic, top 16 bits. */
+constexpr uint64_t kNvmMarkMagic = 0x3A4B;
+
+/** Build a header word: magic | entry count | low txn-id bits. */
+inline uint64_t
+nvmRecordHeader(uint64_t txnId, uint64_t entries)
+{
+    return (kNvmRecordMagic << 48) | ((entries & 0xFFFF) << 32) |
+           (txnId & 0xFFFFFFFF);
+}
+
+/** True when @p word carries the record-header magic. */
+inline bool
+nvmHeaderValid(uint64_t word)
+{
+    return (word >> 48) == kNvmRecordMagic;
+}
+
+/** Entry count of a header word. */
+inline uint64_t
+nvmHeaderEntries(uint64_t word)
+{
+    return (word >> 32) & 0xFFFF;
+}
+
+/** Build a commit-marker word. */
+inline uint64_t
+nvmMarkWord(uint64_t txnId)
+{
+    return (kNvmMarkMagic << 48) | (txnId & 0xFFFFFFFFFFFFull);
+}
+
+/** True when @p word is a durable commit marker. */
+inline bool
+nvmMarkValid(uint64_t word)
+{
+    return (word >> 48) == kNvmMarkMagic;
+}
+
+/** FNV-1a over @p n log words (header + payload), for the seal. */
+uint64_t nvmChecksum(const uint64_t *words, size_t n);
+
+// ---------------------------------------------------------------------
+// Recovery.
+
+/** Deliberate-bug switches for checker regression tests. */
+struct RecoveryOptions
+{
+    /**
+     * Reintroduce the classic recovery bug: replay a record whose
+     * seal does not verify (a torn/unsealed tail). The recovery-
+     * consistency checker must flag the result (tools/ci.sh runs this
+     * reverted-fix leg; see recovery_check_test.cc).
+     */
+    bool bugReplayUnsealed = false;
+};
+
+/** Per-recovery counters (bench_crash's per-phase CSV columns). */
+struct RecoveryReport
+{
+    uint64_t recordsReplayed = 0;
+    uint64_t recordsDiscarded = 0; //!< Unsealed/torn records skipped.
+    uint64_t entriesReplayed = 0;
+    uint64_t marksObserved = 0;    //!< Valid durable commit markers.
+    double seconds = 0.0;          //!< Wall-clock replay time.
+};
+
+/**
+ * Crash recovery: walk @p image's log in append order, replay every
+ * record whose seal verifies into the data region, and discard (skip)
+ * records whose seal does not -- a record appended but not yet sealed
+ * at the crash, or one whose seal pwb never retired. Headers are
+ * always durable before a crash site can fire (the payload is fenced
+ * inside the append), so an unsealed record's extent is known and
+ * recovery continues past it; replay stops only at the zeroed tail or
+ * an unparsable header.
+ */
+RecoveryReport recoverImage(NvmImage &image,
+                            const RecoveryOptions &opts = {});
+
+// ---------------------------------------------------------------------
+
+/**
+ * The simulated NVM device plus its persistence-order bookkeeping.
+ * One per TmRuntime; every operation serializes on an internal mutex
+ * (the overlay is a correctness harness, not a fast path -- see
+ * docs/PERSISTENCE.md "Cost model").
+ */
+class NvmSim
+{
+  public:
+    explicit NvmSim(const PersistConfig &cfg);
+
+    NvmSim(const NvmSim &) = delete;
+    NvmSim &operator=(const NvmSim &) = delete;
+
+    /**
+     * Map @p words heap words starting at @p base onto the durable
+     * data region (setup-time, before transactions run). The current
+     * heap values become the formatted durable contents.
+     */
+    void registerRegion(const uint64_t *base, size_t words);
+
+    /** Durable data-region offset of @p addr, or false if unmapped. */
+    bool mapOffset(const uint64_t *addr, uint64_t *offset) const;
+
+    // -- Durable-commit protocol steps (called by TxPersist) ----------
+
+    /**
+     * Append a record (header + payload) for @p writes, pwb every
+     * word, and fence it: on return the payload is durable, the seal
+     * is not. Returns the header's log position.
+     */
+    uint64_t appendRecord(unsigned tid, uint64_t txnId,
+                          const std::vector<DurableWrite> &writes);
+
+    /**
+     * Write, pwb, and fence the seal word of the record at @p logPos,
+     * then append the transaction to the seal-order history and
+     * reserve its marks slot. Atomic with respect to crash capture.
+     * Returns the record's seal-order index.
+     */
+    uint64_t sealRecord(unsigned tid, uint64_t txnId, uint64_t logPos,
+                        const std::vector<DurableWrite> &writes);
+
+    /** Write-behind one data word: volatile store + queued pwb. */
+    void dataWrite(unsigned tid, uint64_t offset, uint64_t value);
+
+    /** Drain this thread's pending pwbs into the durable image. */
+    void fence(unsigned tid);
+
+    /** Write, pwb, and fence the commit marker of @p recordIndex. */
+    void writeMark(unsigned tid, uint64_t recordIndex, uint64_t txnId);
+
+    /**
+     * Crash hook: count the site hit and, when the schedule says so,
+     * capture a snapshot (true). The caller keeps running either way.
+     */
+    bool crashPoint(FaultSite site, unsigned tid);
+
+    // -- Inspection (quiescent callers) -------------------------------
+
+    /** Copy of the durable media image. */
+    NvmImage durableImage() const;
+
+    /** Copy of the seal-order history. */
+    std::vector<DurableTxnRecord> historyCopy() const;
+
+    /** Copy of the formatted (initial) data region. */
+    std::vector<uint64_t> initialData() const;
+
+    /** Captured crash snapshots (stable once threads are quiescent). */
+    const std::vector<CrashSnapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /** Registered data-region size in words. */
+    size_t dataWords() const;
+
+    uint64_t pwbCount() const;
+    uint64_t pfenceCount() const;
+    uint64_t recordsSealed() const;
+    uint64_t marksWritten() const;
+    uint64_t crashesCaptured() const;
+
+    /**
+     * Restore the just-formatted state: log/marks/history/snapshots/
+     * pending cleared, data regions rewound to the registration-time
+     * contents, crash schedule re-armed. Registered ranges persist.
+     */
+    void resetForTest();
+
+  private:
+    struct Range
+    {
+        const uint64_t *base;
+        size_t words;
+        uint64_t startOffset;
+    };
+
+    struct PendingPwb
+    {
+        uint8_t region; //!< 0 = data, 1 = log, 2 = marks.
+        uint64_t offset;
+        uint64_t value;
+    };
+
+    uint64_t *volSlot(uint8_t region, uint64_t offset);
+    void pwbLocked(unsigned tid, uint8_t region, uint64_t offset);
+    void fenceLocked(unsigned tid);
+    std::vector<PendingPwb> &pendingOf(unsigned tid);
+    void captureLocked(FaultSite site, unsigned tid, uint64_t siteHit);
+
+    PersistConfig cfg_;
+    CrashScheduler sched_;
+
+    mutable std::mutex mu_;
+    std::vector<Range> ranges_;
+    std::vector<uint64_t> initialData_;
+    NvmImage vol_; //!< Volatile (cached) media contents.
+    NvmImage dur_; //!< Durable contents (fenced pwbs only).
+    std::vector<std::vector<PendingPwb>> pending_; //!< Per tid.
+    std::vector<DurableTxnRecord> history_;
+    std::vector<CrashSnapshot> snapshots_;
+
+    uint64_t pwbs_ = 0;
+    uint64_t pfences_ = 0;
+    uint64_t sealed_ = 0;
+    uint64_t marks_ = 0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_PERSIST_NVM_SIM_H

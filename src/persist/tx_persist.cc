@@ -1,0 +1,99 @@
+#include "src/persist/tx_persist.h"
+
+#include <thread>
+
+namespace rhtm
+{
+
+TxPersist::TxPersist(NvmSim *nvm, FaultInjector *injector,
+                     ThreadStats *stats, unsigned tid)
+    : nvm_(nvm), injector_(injector), stats_(stats), tid_(tid)
+{}
+
+void
+TxPersist::firePoint(FaultSite site)
+{
+    if (injector_ != nullptr) {
+        uint32_t spins = 0;
+        switch (injector_->fire(site, &spins)) {
+          case FaultKind::kDelay: {
+            volatile uint32_t sink = 0;
+            for (uint32_t i = 0; i < spins; ++i)
+                sink = sink + 1;
+            break;
+          }
+          case FaultKind::kYield:
+            std::this_thread::yield();
+            break;
+          default:
+            // Abort/squeeze kinds have no meaning at a crash site.
+            break;
+        }
+    }
+    nvm_->crashPoint(site, tid_);
+}
+
+void
+TxPersist::stage(const uint64_t *addr, uint64_t value)
+{
+    uint64_t offset;
+    if (!nvm_->mapOffset(addr, &offset))
+        return;
+    staged_.push_back(DurableWrite{offset, value});
+}
+
+void
+TxPersist::sealStaged()
+{
+    if (staged_.empty())
+        return;
+    txnId_ = ((static_cast<uint64_t>(tid_) + 1) << 32) | ++nextSeq_;
+    uint64_t logPos = nvm_->appendRecord(tid_, txnId_, staged_);
+    firePoint(FaultSite::kCrashPreLogSeal);
+    recordIndex_ = nvm_->sealRecord(tid_, txnId_, logPos, staged_);
+    sealedWrites_ = std::move(staged_);
+    staged_.clear();
+    sealedPending_ = true;
+    ++sealedCount_;
+    if (stats_ != nullptr) {
+        stats_->inc(Counter::kDurableRecordsSealed);
+        stats_->inc(Counter::kDurableEntriesLogged,
+                    sealedWrites_.size());
+    }
+    firePoint(FaultSite::kCrashPostSealPreWriteback);
+}
+
+void
+TxPersist::drainAndMark()
+{
+    if (!sealedPending_)
+        return;
+    size_t n = sealedWrites_.size();
+    for (size_t i = 0; i < n; ++i) {
+        nvm_->dataWrite(tid_, sealedWrites_[i].offset,
+                        sealedWrites_[i].value);
+        if (i == (n - 1) / 2)
+            firePoint(FaultSite::kCrashMidWriteback);
+    }
+    nvm_->fence(tid_);
+    nvm_->writeMark(tid_, recordIndex_, txnId_);
+    if (stats_ != nullptr)
+        stats_->inc(Counter::kDurableMarksWritten);
+    sealedWrites_.clear();
+    sealedPending_ = false;
+    firePoint(FaultSite::kCrashPostMarker);
+}
+
+void
+TxPersist::resetForTest()
+{
+    staged_.clear();
+    sealedWrites_.clear();
+    sealedPending_ = false;
+    recordIndex_ = 0;
+    txnId_ = 0;
+    nextSeq_ = 0;
+    sealedCount_ = 0;
+}
+
+} // namespace rhtm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-thread durable-commit facade over NvmSim.
+ *
+ * A session stages every write it makes to a registered durable range
+ * (stage-at-write for eager algorithms, stage-at-publish for lazy
+ * ones), then drives the three-step durable commit:
+ *
+ *   sealStaged()    -- while the commit locks are still held, before
+ *                      the CommitSeqlock release / orec release /
+ *                      global-lock drop that makes the transaction
+ *                      visible: append the redo record, fence the
+ *                      payload, write and fence the seal. The sealed
+ *                      set is therefore always a dependency-consistent
+ *                      prefix of the commit order.
+ *   drainAndMark()  -- after release: write each value behind into
+ *                      the durable data region (pwb per word), fence,
+ *                      then write and fence the commit marker.
+ *   discardStaged() -- on any abort/restart path before the seal.
+ *
+ * The four kCrash* fault sites fire between these fence points; the
+ * thread's FaultInjector may additionally stretch the windows with
+ * delay/yield rules (abort kinds are ignored here -- by seal time the
+ * commit is past its point of no return).
+ */
+
+#ifndef RHTM_PERSIST_TX_PERSIST_H
+#define RHTM_PERSIST_TX_PERSIST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/persist/nvm_sim.h"
+#include "src/stats/stats.h"
+
+namespace rhtm
+{
+
+/** Per-thread durable-commit driver. Not shareable across threads. */
+class TxPersist
+{
+  public:
+    TxPersist(NvmSim *nvm, FaultInjector *injector, ThreadStats *stats,
+              unsigned tid);
+
+    TxPersist(const TxPersist &) = delete;
+    TxPersist &operator=(const TxPersist &) = delete;
+
+    /** True when a simulated NVM device is attached. */
+    bool enabled() const { return nvm_ != nullptr; }
+
+    /**
+     * Record a transactional write. Writes outside every registered
+     * durable range are ignored (volatile heap). Duplicates are kept:
+     * replay applies entries in order, so last-write-wins holds.
+     */
+    void stage(const uint64_t *addr, uint64_t value);
+
+    /** Staged entries for the current transaction. */
+    bool hasStaged() const { return !staged_.empty(); }
+
+    /** Abort/restart path: the attempt's staged writes are void. */
+    void discardStaged() { staged_.clear(); }
+
+    /**
+     * Durable-commit step 1 (commit locks held): append + fence the
+     * redo payload, fire kCrashPreLogSeal, seal + fence, fire
+     * kCrashPostSealPreWriteback. No-op with nothing staged (read-only
+     * transactions have no durable footprint).
+     */
+    void sealStaged();
+
+    /**
+     * Durable-commit step 2 (after the visibility release): write the
+     * sealed values behind (kCrashMidWriteback fires mid-drain),
+     * fence, write + fence the commit marker, fire kCrashPostMarker.
+     * No-op unless a seal is outstanding.
+     */
+    void drainAndMark();
+
+    /** Records this thread has sealed (white-box tests). */
+    uint64_t recordsSealed() const { return sealedCount_; }
+
+    /** Restore the just-constructed state (test isolation). */
+    void resetForTest();
+
+  private:
+    void firePoint(FaultSite site);
+
+    NvmSim *nvm_;
+    FaultInjector *injector_;
+    ThreadStats *stats_;
+    unsigned tid_;
+
+    std::vector<DurableWrite> staged_;
+    std::vector<DurableWrite> sealedWrites_;
+    bool sealedPending_ = false;
+    uint64_t recordIndex_ = 0;
+    uint64_t txnId_ = 0;
+    uint64_t nextSeq_ = 0;
+    uint64_t sealedCount_ = 0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_PERSIST_TX_PERSIST_H

@@ -138,6 +138,15 @@ StatsSummary::toString() const
        << get(Counter::kUserExceptionAborts) << "\n"
        << "transactional accesses: " << accesses() << " ("
        << accessesPerOp() << "/op)\n";
+    if (get(Counter::kDurableRecordsSealed) > 0 ||
+        get(Counter::kPersistEscalations) > 0) {
+        os << "persist escalations:   "
+           << get(Counter::kPersistEscalations) << "\n"
+           << "durable records:       "
+           << get(Counter::kDurableRecordsSealed) << " sealed ("
+           << get(Counter::kDurableEntriesLogged) << " entries), "
+           << get(Counter::kDurableMarksWritten) << " marked\n";
+    }
     return os.str();
 }
 

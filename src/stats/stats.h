@@ -54,6 +54,10 @@ enum class Counter : unsigned
     kFastPathWrites,        //!< Transactional writes inside HTM attempts.
     kSlowPathReads,         //!< Instrumented software/mixed-path reads.
     kSlowPathWrites,        //!< Instrumented software/mixed-path writes.
+    kPersistEscalations,    //!< Fast paths escalated for durability.
+    kDurableRecordsSealed,  //!< Redo-log records sealed (durable txns).
+    kDurableEntriesLogged,  //!< (offset,value) pairs appended to the log.
+    kDurableMarksWritten,   //!< Commit markers made durable.
     kNumCounters
 };
 

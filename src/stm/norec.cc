@@ -19,9 +19,10 @@ constexpr unsigned kSerializeAfterRestarts = 64;
 
 NOrecEagerSession::NOrecEagerSession(TmGlobals &globals,
                                      ThreadStats *stats,
-                                     unsigned access_penalty)
+                                     unsigned access_penalty,
+                                     TxPersist *persist)
     : g_(globals), stats_(stats), penalty_(access_penalty),
-      seqlock_(mem_, &globals.clock)
+      seqlock_(mem_, &globals.clock), persist_(persist)
 {}
 
 uint64_t
@@ -81,6 +82,8 @@ NOrecEagerSession::readPhaseWrite(void *self, uint64_t *addr,
     s->writeDetected_ = true;
     s->bindDispatch(kWriterDispatch, s);
     s->undo_.push(addr, s->mem_.load(addr));
+    if (s->persist_ != nullptr)
+        s->persist_->stage(addr, value);
     s->mem_.store(addr, value);
 }
 
@@ -102,6 +105,8 @@ NOrecEagerSession::writerWrite(void *self, uint64_t *addr,
     simDelay(s->penalty_);
     ++s->tally_.slowWrites;
     s->undo_.push(addr, s->mem_.load(addr));
+    if (s->persist_ != nullptr)
+        s->persist_->stage(addr, value);
     s->mem_.store(addr, value);
 }
 
@@ -117,8 +122,15 @@ NOrecEagerSession::commit()
 {
     if (!writeDetected_)
         return; // Read-only: validated by every read.
+    // Durable commit: seal while the clock lock still excludes every
+    // other writer (sealed set = prefix of commit order), drain the
+    // write-behind after the release.
+    if (persist_ != nullptr)
+        persist_->sealStaged();
     seqlock_.releaseAdvance(txVersion_);
     writeDetected_ = false;
+    if (persist_ != nullptr)
+        persist_->drainAndMark();
 }
 
 void
@@ -144,6 +156,8 @@ NOrecEagerSession::becomeIrrevocable()
 void
 NOrecEagerSession::rollbackWriter()
 {
+    if (persist_ != nullptr)
+        persist_->discardStaged();
     if (!writeDetected_)
         return;
     undo_.rollback(mem_);
@@ -213,9 +227,10 @@ NOrecEagerSession::onComplete()
 
 NOrecLazySession::NOrecLazySession(TmGlobals &globals,
                                    ThreadStats *stats,
-                                   unsigned access_penalty)
+                                   unsigned access_penalty,
+                                   TxPersist *persist)
     : g_(globals), stats_(stats), penalty_(access_penalty),
-      seqlock_(mem_, &globals.clock), writes_(12)
+      seqlock_(mem_, &globals.clock), writes_(12), persist_(persist)
 {}
 
 uint64_t
@@ -310,10 +325,19 @@ NOrecLazySession::commit()
             txVersion_, [this] { return validate(); });
         clockHeld_ = true;
     }
-    writes_.forEach(
-        [this](uint64_t *addr, uint64_t value) { mem_.store(addr, value); });
+    // Stage-at-publish: the lazy write set only becomes the durable
+    // redo payload here, once validation has succeeded.
+    writes_.forEach([this](uint64_t *addr, uint64_t value) {
+        if (persist_ != nullptr)
+            persist_->stage(addr, value);
+        mem_.store(addr, value);
+    });
+    if (persist_ != nullptr)
+        persist_->sealStaged();
     seqlock_.releaseAdvance(txVersion_);
     clockHeld_ = false;
+    if (persist_ != nullptr)
+        persist_->drainAndMark();
 }
 
 void
@@ -354,6 +378,8 @@ NOrecLazySession::onHtmAbort(const HtmAbort &abort)
 void
 NOrecLazySession::onRestart()
 {
+    if (persist_ != nullptr)
+        persist_->discardStaged();
     if (clockHeld_) {
         // Nothing was written back; restore the clock unchanged.
         seqlock_.releaseRestore(txVersion_);
@@ -370,6 +396,8 @@ NOrecLazySession::onRestart()
 void
 NOrecLazySession::onUserAbort()
 {
+    if (persist_ != nullptr)
+        persist_->discardStaged();
     if (clockHeld_) {
         seqlock_.releaseRestore(txVersion_);
         clockHeld_ = false;

@@ -55,7 +55,8 @@ class NOrecEagerSession : public TxSession
      * @param stats Per-thread counters; may be null.
      */
     NOrecEagerSession(TmGlobals &globals, ThreadStats *stats,
-                      unsigned access_penalty = 0);
+                      unsigned access_penalty = 0,
+                      TxPersist *persist = nullptr);
 
     void begin(TxnHint hint) override;
     void commit() override;
@@ -116,6 +117,7 @@ class NOrecEagerSession : public TxSession
     bool irrevocable_ = false;
     unsigned restarts_ = 0;
     UndoJournal undo_;
+    TxPersist *persist_; //!< Durable-commit driver; null = off.
 };
 
 /**
@@ -127,7 +129,8 @@ class NOrecLazySession : public TxSession
 {
   public:
     NOrecLazySession(TmGlobals &globals, ThreadStats *stats,
-                     unsigned access_penalty = 0);
+                     unsigned access_penalty = 0,
+                     TxPersist *persist = nullptr);
 
     void begin(TxnHint hint) override;
     void commit() override;
@@ -186,6 +189,7 @@ class NOrecLazySession : public TxSession
     unsigned restarts_ = 0;
     ValueReadLog readLog_;
     RedoBuffer writes_;
+    TxPersist *persist_; //!< Durable-commit driver; null = off.
 };
 
 } // namespace rhtm

@@ -8,8 +8,10 @@ namespace rhtm
 {
 
 Tl2Session::Tl2Session(Tl2Globals &globals, ThreadStats *stats,
-                       unsigned tid, unsigned access_penalty)
-    : g_(globals), stats_(stats), tid_(tid), penalty_(access_penalty)
+                       unsigned tid, unsigned access_penalty,
+                       TxPersist *persist)
+    : g_(globals), stats_(stats), tid_(tid), penalty_(access_penalty),
+      persist_(persist)
 {
     readLog_.reserve(1024);
     owned_.reserve(256);
@@ -78,6 +80,8 @@ Tl2Session::optimisticWrite(void *self, uint64_t *addr, uint64_t value)
         s->owned_.push_back({idx, o});
     }
     s->undo_.push(addr, s->mem_.load(addr));
+    if (s->persist_ != nullptr)
+        s->persist_->stage(addr, value);
     s->mem_.store(addr, value);
 }
 
@@ -104,6 +108,8 @@ Tl2Session::pinnedWrite(void *self, uint64_t *addr, uint64_t value)
     size_t idx = s->g_.orecOf(addr);
     s->lockOrecIrrevocable(idx, false);
     s->undo_.push(addr, s->mem_.load(addr));
+    if (s->persist_ != nullptr)
+        s->persist_->stage(addr, value);
     s->mem_.store(addr, value);
 }
 
@@ -132,6 +138,13 @@ Tl2Session::commit()
             }
         }
     }
+    // Durable commit: validation has passed and the write set is
+    // final, so seal while the orecs are still held -- TL2 commits of
+    // disjoint write sets may interleave their log appends, but
+    // held-orec sealing keeps the log dependency-consistent with the
+    // version order (docs/PERSISTENCE.md "Non-seqlock commit orders").
+    if (persist_ != nullptr)
+        persist_->sealStaged();
     for (const OwnedOrec &oo : owned_) {
         schedPoint(SchedPoint::kRawStore, &g_.orec(oo.idx));
         g_.orec(oo.idx).store(wv, std::memory_order_release);
@@ -139,6 +152,8 @@ Tl2Session::commit()
     owned_.clear();
     undo_.clear();
     releaseIrrevocable();
+    if (persist_ != nullptr)
+        persist_->drainAndMark();
 }
 
 bool
@@ -213,6 +228,8 @@ Tl2Session::releaseIrrevocable()
 void
 Tl2Session::rollback()
 {
+    if (persist_ != nullptr)
+        persist_->discardStaged();
     undo_.rollback(mem_);
     for (const OwnedOrec &oo : owned_) {
         schedPoint(SchedPoint::kRawStore, &g_.orec(oo.idx));

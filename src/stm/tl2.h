@@ -118,7 +118,8 @@ class Tl2Session : public TxSession
 {
   public:
     Tl2Session(Tl2Globals &globals, ThreadStats *stats, unsigned tid,
-               unsigned access_penalty = 0);
+               unsigned access_penalty = 0,
+               TxPersist *persist = nullptr);
 
     void begin(TxnHint hint) override;
     void commit() override;
@@ -188,6 +189,7 @@ class Tl2Session : public TxSession
     std::vector<size_t> readLog_;
     std::vector<OwnedOrec> owned_;
     UndoJournal undo_;
+    TxPersist *persist_; //!< Durable-commit driver; null = off.
 };
 
 } // namespace rhtm

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * White-box crash test for the deferred-action / durable-commit seam:
+ * a crash captured between the commit's visibility release and the
+ * deferred onCommit handlers (kCrashPostMarker fires inside the
+ * drain+mark step, before the action log unwinds) must neither lose
+ * nor duplicate handler effects, and the crashed transaction -- whose
+ * marker is durable -- must survive recovery
+ * (docs/PERSISTENCE.md "Crash-site map", docs/LIFECYCLE.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/runtime.h"
+#include "src/check/recovery.h"
+
+namespace rhtm
+{
+namespace
+{
+
+TEST(ActionCrashTest, PostMarkerCrashRunsHandlersExactlyOnce)
+{
+    for (AlgoKind kind : allAlgoKinds()) {
+        const char *algo = algoKindName(kind);
+        constexpr unsigned kOps = 6;
+        constexpr uint64_t kCrashOp = 3; // 1-based commit to crash.
+
+        RuntimeConfig cfg;
+        cfg.persist.enabled = true;
+        cfg.persist.seed = 11;
+        cfg.persist.crashes.at(FaultSite::kCrashPostMarker, kCrashOp);
+        TmRuntime rt(kind, cfg);
+        std::vector<uint64_t> arr(kOps, 0);
+        rt.nvm()->registerRegion(arr.data(), arr.size());
+        ThreadCtx &ctx = rt.registerThread();
+
+        std::vector<unsigned> handlerRuns(kOps, 0);
+        for (unsigned op = 0; op < kOps; ++op) {
+            rt.run(ctx, [&, op](Txn &tx) {
+                tx.onCommit([&handlerRuns, op] { ++handlerRuns[op]; });
+                tx.store(&arr[op], 500 + op);
+                // Deferred: the handler must not have run inside the
+                // transaction, crash schedule or not.
+                EXPECT_EQ(handlerRuns[op], 0u) << algo;
+            });
+            EXPECT_EQ(handlerRuns[op], 1u)
+                << algo << ": op " << op
+                << " handler lost or duplicated around the crash";
+        }
+
+        // The crash landed on commit kCrashOp's drain+mark step.
+        ASSERT_EQ(rt.nvm()->snapshots().size(), 1u) << algo;
+        const CrashSnapshot &snap = rt.nvm()->snapshots()[0];
+        EXPECT_EQ(snap.site, FaultSite::kCrashPostMarker) << algo;
+        ASSERT_EQ(snap.history.size(), kCrashOp) << algo;
+
+        // Its marker is durable, so recovery must keep the txn: the
+        // checker enforces the floor, and the concrete word value
+        // proves the redo log carried the write.
+        RecoveryReport report;
+        RecoveryCheckResult res = recoverAndCheck(snap, {}, &report);
+        EXPECT_EQ(res.verdict, RecoveryVerdict::kOk)
+            << algo << ": " << res.detail;
+        EXPECT_GE(res.prefixLength, kCrashOp)
+            << algo << ": marked commit fell out of the prefix";
+        NvmImage image = snap.image;
+        recoverImage(image);
+        EXPECT_EQ(image.data[kCrashOp - 1], 500 + kCrashOp - 1)
+            << algo << ": crashed commit's write lost";
+        EXPECT_GE(report.marksObserved, kCrashOp) << algo;
+
+        // Recovery is pure data replay: verifying a snapshot must not
+        // re-run (duplicate) any deferred handler.
+        for (unsigned op = 0; op < kOps; ++op)
+            EXPECT_EQ(handlerRuns[op], 1u) << algo << ": op " << op;
+        EXPECT_EQ(rt.stats().get(Counter::kCommitActionsRun),
+                  uint64_t(kOps))
+            << algo;
+    }
+}
+
+TEST(ActionCrashTest, AbortedTransactionLeavesNoDurableTrace)
+{
+    // The retrying attempt discards its staged redo; only the final
+    // committed attempt seals. The crash capture right before the seal
+    // must therefore show no trace of the transaction at all.
+    for (AlgoKind kind : allAlgoKinds()) {
+        // retry() is not rollback-safe on an elided lock; lock
+        // elision's abort path seals its partial writes instead
+        // (partial-visibility semantics, docs/LIFECYCLE.md).
+        if (kind == AlgoKind::kLockElision)
+            continue;
+        const char *algo = algoKindName(kind);
+        RuntimeConfig cfg;
+        cfg.persist.enabled = true;
+        cfg.persist.seed = 5;
+        cfg.persist.crashes.at(FaultSite::kCrashPreLogSeal, 1);
+        TmRuntime rt(kind, cfg);
+        std::vector<uint64_t> arr(4, 0);
+        rt.nvm()->registerRegion(arr.data(), arr.size());
+        ThreadCtx &ctx = rt.registerThread();
+
+        unsigned attempts = 0;
+        unsigned aborted = 0;
+        rt.run(ctx, [&](Txn &tx) {
+            ++attempts;
+            tx.onAbort([&] { ++aborted; });
+            tx.store(&arr[0], attempts);
+            if (attempts == 1)
+                tx.retry();
+        });
+        EXPECT_EQ(attempts, 2u) << algo;
+        EXPECT_EQ(aborted, 1u) << algo;
+
+        ASSERT_EQ(rt.nvm()->snapshots().size(), 1u) << algo;
+        RecoveryCheckResult res =
+            recoverAndCheck(rt.nvm()->snapshots()[0]);
+        EXPECT_EQ(res.verdict, RecoveryVerdict::kOk)
+            << algo << ": " << res.detail;
+        NvmImage image = rt.nvm()->snapshots()[0].image;
+        recoverImage(image);
+        EXPECT_EQ(image.data[0], 0u)
+            << algo << ": pre-seal crash must not expose the write";
+
+        // Quiescent: the committed attempt is durable.
+        NvmImage final_image = rt.nvm()->durableImage();
+        recoverImage(final_image);
+        EXPECT_EQ(final_image.data[0], 2u) << algo;
+    }
+}
+
+} // namespace
+} // namespace rhtm

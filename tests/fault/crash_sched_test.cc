@@ -1,0 +1,89 @@
+/**
+ * @file
+ * CrashScheduler unit tests: global hit counting, one-shot firing,
+ * per-thread restriction, and test-isolation reset
+ * (docs/PERSISTENCE.md "Crash-site map").
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/fault/crash_sched.h"
+
+namespace rhtm
+{
+namespace
+{
+
+TEST(CrashSchedulerTest, FiresOnTheExactGlobalHitOnly)
+{
+    CrashSchedule sched;
+    sched.at(FaultSite::kCrashMidWriteback, 3);
+    CrashScheduler cs(sched);
+
+    EXPECT_FALSE(cs.onSite(FaultSite::kCrashMidWriteback, 0));
+    EXPECT_FALSE(cs.onSite(FaultSite::kCrashMidWriteback, 1));
+    EXPECT_TRUE(cs.onSite(FaultSite::kCrashMidWriteback, 0))
+        << "third global hit must fire regardless of thread";
+    EXPECT_FALSE(cs.onSite(FaultSite::kCrashMidWriteback, 0))
+        << "a scripted point fires at most once";
+    EXPECT_EQ(cs.hits(FaultSite::kCrashMidWriteback), 4u);
+    EXPECT_EQ(cs.crashesFired(), 1u);
+}
+
+TEST(CrashSchedulerTest, SitesCountIndependently)
+{
+    CrashSchedule sched;
+    sched.at(FaultSite::kCrashPreLogSeal, 1);
+    sched.at(FaultSite::kCrashPostMarker, 2);
+    CrashScheduler cs(sched);
+
+    EXPECT_TRUE(cs.onSite(FaultSite::kCrashPreLogSeal, 0));
+    EXPECT_FALSE(cs.onSite(FaultSite::kCrashPostMarker, 0))
+        << "hits of one site must not advance another";
+    EXPECT_TRUE(cs.onSite(FaultSite::kCrashPostMarker, 0));
+    EXPECT_EQ(cs.crashesFired(), 2u);
+}
+
+TEST(CrashSchedulerTest, TidRestrictionSkipsOtherThreads)
+{
+    CrashSchedule sched;
+    sched.add(CrashPoint{FaultSite::kCrashPostSealPreWriteback, 2, 1});
+    CrashScheduler cs(sched);
+
+    // Hit 2 lands on tid 0: restricted point must not fire, and the
+    // missed coordinate never fires later (hits keep advancing).
+    EXPECT_FALSE(cs.onSite(FaultSite::kCrashPostSealPreWriteback, 1));
+    EXPECT_FALSE(cs.onSite(FaultSite::kCrashPostSealPreWriteback, 0));
+    EXPECT_FALSE(cs.onSite(FaultSite::kCrashPostSealPreWriteback, 1));
+    EXPECT_EQ(cs.crashesFired(), 0u);
+
+    cs.resetForTest();
+    EXPECT_FALSE(cs.onSite(FaultSite::kCrashPostSealPreWriteback, 1));
+    EXPECT_TRUE(cs.onSite(FaultSite::kCrashPostSealPreWriteback, 1))
+        << "after reset the restricted point fires on its thread";
+}
+
+TEST(CrashSchedulerTest, ResetRestoresHitCountersAndFiredFlags)
+{
+    CrashSchedule sched;
+    sched.at(FaultSite::kCrashPostMarker, 1);
+    CrashScheduler cs(sched);
+
+    EXPECT_TRUE(cs.onSite(FaultSite::kCrashPostMarker, 0));
+    cs.resetForTest();
+    EXPECT_EQ(cs.hits(FaultSite::kCrashPostMarker), 0u);
+    EXPECT_EQ(cs.crashesFired(), 0u);
+    EXPECT_TRUE(cs.onSite(FaultSite::kCrashPostMarker, 0))
+        << "the schedule must be re-armed by resetForTest";
+}
+
+TEST(CrashSchedulerTest, EmptyScheduleNeverFires)
+{
+    CrashScheduler cs(CrashSchedule{});
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FALSE(cs.onSite(FaultSite::kCrashMidWriteback, 0));
+    EXPECT_EQ(cs.hits(FaultSite::kCrashMidWriteback), 16u);
+}
+
+} // namespace
+} // namespace rhtm

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * NvmSim unit tests driving the durable-commit protocol steps directly:
+ * pwb/pfence ordering, log-record encoding, seal checksums, crash
+ * capture of unfenced write-backs, and log replay
+ * (docs/PERSISTENCE.md "Log format" and "Recovery algorithm").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/persist/nvm_sim.h"
+
+namespace rhtm
+{
+namespace
+{
+
+PersistConfig
+baseConfig()
+{
+    PersistConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(NvmSimTest, RegisterRegionFormatsDurableDataFromHeapContents)
+{
+    std::vector<uint64_t> heap = {11, 22, 33, 44};
+    NvmSim nvm(baseConfig());
+    nvm.registerRegion(heap.data(), heap.size());
+
+    EXPECT_EQ(nvm.dataWords(), 4u);
+    EXPECT_EQ(nvm.durableImage().data, heap);
+    EXPECT_EQ(nvm.initialData(), heap);
+
+    uint64_t off = 99;
+    ASSERT_TRUE(nvm.mapOffset(&heap[2], &off));
+    EXPECT_EQ(off, 2u);
+    uint64_t unmapped = 5;
+    EXPECT_FALSE(nvm.mapOffset(&unmapped, &off));
+}
+
+TEST(NvmSimTest, SecondRegionMapsAtStackedOffsets)
+{
+    std::vector<uint64_t> a = {1, 2};
+    std::vector<uint64_t> b = {3, 4, 5};
+    NvmSim nvm(baseConfig());
+    nvm.registerRegion(a.data(), a.size());
+    nvm.registerRegion(b.data(), b.size());
+
+    uint64_t off = 0;
+    ASSERT_TRUE(nvm.mapOffset(&b[1], &off));
+    EXPECT_EQ(off, 3u) << "second region starts after the first";
+    EXPECT_EQ(nvm.dataWords(), 5u);
+}
+
+TEST(NvmSimTest, AppendFencesPayloadButNotSeal)
+{
+    std::vector<uint64_t> heap = {0, 0};
+    NvmSim nvm(baseConfig());
+    nvm.registerRegion(heap.data(), heap.size());
+
+    std::vector<DurableWrite> writes = {{0, 100}, {1, 200}};
+    uint64_t pos = nvm.appendRecord(0, 0x123, writes);
+
+    NvmImage img = nvm.durableImage();
+    ASSERT_GE(img.log.size(), pos + 6);
+    EXPECT_TRUE(nvmHeaderValid(img.log[pos]))
+        << "header must be durable when appendRecord returns";
+    EXPECT_EQ(nvmHeaderEntries(img.log[pos]), 2u);
+    EXPECT_EQ(img.log[pos + 1], 0u); // offset 0
+    EXPECT_EQ(img.log[pos + 2], 100u);
+    EXPECT_EQ(img.log[pos + 3], 1u);
+    EXPECT_EQ(img.log[pos + 4], 200u);
+    EXPECT_EQ(img.log[pos + 5], 0u)
+        << "the seal slot must still be empty (not yet sealed)";
+    EXPECT_TRUE(nvm.historyCopy().empty())
+        << "an unsealed record is not history";
+}
+
+TEST(NvmSimTest, SealMakesTheRecordDurableHistoryInSealOrder)
+{
+    std::vector<uint64_t> heap = {0};
+    NvmSim nvm(baseConfig());
+    nvm.registerRegion(heap.data(), heap.size());
+
+    std::vector<DurableWrite> writes = {{0, 7}};
+    uint64_t pos = nvm.appendRecord(0, 0x42, writes);
+    uint64_t idx = nvm.sealRecord(0, 0x42, pos, writes);
+
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(nvm.recordsSealed(), 1u);
+    NvmImage img = nvm.durableImage();
+    uint64_t checksum = nvmChecksum(&img.log[pos], 3);
+    EXPECT_EQ(img.log[pos + 3], kNvmSealBase ^ checksum)
+        << "seal word is the magic xor the record checksum";
+
+    std::vector<DurableTxnRecord> hist = nvm.historyCopy();
+    ASSERT_EQ(hist.size(), 1u);
+    EXPECT_EQ(hist[0].txnId, 0x42u);
+    EXPECT_EQ(hist[0].recordIndex, 0u);
+    EXPECT_EQ(hist[0].logPos, pos);
+    ASSERT_EQ(hist[0].writes.size(), 1u);
+    EXPECT_EQ(hist[0].writes[0].value, 7u);
+}
+
+TEST(NvmSimTest, DataWritesNeedAFenceToReachDurableMedia)
+{
+    std::vector<uint64_t> heap = {0, 0};
+    NvmSim nvm(baseConfig());
+    nvm.registerRegion(heap.data(), heap.size());
+
+    nvm.dataWrite(0, 0, 55);
+    nvm.dataWrite(0, 1, 66);
+    EXPECT_EQ(nvm.durableImage().data[0], 0u)
+        << "a queued pwb is not durable until a pfence drains it";
+    EXPECT_EQ(nvm.pwbCount(), 2u);
+
+    nvm.fence(0);
+    NvmImage img = nvm.durableImage();
+    EXPECT_EQ(img.data[0], 55u);
+    EXPECT_EQ(img.data[1], 66u);
+    EXPECT_GE(nvm.pfenceCount(), 1u);
+}
+
+TEST(NvmSimTest, FenceDrainsOnlyTheCallingThreadsQueue)
+{
+    std::vector<uint64_t> heap = {0, 0};
+    NvmSim nvm(baseConfig());
+    nvm.registerRegion(heap.data(), heap.size());
+
+    nvm.dataWrite(0, 0, 1);
+    nvm.dataWrite(1, 1, 2);
+    nvm.fence(0);
+
+    NvmImage img = nvm.durableImage();
+    EXPECT_EQ(img.data[0], 1u);
+    EXPECT_EQ(img.data[1], 0u)
+        << "pfence is per-thread: tid 1's pwb must still be pending";
+}
+
+TEST(NvmSimTest, WriteMarkLandsInTheReservedSlot)
+{
+    std::vector<uint64_t> heap = {0};
+    NvmSim nvm(baseConfig());
+    nvm.registerRegion(heap.data(), heap.size());
+
+    std::vector<DurableWrite> writes = {{0, 1}};
+    uint64_t pos = nvm.appendRecord(2, 0x99, writes);
+    uint64_t idx = nvm.sealRecord(2, 0x99, pos, writes);
+    nvm.writeMark(2, idx, 0x99);
+
+    NvmImage img = nvm.durableImage();
+    ASSERT_GT(img.marks.size(), idx);
+    EXPECT_TRUE(nvmMarkValid(img.marks[idx]));
+    EXPECT_EQ(img.marks[idx] & 0xFFFFFFFFFFFFull, 0x99u);
+    EXPECT_EQ(nvm.marksWritten(), 1u);
+}
+
+TEST(NvmSimTest, RecoveryReplaysSealedAndSkipsUnsealedRecords)
+{
+    std::vector<uint64_t> heap = {0, 0, 0};
+    NvmSim nvm(baseConfig());
+    nvm.registerRegion(heap.data(), heap.size());
+
+    // Record A: sealed. Record B: appended only (crashed pre-seal).
+    // Record C: sealed after B -- recovery must skip B's known extent
+    // and still replay C (docs/PERSISTENCE.md "Recovery algorithm").
+    std::vector<DurableWrite> wa = {{0, 10}};
+    std::vector<DurableWrite> wb = {{1, 20}};
+    std::vector<DurableWrite> wc = {{2, 30}};
+    uint64_t pa = nvm.appendRecord(0, 1, wa);
+    nvm.sealRecord(0, 1, pa, wa);
+    nvm.appendRecord(0, 2, wb);
+    uint64_t pc = nvm.appendRecord(0, 3, wc);
+    nvm.sealRecord(0, 3, pc, wc);
+
+    NvmImage img = nvm.durableImage();
+    RecoveryReport rep = recoverImage(img);
+    EXPECT_EQ(rep.recordsReplayed, 2u);
+    EXPECT_EQ(rep.recordsDiscarded, 1u);
+    EXPECT_EQ(rep.entriesReplayed, 2u);
+    EXPECT_EQ(img.data[0], 10u);
+    EXPECT_EQ(img.data[1], 0u) << "unsealed effect must not survive";
+    EXPECT_EQ(img.data[2], 30u)
+        << "recovery must continue past a skipped record";
+}
+
+TEST(NvmSimTest, BugReplayUnsealedReintroducesTheLostUpdateBug)
+{
+    std::vector<uint64_t> heap = {0};
+    NvmSim nvm(baseConfig());
+    nvm.registerRegion(heap.data(), heap.size());
+
+    std::vector<DurableWrite> w = {{0, 77}};
+    nvm.appendRecord(0, 5, w);
+
+    NvmImage good = nvm.durableImage();
+    RecoveryReport rep = recoverImage(good);
+    EXPECT_EQ(good.data[0], 0u);
+    EXPECT_EQ(rep.recordsDiscarded, 1u);
+
+    NvmImage bad = nvm.durableImage();
+    RecoveryOptions opts;
+    opts.bugReplayUnsealed = true;
+    rep = recoverImage(bad, opts);
+    EXPECT_EQ(bad.data[0], 77u)
+        << "the deliberate bug replays the unsealed tail";
+    EXPECT_EQ(rep.recordsDiscarded, 0u);
+}
+
+TEST(NvmSimTest, CrashCaptureDropsUnfencedPwbsByDefault)
+{
+    PersistConfig cfg = baseConfig();
+    cfg.crashes.at(FaultSite::kCrashMidWriteback, 1);
+    std::vector<uint64_t> heap = {0, 0};
+    NvmSim nvm(cfg);
+    nvm.registerRegion(heap.data(), heap.size());
+
+    nvm.dataWrite(0, 0, 123);
+    ASSERT_TRUE(nvm.crashPoint(FaultSite::kCrashMidWriteback, 0));
+    ASSERT_EQ(nvm.snapshots().size(), 1u);
+    const CrashSnapshot &snap = nvm.snapshots()[0];
+    EXPECT_EQ(snap.site, FaultSite::kCrashMidWriteback);
+    EXPECT_EQ(snap.tid, 0u);
+    EXPECT_EQ(snap.image.data[0], 0u)
+        << "power loss loses queued-but-unfenced write-backs";
+
+    // The run continues: the pending pwb still drains afterwards.
+    nvm.fence(0);
+    EXPECT_EQ(nvm.durableImage().data[0], 123u);
+    EXPECT_EQ(nvm.crashesCaptured(), 1u);
+}
+
+TEST(NvmSimTest, ResetForTestRewindsToFormattedState)
+{
+    PersistConfig cfg = baseConfig();
+    cfg.crashes.at(FaultSite::kCrashPostMarker, 1);
+    std::vector<uint64_t> heap = {9, 9};
+    NvmSim nvm(cfg);
+    nvm.registerRegion(heap.data(), heap.size());
+
+    std::vector<DurableWrite> w = {{0, 1}};
+    uint64_t pos = nvm.appendRecord(0, 1, w);
+    uint64_t idx = nvm.sealRecord(0, 1, pos, w);
+    nvm.dataWrite(0, 0, 1);
+    nvm.fence(0);
+    nvm.writeMark(0, idx, 1);
+    EXPECT_TRUE(nvm.crashPoint(FaultSite::kCrashPostMarker, 0));
+
+    nvm.resetForTest();
+    EXPECT_EQ(nvm.durableImage().data, (std::vector<uint64_t>{9, 9}));
+    EXPECT_TRUE(nvm.historyCopy().empty());
+    EXPECT_TRUE(nvm.snapshots().empty());
+    EXPECT_EQ(nvm.recordsSealed(), 0u);
+    EXPECT_EQ(nvm.marksWritten(), 0u);
+    EXPECT_TRUE(nvm.crashPoint(FaultSite::kCrashPostMarker, 0))
+        << "the crash schedule must be re-armed";
+}
+
+TEST(NvmSimTest, ChecksumDetectsSingleWordCorruption)
+{
+    uint64_t words[3] = {nvmRecordHeader(1, 1), 0, 42};
+    uint64_t sum = nvmChecksum(words, 3);
+    words[2] ^= 1;
+    EXPECT_NE(nvmChecksum(words, 3), sum);
+}
+
+} // namespace
+} // namespace rhtm

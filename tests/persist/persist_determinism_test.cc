@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Crash-seed determinism: two single-threaded runs with the same seed
+ * and the same crash schedule must leave byte-identical durable images
+ * and identical crash snapshots -- the --crash-seed reproducibility
+ * contract (docs/PERSISTENCE.md "Determinism").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/runtime.h"
+#include "src/check/recovery.h"
+#include "src/util/rng.h"
+
+namespace rhtm
+{
+namespace
+{
+
+struct RunResult
+{
+    NvmImage finalImage;
+    std::vector<NvmImage> snapshotImages;
+    uint64_t sealed;
+    uint64_t pwbs;
+};
+
+RunResult
+runOnce(AlgoKind kind, uint64_t seed, bool torn, bool reordered)
+{
+    RuntimeConfig cfg;
+    cfg.rngSeed = seed;
+    cfg.persist.enabled = true;
+    cfg.persist.seed = seed;
+    cfg.persist.tornWrites = torn;
+    cfg.persist.reorderedFlushes = reordered;
+    cfg.persist.crashes.at(FaultSite::kCrashMidWriteback, 3);
+    cfg.persist.crashes.at(FaultSite::kCrashPreLogSeal, 9);
+    cfg.persist.crashes.at(FaultSite::kCrashPostMarker, 17);
+    TmRuntime rt(kind, cfg);
+
+    std::vector<uint64_t> arr(48, 0);
+    rt.nvm()->registerRegion(arr.data(), arr.size());
+    ThreadCtx &ctx = rt.registerThread();
+
+    Rng rng(seed * 1000003 + 1);
+    for (unsigned op = 0; op < 60; ++op) {
+        rt.run(ctx, [&](Txn &tx) {
+            size_t slot = rng.nextBounded(arr.size() - 2);
+            uint64_t v = tx.load(&arr[slot]);
+            tx.store(&arr[slot], v + op + 1);
+            tx.store(&arr[slot + 1], (uint64_t(op) << 16) | slot);
+        });
+    }
+
+    RunResult res;
+    res.finalImage = rt.nvm()->durableImage();
+    for (const CrashSnapshot &snap : rt.nvm()->snapshots())
+        res.snapshotImages.push_back(snap.image);
+    res.sealed = rt.nvm()->recordsSealed();
+    res.pwbs = rt.nvm()->pwbCount();
+    return res;
+}
+
+TEST(PersistDeterminismTest, SameSeedSameAlgoByteIdenticalImages)
+{
+    for (AlgoKind kind : allAlgoKinds()) {
+        const char *algo = algoKindName(kind);
+        RunResult a = runOnce(kind, 1234, false, false);
+        RunResult b = runOnce(kind, 1234, false, false);
+
+        EXPECT_TRUE(a.finalImage == b.finalImage)
+            << algo << ": durable images diverged across reruns";
+        ASSERT_EQ(a.snapshotImages.size(), b.snapshotImages.size())
+            << algo;
+        for (size_t i = 0; i < a.snapshotImages.size(); ++i)
+            EXPECT_TRUE(a.snapshotImages[i] == b.snapshotImages[i])
+                << algo << ": crash snapshot " << i << " diverged";
+        EXPECT_EQ(a.sealed, b.sealed) << algo;
+        EXPECT_EQ(a.pwbs, b.pwbs) << algo;
+    }
+}
+
+TEST(PersistDeterminismTest, AdversarialCaptureIsSeedDeterministicToo)
+{
+    // Torn and reordered-flush decisions come from the seeded capture
+    // RNG, so they replay byte-for-byte as well.
+    RunResult a = runOnce(AlgoKind::kNOrecLazy, 5150, true, true);
+    RunResult b = runOnce(AlgoKind::kNOrecLazy, 5150, true, true);
+    EXPECT_TRUE(a.finalImage == b.finalImage);
+    ASSERT_EQ(a.snapshotImages.size(), b.snapshotImages.size());
+    for (size_t i = 0; i < a.snapshotImages.size(); ++i)
+        EXPECT_TRUE(a.snapshotImages[i] == b.snapshotImages[i])
+            << "adversarial snapshot " << i << " diverged";
+}
+
+TEST(PersistDeterminismTest, DifferentSeedsDivergeSomewhere)
+{
+    // Sanity check that the knob is actually wired: a different seed
+    // changes the access pattern, so the images should differ.
+    RunResult a = runOnce(AlgoKind::kNOrec, 1, false, false);
+    RunResult b = runOnce(AlgoKind::kNOrec, 2, false, false);
+    EXPECT_FALSE(a.finalImage == b.finalImage);
+}
+
+} // namespace
+} // namespace rhtm

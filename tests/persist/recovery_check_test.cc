@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Recovery-consistency checker tests (src/check/recovery.h): each
+ * verdict on hand-built ground truth, plus the end-to-end reverted-fix
+ * regression -- recovery that replays an unsealed record
+ * (RecoveryOptions::bugReplayUnsealed) must be flagged, never pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/runtime.h"
+#include "src/check/recovery.h"
+
+namespace rhtm
+{
+namespace
+{
+
+/** History of single-word records writing value k+1 to offset k. */
+std::vector<DurableTxnRecord>
+ladderHistory(size_t n)
+{
+    std::vector<DurableTxnRecord> hist(n);
+    for (size_t k = 0; k < n; ++k) {
+        hist[k].txnId = k + 1;
+        hist[k].tid = 0;
+        hist[k].recordIndex = k;
+        hist[k].logPos = k * 3;
+        hist[k].writes = {{k, k + 1}};
+    }
+    return hist;
+}
+
+/** Marks image with valid markers for the first @p marked records. */
+NvmImage
+marksFor(const std::vector<DurableTxnRecord> &hist, size_t marked)
+{
+    NvmImage img;
+    img.marks.assign(hist.size(), 0);
+    for (size_t i = 0; i < marked; ++i)
+        img.marks[i] = nvmMarkWord(hist[i].txnId);
+    return img;
+}
+
+TEST(RecoveryCheckTest, ExactPrefixWithAllMarksInsideIsOk)
+{
+    std::vector<uint64_t> init = {0, 0, 0};
+    auto hist = ladderHistory(3);
+    std::vector<uint64_t> recovered = {1, 2, 0}; // Prefix of 2.
+
+    RecoveryCheckResult res = checkRecoveryConsistency(
+        init, hist, marksFor(hist, 2), recovered);
+    EXPECT_EQ(res.verdict, RecoveryVerdict::kOk) << res.detail;
+    EXPECT_EQ(res.prefixLength, 2u);
+}
+
+TEST(RecoveryCheckTest, EmptyPrefixIsOkWhenNothingWasMarked)
+{
+    std::vector<uint64_t> init = {5, 6};
+    auto hist = ladderHistory(2);
+    RecoveryCheckResult res = checkRecoveryConsistency(
+        init, hist, marksFor(hist, 0), init);
+    EXPECT_EQ(res.verdict, RecoveryVerdict::kOk) << res.detail;
+    EXPECT_EQ(res.prefixLength, 0u);
+}
+
+TEST(RecoveryCheckTest, InventedValueIsNotPrefix)
+{
+    std::vector<uint64_t> init = {0, 0};
+    auto hist = ladderHistory(2);
+    std::vector<uint64_t> recovered = {1, 99}; // 99 never written.
+
+    RecoveryCheckResult res = checkRecoveryConsistency(
+        init, hist, marksFor(hist, 0), recovered);
+    EXPECT_EQ(res.verdict, RecoveryVerdict::kNotPrefix);
+    EXPECT_FALSE(res.detail.empty());
+}
+
+TEST(RecoveryCheckTest, SkippedMiddleRecordIsNotPrefix)
+{
+    std::vector<uint64_t> init = {0, 0, 0};
+    auto hist = ladderHistory(3);
+    std::vector<uint64_t> recovered = {1, 0, 3}; // Record 1 missing.
+
+    RecoveryCheckResult res = checkRecoveryConsistency(
+        init, hist, marksFor(hist, 0), recovered);
+    EXPECT_EQ(res.verdict, RecoveryVerdict::kNotPrefix)
+        << "a gap in the history is not a prefix";
+}
+
+TEST(RecoveryCheckTest, MarkedTransactionPastThePrefixIsLost)
+{
+    std::vector<uint64_t> init = {0, 0, 0};
+    auto hist = ladderHistory(3);
+    std::vector<uint64_t> recovered = {1, 0, 0}; // Prefix of 1...
+
+    RecoveryCheckResult res = checkRecoveryConsistency(
+        init, hist, marksFor(hist, 2), recovered); // ...but 2 marked.
+    EXPECT_EQ(res.verdict, RecoveryVerdict::kLostMarked);
+}
+
+TEST(RecoveryCheckTest, MalformedInputsAreRejected)
+{
+    std::vector<uint64_t> init = {0, 0};
+    auto hist = ladderHistory(2);
+
+    // Size mismatch.
+    std::vector<uint64_t> shortData = {0};
+    EXPECT_EQ(checkRecoveryConsistency(init, hist, marksFor(hist, 0),
+                                       shortData)
+                  .verdict,
+              RecoveryVerdict::kMalformed);
+
+    // Garbage marker word.
+    NvmImage img = marksFor(hist, 0);
+    img.marks[0] = 0xDEADBEEF;
+    EXPECT_EQ(checkRecoveryConsistency(init, hist, img, init).verdict,
+              RecoveryVerdict::kMalformed);
+
+    // Marker beyond the sealed history.
+    img = marksFor(hist, 0);
+    img.marks.push_back(nvmMarkWord(9));
+    EXPECT_EQ(checkRecoveryConsistency(init, hist, img, init).verdict,
+              RecoveryVerdict::kMalformed);
+
+    // History writing outside the region.
+    auto bad = ladderHistory(1);
+    bad[0].writes[0].offset = 17;
+    EXPECT_EQ(checkRecoveryConsistency(init, bad, marksFor(bad, 0),
+                                       init)
+                  .verdict,
+              RecoveryVerdict::kMalformed);
+}
+
+TEST(RecoveryCheckTest, LastWriteWinsOrderMatters)
+{
+    // Two records write the same word; only the later value is a valid
+    // 2-prefix state, so replaying them out of order is caught.
+    std::vector<uint64_t> init = {0};
+    std::vector<DurableTxnRecord> hist(2);
+    hist[0].txnId = 1;
+    hist[0].recordIndex = 0;
+    hist[0].writes = {{0, 10}};
+    hist[1].txnId = 2;
+    hist[1].recordIndex = 1;
+    hist[1].writes = {{0, 20}};
+
+    std::vector<uint64_t> inOrder = {20};
+    EXPECT_EQ(checkRecoveryConsistency(init, hist, marksFor(hist, 2),
+                                       inOrder)
+                  .verdict,
+              RecoveryVerdict::kOk);
+
+    std::vector<uint64_t> swapped = {10}; // Prefix of 1, but 2 marked.
+    EXPECT_EQ(checkRecoveryConsistency(init, hist, marksFor(hist, 2),
+                                       swapped)
+                  .verdict,
+              RecoveryVerdict::kLostMarked);
+}
+
+/**
+ * End-to-end reverted-fix regression: crash a real run before the seal
+ * fences, recover with the deliberate replay-unsealed bug, and require
+ * the checker to flag the image. Guards both directions -- the bug
+ * must produce a bad image here, and the checker must catch it.
+ */
+TEST(RecoveryCheckTest, ReplayUnsealedBugIsCaughtEndToEnd)
+{
+    RuntimeConfig cfg;
+    cfg.persist.enabled = true;
+    cfg.persist.seed = 3;
+    cfg.persist.crashes.at(FaultSite::kCrashPreLogSeal, 2);
+    TmRuntime rt(AlgoKind::kNOrec, cfg);
+    std::vector<uint64_t> arr(16, 0);
+    rt.nvm()->registerRegion(arr.data(), arr.size());
+    ThreadCtx &ctx = rt.registerThread();
+
+    for (unsigned op = 0; op < 8; ++op) {
+        rt.run(ctx, [&](Txn &tx) {
+            tx.store(&arr[op % arr.size()], 1000 + op);
+        });
+    }
+    ASSERT_EQ(rt.nvm()->snapshots().size(), 1u);
+    const CrashSnapshot &snap = rt.nvm()->snapshots()[0];
+
+    // Correct recovery passes...
+    RecoveryCheckResult good = recoverAndCheck(snap);
+    EXPECT_EQ(good.verdict, RecoveryVerdict::kOk) << good.detail;
+
+    // ...the reverted fix does not: the crash sits between the payload
+    // fence and the seal, so exactly one unsealed record is in the
+    // image, and replaying it yields a non-history state.
+    RecoveryOptions bug;
+    bug.bugReplayUnsealed = true;
+    RecoveryCheckResult bad = recoverAndCheck(snap, bug);
+    EXPECT_EQ(bad.verdict, RecoveryVerdict::kNotPrefix)
+        << "checker must flag the replayed unsealed record";
+}
+
+} // namespace
+} // namespace rhtm

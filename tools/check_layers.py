@@ -6,7 +6,7 @@ The engine refactor fixed a strict layering for the library proper
 
     util                                   (0)
     stats, fault, mem                      (1)
-    htm                                    (2)
+    htm, persist  -- simulated NVM device  (2)
     core/engine   -- the shared engine     (3)
     stm           -- pure-STM sessions     (4)
     core          -- hybrid sessions       (5)
@@ -40,6 +40,7 @@ LAYERS = [
     ("fault", 1),
     ("mem", 1),
     ("htm", 2),
+    ("persist", 2),
     ("stm", 4),
     ("core", 5),
     ("api", 6),

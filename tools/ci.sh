@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-stop CI gate: the include-layering lint, the tier-1 build + test
-# suite, the interleaving-explorer `check` leg (docs/CHECKING.md), and
-# a single ThreadSanitizer chaos leg as a concurrency smoke check (the
-# full sanitizer soak matrix lives in tools/run_chaos.sh).
+# suite, the interleaving-explorer `check` leg (docs/CHECKING.md), the
+# crash-recovery sweep with its reverted-fix regression and an ASan
+# replay leg (docs/PERSISTENCE.md), and a single ThreadSanitizer chaos
+# leg as a concurrency smoke check (the full sanitizer soak matrix
+# lives in tools/run_chaos.sh).
 #
 # Usage: tools/ci.sh [--skip-tsan]
 set -euo pipefail
@@ -57,6 +59,33 @@ for reg in first-try-budget policy-snapshot; do
     build/bench/bench_check --algo=hy-norec \
         --regression="$reg" --mode=random --runs=8
 done
+
+echo "== crash-recovery: 3-seed sweep, every AlgoKind x site =="
+for seed in 1 2 3; do
+    build/bench/bench_crash --threads=1,2 --algos=all --ops=120 \
+        --crash-seed="$seed" --seed="$seed"
+done
+
+echo "== crash-recovery: torn + reordered flushes =="
+build/bench/bench_crash --threads=2 --algos=all --ops=120 \
+    --torn --reordered --crash-seed=7
+
+echo "== crash-recovery: reverted-fix regression =="
+# Replaying an unsealed record must be caught by the recovery-
+# consistency checker (docs/PERSISTENCE.md "Recovery algorithm").
+if build/bench/bench_crash --threads=2 --algos=norec,rh-tl2 \
+        --ops=120 --sites=pre-seal --revert=replay-unsealed \
+        >/dev/null 2>&1; then
+    echo "replay-unsealed did not fail when reverted" >&2
+    exit 1
+fi
+
+echo "== crash-recovery: ASan leg over recovery replay =="
+cmake -B build-asan -S . -DRHTM_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$(nproc)" --target bench_crash persist_tests
+build-asan/tests/persist_tests
+build-asan/bench/bench_crash --threads=1,2 --algos=all --ops=80 \
+    --crash-seed=5 --torn
 
 if [ "$SKIP_TSAN" -eq 0 ]; then
     echo "== TSan chaos leg: stall-serial seed=1 =="

@@ -2,7 +2,9 @@
 # Tier-2 chaos matrix: build with ThreadSanitizer and soak the
 # bank-transfer conservation workload under every named fault schedule
 # with a fixed seed matrix, so any run is exactly reproducible from
-# its (schedule, seed) pair (see docs/FAULT_INJECTION.md).
+# its (schedule, seed) pair (see docs/FAULT_INJECTION.md). Ends with
+# a crash/recover soak of the persistence overlay under the same
+# sanitizer (docs/PERSISTENCE.md).
 #
 # Usage: tools/run_chaos.sh [build-dir] [--seconds=S] [--threads=LIST]
 #
@@ -37,11 +39,13 @@ SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window sta
 echo "== configure ($BUILD_DIR, sanitizer: ${SANITIZE:-none}) =="
 cmake -B "$BUILD_DIR" -S . -DRHTM_SANITIZE="$SANITIZE" >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_chaos \
-    bench_check fault_tests integration_tests
+    bench_check bench_crash fault_tests integration_tests \
+    persist_tests
 
-echo "== fault + chaos unit suites =="
+echo "== fault + chaos + persist unit suites =="
 "$BUILD_DIR/tests/fault_tests"
 "$BUILD_DIR/tests/integration_tests" --gtest_filter='*Chaos*'
+"$BUILD_DIR/tests/persist_tests"
 
 # Interleaving-explorer leg (docs/CHECKING.md) under the same
 # sanitizer as the soak: the cooperative scheduler serializes every
@@ -66,6 +70,21 @@ for schedule in $SCHEDULES; do
             fail=1
         fi
     done
+done
+
+# Crash/recover soak under the same sanitizer: every AlgoKind, every
+# crash site, the full seed matrix, with torn and reordered flush
+# capture on -- each run recovers and checks every captured snapshot
+# (docs/PERSISTENCE.md).
+echo "== crash-recovery soak: seeds {$SEEDS} =="
+for seed in $SEEDS; do
+    echo "-- crash soak seed=$seed (torn+reordered)"
+    if ! "$BUILD_DIR/bench/bench_crash" \
+            --threads="$THREADS" --algos=all --ops=150 \
+            --seed="$seed" --crash-seed="$seed" --torn --reordered; then
+        echo "FAILED: crash soak seed=$seed" >&2
+        fail=1
+    fi
 done
 
 # The irrevocable-storm schedule crosses lock handoffs with exception

@@ -16,8 +16,12 @@ COLS = [
     "conflict", "capacity", "restarts", "slowpath", "prefix",
     "postfix", "injected", "subscription", "attempts", "ks_act",
     "ks_bypass", "p50_us", "p99_us", "max_us", "stalls", "irrev",
-    "accesses", "verified",
+    "accesses", "crashes", "replayed", "discarded", "recovery_ms",
+    "verified",
 ]
+
+# Captures from before the crash-recovery columns were added.
+PRE_RECOVERY_COLS = COLS[:23] + ["verified"]
 
 # Captures from before the accesses-per-op column was added.
 PRE_ACCESS_COLS = COLS[:22] + ["verified"]
@@ -34,7 +38,11 @@ LEGACY_COLS = COLS[:12] + ["verified"]
 FLOAT_COLS = ("throughput", "conflict", "capacity", "restarts",
               "slowpath", "prefix", "postfix", "injected",
               "subscription", "attempts", "ks_bypass", "p50_us",
-              "p99_us", "max_us", "accesses")
+              "p99_us", "max_us", "accesses", "recovery_ms")
+
+# Defaults for rows captured before the crash-recovery columns.
+NO_RECOVERY = dict(crashes="0", replayed="0", discarded="0",
+                   recovery_ms="0")
 
 
 def ns_per_access(row):
@@ -54,22 +62,27 @@ def parse(path):
             parts = line.split(",")
             if len(parts) == len(COLS):
                 row = dict(zip(COLS, parts))
+            elif len(parts) == len(PRE_RECOVERY_COLS):
+                row = dict(zip(PRE_RECOVERY_COLS, parts))
+                row.update(NO_RECOVERY)
             elif len(parts) == len(PRE_ACCESS_COLS):
                 row = dict(zip(PRE_ACCESS_COLS, parts))
-                row.update(accesses="0")
+                row.update(accesses="0", **NO_RECOVERY)
             elif len(parts) == len(PRE_IRREV_COLS):
                 row = dict(zip(PRE_IRREV_COLS, parts))
-                row.update(irrev="0", accesses="0")
+                row.update(irrev="0", accesses="0", **NO_RECOVERY)
             elif len(parts) == len(PRE_LATENCY_COLS):
                 row = dict(zip(PRE_LATENCY_COLS, parts))
                 row.update(p50_us="0", p99_us="0", max_us="0",
-                           stalls="0", irrev="0", accesses="0")
+                           stalls="0", irrev="0", accesses="0",
+                           **NO_RECOVERY)
             elif len(parts) == len(LEGACY_COLS):
                 row = dict(zip(LEGACY_COLS, parts))
                 row.update(injected="0", subscription="0",
                            attempts="0", ks_act="0", ks_bypass="0",
                            p50_us="0", p99_us="0", max_us="0",
-                           stalls="0", irrev="0", accesses="0")
+                           stalls="0", irrev="0", accesses="0",
+                           **NO_RECOVERY)
             else:
                 continue
             try:
@@ -77,6 +90,9 @@ def parse(path):
                 row["ks_act"] = int(row["ks_act"])
                 row["stalls"] = int(row["stalls"])
                 row["irrev"] = int(row["irrev"])
+                row["crashes"] = int(row["crashes"])
+                row["replayed"] = int(row["replayed"])
+                row["discarded"] = int(row["discarded"])
                 for k in FLOAT_COLS:
                     row[k] = float(row[k])
             except ValueError:
@@ -108,6 +124,8 @@ def main():
                        for r in benches[bench])
         show_irrev = any(r["irrev"] > 0 for r in benches[bench])
         show_access = any(r["accesses"] > 0 for r in benches[bench])
+        show_recovery = any(r["crashes"] > 0 or r["replayed"] > 0
+                            for r in benches[bench])
         fault_hdr = " inj/op | ks | " if show_faults else " "
         fault_sep = "---|---|" if show_faults else ""
         lat_hdr = " p50us | p99us | stalls | " if show_lat else " "
@@ -116,12 +134,16 @@ def main():
         irrev_sep = "---|" if show_irrev else ""
         access_hdr = " acc/op | ns/acc | " if show_access else " "
         access_sep = "---|---|" if show_access else ""
+        rec_hdr = (" crashes | replayed | discarded | rec_ms | "
+                   if show_recovery else " ")
+        rec_sep = "---|---|---|---|" if show_recovery else ""
         extra_hdr = (fault_hdr.rstrip() + lat_hdr.rstrip() +
-                     irrev_hdr.rstrip() + access_hdr)
+                     irrev_hdr.rstrip() + access_hdr.rstrip() +
+                     rec_hdr)
         print("| algo | ops/s | conf/op | cap/op | restarts | "
               f"slow% | prefix | postfix |{extra_hdr}ok |")
         print(f"|---|---|---|---|---|---|---|---|{fault_sep}"
-              f"{lat_sep}{irrev_sep}{access_sep}---|")
+              f"{lat_sep}{irrev_sep}{access_sep}{rec_sep}---|")
         by_algo = {}
         for r in benches[bench]:
             by_algo[r["algo"]] = r
@@ -138,12 +160,17 @@ def main():
             if show_access:
                 access_cells = (f" {r['accesses']:.2f} "
                                 f"| {ns_per_access(r):.1f} |")
+            rec_cells = ""
+            if show_recovery:
+                rec_cells = (f" {r['crashes']} | {r['replayed']} "
+                             f"| {r['discarded']} "
+                             f"| {r['recovery_ms']:.3f} |")
             print(f"| {r['algo']} | {r['throughput']:,.0f} "
                   f"| {r['conflict']:.4f} | {r['capacity']:.4f} "
                   f"| {r['restarts']:.3f} | {100 * r['slowpath']:.1f} "
                   f"| {r['prefix']:.2f} | {r['postfix']:.2f} "
                   f"|{fault_cells}{lat_cells}{irrev_cells}"
-                  f"{access_cells} {r['verified']} |")
+                  f"{access_cells}{rec_cells} {r['verified']} |")
         rh, hy = by_algo.get("rh-norec"), by_algo.get("hy-norec")
         if rh and hy:
             tput = rh["throughput"] / hy["throughput"] if hy[
