@@ -12,7 +12,7 @@
  *               [--depth=D] [--expected-steps=K] [--max-steps=N]
  *               [--no-sleep-sets] [--replay=TOKEN] [--history]
  *               [--regression=first-try-budget|kill-switch-streak|
- *                            policy-snapshot] [--revert]
+ *                            policy-snapshot|deadline-unwind] [--revert]
  */
 
 #include <chrono>
@@ -121,6 +121,8 @@ main(int argc, char **argv)
             programs.push_back(makeKillSwitchStreakProgram(revert));
         else if (regression == "policy-snapshot")
             programs.push_back(makePolicySnapshotProgram(revert));
+        else if (regression == "deadline-unwind")
+            programs.push_back(makeDeadlineUnwindProgram(revert));
         else {
             std::fprintf(stderr, "unknown regression '%s'\n",
                          regression.c_str());

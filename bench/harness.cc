@@ -134,7 +134,8 @@ printCsvHeader()
         "killswitch_bypass_ratio,p50_us,p99_us,max_us,"
         "stalls_detected,irrevocable_upgrades,accesses_per_op,"
         "crashes_injected,records_replayed,records_discarded,"
-        "recovery_ms,verified\n");
+        "recovery_ms,deadline_exceeded,admission_shed,"
+        "admission_queued_ticks,verified\n");
 }
 
 void
@@ -148,7 +149,7 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
         ops ? double(s.get(Counter::kKillSwitchBypasses)) / ops : 0.0;
     std::printf("%s,%s,%u,%.2f,%llu,%.0f,%.4f,%.4f,%.4f,%.4f,%.4f,"
                 "%.4f,%.4f,%.4f,%.4f,%llu,%.4f,%.2f,%.2f,%.2f,%llu,"
-                "%llu,%.4f,%llu,%llu,%llu,%.3f,%s\n",
+                "%llu,%.4f,%llu,%llu,%llu,%.3f,%llu,%llu,%llu,%s\n",
                 bench_name.c_str(), algoKindName(cell.algo),
                 cell.threads, cell.seconds,
                 static_cast<unsigned long long>(cell.ops),
@@ -171,7 +172,14 @@ printCsvRow(const std::string &bench_name, const CellResult &cell)
                 static_cast<unsigned long long>(cell.crashesInjected),
                 static_cast<unsigned long long>(cell.recordsReplayed),
                 static_cast<unsigned long long>(cell.recordsDiscarded),
-                cell.recoveryMs, cell.verified ? "ok" : "FAIL");
+                cell.recoveryMs,
+                static_cast<unsigned long long>(
+                    s.get(Counter::kDeadlineExceeded)),
+                static_cast<unsigned long long>(
+                    s.get(Counter::kAdmissionShed)),
+                static_cast<unsigned long long>(
+                    s.get(Counter::kAdmissionQueuedTicks)),
+                cell.verified ? "ok" : "FAIL");
     std::fflush(stdout);
 }
 

@@ -62,6 +62,8 @@ TmRuntime::TmRuntime(AlgoKind kind, RuntimeConfig cfg)
             cfg_.persist.seed = cfg_.rngSeed;
         nvm_ = std::make_unique<NvmSim>(cfg_.persist);
     }
+    if (cfg_.admission.enabled)
+        gate_ = std::make_unique<AdmissionGate>(cfg_.admission);
 }
 
 TmRuntime::~TmRuntime() = default;
@@ -132,6 +134,8 @@ TmRuntime::registerThread()
             nvm_.get(), ctx->fault_.get(), &ctx->stats_, ctx->tid());
     }
     ctx->session_ = makeSession(*ctx);
+    ctx->deadline_.attachInjector(ctx->fault_.get());
+    ctx->session_->attachDeadline(&ctx->deadline_);
     ctxs_.push_back(std::move(ctx));
     return *ctxs_.back();
 }
@@ -162,6 +166,8 @@ TmRuntime::resetForTest()
         rhTl2_->resetForTest();
     if (nvm_ != nullptr)
         nvm_->resetForTest();
+    if (gate_ != nullptr)
+        gate_->resetForTest();
     for (auto &ctx : ctxs_) {
         if (ctx->inTxn_) {
             // A scheduler-poisoned run unwound without reaching run()'s
@@ -177,6 +183,7 @@ TmRuntime::resetForTest()
         if (ctx->persist_ != nullptr)
             ctx->persist_->resetForTest();
         ctx->session_->resetForTest();
+        ctx->deadline_.resetForTest();
         ctx->mem_->resetForTest();
     }
 }

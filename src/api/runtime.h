@@ -17,6 +17,8 @@
 #include "src/api/action_log.h"
 #include "src/api/tx_defs.h"
 #include "src/api/txn.h"
+#include "src/core/admission.h"
+#include "src/core/engine/deadline.h"
 #include "src/core/globals.h"
 #include "src/core/retry_policy.h"
 #include "src/fault/fault_injector.h"
@@ -82,6 +84,14 @@ struct RuntimeConfig
     PersistConfig persist;
 
     /**
+     * Overload admission control (docs/OVERLOAD.md). When enabled the
+     * runtime owns an AdmissionGate consulted by runWith()/run()
+     * before every top-level transaction; disabled (the default), no
+     * gate exists and admission is unconditional.
+     */
+    AdmissionConfig admission;
+
+    /**
      * Instrumentation-cost model (DESIGN.md): cycles of busy work per
      * software-path shared access, standing in for the libitm dynamic
      * call + logging that the paper's instrumented slow paths pay and
@@ -128,6 +138,9 @@ class ThreadCtx
      */
     TxPersist *persistence() { return persist_.get(); }
 
+    /** This thread's deadline state (exposed for white-box tests). */
+    DeadlineState &deadlineState() { return deadline_; }
+
   private:
     friend class TmRuntime;
 
@@ -137,6 +150,7 @@ class ThreadCtx
     ThreadMem *mem_;
     ThreadStats stats_;
     ActionLog actions_;
+    DeadlineState deadline_;
     std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<HtmTxn> htm_;
     std::unique_ptr<TxPersist> persist_;
@@ -185,55 +199,143 @@ class TmRuntime
     void
     run(ThreadCtx &ctx, Body &&body, TxnHint hint = TxnHint::kNone)
     {
+        TxnOptions opts;
+        opts.allowShed = false; // Legacy contract: always commits.
+        opts.hint = hint;
+        TxnOutcome outcome =
+            runWith(ctx, opts, std::forward<Body>(body));
+        (void)outcome; // Unbounded + non-sheddable: kCommitted.
+    }
+
+    /**
+     * Execute @p body as one transaction under the bounds in @p opts
+     * (docs/OVERLOAD.md) and report how the call ended:
+     *
+     *  - kCommitted: as run().
+     *  - kDeadlineExceeded: the wall-clock deadline or attempt budget
+     *    expired. The in-flight attempt (if any) was fully unwound
+     *    through the user-abort path -- locks released, journals
+     *    rolled back, onAbort handlers fired -- and the transaction's
+     *    effects never became visible. Not charged to the kill switch
+     *    or retry budgets (the caller gave up; nothing failed).
+     *  - kAdmissionShed: rejected by the admission gate before any TM
+     *    state was touched; no handler ran.
+     *
+     * An irrevocable grant suppresses the deadline: once granted the
+     * transaction always commits. Nested calls flatten and join the
+     * enclosing transaction (its bounds stay in force).
+     */
+    template <typename Body>
+    TxnOutcome
+    runWith(ThreadCtx &ctx, const TxnOptions &opts, Body &&body)
+    {
         if (ctx.inTxn_) {
             // Flat nesting: execute within the enclosing transaction.
             Txn tx(ctx.session_.get(), ctx.mem_, ctx.tid(),
                    &ctx.actions_);
             body(tx);
-            return;
+            return TxnOutcome::kCommitted;
+        }
+        DeadlineState &dl = ctx.deadline_;
+        if (opts.deadline.count() > 0)
+            dl.arm(DeadlineState::Clock::now() + opts.deadline);
+        if (gate_ != nullptr &&
+            !gate_->admit(eng_, globals_, cfg_.retry, &ctx.stats_,
+                          opts.deadline.count() > 0 ? &dl : nullptr,
+                          ctx.fault_.get(), opts.allowShed)) {
+            // Shed before any TM state was touched: no epoch slot, no
+            // handlers, no session activity to unwind.
+            dl.disarm();
+            return TxnOutcome::kAdmissionShed;
         }
         EpochManager &ep = mem_.epochs();
         ep.enterRegion(ctx.tid());
         ctx.inTxn_ = true;
         ctx.actions_.clear();
         TxSession &s = *ctx.session_;
-        for (;;) {
-            try {
-                s.begin(hint);
-                Txn tx(&s, ctx.mem_, ctx.tid(), &ctx.actions_);
-                body(tx);
-                s.commit();
-                break;
-            } catch (const HtmAbort &abort) {
-                // Rollback first (the session releases any held locks
-                // and undoes in-place writes), THEN the action log:
-                // abort handlers observe post-rollback state, and the
-                // memory journal retires this attempt's allocations.
-                s.onHtmAbort(abort);
-                ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
-            } catch (const TxRestart &) {
-                s.onRestart();
-                ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
-            } catch (...) {
-                // A user exception: full abort (locks released, HTM
-                // buffers discarded, journals rolled back, epoch slot
-                // quiesced), then rethrow to the caller exactly once.
-                ctx.stats_.inc(Counter::kUserExceptionAborts);
-                s.onUserAbort();
-                ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
-                ctx.inTxn_ = false;
-                ep.exitRegion(ctx.tid());
-                throw;
+        TxnOutcome outcome = TxnOutcome::kCommitted;
+        unsigned attemptsDone = 0;
+        // The outer try catches TxnDeadlineExceeded thrown from inside
+        // an abort *handler* (a deadline-aware wait in onHtmAbort, for
+        // example): C++ does not route a throw from a catch clause to
+        // its sibling clauses, so it must be fielded one level up.
+        try {
+            for (;;) {
+                if ((opts.maxAttempts != 0 &&
+                     attemptsDone >= opts.maxAttempts) ||
+                    (dl.armed() && dl.expiredNow())) {
+                    outcome = TxnOutcome::kDeadlineExceeded;
+                    break;
+                }
+                try {
+                    s.begin(opts.hint);
+                    Txn tx(&s, ctx.mem_, ctx.tid(), &ctx.actions_);
+                    body(tx);
+                    s.commit();
+                    break;
+                } catch (const HtmAbort &abort) {
+                    // Rollback first (the session releases any held
+                    // locks and undoes in-place writes), THEN the
+                    // action log: abort handlers observe post-rollback
+                    // state, and the memory journal retires this
+                    // attempt's allocations.
+                    ++attemptsDone;
+                    s.onHtmAbort(abort);
+                    ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
+                } catch (const TxRestart &) {
+                    ++attemptsDone;
+                    s.onRestart();
+                    ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
+                } catch (const TxnDeadlineExceeded &) {
+                    // A deadline-aware wait unwound mid-attempt; the
+                    // attempt is still live and needs the full
+                    // user-abort rollback below.
+                    outcome = TxnOutcome::kDeadlineExceeded;
+                    break;
+                } catch (...) {
+                    // A user exception: full abort (locks released,
+                    // HTM buffers discarded, journals rolled back,
+                    // epoch slot quiesced), then rethrow to the caller
+                    // exactly once.
+                    ctx.stats_.inc(Counter::kUserExceptionAborts);
+                    s.onUserAbort();
+                    ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
+                    ctx.inTxn_ = false;
+                    dl.disarm();
+                    ep.exitRegion(ctx.tid());
+                    throw;
+                }
             }
+        } catch (const TxnDeadlineExceeded &) {
+            outcome = TxnOutcome::kDeadlineExceeded;
         }
-        // Commit is linearized and onComplete() has dropped the
-        // serial/global locks; only now may deferred commit actions
-        // (journal retirement, then user handlers) run.
-        s.onComplete();
-        ctx.actions_.runCommit(*ctx.mem_, &ctx.stats_);
-        ctx.stats_.inc(Counter::kOperations);
+        if (outcome == TxnOutcome::kCommitted) {
+            // Commit is linearized and onComplete() has dropped the
+            // serial/global locks; only now may deferred commit
+            // actions (journal retirement, then user handlers) run.
+            s.onComplete();
+            ctx.actions_.runCommit(*ctx.mem_, &ctx.stats_);
+            ctx.stats_.inc(Counter::kOperations);
+        } else {
+            ctx.stats_.inc(Counter::kDeadlineExceeded);
+            // Same ordering as the user-exception path: session
+            // rollback, then the action log (abort handlers fire
+            // exactly once, LIFO -- runAbort clears the log, so this
+            // is a no-op when the last attempt already ran it). The
+            // unwind runs even on a quiescent attempt boundary: a
+            // restarted slow path keeps its fallback registration
+            // (and a pre-grant barrier its serial ticket) across
+            // attempts, and only the session's unwind tail releases
+            // those.
+            s.onUserAbort();
+            ctx.actions_.runAbort(*ctx.mem_, &ctx.stats_);
+        }
         ctx.inTxn_ = false;
+        dl.disarm();
         ep.exitRegion(ctx.tid());
+        if (gate_ != nullptr)
+            gate_->onOutcome(outcome == TxnOutcome::kCommitted);
+        return outcome;
     }
 
     /** Aggregate statistics over all registered threads. */
@@ -250,6 +352,12 @@ class TmRuntime
 
     /** The hybrid coordination globals (for white-box tests). */
     TmGlobals &globals() { return globals_; }
+
+    /**
+     * The admission gate, or nullptr when admission control is
+     * disabled (white-box tests and bench reporting).
+     */
+    AdmissionGate *admission() { return gate_.get(); }
 
     /**
      * The simulated NVM device, or nullptr when the persistence
@@ -322,6 +430,7 @@ class TmRuntime
     std::unique_ptr<Tl2Globals> tl2_;
     std::unique_ptr<RhTl2Globals> rhTl2_;
     std::unique_ptr<NvmSim> nvm_;
+    std::unique_ptr<AdmissionGate> gate_;
     std::mutex registerLock_;
     std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
 };

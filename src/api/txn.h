@@ -6,6 +6,7 @@
 #ifndef RHTM_API_TXN_H
 #define RHTM_API_TXN_H
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <type_traits>
@@ -16,6 +17,65 @@
 
 namespace rhtm
 {
+
+/**
+ * Per-call execution bounds for TmRuntime::runWith (docs/OVERLOAD.md).
+ * The default-constructed value is unbounded and non-sheddable --
+ * exactly the legacy run() behaviour.
+ */
+struct TxnOptions
+{
+    /**
+     * Wall-clock budget for the whole transaction (all attempts,
+     * including every wait). Zero = no deadline. Expiry unwinds the
+     * attempt through the normal abort path and runWith returns
+     * TxnOutcome::kDeadlineExceeded; an already-granted irrevocable
+     * attempt is exempt (it must commit). Deadlines read the wall
+     * clock, so explorer/replay programs use maxAttempts instead.
+     */
+    std::chrono::nanoseconds deadline{0};
+
+    /**
+     * Attempt budget: give up before starting attempt N+1 once N
+     * attempts have aborted. Zero = unbounded. Deterministic (no
+     * clock), so this is the bound of choice under the interleaving
+     * explorer.
+     */
+    unsigned maxAttempts = 0;
+
+    /**
+     * Permit the admission gate to shed this transaction before it
+     * starts (TxnOutcome::kAdmissionShed). When false the gate may
+     * only briefly queue the caller, never reject it.
+     */
+    bool allowShed = true;
+
+    /** Read-only hint, as in run(). */
+    TxnHint hint = TxnHint::kNone;
+};
+
+/** How a runWith() call ended. */
+enum class TxnOutcome : uint8_t
+{
+    kCommitted = 0,     //!< The body committed (possibly after retries).
+    kDeadlineExceeded,  //!< Deadline/attempt budget expired; unwound.
+    kAdmissionShed,     //!< Shed by the admission gate; never started.
+};
+
+/** Short name for reports ("committed", ...). */
+inline const char *
+txnOutcomeName(TxnOutcome outcome)
+{
+    switch (outcome) {
+      case TxnOutcome::kCommitted:
+        return "committed";
+      case TxnOutcome::kDeadlineExceeded:
+        return "deadline-exceeded";
+      case TxnOutcome::kAdmissionShed:
+        return "admission-shed";
+    }
+    return "?";
+}
 
 /**
  * Handle passed to a transaction body; every shared-memory access and

@@ -104,14 +104,27 @@ Explorer::threadBody(unsigned tid)
         // A RunAborted unwind (teardown poison) propagates through
         // run()'s user-exception path and out of this loop; the
         // commit marker is then correctly never logged.
-        rt_->run(
-            ctx,
-            [&](Txn &tx) {
-                hist_.push(tid, HistKind::kAttempt);
-                for (const TxOp &op : txn.ops)
-                    execOp(tx, tid, op);
-            },
-            txn.hint);
+        auto body = [&](Txn &tx) {
+            hist_.push(tid, HistKind::kAttempt);
+            for (const TxOp &op : txn.ops)
+                execOp(tx, tid, op);
+        };
+        if (txn.maxAttempts != 0) {
+            // Attempt-bounded transaction: deterministic by
+            // construction (no wall-clock deadline on an explored
+            // schedule). A kDeadlineExceeded outcome is a legitimate
+            // end state, so the commit marker is only logged for a
+            // real commit.
+            TxnOptions opts;
+            opts.maxAttempts = txn.maxAttempts;
+            opts.allowShed = false;
+            opts.hint = txn.hint;
+            if (rt_->runWith(ctx, opts, body) !=
+                TxnOutcome::kCommitted)
+                continue;
+        } else {
+            rt_->run(ctx, body, txn.hint);
+        }
         hist_.push(tid, HistKind::kCommit);
     }
 }

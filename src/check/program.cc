@@ -288,4 +288,64 @@ makePolicySnapshotProgram(bool reverted)
     return p;
 }
 
+CheckProgram
+makeDeadlineUnwindProgram(bool reverted)
+{
+    // Thread 0's single add(var0) is bounded to three attempts. The
+    // injected faults walk it through the exact states the bug needs:
+    // every hardware read aborts (attempt 1 burns the zero fast-path
+    // budget and falls back), and every software write restarts (each
+    // slow attempt registers the fallback, then unwinds via
+    // TxRestart, which deliberately KEEPS the registration for the
+    // next attempt). The attempt budget then expires at a boundary
+    // with the registration still published, and only the unwind
+    // tail's deregistration -- the fix under test -- drops it. Thread
+    // 1 is a fault-free bystander on var1 whose two commits prove the
+    // runtime stayed healthy. Deterministic on every schedule: the
+    // faults are keyed to thread 0's own program order.
+    CheckProgram p;
+    p.name = "regress-deadline-unwind";
+    p.vars = 2;
+    p.init = {0, 0};
+    TxnSpec bounded;
+    bounded.ops = {add(0, 1)};
+    bounded.maxAttempts = 3;
+    p.threads = {ThreadSpec{{bounded}},
+                 ThreadSpec{{TxnSpec{{wr(1, 1)}}, TxnSpec{{wr(1, 2)}}}}};
+    p.configure = [reverted](RuntimeConfig &cfg) {
+        cfg.retry.maxFastPathRetries = 0;
+        cfg.retry.revertDeadlineUnwindFix = reverted;
+        FaultRule hwRead;
+        hwRead.site = FaultSite::kTxRead;
+        hwRead.kind = FaultKind::kAbortConflict;
+        hwRead.firstHit = 1;
+        hwRead.period = 1;
+        hwRead.tid = 0;
+        cfg.fault.add(hwRead);
+        FaultRule swWrite;
+        swWrite.site = FaultSite::kSoftwareWrite;
+        swWrite.kind = FaultKind::kAbortOther;
+        swWrite.firstHit = 1;
+        swWrite.period = 1;
+        swWrite.tid = 0;
+        cfg.fault.add(swWrite);
+    };
+    p.invariant = [](TmRuntime &rt, std::string *why) {
+        uint64_t leaked = rt.globals().fallbacks;
+        uint64_t unwound =
+            rt.stats().get(Counter::kDeadlineExceeded);
+        uint64_t committed = rt.stats().get(Counter::kOperations);
+        if (leaked == 0 && unwound == 1 && committed == 2)
+            return true;
+        if (why != nullptr)
+            *why = "deadline unwind left fallbacks=" +
+                   std::to_string(leaked) + " (want 0), " +
+                   "deadline_exceeded=" + std::to_string(unwound) +
+                   " (want 1), operations=" +
+                   std::to_string(committed) + " (want 2)";
+        return false;
+    };
+    return p;
+}
+
 } // namespace rhtm::check

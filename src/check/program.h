@@ -40,6 +40,19 @@ struct TxnSpec
 {
     std::vector<TxOp> ops;
     TxnHint hint = TxnHint::kNone;
+
+    /**
+     * Attempt budget: when nonzero the transaction runs through
+     * TmRuntime::runWith with this TxnOptions::maxAttempts and is
+     * allowed to end kDeadlineExceeded instead of committing. Explorer
+     * programs bound transactions by attempts, never by wall-clock
+     * deadline -- an attempt count is deterministic on a replayed
+     * schedule, a clock is not (docs/OVERLOAD.md). Place a bounded
+     * transaction LAST in its thread: an uncommitted outcome leaves
+     * its recorded history span open, and the checker rejects a later
+     * begin on the same thread.
+     */
+    unsigned maxAttempts = 0;
 };
 
 /** One logical thread: its transactions, in order. */
@@ -134,6 +147,19 @@ CheckProgram makeKillSwitchStreakProgram(bool reverted);
  * deterministically on every schedule.
  */
 CheckProgram makePolicySnapshotProgram(bool reverted);
+
+/**
+ * Deadline-unwind fallback deregistration: a transaction that exhausts
+ * its attempt budget on the software slow path must drop its published
+ * fallback registration on the way out. Under the reverted fix the
+ * unwind tail skips the deregistration, leaving a permanent +1 on
+ * TmGlobals::fallbacks -- invisible to the victim (it unwound
+ * cleanly) but taxing every later hardware writer with a clock bump
+ * forever. Deterministic on every schedule: the injected read faults
+ * force thread 0 through fast-abort, slow-restart, and out at the
+ * attempt boundary regardless of interleaving.
+ */
+CheckProgram makeDeadlineUnwindProgram(bool reverted);
 
 } // namespace rhtm::check
 

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Overload admission control in front of the transaction retry loop
+ * (docs/OVERLOAD.md).
+ *
+ * The retry loop is an amplifier: under a serial storm or a tripped
+ * HTM kill switch, every admitted transaction burns its whole fast-path
+ * budget against doomed hardware attempts, joins the serial FIFO, and
+ * lengthens the very queue that doomed it. The gate breaks the feedback
+ * loop at the cheapest point -- before begin(), when nothing is held
+ * and no handler is registered -- by shedding (TxnOutcome::
+ * kAdmissionShed) or briefly queueing new work while the runtime is
+ * overloaded, instead of letting it pile onto the convoy.
+ *
+ * Overload signals (all cheap, all already maintained):
+ *   - serial FIFO depth: serialNextTicket - serialServing;
+ *   - the HTM kill switch's cooldown (hardware path known-bad);
+ *   - a commit-success EWMA fed by every attempted transaction's
+ *     outcome.
+ *
+ * Hysteresis: the gate opens the moment any enter watermark is crossed
+ * and only closes after every exit watermark has been continuously
+ * clear for `closeStreak` consecutive observations -- entering is
+ * instant, leaving is deliberate, so the gate cannot flap at the
+ * watermark. While open, every `probeEvery`-th admit() is let through
+ * anyway (circuit-breaker half-open probing), so the success EWMA keeps
+ * receiving samples and the gate can observe recovery even when every
+ * caller is sheddable.
+ *
+ * Blocking callers (TxnOptions::allowShed == false, including every
+ * legacy run()) are never shed: they queue at most `maxQueueTicks`
+ * steps and are then admitted unconditionally -- admission control must
+ * degrade throughput, never deadlock a caller that has no shed path.
+ */
+
+#ifndef RHTM_CORE_ADMISSION_H
+#define RHTM_CORE_ADMISSION_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "src/core/engine/deadline.h"
+#include "src/core/engine/globals.h"
+#include "src/core/engine/progress.h"
+#include "src/fault/fault_injector.h"
+#include "src/htm/htm_engine.h"
+#include "src/stats/stats.h"
+
+namespace rhtm
+{
+
+/** Watermarks and pacing for the admission gate. */
+struct AdmissionConfig
+{
+    /** Master switch; a disabled gate admits everything untouched. */
+    bool enabled = false;
+
+    /** Serial FIFO depth that opens the gate. */
+    uint64_t serialQueueEnter = 4;
+
+    /** Serial FIFO depth the gate needs to see before it may close. */
+    uint64_t serialQueueExit = 1;
+
+    /** Success EWMA (basis points) below which the gate opens. */
+    uint32_t successEnterBp = 3000;
+
+    /** Success EWMA (basis points) required before the gate may close. */
+    uint32_t successExitBp = 6000;
+
+    /** Waiter steps a sheddable caller queues before being shed. */
+    uint64_t maxQueueTicks = 256;
+
+    /** Consecutive all-clear observations required to close the gate. */
+    uint64_t closeStreak = 32;
+
+    /** While open, admit every Nth sheddable caller as a probe. */
+    uint64_t probeEvery = 8;
+};
+
+/**
+ * The gate itself: one per runtime, shared by every thread. All state
+ * is relaxed atomics -- the signals are heuristics and a lost update
+ * only delays a hysteresis transition by one observation.
+ */
+class AdmissionGate
+{
+  public:
+    explicit AdmissionGate(const AdmissionConfig &cfg) : cfg_(cfg)
+    {
+        ewmaBp_.store(kEwmaOne, std::memory_order_relaxed);
+    }
+
+    /**
+     * Decide whether the calling thread may start a transaction.
+     * Returns false only when the gate is open AND @p allowShed -- the
+     * caller then reports TxnOutcome::kAdmissionShed without touching
+     * any TM state. May briefly block (the queue) but never throws:
+     * the optional @p deadline is checked non-throwing and simply cuts
+     * the queueing short.
+     */
+    bool
+    admit(HtmEngine &eng, TmGlobals &g, const RetryPolicy &policy,
+          ThreadStats *stats, DeadlineState *deadline,
+          FaultInjector *fault, bool allowShed)
+    {
+        if (!cfg_.enabled)
+            return true;
+        fireSite(fault);
+        if (!open_.load(std::memory_order_relaxed)) {
+            if (!enterSignal(eng, g))
+                return true;
+            open_.store(true, std::memory_order_relaxed);
+            clearStreak_.store(0, std::memory_order_relaxed);
+        }
+        // Gate is open. Half-open probing keeps outcome samples
+        // flowing so recovery is observable even if every caller
+        // could be shed.
+        if (allowShed && cfg_.probeEvery != 0 &&
+            (probeTick_.fetch_add(1, std::memory_order_relaxed) %
+             cfg_.probeEvery) == cfg_.probeEvery - 1) {
+            return true;
+        }
+        // Brief queue: the storm may pass (serial convoys drain in
+        // FIFO order) within a few waiter steps.
+        uint64_t ticks = 0;
+        {
+            StallAwareWaiter waiter(g, policy, stats,
+                                    g.watchdog.serialEpoch);
+            while (ticks < cfg_.maxQueueTicks) {
+                if (tryClose(eng, g))
+                    break;
+                if (deadline != nullptr && deadline->expiredNow())
+                    break; // No time left to queue; shed below.
+                waiter.step();
+                ++ticks;
+            }
+        }
+        if (stats != nullptr && ticks != 0)
+            stats->inc(Counter::kAdmissionQueuedTicks, ticks);
+        if (!open_.load(std::memory_order_relaxed))
+            return true; // Closed while we queued.
+        if (!allowShed)
+            return true; // Blocking caller: degrade, never deadlock.
+        if (stats != nullptr)
+            stats->inc(Counter::kAdmissionShed);
+        return false;
+    }
+
+    /**
+     * Feed one attempted transaction's outcome into the success EWMA
+     * (alpha = 1/16, basis points). Shed transactions never ran and
+     * must NOT be fed -- they would read as failures and wedge the
+     * gate open.
+     */
+    void
+    onOutcome(bool committed)
+    {
+        if (!cfg_.enabled)
+            return;
+        uint32_t sample = committed ? kEwmaOne : 0;
+        uint32_t cur = ewmaBp_.load(std::memory_order_relaxed);
+        for (;;) {
+            uint32_t next = cur - cur / 16 + sample / 16;
+            if (ewmaBp_.compare_exchange_weak(cur, next,
+                                              std::memory_order_relaxed))
+                return;
+        }
+    }
+
+    /** True while the gate is open (test probe). */
+    bool open() const { return open_.load(std::memory_order_relaxed); }
+
+    /** Current success EWMA in basis points (test probe). */
+    uint32_t
+    successEwmaBp() const
+    {
+        return ewmaBp_.load(std::memory_order_relaxed);
+    }
+
+    /** Back to the post-construction state (test isolation). */
+    void
+    resetForTest()
+    {
+        open_.store(false, std::memory_order_relaxed);
+        clearStreak_.store(0, std::memory_order_relaxed);
+        probeTick_.store(0, std::memory_order_relaxed);
+        ewmaBp_.store(kEwmaOne, std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr uint32_t kEwmaOne = 10000; // 100% in basis points.
+
+    uint64_t
+    serialDepth(HtmEngine &eng, TmGlobals &g) const
+    {
+        uint64_t next = eng.directLoad(&g.serialNextTicket);
+        uint64_t serving = eng.directLoad(&g.serialServing);
+        return next > serving ? next - serving : 0;
+    }
+
+    /** Any enter watermark crossed? (Entering is instant.) */
+    bool
+    enterSignal(HtmEngine &eng, TmGlobals &g) const
+    {
+        if (g.killSwitch.tripped())
+            return true;
+        if (serialDepth(eng, g) >= cfg_.serialQueueEnter)
+            return true;
+        return ewmaBp_.load(std::memory_order_relaxed) <
+               cfg_.successEnterBp;
+    }
+
+    /** All exit watermarks clear right now? */
+    bool
+    exitClear(HtmEngine &eng, TmGlobals &g) const
+    {
+        if (g.killSwitch.tripped())
+            return false;
+        if (serialDepth(eng, g) > cfg_.serialQueueExit)
+            return false;
+        return ewmaBp_.load(std::memory_order_relaxed) >=
+               cfg_.successExitBp;
+    }
+
+    /**
+     * One hysteresis observation: accrue the all-clear streak and
+     * close the gate once it is long enough. Returns true if the gate
+     * is (now) closed.
+     */
+    bool
+    tryClose(HtmEngine &eng, TmGlobals &g)
+    {
+        if (!open_.load(std::memory_order_relaxed))
+            return true;
+        if (!exitClear(eng, g)) {
+            clearStreak_.store(0, std::memory_order_relaxed);
+            return false;
+        }
+        uint64_t streak =
+            clearStreak_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (streak < cfg_.closeStreak)
+            return false;
+        open_.store(false, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Give chaos schedules their window at the gate decision. */
+    void
+    fireSite(FaultInjector *fault)
+    {
+        if (fault == nullptr)
+            return;
+        uint32_t spins = 0;
+        switch (fault->fire(FaultSite::kAdmissionGate, &spins)) {
+          case FaultKind::kDelay:
+            simDelay(spins);
+            return;
+          case FaultKind::kYield:
+            std::this_thread::yield();
+            return;
+          default:
+            return; // Abort kinds are meaningless at the gate.
+        }
+    }
+
+    AdmissionConfig cfg_;
+    std::atomic<bool> open_{false};
+    std::atomic<uint64_t> clearStreak_{0};
+    std::atomic<uint64_t> probeTick_{0};
+    std::atomic<uint32_t> ewmaBp_{kEwmaOne};
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_ADMISSION_H

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Per-transaction deadline state (docs/OVERLOAD.md).
+ *
+ * A NOrec-family hybrid has several indefinite waits -- the serial
+ * FIFO ticket queue, the stall-aware clock/htmLock spins, the
+ * contention-manager backoff -- and Alistarh et al.'s lower bounds
+ * (PAPERS.md) prove workloads exist that stretch them without limit.
+ * DeadlineState turns each of those waits into a bounded one: the
+ * runtime arms it with an absolute wall-clock deadline before the
+ * first attempt, the wait loops poll it, and an expired deadline
+ * unwinds the attempt with TxnDeadlineExceeded through the existing
+ * exception-safe abort path (locks released, journals rolled back,
+ * onAbort handlers fired exactly once, no kill-switch or retry-budget
+ * charge -- the transaction gave up, the hardware did not fail).
+ *
+ * Two contract points:
+ *
+ *  - Irrevocability wins. Once a session grants irrevocability the
+ *    transaction must commit, so the grant calls suppress() and every
+ *    later poll is a no-op. A deadline can expire BEFORE the grant
+ *    (including inside the grant barrier, where the serial ticket is
+ *    retained and released by the unwind), never after.
+ *
+ *  - Determinism when disarmed. The interleaving explorer
+ *    (docs/CHECKING.md) requires that nothing consults the wall clock
+ *    on an explored schedule; a disarmed DeadlineState never reads the
+ *    clock, so explorer programs use attempt budgets (TxnOptions::
+ *    maxAttempts) instead of wall-clock deadlines.
+ *
+ * The kDeadlineWait fault site fires on every un-throttled poll, so
+ * chaos schedules can stretch the expiry window (delay/yield) right
+ * where the unwind decision is made; abort kinds are ignored there (a
+ * poll is not an abort window -- the deadline itself decides).
+ */
+
+#ifndef RHTM_CORE_ENGINE_DEADLINE_H
+#define RHTM_CORE_ENGINE_DEADLINE_H
+
+#include <chrono>
+#include <thread>
+
+#include "src/fault/fault_injector.h"
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+/**
+ * Thrown from a deadline-aware wait when the armed deadline expires.
+ * Caught only by the runtime's retry loop (TmRuntime::runWith), which
+ * runs the full user-abort unwind and reports TxnOutcome::
+ * kDeadlineExceeded; never escapes to user code.
+ */
+struct TxnDeadlineExceeded
+{
+};
+
+/**
+ * One per thread, owned by the ThreadCtx and shared (by pointer) with
+ * the thread's session and every wait loop under it. Single-threaded
+ * by construction, like the session itself.
+ */
+class DeadlineState
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Attach the thread's injector (nullptr = no fault plan). */
+    void attachInjector(FaultInjector *fault) { fault_ = fault; }
+
+    /** Arm for the transaction starting now (runtime only). */
+    void
+    arm(Clock::time_point deadline)
+    {
+        armed_ = true;
+        suppressed_ = false;
+        deadline_ = deadline;
+        throttle_ = 0;
+    }
+
+    /** Disarm at end of transaction (runtime only). */
+    void
+    disarm()
+    {
+        armed_ = false;
+        suppressed_ = false;
+    }
+
+    /**
+     * Irrevocability granted: the transaction must commit, so every
+     * later poll is a no-op until disarm(). Called by the sessions'
+     * grant points (SessionCore::grantIrrevocable and the STM grants).
+     */
+    void suppress() { suppressed_ = true; }
+
+    /** True while armed and not suppressed by an irrevocable grant. */
+    bool armed() const { return armed_ && !suppressed_; }
+
+    /**
+     * Non-throwing expiry check for attempt boundaries and for waits
+     * that must not unwind mid-protocol (the serial ticket queue hands
+     * its grant on instead of throwing). Never reads the wall clock
+     * when disarmed.
+     */
+    bool
+    expiredNow()
+    {
+        if (!armed())
+            return false;
+        fireSite();
+        return Clock::now() >= deadline_;
+    }
+
+    /**
+     * Throttled throwing poll for hot wait loops: checks the wall
+     * clock every 64th call so a spin loop does not pay a clock read
+     * per iteration.
+     */
+    void
+    poll()
+    {
+        if (!armed())
+            return;
+        if ((++throttle_ & 63u) != 0)
+            return;
+        pollNow();
+    }
+
+    /** Unthrottled throwing poll (wait-entry points). */
+    void
+    pollNow()
+    {
+        if (expiredNow())
+            throw TxnDeadlineExceeded{};
+    }
+
+    /** Back to the post-construction state (test isolation). */
+    void
+    resetForTest()
+    {
+        armed_ = false;
+        suppressed_ = false;
+        throttle_ = 0;
+    }
+
+  private:
+    /** Give chaos schedules their window at the poll itself. */
+    void
+    fireSite()
+    {
+        if (fault_ == nullptr)
+            return;
+        uint32_t spins = 0;
+        switch (fault_->fire(FaultSite::kDeadlineWait, &spins)) {
+          case FaultKind::kDelay:
+            simDelay(spins);
+            return;
+          case FaultKind::kYield:
+            std::this_thread::yield();
+            return;
+          default:
+            return; // Abort kinds are meaningless at a poll.
+        }
+    }
+
+    FaultInjector *fault_ = nullptr;
+    Clock::time_point deadline_{};
+    uint64_t throttle_ = 0;
+    bool armed_ = false;
+    bool suppressed_ = false;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_ENGINE_DEADLINE_H

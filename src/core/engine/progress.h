@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "src/core/engine/deadline.h"
 #include "src/core/engine/globals.h"
 #include "src/core/engine/retry_policy.h"
 #include "src/htm/htm_engine.h"
@@ -51,15 +52,24 @@ namespace rhtm
  * doubling sleeps). Restores the health gauge on destruction, so a
  * waiter that exits the loop (or unwinds) never leaves the runtime
  * reported unhealthy.
+ *
+ * An optional DeadlineState makes the wait bounded: step() polls it
+ * (throttled) and throws TxnDeadlineExceeded when the transaction's
+ * deadline expires. Pass one only where the throw is safe -- nothing
+ * acquired yet, so the normal abort unwind releases everything. The
+ * serial FIFO wait deliberately does NOT use it (see
+ * serialLockAcquire's ticket-obligation protocol).
  */
 class StallAwareWaiter
 {
   public:
     StallAwareWaiter(TmGlobals &g, const RetryPolicy &policy,
                      ThreadStats *stats,
-                     const std::atomic<uint64_t> &epoch)
+                     const std::atomic<uint64_t> &epoch,
+                     DeadlineState *deadline = nullptr)
         : g_(g), policy_(policy), stats_(stats), epoch_(epoch),
-          lastEpoch_(epoch.load(std::memory_order_relaxed))
+          lastEpoch_(epoch.load(std::memory_order_relaxed)),
+          deadline_(deadline)
     {}
 
     ~StallAwareWaiter() { clearStall(); }
@@ -75,6 +85,8 @@ class StallAwareWaiter
         // serial FIFO) funnels through here; the explorer parks the
         // thread until someone else makes progress.
         schedWaitPoint(SchedPoint::kWaitSpin, &epoch_);
+        if (deadline_ != nullptr)
+            deadline_->poll();
         ++ticks_;
         uint64_t now = epoch_.load(std::memory_order_relaxed);
         if (now != lastEpoch_) {
@@ -148,6 +160,7 @@ class StallAwareWaiter
     ThreadStats *stats_;
     const std::atomic<uint64_t> &epoch_;
     uint64_t lastEpoch_;
+    DeadlineState *deadline_ = nullptr;
     uint64_t ticks_ = 0;
     uint64_t sinceProgress_ = 0;
     uint32_t sleepUs_ = 0;
@@ -158,24 +171,44 @@ class StallAwareWaiter
  * Acquire the serial starvation lock FIFO: take a ticket, wait
  * (stall-aware, watching the serial epoch) until served, then raise the
  * TM-visible serialLock flag the fast paths subscribe to.
+ *
+ * Deadline protocol (ticket obligation): an expired deadline is only
+ * honored BEFORE the ticket is taken. Once ticketed, the thread is an
+ * obligated link in the FIFO -- throwing out of the queue would leave
+ * serialServing permanently behind serialNextTicket and wedge every
+ * later acquirer -- so it waits out the (queue-bounded) turn; if the
+ * deadline expired while queued, it hands the grant straight to the
+ * next ticket without ever raising serialLock, then unwinds. The wait
+ * therefore stays bounded by the queue ahead, which is exactly the
+ * bound the FIFO already guarantees.
  */
 inline void
 serialLockAcquire(HtmEngine &eng, TmGlobals &g,
-                  const RetryPolicy &policy, ThreadStats *stats)
+                  const RetryPolicy &policy, ThreadStats *stats,
+                  DeadlineState *deadline = nullptr)
 {
+    if (deadline != nullptr)
+        deadline->pollNow(); // Last throw-safe point: no ticket yet.
     schedPoint(SchedPoint::kSerialTicket, &g.serialNextTicket);
     uint64_t ticket = eng.directFetchAdd(&g.serialNextTicket, 1);
     StallAwareWaiter waiter(g, policy, stats, g.watchdog.serialEpoch);
     while (eng.directLoad(&g.serialServing) != ticket)
         waiter.step();
     // Served: we are the unique owner until we advance serialServing.
-    schedPoint(SchedPoint::kSerialAcquired, &g.serialLock);
-    eng.directStore(&g.serialLock, 1);
-    stampEpoch(g.watchdog.serialEpoch);
     if (stats != nullptr) {
         stats->inc(Counter::kSerialAcquires);
         stats->inc(Counter::kSerialWaitTicks, waiter.ticks());
     }
+    if (deadline != nullptr && deadline->expiredNow()) {
+        // Expired while queued: hand the grant on (serialLock was
+        // never raised, so there is nothing to release) and unwind.
+        eng.directStore(&g.serialServing, ticket + 1);
+        stampEpoch(g.watchdog.serialEpoch);
+        throw TxnDeadlineExceeded{};
+    }
+    schedPoint(SchedPoint::kSerialAcquired, &g.serialLock);
+    eng.directStore(&g.serialLock, 1);
+    stampEpoch(g.watchdog.serialEpoch);
 }
 
 /**
@@ -205,10 +238,14 @@ class ScopedHtmLock
 {
   public:
     ScopedHtmLock(HtmEngine &eng, TmGlobals &g,
-                  const RetryPolicy &policy, ThreadStats *stats)
+                  const RetryPolicy &policy, ThreadStats *stats,
+                  DeadlineState *deadline = nullptr)
         : eng_(eng), g_(g)
     {
-        StallAwareWaiter waiter(g, policy, stats, g.watchdog.clockEpoch);
+        // Deadline-safe: until the CAS lands nothing is held, so the
+        // waiter's poll may unwind freely.
+        StallAwareWaiter waiter(g, policy, stats, g.watchdog.clockEpoch,
+                                deadline);
         for (;;) {
             uint64_t expected = 0;
             if (eng_.directCas(&g_.htmLock, expected, 1))
@@ -255,12 +292,14 @@ class ScopedHtmLock
  */
 inline uint64_t
 stableClockRead(HtmEngine &eng, TmGlobals &g,
-                const RetryPolicy &policy, ThreadStats *stats)
+                const RetryPolicy &policy, ThreadStats *stats,
+                DeadlineState *deadline = nullptr)
 {
     uint64_t clock = eng.directLoad(&g.clock);
     if (!clockIsLocked(clock))
         return clock;
-    StallAwareWaiter waiter(g, policy, stats, g.watchdog.clockEpoch);
+    StallAwareWaiter waiter(g, policy, stats, g.watchdog.clockEpoch,
+                            deadline);
     do {
         waiter.step();
         clock = eng.directLoad(&g.clock);

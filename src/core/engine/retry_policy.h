@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/core/engine/deadline.h"
 #include "src/core/engine/globals.h"
 #include "src/htm/abort.h"
 #include "src/stats/stats.h"
@@ -117,6 +118,17 @@ struct RetryPolicy
      * session construction are silently ignored.
      */
     bool revertPolicySnapshotFix = false;
+
+    /**
+     * Revert the deadline-unwind fallback-deregistration fix: the
+     * deadline unwind tail stops dropping the transaction's published
+     * fallback registration, so every deadline that expires on a
+     * registered slow path leaks a permanent +1 on TmGlobals::
+     * fallbacks -- after which every hardware fast-path writer
+     * validates and bumps the clock forever (a quiet, global
+     * throughput collapse).
+     */
+    bool revertDeadlineUnwindFix = false;
 };
 
 /**
@@ -228,10 +240,17 @@ class ContentionManager
         return delay;
     }
 
-    /** Execute one backoff step for @p cause (delay or yield). */
+    /**
+     * Execute one backoff step for @p cause (delay or yield). With a
+     * @p deadline, an already-expired transaction skips the backoff
+     * entirely: the wait would only delay the unwind the runtime's
+     * attempt-boundary check is about to perform (docs/OVERLOAD.md).
+     */
     BackoffAction
-    onWait(WaitCause cause)
+    onWait(WaitCause cause, DeadlineState *deadline = nullptr)
     {
+        if (deadline != nullptr && deadline->expiredNow())
+            return BackoffAction::kSpun;
         uint32_t delay = nextDelay(cause);
         if (delay == 0) {
             std::this_thread::yield();

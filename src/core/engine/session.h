@@ -25,6 +25,8 @@
 namespace rhtm
 {
 
+class DeadlineState;
+
 /**
  * Thrown by an algorithm to abort and restart the current transaction
  * attempt (the library analogue of libitm's longjmp back to the
@@ -174,7 +176,24 @@ class TxSession
     /** Raw adaptive payoff score (same probe; 0 when absent). */
     virtual uint32_t adaptiveScoreForTest() const { return 0; }
 
+    /**
+     * Attach the owning thread's deadline state (docs/OVERLOAD.md).
+     * Called once by the runtime right after construction; sessions
+     * thread the pointer into their waits via onDeadlineAttached().
+     */
+    void
+    attachDeadline(DeadlineState *deadline)
+    {
+        deadline_ = deadline;
+        onDeadlineAttached();
+    }
+
   protected:
+    /** Hook for sessions that forward the pointer (SessionCore). */
+    virtual void onDeadlineAttached() {}
+
+    /** The thread's deadline state, or nullptr before attachment. */
+    DeadlineState *deadline_ = nullptr;
     /**
      * Bind the accessor descriptor for the mode just entered. @p self
      * is passed back to the descriptor's functions (the derived

@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "src/core/engine/clock_subscription.h"
+#include "src/core/engine/deadline.h"
 #include "src/core/engine/fault_points.h"
 #include "src/core/engine/globals.h"
 #include "src/core/engine/progress.h"
@@ -109,6 +110,16 @@ struct SessionCore
      * needs (the Persistent HyTM split).
      */
     TxPersist *persist = nullptr;
+
+    /**
+     * Per-thread deadline state, or nullptr until the runtime attaches
+     * it (TxSession::attachDeadline). Threaded into every indefinite
+     * wait under this session -- serial FIFO, clock spins, contention-
+     * manager backoff -- so an armed deadline bounds them all
+     * (docs/OVERLOAD.md); grantIrrevocable() suppresses it, because a
+     * granted transaction must commit.
+     */
+    DeadlineState *deadline = nullptr;
 
   private:
     uint64_t cmSeed_; //!< Kept so resetForTest can reseed the CM.
@@ -219,7 +230,7 @@ struct SessionCore
     acquireSerial()
     {
         if (!serialHeld) {
-            serialLockAcquire(eng, g, policy, stats);
+            serialLockAcquire(eng, g, policy, stats, deadline);
             serialHeld = true;
         }
     }
@@ -237,7 +248,7 @@ struct SessionCore
     uint64_t
     stableClock()
     {
-        return stableClockRead(eng, g, policy, stats);
+        return stableClockRead(eng, g, policy, stats, deadline);
     }
 
     // ------------------------------------------------------------------
@@ -296,7 +307,7 @@ struct SessionCore
         if (!abort.retryOk)
             killSwitchOnHardwareFailure(g, policy, stats);
         if (abort.retryOk && attempts < retryBudget.budget()) {
-            cm.onWait(waitCauseOf(abort));
+            cm.onWait(waitCauseOf(abort), deadline);
             return true;
         }
         retryBudget.onFallback(attempts);
@@ -319,7 +330,7 @@ struct SessionCore
             mode == ExecMode::kSlow) {
             mode = ExecMode::kSerial;
         }
-        cm.onWait(WaitCause::kRestart);
+        cm.onWait(WaitCause::kRestart, deadline);
     }
 
     // ------------------------------------------------------------------
@@ -347,6 +358,10 @@ struct SessionCore
     grantIrrevocable()
     {
         irrevocable = true;
+        // Irrevocability outranks the deadline: the transaction is now
+        // guaranteed to commit, so no later poll may unwind it.
+        if (deadline != nullptr)
+            deadline->suppress();
         count(Counter::kIrrevocableUpgrades);
     }
 
@@ -405,7 +420,12 @@ struct SessionCore
     void
     unwindTail()
     {
-        deregisterFallback();
+        // The reverted bug (tests only): the deadline/user-abort unwind
+        // forgot to drop the published fallback registration, leaving a
+        // permanent +1 on TmGlobals::fallbacks that makes every later
+        // fast-path writer validate and bump the clock forever.
+        if (!policy.revertDeadlineUnwindFix)
+            deregisterFallback();
         releaseSerial();
         tally.flush(stats);
         irrevocable = false;

@@ -57,6 +57,12 @@ class HybridNOrecSession : public TxSession
     const char *name() const override { return "hy-norec"; }
 
     void
+    onDeadlineAttached() override
+    {
+        core_.deadline = deadline_;
+    }
+
+    void
     resetForTest() override
     {
         core_.resetForTest();

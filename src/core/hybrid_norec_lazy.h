@@ -58,6 +58,12 @@ class HybridNOrecLazySession : public TxSession
     const char *name() const override { return "hy-norec-lazy"; }
 
     void
+    onDeadlineAttached() override
+    {
+        core_.deadline = deadline_;
+    }
+
+    void
     resetForTest() override
     {
         core_.resetForTest();

@@ -67,8 +67,11 @@ LockElisionSession::beginSerial()
     // holder is detected via the clock epoch and waited out with
     // yields/sleeps instead of a blind spin.
     {
+        // Deadline-safe: until the CAS lands nothing is held, so the
+        // waiter's poll may unwind freely.
         StallAwareWaiter waiter(core_.g, core_.policy, core_.stats,
-                                core_.g.watchdog.clockEpoch);
+                                core_.g.watchdog.clockEpoch,
+                                core_.deadline);
         for (;;) {
             uint64_t expected = 0;
             if (core_.eng.directCas(&core_.g.globalLock, expected, 1))
@@ -128,6 +131,8 @@ LockElisionSession::becomeIrrevocable()
     if (core_.mode == ExecMode::kSerial) {
         // Holding the global lock already means nothing can abort us:
         // serial mode is inherently irrevocable.
+        if (core_.deadline != nullptr)
+            core_.deadline->suppress();
         core_.count(Counter::kIrrevocableUpgrades);
         return;
     }
@@ -157,9 +162,12 @@ LockElisionSession::onHtmAbort(const HtmAbort &abort)
         // to clear before re-eliding instead of burning the retry
         // budget against a held lock (standard HLE practice). The wait
         // is stall-aware: a preempted lock holder is waited out with
-        // yields/sleeps rather than a blind spin.
+        // yields/sleeps rather than a blind spin. A deadline poll may
+        // unwind from here (nothing held); the runtime's retry loop
+        // catches TxnDeadlineExceeded thrown out of this handler.
         StallAwareWaiter waiter(core_.g, core_.policy, core_.stats,
-                                core_.g.watchdog.clockEpoch);
+                                core_.g.watchdog.clockEpoch,
+                                core_.deadline);
         while (core_.eng.directLoad(&core_.g.globalLock) != 0)
             waiter.step();
     }

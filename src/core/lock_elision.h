@@ -45,6 +45,12 @@ class LockElisionSession : public TxSession
     const char *name() const override { return "lock-elision"; }
 
     void
+    onDeadlineAttached() override
+    {
+        core_.deadline = deadline_;
+    }
+
+    void
     resetForTest() override
     {
         core_.resetForTest();

@@ -86,6 +86,12 @@ class RhNOrecSession : public TxSession
     uint32_t expectedPrefixLength() const { return expectedPrefixLen_; }
 
     void
+    onDeadlineAttached() override
+    {
+        core_.deadline = deadline_;
+    }
+
+    void
     resetForTest() override
     {
         core_.resetForTest();

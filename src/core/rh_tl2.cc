@@ -192,7 +192,8 @@ RhTl2Session::commitMixedSoftware()
     // the clock epoch and waited out), and the guard -- not a bare
     // store on the happy path -- owns the release, so the validation
     // restart below can never leak the lock.
-    ScopedHtmLock lock(core_.eng, core_.g, core_.policy, core_.stats);
+    ScopedHtmLock lock(core_.eng, core_.g, core_.policy, core_.stats,
+                       core_.deadline);
     for (const OrecEntry &e : readLog_) {
         if (core_.eng.directLoad(e.orec) != e.version)
             restart(); // The guard drops the HTM lock on the unwind.
@@ -270,7 +271,7 @@ RhTl2Session::becomeIrrevocable()
     core_.grantBarrierEnter(/*switchToSerialMode=*/false);
     {
         ScopedHtmLock lock(core_.eng, core_.g, core_.policy,
-                           core_.stats);
+                           core_.stats, core_.deadline);
         // Validate the read set BEFORE granting: a stale read must
         // unwind before the promise, never after. The guard drops the
         // HTM lock on the restart; the serial lock stays held, so the

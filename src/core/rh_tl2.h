@@ -108,6 +108,12 @@ class RhTl2Session : public TxSession
     const char *name() const override { return "rh-tl2"; }
 
     void
+    onDeadlineAttached() override
+    {
+        core_.deadline = deadline_;
+    }
+
+    void
     resetForTest() override
     {
         core_.resetForTest();

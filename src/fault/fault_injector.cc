@@ -27,6 +27,8 @@ faultSiteName(FaultSite site)
         return "crash-post-seal-pre-writeback";
       case FaultSite::kCrashMidWriteback: return "crash-mid-writeback";
       case FaultSite::kCrashPostMarker: return "crash-post-marker";
+      case FaultSite::kDeadlineWait: return "deadline-wait";
+      case FaultSite::kAdmissionGate: return "admission-gate";
       case FaultSite::kNumSites: break;
     }
     return "unknown";

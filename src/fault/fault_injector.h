@@ -62,6 +62,13 @@ enum class FaultSite : unsigned
     kCrashPostSealPreWriteback, //!< Seal durable, write-behind not started.
     kCrashMidWriteback,        //!< Mid-drain: data pwbs pending, no fence.
     kCrashPostMarker,          //!< Commit marker durable, handlers pending.
+
+    // Overload-control sites (docs/OVERLOAD.md). Abort kinds are
+    // ignored at both: they mark decision windows, not abort windows
+    // -- delay/yield rules stretch the deadline-expiry window and the
+    // admission decision respectively.
+    kDeadlineWait,  //!< A deadline-aware wait polled for expiry.
+    kAdmissionGate, //!< The admission gate ruled on a new transaction.
     kNumSites
 };
 

@@ -16,6 +16,7 @@ chaosScheduleNames()
         "stall-serial",
         "stall-publisher",
         "irrevocable-storm",
+        "adversary-storm",
     };
     return names;
 }
@@ -173,6 +174,53 @@ makeChaosSchedule(const std::string &raw_name, uint64_t seed,
         re.period = 1;
         re.probability = 0.02;
         out.add(re);
+        return true;
+    }
+    if (name == "adversary-storm") {
+        // Overload cocktail for the admission/deadline machinery
+        // (docs/OVERLOAD.md): most software attempts die at birth, so
+        // restart counters race to serial escalation and the FIFO
+        // convoy grows...
+        FaultRule rf;
+        rf.site = FaultSite::kFallbackStart;
+        rf.kind = FaultKind::kAbortOther;
+        rf.period = 1;
+        rf.probability = 0.7;
+        out.add(rf);
+        // ...each serial winner dawdles inside its held window,
+        // stretching the convoy every deadline-aware ticket wait is
+        // staring at...
+        FaultRule rh;
+        rh.site = FaultSite::kSerialHeld;
+        rh.kind = FaultKind::kDelay;
+        rh.period = 1;
+        rh.probability = 0.5;
+        rh.delaySpins = 50000;
+        out.add(rh);
+        // ...deadline polls and backoff waits get descheduled at their
+        // own wait sites (the unwind path must tolerate losing the CPU
+        // mid-poll)...
+        FaultRule rw;
+        rw.site = FaultSite::kDeadlineWait;
+        rw.kind = FaultKind::kDelay;
+        rw.period = 1;
+        rw.probability = 0.2;
+        rw.delaySpins = 10000;
+        out.add(rw);
+        FaultRule rwy;
+        rwy.site = FaultSite::kDeadlineWait;
+        rwy.kind = FaultKind::kYield;
+        rwy.period = 1;
+        rwy.probability = 0.1;
+        out.add(rwy);
+        // ...and the admission decision itself is jittered so gate
+        // open/close races interleave with the storm.
+        FaultRule rg;
+        rg.site = FaultSite::kAdmissionGate;
+        rg.kind = FaultKind::kYield;
+        rg.period = 1;
+        rg.probability = 0.2;
+        out.add(rg);
         return true;
     }
     if (name == "stall-publisher") {

@@ -38,6 +38,11 @@ const std::vector<std::string> &chaosScheduleNames();
  *  - "irrevocable-storm": stretch and abort irrevocability upgrades in
  *    their pre-grant window, stretch the post-grant clock hold, and
  *    sprinkle user exceptions into opted-in bodies.
+ *  - "adversary-storm": overload cocktail for the admission/deadline
+ *    machinery -- kill most slow-path starts (serial escalation
+ *    convoy), stall serial holders, deschedule deadline polls at
+ *    their wait sites, and jitter the admission-gate decision
+ *    (docs/OVERLOAD.md).
  *
  * @param name One of chaosScheduleNames(); underscores in @p name are
  *             accepted as dashes ("stall_serial" == "stall-serial").

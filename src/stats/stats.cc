@@ -147,6 +147,15 @@ StatsSummary::toString() const
            << get(Counter::kDurableEntriesLogged) << " entries), "
            << get(Counter::kDurableMarksWritten) << " marked\n";
     }
+    if (get(Counter::kDeadlineExceeded) > 0 ||
+        get(Counter::kAdmissionShed) > 0 ||
+        get(Counter::kAdmissionQueuedTicks) > 0) {
+        os << "deadline exceeded:     "
+           << get(Counter::kDeadlineExceeded) << "\n"
+           << "admission:             shed "
+           << get(Counter::kAdmissionShed) << ", queued-ticks "
+           << get(Counter::kAdmissionQueuedTicks) << "\n";
+    }
     return os.str();
 }
 

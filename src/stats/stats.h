@@ -58,6 +58,9 @@ enum class Counter : unsigned
     kDurableRecordsSealed,  //!< Redo-log records sealed (durable txns).
     kDurableEntriesLogged,  //!< (offset,value) pairs appended to the log.
     kDurableMarksWritten,   //!< Commit markers made durable.
+    kDeadlineExceeded,      //!< Transactions unwound at their deadline.
+    kAdmissionShed,         //!< Transactions shed by the admission gate.
+    kAdmissionQueuedTicks,  //!< Wait iterations spent queued at the gate.
     kNumCounters
 };
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/core/engine/deadline.h"
+
 namespace rhtm
 {
 
@@ -32,6 +34,10 @@ NOrecEagerSession::stableClock()
         uint64_t v = mem_.load(&g_.clock);
         if (!clockIsLocked(v))
             return v;
+        // Deadline-safe: nothing is held while the clock is someone
+        // else's, so the poll may unwind freely.
+        if (deadline_ != nullptr)
+            deadline_->poll();
         backoff_.pause();
     }
 }
@@ -46,7 +52,11 @@ NOrecEagerSession::begin(TxnHint hint)
         // takes the writer lock up front and runs exclusively.
         txVersion_ = seqlock_.acquireBlocking(
             [this] { return stableClock(); },
-            [this] { backoff_.pause(); });
+            [this] {
+                if (deadline_ != nullptr)
+                    deadline_->poll();
+                backoff_.pause();
+            });
         writeDetected_ = true;
         bindDispatch(kWriterDispatch, this);
         return;
@@ -149,6 +159,10 @@ NOrecEagerSession::becomeIrrevocable()
         bindDispatch(kWriterDispatch, this);
     }
     irrevocable_ = true;
+    // Grant contract: an irrevocable transaction must commit, so the
+    // deadline can no longer be honored (docs/OVERLOAD.md).
+    if (deadline_ != nullptr)
+        deadline_->suppress();
     if (stats_)
         stats_->inc(Counter::kIrrevocableUpgrades);
 }
@@ -240,6 +254,10 @@ NOrecLazySession::stableClock()
         uint64_t v = mem_.load(&g_.clock);
         if (!clockIsLocked(v))
             return v;
+        // Deadline-safe: nothing is held while the clock is someone
+        // else's, so the poll may unwind freely.
+        if (deadline_ != nullptr)
+            deadline_->poll();
         backoff_.pause();
     }
 }
@@ -254,7 +272,11 @@ NOrecLazySession::begin(TxnHint hint)
     if (serialized_) {
         txVersion_ = seqlock_.acquireBlocking(
             [this] { return stableClock(); },
-            [this] { backoff_.pause(); });
+            [this] {
+                if (deadline_ != nullptr)
+                    deadline_->poll();
+                backoff_.pause();
+            });
         clockHeld_ = true;
         bindDispatch(kPinnedDispatch, this);
         return;
@@ -357,6 +379,10 @@ NOrecLazySession::becomeIrrevocable()
     // From here on reads go direct (the pinned descriptor), writes
     // stay buffered, and commit() write-back cannot fail.
     irrevocable_ = true;
+    // Grant contract: an irrevocable transaction must commit, so the
+    // deadline can no longer be honored (docs/OVERLOAD.md).
+    if (deadline_ != nullptr)
+        deadline_->suppress();
     bindDispatch(kPinnedDispatch, this);
     if (stats_)
         stats_->inc(Counter::kIrrevocableUpgrades);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/core/engine/deadline.h"
 #include "src/util/sched_point.h"
 
 namespace rhtm
@@ -168,7 +169,11 @@ Tl2Session::lockOrecIrrevocable(size_t idx, bool validate_rv)
             // Wait the owner out. Safe for the token holder only:
             // every other TL2 thread restarts on contention (never
             // blocks), so the owner always runs to commit or rollback
-            // and releases.
+            // and releases. Pre-grant the deadline may unwind here
+            // (rollback releases our locked orecs); post-grant it is
+            // suppressed and the poll is a no-op.
+            if (deadline_ != nullptr)
+                deadline_->poll();
             backoff_.pause();
             continue;
         }
@@ -202,14 +207,28 @@ Tl2Session::becomeIrrevocable()
     // not changed since our snapshot. After this loop nobody can
     // invalidate a read, writes wait instead of restarting, and
     // commit() skips validation -- the transaction cannot abort.
-    for (size_t idx : readLog_) {
-        if (!lockOrecIrrevocable(idx, true)) {
-            schedPoint(SchedPoint::kRawStore, &g_.irrevocableOwner());
-            g_.irrevocableOwner().store(0, std::memory_order_release);
-            restart(); // rollback() releases the locked orecs.
+    // rollback() only drops the token once irrevocable_ is set, so a
+    // deadline unwind out of the owner wait must release it here.
+    try {
+        for (size_t idx : readLog_) {
+            if (!lockOrecIrrevocable(idx, true)) {
+                schedPoint(SchedPoint::kRawStore,
+                           &g_.irrevocableOwner());
+                g_.irrevocableOwner().store(0,
+                                            std::memory_order_release);
+                restart(); // rollback() releases the locked orecs.
+            }
         }
+    } catch (const TxnDeadlineExceeded &) {
+        schedPoint(SchedPoint::kRawStore, &g_.irrevocableOwner());
+        g_.irrevocableOwner().store(0, std::memory_order_release);
+        throw;
     }
     irrevocable_ = true;
+    // Grant contract: an irrevocable transaction must commit, so the
+    // deadline can no longer be honored (docs/OVERLOAD.md).
+    if (deadline_ != nullptr)
+        deadline_->suppress();
     bindDispatch(kTwoPhaseDispatch, this);
     if (stats_)
         stats_->inc(Counter::kIrrevocableUpgrades);

@@ -1,0 +1,229 @@
+#include "src/workloads/adversary.h"
+
+#include <thread>
+
+#include "src/util/backoff.h"
+
+namespace rhtm
+{
+
+const char *
+pathologyName(Pathology p)
+{
+    switch (p) {
+      case Pathology::kCapacityBomb: return "adv-capacity-bomb";
+      case Pathology::kSerialStorm: return "adv-serial-storm";
+      case Pathology::kClockFlood: return "adv-clock-flood";
+      case Pathology::kReaderSkew: return "adv-reader-skew";
+    }
+    return "unknown";
+}
+
+bool
+pathologyFromString(const std::string &name, Pathology &out)
+{
+    for (Pathology p : allPathologies()) {
+        if (name == pathologyName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<Pathology> &
+allPathologies()
+{
+    static const std::vector<Pathology> all = {
+        Pathology::kCapacityBomb,
+        Pathology::kSerialStorm,
+        Pathology::kClockFlood,
+        Pathology::kReaderSkew,
+    };
+    return all;
+}
+
+AdversaryWorkload::AdversaryWorkload(AdversaryParams params)
+    : params_(params)
+{
+    if (params_.slots < 2)
+        params_.slots = 2;
+    if (params_.scanSlots > params_.slots)
+        params_.scanSlots = params_.slots;
+    if (params_.hotSlots < 2)
+        params_.hotSlots = 2;
+    if (params_.hotSlots > params_.slots)
+        params_.hotSlots = params_.slots;
+    if (params_.hotPrefix < 2)
+        params_.hotPrefix = 2;
+    if (params_.hotPrefix > params_.slots)
+        params_.hotPrefix = params_.slots;
+    if (params_.readerEvery == 0)
+        params_.readerEvery = 1;
+}
+
+const char *
+AdversaryWorkload::name() const
+{
+    return pathologyName(params_.pathology);
+}
+
+void
+AdversaryWorkload::setup(TmRuntime &rt, ThreadCtx &ctx)
+{
+    (void)ctx;
+    constexpr uint64_t kInitial = 1000;
+    words_.assign(uint64_t(params_.slots) * kStride, 0);
+    for (unsigned i = 0; i < params_.slots; ++i)
+        rt.poke(slot(i), kInitial);
+    expectedSum_ = uint64_t(params_.slots) * kInitial;
+}
+
+void
+AdversaryWorkload::runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng)
+{
+    switch (params_.pathology) {
+      case Pathology::kCapacityBomb:
+        opCapacityBomb(rt, ctx, rng);
+        return;
+      case Pathology::kSerialStorm:
+        opSerialStorm(rt, ctx, rng);
+        return;
+      case Pathology::kClockFlood:
+        opClockFlood(rt, ctx, rng);
+        return;
+      case Pathology::kReaderSkew:
+        opReaderSkew(rt, ctx, rng);
+        return;
+    }
+}
+
+void
+AdversaryWorkload::opCapacityBomb(TmRuntime &rt, ThreadCtx &ctx,
+                                  Rng &rng)
+{
+    // A sequential scan wider than the HTM read set ahead of a 1-slot
+    // transfer: the hardware attempt can never commit, so every op
+    // pays the full retry budget before falling back.
+    uint64_t start =
+        rng.nextBounded(params_.slots - params_.scanSlots + 1);
+    uint64_t from = rng.nextBounded(params_.slots);
+    uint64_t to = rng.nextBounded(params_.slots);
+    (void)rt.runWith(ctx, opts_, [&](Txn &tx) {
+        uint64_t sink = 0;
+        for (unsigned i = 0; i < params_.scanSlots; ++i)
+            sink += tx.load(slot(start + i));
+        if (from != to && sink != 0) {
+            uint64_t a = tx.load(slot(from));
+            if (a > 0) {
+                tx.store(slot(from), a - 1);
+                tx.store(slot(to), tx.load(slot(to)) + 1);
+            }
+        }
+    });
+}
+
+void
+AdversaryWorkload::opSerialStorm(TmRuntime &rt, ThreadCtx &ctx,
+                                 Rng &rng)
+{
+    // Long holds on a handful of hot words: conflict aborts exhaust
+    // the retry budget and the losers convoy through the serial FIFO.
+    uint64_t from = rng.nextBounded(params_.hotSlots);
+    uint64_t to = rng.nextBounded(params_.hotSlots);
+    (void)rt.runWith(ctx, opts_, [&](Txn &tx) {
+        uint64_t a = tx.load(slot(from));
+        uint64_t b = tx.load(slot(to));
+        // Stretch the conflict window, yielding mid-hold so other
+        // threads get to commit conflicting writes inside it even when
+        // cores are scarce (see AdversaryParams::holdYields).
+        unsigned chunks = params_.holdYields + 1;
+        for (unsigned i = 0; i < chunks; ++i) {
+            simDelay(params_.holdSpins / chunks);
+            if (i + 1 < chunks)
+                std::this_thread::yield();
+        }
+        if (from != to && a > 0) {
+            tx.store(slot(from), a - 1);
+            tx.store(slot(to), b + 1);
+        }
+    });
+}
+
+void
+AdversaryWorkload::opClockFlood(TmRuntime &rt, ThreadCtx &ctx,
+                                Rng &rng)
+{
+    if (rng.nextPercent(10)) {
+        // The victim: a long reader that must revalidate on every
+        // clock bump the flood produces.
+        uint64_t start =
+            rng.nextBounded(params_.slots - params_.scanSlots + 1);
+        (void)rt.runWith(ctx, opts_, [&](Txn &tx) {
+            uint64_t sink = 0;
+            for (unsigned i = 0; i < params_.scanSlots; ++i)
+                sink += tx.load(slot(start + i));
+            (void)sink;
+        });
+        return;
+    }
+    // The flood: tiny committing transfers, each one a clock bump.
+    uint64_t from = rng.nextBounded(params_.slots);
+    uint64_t to = rng.nextBounded(params_.slots);
+    (void)rt.runWith(ctx, opts_, [&](Txn &tx) {
+        if (from == to)
+            return;
+        uint64_t a = tx.load(slot(from));
+        if (a > 0) {
+            tx.store(slot(from), a - 1);
+            tx.store(slot(to), tx.load(slot(to)) + 1);
+        }
+    });
+}
+
+void
+AdversaryWorkload::opReaderSkew(TmRuntime &rt, ThreadCtx &ctx,
+                                Rng &rng)
+{
+    if (rng.nextBounded(params_.readerEvery) == 0) {
+        // The starved reader: a full-array sum whose validation window
+        // the hot-prefix writers almost never leave open.
+        (void)rt.runWith(ctx, opts_, [&](Txn &tx) {
+            uint64_t sink = 0;
+            for (unsigned i = 0; i < params_.slots; ++i)
+                sink += tx.load(slot(i));
+            (void)sink;
+        });
+        return;
+    }
+    uint64_t from = rng.nextBounded(params_.hotPrefix);
+    uint64_t to = rng.nextBounded(params_.hotPrefix);
+    (void)rt.runWith(ctx, opts_, [&](Txn &tx) {
+        if (from == to)
+            return;
+        uint64_t a = tx.load(slot(from));
+        if (a > 0) {
+            tx.store(slot(from), a - 1);
+            tx.store(slot(to), tx.load(slot(to)) + 1);
+        }
+    });
+}
+
+bool
+AdversaryWorkload::verify(TmRuntime &rt, std::string *why) const
+{
+    uint64_t sum = 0;
+    for (unsigned i = 0; i < params_.slots; ++i)
+        sum += rt.peek(slot(i));
+    if (sum != expectedSum_) {
+        if (why != nullptr) {
+            *why = std::string(name()) + ": word-array sum " +
+                   std::to_string(sum) + " != expected " +
+                   std::to_string(expectedSum_);
+        }
+        return false;
+    }
+    return true;
+}
+
+} // namespace rhtm

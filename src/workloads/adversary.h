@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Adversarial pathology kernels (docs/OVERLOAD.md).
+ *
+ * Where the STAMP-style kernels model applications, these model
+ * attackers: each pathology is a transaction profile chosen to drive
+ * one of the hybrid's overload amplifiers -- capacity-doomed hardware
+ * attempts, serial-FIFO convoys, commit-clock invalidation floods,
+ * reader starvation -- as hard as a workload can. They exist to show
+ * tail-latency collapse with the admission gate off and bounded p99
+ * with it on (bench_adversary), and to feed the chaos/regression
+ * harnesses a worst case that ordinary kernels never reach.
+ *
+ * Every pathology preserves one global invariant (the word-array sum),
+ * so the adversarial sweeps double as correctness stress tests exactly
+ * like the STAMP kernels do.
+ */
+
+#ifndef RHTM_WORKLOADS_ADVERSARY_H
+#define RHTM_WORKLOADS_ADVERSARY_H
+
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace rhtm
+{
+
+/** The named pathologies (docs/OVERLOAD.md for the mechanism). */
+enum class Pathology : uint8_t
+{
+    /**
+     * Invisible-reads capacity bomb: every op scans a sequential block
+     * larger than the HTM read capacity before a tiny transfer, so the
+     * hardware attempt is doomed to a capacity abort and the whole
+     * fleet herds onto the instrumented fallback at once.
+     */
+    kCapacityBomb = 0,
+
+    /**
+     * Serial-storm convoy: long transactions hammer a handful of hot
+     * words, conflict aborts exhaust every retry budget, and the
+     * losers pile into the serial FIFO -- whose single-file drain then
+     * dooms every hardware attempt subscribed to serialLock.
+     */
+    kSerialStorm,
+
+    /**
+     * Clock-bump flood: a torrent of tiny committing writers advances
+     * the global clock so fast that the occasional long reader
+     * revalidates (or restarts) on nearly every read.
+     */
+    kClockFlood,
+
+    /**
+     * Reader-starvation skew: rare full-array readers against a
+     * current of hot-prefix writers; the readers' validation window
+     * almost never closes, stretching their latency tail unboundedly.
+     */
+    kReaderSkew,
+};
+
+/** Canonical short name ("adv-capacity-bomb", ...). */
+const char *pathologyName(Pathology p);
+
+/** Parse a short name back to a pathology. @return true on success. */
+bool pathologyFromString(const std::string &name, Pathology &out);
+
+/** All pathologies, in enum order. */
+const std::vector<Pathology> &allPathologies();
+
+/**
+ * Tuning for the adversary kernels. Slots are line-padded (one word
+ * per 64-byte cache line), so a scan of N slots occupies N HTM
+ * read-set lines: the defaults size the capacity-bomb scan past the
+ * full unscaled read capacity (HtmConfig::readCapacityLines = 4096
+ * lines) so the hardware attempt is structurally doomed for every
+ * thread, not merely unlucky.
+ */
+struct AdversaryParams
+{
+    Pathology pathology = Pathology::kCapacityBomb;
+    unsigned slots = 4608;       //!< Shared line-padded slot count.
+    unsigned scanSlots = 4224;   //!< Capacity-bomb scan length.
+    unsigned hotSlots = 4;       //!< Serial-storm hot-slot count.
+    unsigned holdSpins = 150000; //!< Serial-storm in-txn delay.
+
+    /**
+     * Serial-storm: yields interleaved into the in-txn hold. A pure
+     * spin only overlaps other transactions when cores are plentiful;
+     * yielding mid-window models the real trigger -- preemption inside
+     * a transaction -- and guarantees conflicting commits land in the
+     * window on any core count (including a 1-CPU CI box, where
+     * spinning threads just time-slice past each other).
+     */
+    unsigned holdYields = 4;
+    unsigned hotPrefix = 16;     //!< Reader-skew writer working set.
+    unsigned readerEvery = 8;    //!< Reader-skew: 1-in-N ops scan.
+};
+
+/**
+ * One adversarial kernel. The transaction bounds used for every op are
+ * settable (setTxnOptions), so one instance serves both the
+ * admission-off baseline and the deadline+admission A/B arm.
+ */
+class AdversaryWorkload : public Workload
+{
+  public:
+    explicit AdversaryWorkload(AdversaryParams params = AdversaryParams());
+
+    const char *name() const override;
+    void setup(TmRuntime &rt, ThreadCtx &ctx) override;
+    void runOp(TmRuntime &rt, ThreadCtx &ctx, Rng &rng) override;
+    bool verify(TmRuntime &rt, std::string *why) const override;
+
+    /** Bounds applied to every op's transaction (default: unbounded). */
+    void setTxnOptions(const TxnOptions &opts) { opts_ = opts; }
+
+  private:
+    void opCapacityBomb(TmRuntime &rt, ThreadCtx &ctx, Rng &rng);
+    void opSerialStorm(TmRuntime &rt, ThreadCtx &ctx, Rng &rng);
+    void opClockFlood(TmRuntime &rt, ThreadCtx &ctx, Rng &rng);
+    void opReaderSkew(TmRuntime &rt, ThreadCtx &ctx, Rng &rng);
+
+    /** One word per cache line, so scans count in HTM read-set lines. */
+    static constexpr unsigned kStride = 8;
+    uint64_t *slot(uint64_t i) { return &words_[i * kStride]; }
+    const uint64_t *slot(uint64_t i) const { return &words_[i * kStride]; }
+
+    AdversaryParams params_;
+    TxnOptions opts_;
+    std::vector<uint64_t> words_;
+    uint64_t expectedSum_ = 0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_WORKLOADS_ADVERSARY_H

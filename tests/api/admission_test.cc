@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Admission-gate behaviour through the public runtime API
+ * (docs/OVERLOAD.md): the gate sheds sheddable work during a serial
+ * storm or kill-switch cooldown, queues-then-admits blocking callers,
+ * opens on a collapsed commit-success EWMA, and is a strict no-op when
+ * disabled. The adversarial end-to-end side (collapse without the gate
+ * vs bounded tails with it) lives in bench_adversary; these tests pin
+ * the gate's decision logic deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/api/runtime.h"
+#include "tests/test_support.h"
+
+namespace rhtm
+{
+namespace
+{
+
+constexpr AlgoKind kKind = AlgoKind::kHybridNOrec;
+
+alignas(64) uint64_t g_cell;
+
+/** Gate config tuned so hysteresis resolves within a few queue steps. */
+AdmissionConfig
+testGate()
+{
+    AdmissionConfig a;
+    a.enabled = true;
+    a.maxQueueTicks = 8;
+    a.closeStreak = 4; // Closes inside one queue stay once signals clear.
+    a.probeEvery = 0;  // No half-open probing: decisions stay exact.
+    return a;
+}
+
+/** Fake a serial FIFO backlog of @p depth unserved tickets. */
+void
+fakeSerialDepth(TmRuntime &rt, uint64_t depth)
+{
+    uint64_t serving = rt.peek(&rt.globals().serialServing);
+    rt.poke(&rt.globals().serialNextTicket, serving + depth);
+}
+
+TEST(AdmissionTest, ShedsDuringSerialStormThenRecovers)
+{
+    RuntimeConfig cfg;
+    cfg.admission = testGate();
+    TmRuntime rt(kKind, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+    g_cell = 0;
+
+    // A deep serial convoy crosses the enter watermark instantly.
+    fakeSerialDepth(rt, cfg.admission.serialQueueEnter + 4);
+    TxnOptions opts;
+    opts.allowShed = true;
+    bool ran = false;
+    TxnOutcome out = rt.runWith(ctx, opts, [&](Txn &) { ran = true; });
+    EXPECT_EQ(out, TxnOutcome::kAdmissionShed);
+    EXPECT_FALSE(ran) << "a shed body must never execute";
+    ASSERT_NE(rt.admission(), nullptr);
+    EXPECT_TRUE(rt.admission()->open());
+    EXPECT_EQ(rt.stats().get(Counter::kAdmissionShed), 1u);
+    // The sheddable caller queued its full allowance before giving up.
+    EXPECT_EQ(rt.stats().get(Counter::kAdmissionQueuedTicks),
+              cfg.admission.maxQueueTicks);
+
+    // The storm drains; the next caller's brief queue observes the
+    // all-clear streak, closes the gate, and is admitted.
+    fakeSerialDepth(rt, 0);
+    out = rt.runWith(ctx, opts, [&](Txn &tx) { tx.store(&g_cell, 7); });
+    EXPECT_EQ(out, TxnOutcome::kCommitted);
+    EXPECT_EQ(rt.peek(&g_cell), 7u);
+    EXPECT_FALSE(rt.admission()->open());
+}
+
+TEST(AdmissionTest, BlockingCallerQueuesButIsNeverShed)
+{
+    RuntimeConfig cfg;
+    cfg.admission = testGate();
+    cfg.admission.closeStreak = 1 << 20; // Gate cannot close mid-test.
+    TmRuntime rt(kKind, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+    g_cell = 0;
+
+    fakeSerialDepth(rt, cfg.admission.serialQueueEnter + 4);
+    // Legacy run() has no shed path: it must queue its allowance and
+    // then be admitted unconditionally -- degrade, never deadlock.
+    rt.run(ctx, [&](Txn &tx) { tx.store(&g_cell, 5); });
+    EXPECT_EQ(rt.peek(&g_cell), 5u);
+    EXPECT_EQ(rt.stats().get(Counter::kAdmissionShed), 0u);
+    EXPECT_EQ(rt.stats().get(Counter::kAdmissionQueuedTicks),
+              cfg.admission.maxQueueTicks);
+    EXPECT_TRUE(rt.admission()->open()) << "watermarks never cleared";
+    fakeSerialDepth(rt, 0);
+}
+
+TEST(AdmissionTest, KillSwitchCooldownSheds)
+{
+    RuntimeConfig cfg;
+    cfg.admission = testGate();
+    TmRuntime rt(kKind, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+    g_cell = 0;
+
+    // A tripped HTM kill switch (nonzero cooldown) is an enter signal
+    // on its own: the hardware path is known-bad, so piling more work
+    // onto the software fallback only lengthens the convoy.
+    rt.globals().killSwitch.cooldown.store(64,
+                                           std::memory_order_relaxed);
+    TxnOptions opts;
+    opts.allowShed = true;
+    TxnOutcome out =
+        rt.runWith(ctx, opts, [&](Txn &tx) { tx.store(&g_cell, 1); });
+    EXPECT_EQ(out, TxnOutcome::kAdmissionShed);
+    EXPECT_EQ(rt.peek(&g_cell), 0u);
+    EXPECT_EQ(rt.stats().get(Counter::kAdmissionShed), 1u);
+
+    // Cooldown expires; the gate closes during the next queue stay.
+    rt.globals().killSwitch.cooldown.store(0, std::memory_order_relaxed);
+    out = rt.runWith(ctx, opts, [&](Txn &tx) { tx.store(&g_cell, 2); });
+    EXPECT_EQ(out, TxnOutcome::kCommitted);
+    EXPECT_EQ(rt.peek(&g_cell), 2u);
+}
+
+TEST(AdmissionTest, CollapsedSuccessEwmaOpensGate)
+{
+    RuntimeConfig cfg;
+    cfg.admission = testGate();
+    TmRuntime rt(kKind, cfg);
+    ThreadCtx &ctx = rt.registerThread();
+    g_cell = 0;
+
+    // Drive the success EWMA (alpha = 1/16) below the enter watermark
+    // with a train of failed-outcome samples, as a livelocking workload
+    // would.
+    ASSERT_NE(rt.admission(), nullptr);
+    for (int i = 0; i < 64; ++i)
+        rt.admission()->onOutcome(false);
+    ASSERT_LT(rt.admission()->successEwmaBp(),
+              cfg.admission.successEnterBp);
+
+    TxnOptions opts;
+    opts.allowShed = true;
+    TxnOutcome out =
+        rt.runWith(ctx, opts, [&](Txn &tx) { tx.store(&g_cell, 9); });
+    EXPECT_EQ(out, TxnOutcome::kAdmissionShed);
+    EXPECT_TRUE(rt.admission()->open());
+    EXPECT_EQ(rt.peek(&g_cell), 0u);
+
+    // Recovery: committed outcomes pull the EWMA back over the exit
+    // watermark (shed transactions are never fed, so the probe-free
+    // gate needs these external samples), then the streak closes it.
+    for (int i = 0; i < 64; ++i)
+        rt.admission()->onOutcome(true);
+    out = rt.runWith(ctx, opts, [&](Txn &tx) { tx.store(&g_cell, 9); });
+    EXPECT_EQ(out, TxnOutcome::kCommitted);
+    EXPECT_EQ(rt.peek(&g_cell), 9u);
+    EXPECT_FALSE(rt.admission()->open());
+}
+
+TEST(AdmissionTest, DisabledGateIsNoOp)
+{
+    TmRuntime rt(kKind); // Default config: admission disabled.
+    ThreadCtx &ctx = rt.registerThread();
+    g_cell = 0;
+
+    EXPECT_EQ(rt.admission(), nullptr);
+    // Even under both overload signals, everything is admitted and no
+    // admission counter moves.
+    fakeSerialDepth(rt, 64);
+    rt.globals().killSwitch.cooldown.store(64,
+                                           std::memory_order_relaxed);
+    TxnOptions opts;
+    opts.allowShed = true;
+    TxnOutcome out =
+        rt.runWith(ctx, opts, [&](Txn &tx) { tx.store(&g_cell, 3); });
+    EXPECT_EQ(out, TxnOutcome::kCommitted);
+    EXPECT_EQ(rt.peek(&g_cell), 3u);
+    EXPECT_EQ(rt.stats().get(Counter::kAdmissionShed), 0u);
+    EXPECT_EQ(rt.stats().get(Counter::kAdmissionQueuedTicks), 0u);
+    rt.globals().killSwitch.cooldown.store(0, std::memory_order_relaxed);
+    fakeSerialDepth(rt, 0);
+}
+
+} // namespace
+} // namespace rhtm

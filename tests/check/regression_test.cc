@@ -67,6 +67,29 @@ TEST(RegressionTest, PolicySnapshotBugFailsWhenReverted)
         << ok.failure.invariantWhy << ' ' << ok.failure.check.detail;
 }
 
+TEST(RegressionTest, DeadlineUnwindBugFailsWhenReverted)
+{
+    // Schedule-independent: the injected faults are keyed to thread
+    // 0's own program order, so every schedule walks it through
+    // fast-abort, slow-restart, and out at the attempt boundary with
+    // its fallback registration still published.
+    Explorer broken(kKind, makeDeadlineUnwindProgram(true));
+    ExploreOptions opts;
+    opts.mode = ExploreMode::kRandom;
+    opts.runs = 8;
+    ExploreResult res = broken.explore(opts);
+    ASSERT_TRUE(res.failed);
+    EXPECT_FALSE(res.failure.invariantOk);
+    EXPECT_FALSE(res.failure.invariantWhy.empty());
+    RunOutcome re = broken.replay(res.minimizedToken);
+    EXPECT_TRUE(re.failed()) << "minimized token no longer fails";
+
+    Explorer fixed(kKind, makeDeadlineUnwindProgram(false));
+    ExploreResult ok = fixed.explore(opts);
+    EXPECT_FALSE(ok.failed)
+        << ok.failure.invariantWhy << ' ' << ok.failure.check.detail;
+}
+
 /**
  * The schedule-DEPENDENT one: only schedules that park the stale
  * decayer across the reopen and the prober's first failure expose the

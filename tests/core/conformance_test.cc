@@ -18,7 +18,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "src/api/runtime.h"
@@ -257,6 +259,178 @@ TEST_P(ConformanceTest, UserExceptionUnwindsAndPropagates)
     // free -- a leaked lock would wedge this follow-up transaction.
     rt.run(ctx, [&](Txn &tx) { tx.store(&g_word, tx.load(&g_word) + 1); });
     EXPECT_EQ(rt.peek(&g_word), 2u) << algo();
+    expectQuiescent(rt, algo());
+}
+
+// ----------------------------------------------------------------------
+// Deadline / attempt-budget unwind (docs/OVERLOAD.md): a transaction
+// that gives up must look exactly like a user-exception abort -- locks
+// released, journals rolled back, onAbort fired exactly once, onCommit
+// never -- on every composition.
+
+TEST_P(ConformanceTest, DeadlineUnwindReleasesEverything)
+{
+    TmRuntime rt(GetParam());
+    ThreadCtx &ctx = rt.registerThread();
+    g_word = 5;
+
+    unsigned abort_fires = 0;
+    unsigned commit_fires = 0;
+    TxnOptions opts;
+    opts.maxAttempts = 1;
+    TxnOutcome outcome = rt.runWith(ctx, opts, [&](Txn &tx) {
+        tx.onAbort([&] { ++abort_fires; });
+        tx.onCommit([&] { ++commit_fires; });
+        tx.store(&g_word, 99);
+        tx.retry();
+    });
+    EXPECT_EQ(outcome, TxnOutcome::kDeadlineExceeded) << algo();
+    EXPECT_EQ(rt.peek(&g_word), 5u)
+        << algo() << ": unwound write leaked";
+    EXPECT_EQ(abort_fires, 1u)
+        << algo() << ": onAbort must fire exactly once";
+    EXPECT_EQ(commit_fires, 0u)
+        << algo() << ": onCommit must never fire for an unwound txn";
+    EXPECT_EQ(rt.stats().get(Counter::kDeadlineExceeded), 1u) << algo();
+    EXPECT_EQ(rt.stats().get(Counter::kOperations), 0u) << algo();
+
+    // The unwind must leave the session reusable: a leaked lock or
+    // fallback registration would wedge (or tax) this follow-up.
+    rt.run(ctx, [&](Txn &tx) { tx.store(&g_word, tx.load(&g_word) + 1); });
+    EXPECT_EQ(rt.peek(&g_word), 6u) << algo();
+    expectQuiescent(rt, algo());
+}
+
+TEST_P(ConformanceTest, WallClockDeadlineBreaksRetryLivelock)
+{
+    // A body that retries forever would livelock an unbounded run();
+    // the wall-clock deadline must bound it on every composition,
+    // including after it has escalated through its fallback tiers.
+    TmRuntime rt(GetParam());
+    ThreadCtx &ctx = rt.registerThread();
+    g_word = 0;
+
+    TxnOptions opts;
+    opts.deadline = std::chrono::milliseconds(25);
+    TxnOutcome outcome = rt.runWith(ctx, opts, [&](Txn &tx) {
+        tx.store(&g_word, 1);
+        tx.retry();
+    });
+    EXPECT_EQ(outcome, TxnOutcome::kDeadlineExceeded) << algo();
+    EXPECT_EQ(rt.peek(&g_word), 0u) << algo();
+    rt.run(ctx, [&](Txn &tx) { tx.store(&g_word, 7); });
+    EXPECT_EQ(rt.peek(&g_word), 7u) << algo();
+    expectQuiescent(rt, algo());
+}
+
+TEST_P(ConformanceTest, MidGrantBarrierDeadlineHandsTicketOn)
+{
+    // Scripted aborts in the pre-grant window: the four grant-barrier
+    // compositions restart the upgrade on every attempt, so the
+    // attempt budget expires with the serial ticket held mid-barrier
+    // -- the unwind must hand it on (no wedged FIFO, no leaked
+    // registration). The barrier-free compositions never hit the site
+    // and simply commit.
+    RuntimeConfig cfg;
+    FaultRule barrier;
+    barrier.site = FaultSite::kIrrevocableUpgrade;
+    barrier.kind = FaultKind::kAbortConflict;
+    barrier.firstHit = 1;
+    barrier.period = 1;
+    // Exactly the budgeted transaction's four attempts; the follow-up
+    // acquirer below must then pass the barrier cleanly.
+    barrier.maxFires = 4;
+    cfg.fault.add(barrier);
+    TmRuntime rt(GetParam(), cfg);
+    ThreadCtx &ctx = rt.registerThread();
+    g_word = 0;
+
+    TxnOptions opts;
+    opts.maxAttempts = 4;
+    TxnOutcome outcome = rt.runWith(ctx, opts, [&](Txn &tx) {
+        tx.becomeIrrevocable();
+        tx.store(&g_word, tx.load(&g_word) + 1);
+    });
+    bool usesBarrier = GetParam() == AlgoKind::kHybridNOrec ||
+                       GetParam() == AlgoKind::kHybridNOrecLazy ||
+                       GetParam() == AlgoKind::kRhNOrec ||
+                       GetParam() == AlgoKind::kRhTl2;
+    if (usesBarrier) {
+        EXPECT_EQ(outcome, TxnOutcome::kDeadlineExceeded) << algo();
+        EXPECT_EQ(rt.peek(&g_word), 0u) << algo();
+        EXPECT_EQ(rt.stats().get(Counter::kIrrevocableUpgrades), 0u)
+            << algo() << ": the grant must never have been issued";
+    } else {
+        EXPECT_EQ(outcome, TxnOutcome::kCommitted) << algo();
+        EXPECT_EQ(rt.peek(&g_word), 1u) << algo();
+    }
+    // Either way the serial FIFO must still serve new acquirers.
+    rt.run(ctx, [&](Txn &tx) {
+        tx.becomeIrrevocable();
+        tx.store(&g_word, 42);
+    });
+    EXPECT_EQ(rt.peek(&g_word), 42u) << algo();
+    expectQuiescent(rt, algo());
+}
+
+TEST_P(ConformanceTest, PostHtmEscalationDeadlineUnwinds)
+{
+    // Every hardware begin is scripted dead, so the HTM-backed
+    // compositions exhaust their fast path and the budget expires on
+    // the software fallback -- where the fallback registration and any
+    // undo journal are live and must be released by the unwind.
+    RuntimeConfig cfg;
+    FaultRule hw;
+    hw.site = FaultSite::kHtmBegin;
+    hw.kind = FaultKind::kAbortOther;
+    hw.firstHit = 1;
+    hw.period = 1;
+    cfg.fault.add(hw);
+    TmRuntime rt(GetParam(), cfg);
+    ThreadCtx &ctx = rt.registerThread();
+    g_word = 3;
+
+    TxnOptions opts;
+    opts.maxAttempts = 3;
+    TxnOutcome outcome = rt.runWith(ctx, opts, [&](Txn &tx) {
+        tx.store(&g_word, tx.load(&g_word) + 10);
+        tx.retry();
+    });
+    EXPECT_EQ(outcome, TxnOutcome::kDeadlineExceeded) << algo();
+    if (GetParam() != AlgoKind::kLockElision) {
+        EXPECT_EQ(rt.peek(&g_word), 3u)
+            << algo() << ": slow-path write leaked";
+    }
+    // Lock Elision's serial mode writes in place and -- like a real
+    // elided lock -- documents that an aborted critical section leaves
+    // its partial updates visible; only the lock release is owed.
+    EXPECT_EQ(rt.stats().get(Counter::kDeadlineExceeded), 1u) << algo();
+    uint64_t before = rt.peek(&g_word);
+    rt.run(ctx, [&](Txn &tx) { tx.store(&g_word, tx.load(&g_word) + 1); });
+    EXPECT_EQ(rt.peek(&g_word), before + 1) << algo();
+    expectQuiescent(rt, algo());
+}
+
+TEST_P(ConformanceTest, IrrevocableGrantSuppressesDeadline)
+{
+    // Once granted, the transaction must commit even though its
+    // deadline expires mid-body: irrevocability outranks the deadline
+    // (the grant may have already performed unrepeatable effects).
+    TmRuntime rt(GetParam());
+    ThreadCtx &ctx = rt.registerThread();
+    g_word = 0;
+
+    TxnOptions opts;
+    opts.deadline = std::chrono::milliseconds(50);
+    TxnOutcome outcome = rt.runWith(ctx, opts, [&](Txn &tx) {
+        tx.becomeIrrevocable();
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        tx.store(&g_word, 11);
+    });
+    EXPECT_EQ(outcome, TxnOutcome::kCommitted)
+        << algo() << ": a granted transaction must commit";
+    EXPECT_EQ(rt.peek(&g_word), 11u) << algo();
+    EXPECT_EQ(rt.stats().get(Counter::kDeadlineExceeded), 0u) << algo();
     expectQuiescent(rt, algo());
 }
 

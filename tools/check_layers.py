@@ -9,7 +9,8 @@ The engine refactor fixed a strict layering for the library proper
     htm, persist  -- simulated NVM device  (2)
     core/engine   -- the shared engine     (3)
     stm           -- pure-STM sessions     (4)
-    core          -- hybrid sessions       (5)
+    core          -- hybrid sessions and the
+                     admission gate        (5)
     api           -- runtime facade        (6)
     structures                             (7)
     workloads                              (8)
@@ -32,9 +33,13 @@ import os
 import re
 import sys
 
-# Longest-prefix match order: core/engine must be tested before core.
+# Longest-prefix match order: core/engine and core/admission must be
+# tested before core. The admission gate rides at the session rank: it
+# is consulted by the api facade and may use the engine's waiters, but
+# the engine must never know admission exists (rank 3 < 5 forbids it).
 LAYERS = [
     ("core/engine", 3),
+    ("core/admission.h", 5),
     ("util", 0),
     ("stats", 1),
     ("fault", 1),

@@ -50,7 +50,7 @@ fi
 build/bench/bench_check --algo=hy-norec \
     --regression=kill-switch-streak \
     --mode=pct --seed=1 --depth=3 --runs=20000 --max-steps=3000
-for reg in first-try-budget policy-snapshot; do
+for reg in first-try-budget policy-snapshot deadline-unwind; do
     if build/bench/bench_check --algo=hy-norec \
             --regression="$reg" --revert --mode=random --runs=8; then
         echo "$reg did not fail when reverted" >&2
@@ -59,6 +59,27 @@ for reg in first-try-budget policy-snapshot; do
     build/bench/bench_check --algo=hy-norec \
         --regression="$reg" --mode=random --runs=8
 done
+
+echo "== overload: adversary A/B, admission off vs on =="
+# The two pathologies the admission gate must demonstrably bound
+# (docs/OVERLOAD.md): tail collapse with the gate off, bounded p99
+# plus nonzero shed/deadline counters with it on. The binary's exit
+# status asserts every cell's invariant verified; the pathology-level
+# off/on ratios are printed in its summary block.
+build/bench/bench_adversary --threads=2,8 --algos=rh-norec,hy-norec \
+    --pathologies=adv-serial-storm,adv-capacity-bomb \
+    --ops=120 --admission=both --seed=1
+
+echo "== overload: full sweep -> BENCH_ci.json, diff vs prior =="
+# Parameters mirror the committed BENCH_7.json so ops/committed cells
+# line up and only genuine latency/counter drift trips the diff.
+build/bench/bench_adversary --threads=2,8 --algos=all --ops=150 \
+    --admission=both --seed=1 --json=build/BENCH_ci.json
+# Compare against the newest committed BENCH_*.json; incomparable
+# bench families (crash vs adversary) diff as a no-op by design.
+cp build/BENCH_ci.json BENCH_ci_tmp.json
+python3 tools/diff_bench.py BENCH_ci_tmp.json
+rm -f BENCH_ci_tmp.json
 
 echo "== crash-recovery: 3-seed sweep, every AlgoKind x site =="
 for seed in 1 2 3; do

@@ -34,13 +34,13 @@ python3 tools/check_layers.py
 
 SANITIZE="${RHTM_SANITIZE-thread}"
 SEEDS="${SEEDS:-1 2 3}"
-SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window stall-serial stall-publisher irrevocable-storm"
+SCHEDULES="prefix-kill postfix-kill capacity-squeeze delay-in-publish-window stall-serial stall-publisher irrevocable-storm adversary-storm"
 
 echo "== configure ($BUILD_DIR, sanitizer: ${SANITIZE:-none}) =="
 cmake -B "$BUILD_DIR" -S . -DRHTM_SANITIZE="$SANITIZE" >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_chaos \
-    bench_check bench_crash fault_tests integration_tests \
-    persist_tests
+    bench_check bench_crash bench_adversary fault_tests \
+    integration_tests persist_tests
 
 echo "== fault + chaos + persist unit suites =="
 "$BUILD_DIR/tests/fault_tests"
@@ -70,6 +70,23 @@ for schedule in $SCHEDULES; do
             fail=1
         fi
     done
+done
+
+# Adversarial overload soak under the same sanitizer: the named
+# pathologies drive the admission gate and the deadline unwind from
+# many threads at once while the adversary-storm schedule jitters the
+# gate decision, stalls serial holders, and deschedules deadline
+# polls -- the racy paths TSan exists to vet (docs/OVERLOAD.md).
+echo "== adversarial overload soak: seeds {$SEEDS} =="
+for seed in $SEEDS; do
+    echo "-- adversary pathologies + adversary-storm seed=$seed"
+    if ! "$BUILD_DIR/bench/bench_adversary" \
+            --threads="$THREADS" --algos=rh-norec,hy-norec \
+            --ops=60 --admission=both --seed="$seed" \
+            --fault-schedule=adversary-storm; then
+        echo "FAILED: adversary soak seed=$seed" >&2
+        fail=1
+    fi
 done
 
 # Crash/recover soak under the same sanitizer: every AlgoKind, every

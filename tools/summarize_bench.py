@@ -17,8 +17,12 @@ COLS = [
     "postfix", "injected", "subscription", "attempts", "ks_act",
     "ks_bypass", "p50_us", "p99_us", "max_us", "stalls", "irrev",
     "accesses", "crashes", "replayed", "discarded", "recovery_ms",
+    "deadline_exc", "adm_shed", "adm_queued",
     "verified",
 ]
+
+# Captures from before the deadline/admission columns were added.
+PRE_OVERLOAD_COLS = COLS[:27] + ["verified"]
 
 # Captures from before the crash-recovery columns were added.
 PRE_RECOVERY_COLS = COLS[:23] + ["verified"]
@@ -44,6 +48,9 @@ FLOAT_COLS = ("throughput", "conflict", "capacity", "restarts",
 NO_RECOVERY = dict(crashes="0", replayed="0", discarded="0",
                    recovery_ms="0")
 
+# Defaults for rows captured before the deadline/admission columns.
+NO_OVERLOAD = dict(deadline_exc="0", adm_shed="0", adm_queued="0")
+
 
 def ns_per_access(row):
     """Average cost of one transactional access, derived from the
@@ -62,27 +69,31 @@ def parse(path):
             parts = line.split(",")
             if len(parts) == len(COLS):
                 row = dict(zip(COLS, parts))
+            elif len(parts) == len(PRE_OVERLOAD_COLS):
+                row = dict(zip(PRE_OVERLOAD_COLS, parts))
+                row.update(NO_OVERLOAD)
             elif len(parts) == len(PRE_RECOVERY_COLS):
                 row = dict(zip(PRE_RECOVERY_COLS, parts))
-                row.update(NO_RECOVERY)
+                row.update(**NO_RECOVERY, **NO_OVERLOAD)
             elif len(parts) == len(PRE_ACCESS_COLS):
                 row = dict(zip(PRE_ACCESS_COLS, parts))
-                row.update(accesses="0", **NO_RECOVERY)
+                row.update(accesses="0", **NO_RECOVERY, **NO_OVERLOAD)
             elif len(parts) == len(PRE_IRREV_COLS):
                 row = dict(zip(PRE_IRREV_COLS, parts))
-                row.update(irrev="0", accesses="0", **NO_RECOVERY)
+                row.update(irrev="0", accesses="0", **NO_RECOVERY,
+                           **NO_OVERLOAD)
             elif len(parts) == len(PRE_LATENCY_COLS):
                 row = dict(zip(PRE_LATENCY_COLS, parts))
                 row.update(p50_us="0", p99_us="0", max_us="0",
                            stalls="0", irrev="0", accesses="0",
-                           **NO_RECOVERY)
+                           **NO_RECOVERY, **NO_OVERLOAD)
             elif len(parts) == len(LEGACY_COLS):
                 row = dict(zip(LEGACY_COLS, parts))
                 row.update(injected="0", subscription="0",
                            attempts="0", ks_act="0", ks_bypass="0",
                            p50_us="0", p99_us="0", max_us="0",
                            stalls="0", irrev="0", accesses="0",
-                           **NO_RECOVERY)
+                           **NO_RECOVERY, **NO_OVERLOAD)
             else:
                 continue
             try:
@@ -93,6 +104,9 @@ def parse(path):
                 row["crashes"] = int(row["crashes"])
                 row["replayed"] = int(row["replayed"])
                 row["discarded"] = int(row["discarded"])
+                row["deadline_exc"] = int(row["deadline_exc"])
+                row["adm_shed"] = int(row["adm_shed"])
+                row["adm_queued"] = int(row["adm_queued"])
                 for k in FLOAT_COLS:
                     row[k] = float(row[k])
             except ValueError:
@@ -126,6 +140,9 @@ def main():
         show_access = any(r["accesses"] > 0 for r in benches[bench])
         show_recovery = any(r["crashes"] > 0 or r["replayed"] > 0
                             for r in benches[bench])
+        show_overload = any(r["deadline_exc"] > 0 or r["adm_shed"] > 0
+                            or r["adm_queued"] > 0
+                            for r in benches[bench])
         fault_hdr = " inj/op | ks | " if show_faults else " "
         fault_sep = "---|---|" if show_faults else ""
         lat_hdr = " p50us | p99us | stalls | " if show_lat else " "
@@ -137,13 +154,16 @@ def main():
         rec_hdr = (" crashes | replayed | discarded | rec_ms | "
                    if show_recovery else " ")
         rec_sep = "---|---|---|---|" if show_recovery else ""
+        over_hdr = (" dl_exc | shed | q_ticks | "
+                    if show_overload else " ")
+        over_sep = "---|---|---|" if show_overload else ""
         extra_hdr = (fault_hdr.rstrip() + lat_hdr.rstrip() +
                      irrev_hdr.rstrip() + access_hdr.rstrip() +
-                     rec_hdr)
+                     rec_hdr.rstrip() + over_hdr)
         print("| algo | ops/s | conf/op | cap/op | restarts | "
               f"slow% | prefix | postfix |{extra_hdr}ok |")
         print(f"|---|---|---|---|---|---|---|---|{fault_sep}"
-              f"{lat_sep}{irrev_sep}{access_sep}{rec_sep}---|")
+              f"{lat_sep}{irrev_sep}{access_sep}{rec_sep}{over_sep}---|")
         by_algo = {}
         for r in benches[bench]:
             by_algo[r["algo"]] = r
@@ -165,12 +185,17 @@ def main():
                 rec_cells = (f" {r['crashes']} | {r['replayed']} "
                              f"| {r['discarded']} "
                              f"| {r['recovery_ms']:.3f} |")
+            over_cells = ""
+            if show_overload:
+                over_cells = (f" {r['deadline_exc']} | {r['adm_shed']} "
+                              f"| {r['adm_queued']} |")
             print(f"| {r['algo']} | {r['throughput']:,.0f} "
                   f"| {r['conflict']:.4f} | {r['capacity']:.4f} "
                   f"| {r['restarts']:.3f} | {100 * r['slowpath']:.1f} "
                   f"| {r['prefix']:.2f} | {r['postfix']:.2f} "
                   f"|{fault_cells}{lat_cells}{irrev_cells}"
-                  f"{access_cells}{rec_cells} {r['verified']} |")
+                  f"{access_cells}{rec_cells}{over_cells} "
+                  f"{r['verified']} |")
         rh, hy = by_algo.get("rh-norec"), by_algo.get("hy-norec")
         if rh and hy:
             tput = rh["throughput"] / hy["throughput"] if hy[
