@@ -64,6 +64,7 @@ TmRuntime::TmRuntime(AlgoKind kind, RuntimeConfig cfg)
     }
     if (cfg_.admission.enabled)
         gate_ = std::make_unique<AdmissionGate>(cfg_.admission);
+    domain_.admission = gate_.get();
 }
 
 TmRuntime::~TmRuntime() = default;
@@ -80,33 +81,33 @@ TmRuntime::makeSession(ThreadCtx &ctx)
     switch (kind_) {
       case AlgoKind::kLockElision:
         return std::make_unique<LockElisionSession>(
-            eng_, globals_, *ctx.htm_, stats, cfg_.retry, cmSeed,
+            eng_, domain_, *ctx.htm_, stats, cfg_.retry, cmSeed,
             persist);
       case AlgoKind::kNOrec:
         return std::make_unique<NOrecEagerSession>(
-            globals_, stats, cfg_.stmAccessPenalty, persist);
+            domain_, stats, cfg_.stmAccessPenalty, persist);
       case AlgoKind::kNOrecLazy:
         return std::make_unique<NOrecLazySession>(
-            globals_, stats, cfg_.stmAccessPenalty, persist);
+            domain_, stats, cfg_.stmAccessPenalty, persist);
       case AlgoKind::kTl2:
         return std::make_unique<Tl2Session>(*tl2_, stats, ctx.tid(),
                                             cfg_.stmAccessPenalty,
                                             persist);
       case AlgoKind::kHybridNOrec:
         return std::make_unique<HybridNOrecSession>(
-            eng_, globals_, *ctx.htm_, stats, cfg_.retry,
+            eng_, domain_, *ctx.htm_, stats, cfg_.retry,
             cfg_.stmAccessPenalty, cmSeed, persist);
       case AlgoKind::kHybridNOrecLazy:
         return std::make_unique<HybridNOrecLazySession>(
-            eng_, globals_, *ctx.htm_, stats, cfg_.retry,
+            eng_, domain_, *ctx.htm_, stats, cfg_.retry,
             cfg_.stmAccessPenalty, cmSeed, persist);
       case AlgoKind::kRhNOrec:
         return std::make_unique<RhNOrecSession>(
-            eng_, globals_, *ctx.htm_, stats, cfg_.retry, cfg_.rh,
+            eng_, domain_, *ctx.htm_, stats, cfg_.retry, cfg_.rh,
             cfg_.stmAccessPenalty, cmSeed, persist);
       case AlgoKind::kRhTl2:
         return std::make_unique<RhTl2Session>(
-            eng_, globals_, *rhTl2_, *ctx.htm_, stats, cfg_.retry,
+            eng_, domain_, *rhTl2_, *ctx.htm_, stats, cfg_.retry,
             cfg_.stmAccessPenalty, cmSeed, persist);
     }
     return nullptr;
@@ -143,6 +144,10 @@ TmRuntime::registerThread()
 StatsSummary
 TmRuntime::stats() const
 {
+    // registerLock_ makes the ctxs_ walk safe against a concurrent
+    // registerThread(); the counter reads themselves are the same
+    // benign torn snapshot they always were.
+    std::lock_guard<std::mutex> guard(registerLock_);
     StatsSummary summary;
     for (const auto &ctx : ctxs_)
         summary.accumulate(ctx->stats_);
@@ -152,6 +157,7 @@ TmRuntime::stats() const
 void
 TmRuntime::resetStats()
 {
+    std::lock_guard<std::mutex> guard(registerLock_);
     for (auto &ctx : ctxs_)
         ctx->stats_.reset();
 }
@@ -159,7 +165,7 @@ TmRuntime::resetStats()
 void
 TmRuntime::resetForTest()
 {
-    globals_.resetForTest();
+    domain_.resetForTest();
     if (tl2_ != nullptr)
         tl2_->resetForTest();
     if (rhTl2_ != nullptr)

@@ -19,6 +19,7 @@
 #include "src/api/txn.h"
 #include "src/core/admission.h"
 #include "src/core/engine/deadline.h"
+#include "src/core/engine/domain.h"
 #include "src/core/globals.h"
 #include "src/core/retry_policy.h"
 #include "src/fault/fault_injector.h"
@@ -115,6 +116,13 @@ class ThreadCtx
 
     /** This thread's statistics block. */
     const ThreadStats &stats() const { return stats_; }
+
+    /**
+     * Mutable statistics for coordination layers that run transactions
+     * outside runWith() (the sharded store's cross-shard commits
+     * charge their counters here). Owning thread only.
+     */
+    ThreadStats &mutableStats() { return stats_; }
 
     /** This thread's session (exposed for white-box tests). */
     TxSession &session() { return *session_; }
@@ -240,7 +248,7 @@ class TmRuntime
         if (opts.deadline.count() > 0)
             dl.arm(DeadlineState::Clock::now() + opts.deadline);
         if (gate_ != nullptr &&
-            !gate_->admit(eng_, globals_, cfg_.retry, &ctx.stats_,
+            !gate_->admit(eng_, domain_.globals, cfg_.retry, &ctx.stats_,
                           opts.deadline.count() > 0 ? &dl : nullptr,
                           ctx.fault_.get(), opts.allowShed)) {
             // Shed before any TM state was touched: no epoch slot, no
@@ -338,10 +346,20 @@ class TmRuntime
         return outcome;
     }
 
-    /** Aggregate statistics over all registered threads. */
+    /**
+     * Aggregate statistics over all registered threads. Safe to call
+     * concurrently with registerThread() on this or any other runtime
+     * (a sharded store polls one shard while another is still wiring
+     * up workers); counts from threads mid-transaction are a benign
+     * torn snapshot, exactly as before.
+     */
     StatsSummary stats() const;
 
-    /** Zero all per-thread statistics (threads must be quiescent). */
+    /**
+     * Zero all per-thread statistics. Safe against a concurrent
+     * registerThread(); this runtime's own threads must be quiescent,
+     * but other domains' runtimes need not be.
+     */
     void resetStats();
 
     /** The simulated-HTM engine (shared by all threads). */
@@ -350,8 +368,23 @@ class TmRuntime
     /** The memory subsystem. */
     MemoryManager &memory() { return mem_; }
 
+    /**
+     * This runtime's coordination domain: identity for cross-domain
+     * commit ordering plus the coordination words.
+     */
+    TmDomain &domain() { return domain_; }
+
     /** The hybrid coordination globals (for white-box tests). */
-    TmGlobals &globals() { return globals_; }
+    TmGlobals &globals() { return domain_.globals; }
+
+    /**
+     * TL2's shared clock/orec state when kind() == kTl2, else nullptr
+     * (the sharded store's cross-domain commit locks orecs directly).
+     */
+    Tl2Globals *tl2Globals() { return tl2_.get(); }
+
+    /** RH-TL2's shared state when kind() == kRhTl2, else nullptr. */
+    RhTl2Globals *rhTl2Globals() { return rhTl2_.get(); }
 
     /**
      * The admission gate, or nullptr when admission control is
@@ -388,9 +421,10 @@ class TmRuntime
         eng_.directStore(addr, value);
     }
 
-    /** Number of registered threads (threads must be quiescent). */
+    /** Number of registered threads (safe vs. registerThread()). */
     unsigned threadCount() const
     {
+        std::lock_guard<std::mutex> guard(registerLock_);
         return static_cast<unsigned>(ctxs_.size());
     }
 
@@ -426,12 +460,14 @@ class TmRuntime
     RuntimeConfig cfg_;
     HtmEngine eng_;
     MemoryManager mem_;
-    TmGlobals globals_;
+    TmDomain domain_;
     std::unique_ptr<Tl2Globals> tl2_;
     std::unique_ptr<RhTl2Globals> rhTl2_;
     std::unique_ptr<NvmSim> nvm_;
     std::unique_ptr<AdmissionGate> gate_;
-    std::mutex registerLock_;
+    // Guards ctxs_ growth; mutable so the stats readers can take it
+    // from const methods (satellite: per-domain stats safety).
+    mutable std::mutex registerLock_;
     std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
 };
 

@@ -24,6 +24,7 @@
 
 #include "src/core/engine/clock_subscription.h"
 #include "src/core/engine/deadline.h"
+#include "src/core/engine/domain.h"
 #include "src/core/engine/fault_points.h"
 #include "src/core/engine/globals.h"
 #include "src/core/engine/progress.h"
@@ -84,7 +85,8 @@ struct AccessTally
 struct SessionCore
 {
     HtmEngine &eng;
-    TmGlobals &g;
+    TmDomain &domain; //!< Coordination domain this session commits into.
+    TmGlobals &g;     //!< Alias for domain.globals (the hot-path handle).
     HtmTxn &htm;
     ThreadStats *stats;
     const RetryPolicy &policy;
@@ -126,12 +128,13 @@ struct SessionCore
 
   public:
 
-    SessionCore(HtmEngine &engine, TmGlobals &globals, HtmTxn &htmTxn,
+    SessionCore(HtmEngine &engine, TmDomain &dom, HtmTxn &htmTxn,
                 ThreadStats *threadStats, const RetryPolicy &retryPolicy,
                 unsigned accessPenalty, uint64_t cmSeed)
-        : eng(engine), g(globals), htm(htmTxn), stats(threadStats),
-          policy(retryPolicy), retryBudget(retryPolicy),
-          cm(retryPolicy, &globals, cmSeed), penalty(accessPenalty),
+        : eng(engine), domain(dom), g(dom.globals), htm(htmTxn),
+          stats(threadStats), policy(retryPolicy),
+          retryBudget(retryPolicy),
+          cm(retryPolicy, &dom.globals, cmSeed), penalty(accessPenalty),
           cmSeed_(cmSeed)
     {}
 

@@ -8,15 +8,15 @@
 namespace rhtm
 {
 
-HybridNOrecSession::HybridNOrecSession(HtmEngine &eng, TmGlobals &globals,
+HybridNOrecSession::HybridNOrecSession(HtmEngine &eng, TmDomain &domain,
                                        HtmTxn &htm, ThreadStats *stats,
                                        const RetryPolicy &policy,
                                        unsigned access_penalty,
                                        uint64_t cm_seed,
                                        TxPersist *persist)
-    : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
-      seqlock_(EngineMem(eng), &globals.clock,
-               &globals.watchdog.clockEpoch)
+    : core_(eng, domain, htm, stats, policy, access_penalty, cm_seed),
+      seqlock_(EngineMem(eng), &domain.globals.clock,
+               &domain.globals.watchdog.clockEpoch)
 {
     core_.persist = persist;
 }

@@ -40,7 +40,7 @@ namespace rhtm
 class HybridNOrecSession : public TxSession
 {
   public:
-    HybridNOrecSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
+    HybridNOrecSession(HtmEngine &eng, TmDomain &domain, HtmTxn &htm,
                        ThreadStats *stats, const RetryPolicy &policy,
                        unsigned access_penalty = 0,
                        uint64_t cm_seed = 1,

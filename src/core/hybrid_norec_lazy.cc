@@ -9,12 +9,12 @@ namespace rhtm
 {
 
 HybridNOrecLazySession::HybridNOrecLazySession(
-    HtmEngine &eng, TmGlobals &globals, HtmTxn &htm, ThreadStats *stats,
+    HtmEngine &eng, TmDomain &domain, HtmTxn &htm, ThreadStats *stats,
     const RetryPolicy &policy, unsigned access_penalty, uint64_t cm_seed,
     TxPersist *persist)
-    : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
-      seqlock_(EngineMem(eng), &globals.clock,
-               &globals.watchdog.clockEpoch),
+    : core_(eng, domain, htm, stats, policy, access_penalty, cm_seed),
+      seqlock_(EngineMem(eng), &domain.globals.clock,
+               &domain.globals.watchdog.clockEpoch),
       writes_(12)
 {
     core_.persist = persist;

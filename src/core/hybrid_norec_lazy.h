@@ -40,7 +40,7 @@ namespace rhtm
 class HybridNOrecLazySession : public TxSession
 {
   public:
-    HybridNOrecLazySession(HtmEngine &eng, TmGlobals &globals,
+    HybridNOrecLazySession(HtmEngine &eng, TmDomain &domain,
                            HtmTxn &htm, ThreadStats *stats,
                            const RetryPolicy &policy,
                            unsigned access_penalty = 0,

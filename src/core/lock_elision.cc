@@ -8,12 +8,12 @@
 namespace rhtm
 {
 
-LockElisionSession::LockElisionSession(HtmEngine &eng, TmGlobals &globals,
+LockElisionSession::LockElisionSession(HtmEngine &eng, TmDomain &domain,
                                        HtmTxn &htm, ThreadStats *stats,
                                        const RetryPolicy &policy,
                                        uint64_t cm_seed,
                                        TxPersist *persist)
-    : core_(eng, globals, htm, stats, policy, /*accessPenalty=*/0,
+    : core_(eng, domain, htm, stats, policy, /*accessPenalty=*/0,
             cm_seed)
 {
     core_.persist = persist;

@@ -29,7 +29,7 @@ namespace rhtm
 class LockElisionSession : public TxSession
 {
   public:
-    LockElisionSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
+    LockElisionSession(HtmEngine &eng, TmDomain &domain, HtmTxn &htm,
                        ThreadStats *stats, const RetryPolicy &policy,
                        uint64_t cm_seed = 1,
                        TxPersist *persist = nullptr);

@@ -8,16 +8,16 @@
 namespace rhtm
 {
 
-RhNOrecSession::RhNOrecSession(HtmEngine &eng, TmGlobals &globals,
+RhNOrecSession::RhNOrecSession(HtmEngine &eng, TmDomain &domain,
                                HtmTxn &htm, ThreadStats *stats,
                                const RetryPolicy &policy,
                                const RhConfig &rh,
                                unsigned access_penalty,
                                uint64_t cm_seed,
                                TxPersist *persist)
-    : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
-      seqlock_(EngineMem(eng), &globals.clock,
-               &globals.watchdog.clockEpoch),
+    : core_(eng, domain, htm, stats, policy, access_penalty, cm_seed),
+      seqlock_(EngineMem(eng), &domain.globals.clock,
+               &domain.globals.watchdog.clockEpoch),
       rh_(rh), expectedPrefixLen_(rh.maxPrefixLength)
 {
     core_.persist = persist;

@@ -66,7 +66,7 @@ namespace rhtm
 class RhNOrecSession : public TxSession
 {
   public:
-    RhNOrecSession(HtmEngine &eng, TmGlobals &globals, HtmTxn &htm,
+    RhNOrecSession(HtmEngine &eng, TmDomain &domain, HtmTxn &htm,
                    ThreadStats *stats, const RetryPolicy &policy,
                    const RhConfig &rh, unsigned access_penalty = 0,
                    uint64_t cm_seed = 1,

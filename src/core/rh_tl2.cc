@@ -9,12 +9,12 @@
 namespace rhtm
 {
 
-RhTl2Session::RhTl2Session(HtmEngine &eng, TmGlobals &globals,
+RhTl2Session::RhTl2Session(HtmEngine &eng, TmDomain &domain,
                            RhTl2Globals &tl2, HtmTxn &htm,
                            ThreadStats *stats, const RetryPolicy &policy,
                            unsigned access_penalty, uint64_t cm_seed,
                            TxPersist *persist)
-    : core_(eng, globals, htm, stats, policy, access_penalty, cm_seed),
+    : core_(eng, domain, htm, stats, policy, access_penalty, cm_seed),
       tl2_(tl2), writes_(12)
 {
     core_.persist = persist;

@@ -91,7 +91,7 @@ class RhTl2Globals
 class RhTl2Session : public TxSession
 {
   public:
-    RhTl2Session(HtmEngine &eng, TmGlobals &globals, RhTl2Globals &tl2,
+    RhTl2Session(HtmEngine &eng, TmDomain &domain, RhTl2Globals &tl2,
                  HtmTxn &htm, ThreadStats *stats,
                  const RetryPolicy &policy, unsigned access_penalty = 0,
                  uint64_t cm_seed = 1,

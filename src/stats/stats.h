@@ -61,6 +61,9 @@ enum class Counter : unsigned
     kDeadlineExceeded,      //!< Transactions unwound at their deadline.
     kAdmissionShed,         //!< Transactions shed by the admission gate.
     kAdmissionQueuedTicks,  //!< Wait iterations spent queued at the gate.
+    kCrossShardCommits,     //!< Multi-domain transactions committed.
+    kCrossShardRestarts,    //!< Multi-domain prepare/validate failures.
+    kCrossShardEscalations, //!< Multi-domain commits that went serial.
     kNumCounters
 };
 

@@ -19,12 +19,12 @@ constexpr unsigned kSerializeAfterRestarts = 64;
 // Eager NOrec
 //
 
-NOrecEagerSession::NOrecEagerSession(TmGlobals &globals,
+NOrecEagerSession::NOrecEagerSession(TmDomain &domain,
                                      ThreadStats *stats,
                                      unsigned access_penalty,
                                      TxPersist *persist)
-    : g_(globals), stats_(stats), penalty_(access_penalty),
-      seqlock_(mem_, &globals.clock), persist_(persist)
+    : g_(domain.globals), stats_(stats), penalty_(access_penalty),
+      seqlock_(mem_, &domain.globals.clock), persist_(persist)
 {}
 
 uint64_t
@@ -239,12 +239,12 @@ NOrecEagerSession::onComplete()
 // Lazy NOrec
 //
 
-NOrecLazySession::NOrecLazySession(TmGlobals &globals,
+NOrecLazySession::NOrecLazySession(TmDomain &domain,
                                    ThreadStats *stats,
                                    unsigned access_penalty,
                                    TxPersist *persist)
-    : g_(globals), stats_(stats), penalty_(access_penalty),
-      seqlock_(mem_, &globals.clock), writes_(12), persist_(persist)
+    : g_(domain.globals), stats_(stats), penalty_(access_penalty),
+      seqlock_(mem_, &domain.globals.clock), writes_(12), persist_(persist)
 {}
 
 uint64_t

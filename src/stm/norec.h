@@ -51,10 +51,10 @@ class NOrecEagerSession : public TxSession
 {
   public:
     /**
-     * @param globals Shared clock (only TmGlobals::clock is used).
+     * @param domain Coordination domain (only its clock is used).
      * @param stats Per-thread counters; may be null.
      */
-    NOrecEagerSession(TmGlobals &globals, ThreadStats *stats,
+    NOrecEagerSession(TmDomain &domain, ThreadStats *stats,
                       unsigned access_penalty = 0,
                       TxPersist *persist = nullptr);
 
@@ -128,7 +128,7 @@ class NOrecEagerSession : public TxSession
 class NOrecLazySession : public TxSession
 {
   public:
-    NOrecLazySession(TmGlobals &globals, ThreadStats *stats,
+    NOrecLazySession(TmDomain &domain, ThreadStats *stats,
                      unsigned access_penalty = 0,
                      TxPersist *persist = nullptr);
 

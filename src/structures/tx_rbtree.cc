@@ -77,6 +77,45 @@ TxRbTree::contains(Txn &tx, int64_t key) const
     return getEntry(tx, key) != nullptr;
 }
 
+TxRbTree::Node *
+TxRbTree::ceilingEntry(Txn &tx, int64_t key) const
+{
+    // TreeMap getCeilingEntry: the leftmost node with node.key >= key.
+    Node *p = tx.loadPtr(&root_);
+    Node *best = nullptr;
+    while (p != nullptr) {
+        int64_t k = static_cast<int64_t>(tx.load(&p->key));
+        if (key <= k) {
+            best = p; // Candidate; a smaller ceiling may sit left.
+            if (key == k)
+                break;
+            p = tx.loadPtr(&p->left);
+        } else {
+            p = tx.loadPtr(&p->right);
+        }
+    }
+    return best;
+}
+
+size_t
+TxRbTree::scanRange(Txn &tx, int64_t lo, int64_t hi, size_t limit,
+                    std::vector<std::pair<int64_t, int64_t>> &out) const
+{
+    size_t appended = 0;
+    for (Node *p = ceilingEntry(tx, lo); p != nullptr;
+         p = successor(tx, p)) {
+        int64_t k = static_cast<int64_t>(tx.load(&p->key));
+        if (k > hi)
+            break;
+        out.emplace_back(k,
+                         static_cast<int64_t>(tx.load(&p->value)));
+        ++appended;
+        if (limit != 0 && appended >= limit)
+            break;
+    }
+    return appended;
+}
+
 //
 // Insertion (TreeMap put + fixAfterInsertion)
 //

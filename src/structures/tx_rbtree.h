@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/api/txn.h"
 
@@ -57,6 +59,17 @@ class TxRbTree
      */
     bool remove(Txn &tx, int64_t key);
 
+    /**
+     * Append every (key, value) with lo <= key <= hi to @p out in
+     * ascending key order, stopping after @p limit entries (0 = no
+     * limit). The in-order walk (ceiling search + successor chain)
+     * reads every traversed link transactionally, so the scan
+     * serializes with concurrent put/remove like any other operation.
+     * @return number of entries appended.
+     */
+    size_t scanRange(Txn &tx, int64_t lo, int64_t hi, size_t limit,
+                     std::vector<std::pair<int64_t, int64_t>> &out) const;
+
     /** Node count by traversal; quiescent use only. */
     uint64_t sizeUnsync() const;
 
@@ -95,6 +108,7 @@ class TxRbTree
     static void setColor(Txn &tx, Node *n, uint64_t color);
 
     Node *getEntry(Txn &tx, int64_t key) const;
+    Node *ceilingEntry(Txn &tx, int64_t key) const;
     Node *successor(Txn &tx, Node *t) const;
     void rotateLeft(Txn &tx, Node *p);
     void rotateRight(Txn &tx, Node *p);

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Seeded Zipfian key generator for skewed workloads.
+ *
+ * OLTP benchmarks live and die by key skew: a handful of hot keys
+ * concentrate conflicts in a way uniform draws never do, which is
+ * exactly the regime where the hybrid fallback machinery (and a
+ * sharded store's hot shard) gets exercised. This generator draws
+ * ranks from the Zipf(theta) distribution -- P(rank = k) proportional
+ * to 1/(k+1)^theta -- deterministically from a seed, so benchmark runs
+ * replay identical request streams.
+ *
+ * Implementation: the exact inverse-CDF method. The cumulative weights
+ * are precomputed once (O(n) setup, O(n) memory) and each draw is one
+ * Rng::next() plus a binary search (O(log n)). For the key-space sizes
+ * benchmarks use (<= a few million) this beats the approximate
+ * rejection methods on both accuracy and code size; theta = 0 degrades
+ * to an exact uniform draw.
+ */
+
+#ifndef RHTM_UTIL_ZIPF_H
+#define RHTM_UTIL_ZIPF_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace rhtm
+{
+
+/**
+ * Zipfian rank generator over [0, n). Rank 0 is the hottest key;
+ * callers wanting the hot keys scattered through the key space should
+ * permute the rank (e.g. hash it) before use.
+ */
+class ZipfGenerator
+{
+  public:
+    /**
+     * @param n     Key-space size; must be >= 1.
+     * @param theta Skew exponent. 0 = uniform; 0.99 is the classic
+     *              YCSB hot-key mix; larger = more skewed.
+     * @param seed  Rng seed (deterministic streams per seed).
+     */
+    ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+        : rng_(seed), cdf_(n == 0 ? 1 : n)
+    {
+        double sum = 0.0;
+        for (uint64_t k = 0; k < cdf_.size(); ++k) {
+            sum += 1.0 /
+                   std::pow(static_cast<double>(k + 1), theta);
+            cdf_[k] = sum;
+        }
+        total_ = sum;
+    }
+
+    /** Number of distinct ranks. */
+    uint64_t n() const { return cdf_.size(); }
+
+    /** Draw the next rank in [0, n()). */
+    uint64_t
+    next()
+    {
+        // 53-bit mantissa draw: uniform in [0, 1).
+        double u = static_cast<double>(rng_.next() >> 11) *
+                   (1.0 / 9007199254740992.0);
+        double target = u * total_;
+        auto it =
+            std::upper_bound(cdf_.begin(), cdf_.end(), target);
+        if (it == cdf_.end())
+            --it; // target == total_ (rounding): clamp to last rank.
+        return static_cast<uint64_t>(it - cdf_.begin());
+    }
+
+  private:
+    Rng rng_;
+    std::vector<double> cdf_;
+    double total_ = 0.0;
+};
+
+} // namespace rhtm
+
+#endif // RHTM_UTIL_ZIPF_H

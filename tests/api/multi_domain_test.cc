@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Instance-scoped domain tests: one process hosting several TmRuntime
+ * instances must give each its own coordination domain -- clock,
+ * locks, kill switch, stats -- with zero cross-talk. This is the
+ * foundation the sharded store builds on (docs/STORE.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/api/runtime.h"
+#include "tests/test_support.h"
+
+namespace rhtm
+{
+namespace
+{
+
+class MultiDomainTest : public ::testing::TestWithParam<AlgoKind>
+{
+};
+
+TEST_P(MultiDomainTest, DomainIdsAreProcessUnique)
+{
+    TmRuntime a(GetParam());
+    TmRuntime b(GetParam());
+    TmRuntime c(GetParam());
+    std::set<uint64_t> ids{a.domain().id(), b.domain().id(),
+                           c.domain().id()};
+    EXPECT_EQ(ids.size(), 3u);
+    // Construction order fixes the cross-domain lock order.
+    EXPECT_LT(a.domain().id(), b.domain().id());
+    EXPECT_LT(b.domain().id(), c.domain().id());
+}
+
+TEST_P(MultiDomainTest, ClockAdvancesOnlyInTheCommittingDomain)
+{
+    TmRuntime active(GetParam());
+    TmRuntime idle(GetParam());
+    const uint64_t idleClockBefore = idle.globals().clock;
+
+    alignas(8) uint64_t word = 0;
+    ThreadCtx &ctx = active.registerThread();
+    for (int i = 0; i < 32; ++i)
+        active.run(ctx,
+                   [&](Txn &tx) { tx.store(&word, tx.load(&word) + 1); });
+
+    EXPECT_EQ(active.peek(&word), 32u);
+    // The idle domain's coordination words never moved.
+    EXPECT_EQ(idle.globals().clock, idleClockBefore);
+    EXPECT_EQ(idle.globals().serialNextTicket, 0u);
+    EXPECT_EQ(idle.globals().htmLock, 0u);
+    EXPECT_EQ(idle.stats().operations(), 0u);
+    EXPECT_EQ(active.stats().operations(), 32u);
+}
+
+TEST_P(MultiDomainTest, KillSwitchStateIsPerDomain)
+{
+    TmRuntime a(GetParam());
+    TmRuntime b(GetParam());
+    a.globals().killSwitch.consecutiveFailures.store(
+        100, std::memory_order_relaxed);
+    a.globals().killSwitch.cooldown.store(5, std::memory_order_relaxed);
+    EXPECT_EQ(b.globals().killSwitch.consecutiveFailures.load(
+                  std::memory_order_relaxed),
+              0u);
+    EXPECT_FALSE(b.globals().killSwitch.tripped());
+    EXPECT_TRUE(a.globals().killSwitch.tripped());
+}
+
+TEST_P(MultiDomainTest, ConcurrentDomainsCommitIndependently)
+{
+    TmRuntime a(GetParam());
+    TmRuntime b(GetParam());
+    alignas(8) uint64_t wordA = 0;
+    alignas(8) uint64_t wordB = 0;
+    ThreadCtx &ctxA = a.registerThread();
+    ThreadCtx &ctxB = b.registerThread();
+    constexpr int kOps = 200;
+
+    std::thread ta([&] {
+        for (int i = 0; i < kOps; ++i)
+            a.run(ctxA, [&](Txn &tx) {
+                tx.store(&wordA, tx.load(&wordA) + 1);
+            });
+    });
+    std::thread tb([&] {
+        for (int i = 0; i < kOps; ++i)
+            b.run(ctxB, [&](Txn &tx) {
+                tx.store(&wordB, tx.load(&wordB) + 2);
+            });
+    });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(a.peek(&wordA), static_cast<uint64_t>(kOps));
+    EXPECT_EQ(b.peek(&wordB), static_cast<uint64_t>(2 * kOps));
+    // Each domain counted exactly its own operations.
+    EXPECT_EQ(a.stats().operations(), static_cast<uint64_t>(kOps));
+    EXPECT_EQ(b.stats().operations(), static_cast<uint64_t>(kOps));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, MultiDomainTest, ::testing::ValuesIn(allAlgoKinds()),
+    [](const ::testing::TestParamInfo<AlgoKind> &info) {
+        std::string name = algoKindName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace rhtm

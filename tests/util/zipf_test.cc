@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Distribution-shape tests for the seeded Zipfian generator: the
+ * store benchmark leans on it for skewed key popularity, so the shape
+ * (hot head, monotone tail, uniform degenerate case) and determinism
+ * are contract, not implementation detail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/zipf.h"
+
+namespace rhtm
+{
+namespace
+{
+
+std::vector<uint64_t>
+drawCounts(uint64_t n, double theta, uint64_t seed, uint64_t draws)
+{
+    ZipfGenerator gen(n, theta, seed);
+    std::vector<uint64_t> counts(n, 0);
+    for (uint64_t i = 0; i < draws; ++i) {
+        uint64_t rank = gen.next();
+        EXPECT_LT(rank, n);
+        ++counts[rank];
+    }
+    return counts;
+}
+
+TEST(ZipfTest, DeterministicPerSeed)
+{
+    ZipfGenerator a(1024, 0.9, 42);
+    ZipfGenerator b(1024, 0.9, 42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(ZipfTest, DistinctSeedsDiverge)
+{
+    ZipfGenerator a(1 << 20, 0.9, 1);
+    ZipfGenerator b(1 << 20, 0.9, 2);
+    unsigned differing = 0;
+    for (int i = 0; i < 100; ++i)
+        differing += a.next() != b.next() ? 1 : 0;
+    EXPECT_GT(differing, 50u);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform)
+{
+    const uint64_t n = 16;
+    const uint64_t draws = 64000;
+    std::vector<uint64_t> counts = drawCounts(n, 0.0, 7, draws);
+    const double expect = static_cast<double>(draws) / n;
+    for (uint64_t r = 0; r < n; ++r) {
+        EXPECT_GT(counts[r], expect * 0.8) << "rank " << r;
+        EXPECT_LT(counts[r], expect * 1.2) << "rank " << r;
+    }
+}
+
+TEST(ZipfTest, RankZeroIsHottest)
+{
+    const uint64_t n = 1000;
+    std::vector<uint64_t> counts = drawCounts(n, 0.9, 11, 50000);
+    for (uint64_t r = 1; r < n; ++r)
+        EXPECT_GE(counts[0], counts[r]) << "rank " << r;
+}
+
+TEST(ZipfTest, HigherThetaConcentratesMass)
+{
+    const uint64_t n = 4096;
+    const uint64_t draws = 50000;
+    // Mass on the 16 hottest ranks must grow with skew.
+    uint64_t lastHead = 0;
+    for (double theta : {0.0, 0.5, 0.9, 1.2}) {
+        std::vector<uint64_t> counts = drawCounts(n, theta, 3, draws);
+        uint64_t head = 0;
+        for (uint64_t r = 0; r < 16; ++r)
+            head += counts[r];
+        EXPECT_GT(head, lastHead) << "theta " << theta;
+        lastHead = head;
+    }
+    // At theta=1.2 the head holds most of the mass.
+    EXPECT_GT(lastHead, draws / 2);
+}
+
+TEST(ZipfTest, TailStillReachable)
+{
+    const uint64_t n = 64;
+    std::vector<uint64_t> counts = drawCounts(n, 0.9, 5, 100000);
+    for (uint64_t r = 0; r < n; ++r)
+        EXPECT_GT(counts[r], 0u) << "rank " << r;
+}
+
+} // namespace
+} // namespace rhtm

@@ -13,6 +13,7 @@ The engine refactor fixed a strict layering for the library proper
                      admission gate        (5)
     api           -- runtime facade        (6)
     structures                             (7)
+    store         -- sharded KV store      (8)
     workloads                              (8)
     check         -- interleaving explorer (9)
 
@@ -50,6 +51,7 @@ LAYERS = [
     ("core", 5),
     ("api", 6),
     ("structures", 7),
+    ("store", 8),
     ("workloads", 8),
     ("check", 9),
 ]

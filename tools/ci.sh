@@ -81,6 +81,22 @@ cp build/BENCH_ci.json BENCH_ci_tmp.json
 python3 tools/diff_bench.py BENCH_ci_tmp.json
 rm -f BENCH_ci_tmp.json
 
+echo "== store: smoke + history check, every AlgoKind =="
+# Mixed OLTP over the sharded store (docs/STORE.md): point ops, range
+# scans and cross-shard RMWs. The check leg records every committed
+# operation through the StoreObserver and must pass the strict-
+# serializability checker for all 8 algorithms; the binary's exit
+# status asserts it.
+build/bench/bench_store --threads=2 --shards=2 --algos=all \
+    --ops=200 --check-ops=120 --saturation=off --seed=1
+
+echo "== store: saturation sweep, 1 shard vs 4 shards =="
+# Disjoint-key scaling cells. On hosts with >= 4 hardware threads the
+# binary enforces that 4 shards out-throughput 1 shard at 8 worker
+# threads; on smaller hosts it reports the cells without enforcing.
+build/bench/bench_store --threads=1,8 --shards=1,4 \
+    --algos=rh-norec,norec,tl2 --ops=2000 --check=off --seed=1
+
 echo "== crash-recovery: 3-seed sweep, every AlgoKind x site =="
 for seed in 1 2 3; do
     build/bench/bench_crash --threads=1,2 --algos=all --ops=120 \

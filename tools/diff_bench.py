@@ -38,7 +38,10 @@ HIGHER_IS_WORSE = (
 )
 
 # Metrics where a decrease beyond the band is a regression.
-LOWER_IS_WORSE = ("committed", "ops", "throughput")
+# cross_commits guards the store family (BENCH_9.json): fewer
+# committed cross-shard transactions for the same cell identity means
+# the multi-domain commit path regressed.
+LOWER_IS_WORSE = ("committed", "ops", "throughput", "cross_commits")
 
 
 def cell_key(cell):
