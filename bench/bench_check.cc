@@ -12,7 +12,8 @@
  *               [--depth=D] [--expected-steps=K] [--max-steps=N]
  *               [--no-sleep-sets] [--replay=TOKEN] [--history]
  *               [--regression=first-try-budget|kill-switch-streak|
- *                            policy-snapshot|deadline-unwind] [--revert]
+ *                            policy-snapshot|deadline-unwind|
+ *                            ts-extension|filter-collision] [--revert]
  */
 
 #include <chrono>
@@ -123,6 +124,10 @@ main(int argc, char **argv)
             programs.push_back(makePolicySnapshotProgram(revert));
         else if (regression == "deadline-unwind")
             programs.push_back(makeDeadlineUnwindProgram(revert));
+        else if (regression == "ts-extension")
+            programs.push_back(makeTsExtensionProgram(revert));
+        else if (regression == "filter-collision")
+            programs.push_back(makeFilterCollisionProgram());
         else {
             std::fprintf(stderr, "unknown regression '%s'\n",
                          regression.c_str());

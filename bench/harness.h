@@ -61,6 +61,10 @@ struct BenchConfig
  *                               backoff vs cause-keyed randomized)
  *   --irrevocable-pct=N        (percent of ops upgraded to
  *                               irrevocability, workloads permitting)
+ *   --read-filter=on|off --redo-index=on|off --ts-extension=on|off
+ *   --group-commit=on|off      (commit-path campaign switches,
+ *                               docs/COMMIT_PATH.md; the first three
+ *                               default on, group commit defaults off)
  * Exits with a message on unknown algorithms or stray arguments.
  */
 BenchConfig parseBenchConfig(const CliOptions &opts);

@@ -85,7 +85,8 @@ TmRuntime::makeSession(ThreadCtx &ctx)
             persist);
       case AlgoKind::kNOrec:
         return std::make_unique<NOrecEagerSession>(
-            domain_, stats, cfg_.stmAccessPenalty, persist);
+            domain_, stats, cfg_.stmAccessPenalty, persist,
+            &cfg_.retry);
       case AlgoKind::kNOrecLazy:
         return std::make_unique<NOrecLazySession>(
             domain_, stats, cfg_.stmAccessPenalty, persist);
@@ -135,6 +136,8 @@ TmRuntime::registerThread()
             nvm_.get(), ctx->fault_.get(), &ctx->stats_, ctx->tid());
     }
     ctx->session_ = makeSession(*ctx);
+    ctx->session_->configureCommitPath(cfg_.commitPath);
+    ctx->session_->attachGroupArena(&domain_.groupArena);
     ctx->deadline_.attachInjector(ctx->fault_.get());
     ctx->session_->attachDeadline(&ctx->deadline_);
     ctxs_.push_back(std::move(ctx));

@@ -20,6 +20,7 @@
 #include "src/core/admission.h"
 #include "src/core/engine/deadline.h"
 #include "src/core/engine/domain.h"
+#include "src/core/engine/tm_config.h"
 #include "src/core/globals.h"
 #include "src/core/retry_policy.h"
 #include "src/fault/fault_injector.h"
@@ -99,6 +100,14 @@ struct RuntimeConfig
      * its uninstrumented hardware fast path does not. 0 disables.
      */
     unsigned stmAccessPenalty = 64;
+
+    /**
+     * Commit-path optimization switches (docs/COMMIT_PATH.md): the
+     * read/write-set filter ring, the redo-buffer hash index,
+     * timestamp extension, and group commit, each independently
+     * A/B-able. Applied to every session at registration.
+     */
+    TmConfig commitPath;
 };
 
 class TmRuntime;

@@ -125,6 +125,11 @@ curatedPrograms()
     out.push_back(prefixRace());
     out.push_back(postfixRace());
     out.push_back(irrevocableUpgrade());
+    // Commit-path campaign programs, fix in place: the extension
+    // zombie workload and the saturated-filter pathology run under
+    // every kind in the matrix.
+    out.push_back(makeTsExtensionProgram(false));
+    out.push_back(makeFilterCollisionProgram());
     return out;
 }
 
@@ -343,6 +348,80 @@ makeDeadlineUnwindProgram(bool reverted)
                    "deadline_exceeded=" + std::to_string(unwound) +
                    " (want 1), operations=" +
                    std::to_string(committed) + " (want 2)";
+        return false;
+    };
+    return p;
+}
+
+CheckProgram
+makeTsExtensionProgram(bool reverted)
+{
+    // Thread 0 writes var1 then var0 in ONE transaction (eager kinds
+    // write in place under the held clock, in program order). Thread 1
+    // reads var0 then var1. Atomicity demands it observe {0,0} or
+    // {1,1}. The zombie: reader logs var0==0, the writer locks the
+    // clock and stores var1, and the reader's var1 read extends --
+    // under the reverted fix it value-checks the still-unwritten var0
+    // against the mid-writeback image, adopts the LOCKED clock, and
+    // returns var1==1; its read-only commit then records the
+    // impossible {0,1}. The fixed extension blocks on the lock, sees
+    // var0 overwritten, and restarts. Read filter off so extension
+    // always takes the value path; hardware begins scripted dead so
+    // the hybrids run the same software phase (a no-op for pure STM).
+    CheckProgram p;
+    p.name = "ts-extend-zombie";
+    p.vars = 2;
+    p.init = {0, 0};
+    p.threads = {
+        ThreadSpec{{TxnSpec{{wr(1, 1), wr(0, 1)}}}},
+        ThreadSpec{{TxnSpec{{rd(0), rd(1)}}}},
+    };
+    p.configure = [reverted](RuntimeConfig &cfg) {
+        cfg.commitPath.tsExtension = true;
+        cfg.commitPath.readFilter = false;
+        cfg.retry.revertTsExtensionFix = reverted;
+        cfg.retry.maxFastPathRetries = 0;
+        FaultRule hw;
+        hw.site = FaultSite::kHtmBegin;
+        hw.kind = FaultKind::kAbortConflict;
+        hw.firstHit = 1;
+        hw.period = 1;
+        cfg.fault.add(hw);
+    };
+    return p;
+}
+
+CheckProgram
+makeFilterCollisionProgram()
+{
+    // Disjoint writers on var0/var1 race a spanning reader while every
+    // Bloom summary is saturated (the universal collision): all
+    // published write sets intersect all read summaries, so the
+    // disjointness skip must never fire and every clock bump must take
+    // the conservative full revalidation -- which has to keep
+    // committing the workload correctly (the history checker verifies
+    // the values; the invariant verifies no skip was taken).
+    CheckProgram p;
+    p.name = "filter-collision";
+    p.vars = 3;
+    p.init = {0, 0, 0};
+    p.threads = {
+        ThreadSpec{{TxnSpec{{wr(0, 1)}}, TxnSpec{{add(0, 1)}}}},
+        ThreadSpec{{TxnSpec{{wr(1, 1)}}, TxnSpec{{add(1, 1)}}}},
+        ThreadSpec{{TxnSpec{{rd(0), rd(1), rd(2)}}}},
+    };
+    p.configure = [](RuntimeConfig &cfg) {
+        cfg.commitPath.readFilter = true;
+        cfg.commitPath.filterSaturateForTest = true;
+    };
+    p.invariant = [](TmRuntime &rt, std::string *why) {
+        uint64_t skipped =
+            rt.stats().get(Counter::kRevalidationsSkipped);
+        if (skipped == 0)
+            return true;
+        if (why != nullptr)
+            *why = "saturated summaries passed the disjointness skip " +
+                   std::to_string(skipped) + " time(s)";
         return false;
     };
     return p;

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Flat-combining group commit for slow-path lazy writers (commit-path
+ * front 4, docs/COMMIT_PATH.md).
+ *
+ * The NOrec clock admits one writer bump at a time, so under write
+ * pressure the commit lock is the convoy. Group commit lets the one
+ * writer that wins the clock CAS (the combiner) publish, under its
+ * single lock hold, the write sets of peers that were waiting to
+ * commit too -- one clock bump, several transactions. Eligibility is
+ * decided per peer, in claim order, under the lock:
+ *
+ *  - filter check: the peer's read and write summaries must be
+ *    disjoint from the running batch write summary (a Bloom false
+ *    positive just bounces the peer to its solo commit -- safe), then
+ *  - value check: the peer's read log must validate against current
+ *    memory (which already contains the batch's earlier writes).
+ *
+ * A peer that passes serializes immediately after the writes it was
+ * checked against; the whole batch becomes visible with the
+ * combiner's single clock advance. A peer that fails is REJECTED and
+ * retries solo. Correctness never leans on the filters: with empty
+ * summaries the value check alone decides, filters only cheapen the
+ * common disjoint case.
+ *
+ * Lifecycle of a slot: kFree -> kPending (owner posts) -> either
+ * kClaimed -> kCombined/kRejected (combiner, under the clock lock) or
+ * back to kFree (owner withdraws on a stale snapshot). The owner may
+ * unwind (restart, deadline) ONLY while its slot is not kPending: a
+ * pending request can be claimed at any moment and publishes the
+ * owner's live redo buffer.
+ *
+ * The arena is domain metadata like the kill switch: ordinary
+ * atomics, never engine-published, never touched from inside an HTM
+ * region.
+ */
+
+#ifndef RHTM_CORE_ENGINE_GROUP_COMMIT_H
+#define RHTM_CORE_ENGINE_GROUP_COMMIT_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "src/core/engine/filter.h"
+
+namespace rhtm
+{
+
+/**
+ * A posted commit request: type-erased callbacks over the owning
+ * session (the same static-function idiom as TxDispatch), valid from
+ * post() until the slot resolves.
+ */
+struct GroupRequest
+{
+    void *self = nullptr;
+
+    /** Value-check the owner's read log against current memory. */
+    bool (*validate)(void *self) = nullptr;
+
+    /** Publish the owner's buffered writes (combiner context: the
+     *  clock lock -- and any HTM-lock envelope -- is held). */
+    void (*publish)(void *self) = nullptr;
+
+    const TxFilter *readFilter = nullptr;
+    const TxFilter *writeFilter = nullptr;
+};
+
+/** Per-domain slot arena coordinating one combiner with its peers. */
+struct GroupCommitArena
+{
+    enum State : uint32_t
+    {
+        kFree = 0,  //!< No request posted.
+        kPending,   //!< Posted, unclaimed; owner may withdraw.
+        kClaimed,   //!< A combiner is deciding; owner must wait.
+        kCombined,  //!< Published by the combiner's clock bump.
+        kRejected,  //!< Bounced: owner retries its solo commit.
+    };
+
+    static constexpr unsigned kSlots = 64;
+
+    struct alignas(64) Slot
+    {
+        std::atomic<uint32_t> state{kFree};
+        GroupRequest req;
+    };
+
+    Slot slots[kSlots];
+
+    /** Slot-id dispenser; sessions acquire once at construction. */
+    std::atomic<uint32_t> nextSlot{0};
+
+    /**
+     * Conservative upper bound on the number of kPending slots:
+     * incremented before a slot turns kPending, decremented when it
+     * leaves (withdraw or claim). Lets a solo combiner skip the
+     * 64-slot claim walk entirely. Purely a batching hint: a combiner
+     * that misses a just-posted peer is safe -- the peer observes the
+     * unlocked clock, withdraws, and retries (or combines itself).
+     */
+    std::atomic<uint32_t> pending{0};
+
+    /** Claim a slot for a session's lifetime; -1 = arena full (the
+     *  session simply commits solo forever). */
+    int
+    acquireSlot()
+    {
+        uint32_t i = nextSlot.fetch_add(1, std::memory_order_relaxed);
+        return i < kSlots ? static_cast<int>(i) : -1;
+    }
+
+    /** Post a commit request (slot must be kFree, owned by caller). */
+    void
+    post(unsigned slot, const GroupRequest &req)
+    {
+        Slot &s = slots[slot];
+        s.req = req;
+        pending.fetch_add(1, std::memory_order_relaxed);
+        s.state.store(kPending, std::memory_order_release);
+    }
+
+    uint32_t
+    stateOf(unsigned slot) const
+    {
+        return slots[slot].state.load(std::memory_order_acquire);
+    }
+
+    /** Take a kPending slot back (stale snapshot, deadline). False
+     *  means a combiner claimed it first: wait for resolution. */
+    bool
+    tryWithdraw(unsigned slot)
+    {
+        uint32_t expected = kPending;
+        if (!slots[slot].state.compare_exchange_strong(
+                expected, kFree, std::memory_order_acq_rel))
+            return false;
+        pending.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Resolution observed; release the slot for the next post. */
+    void
+    reclaim(unsigned slot)
+    {
+        slots[slot].state.store(kFree, std::memory_order_relaxed);
+    }
+
+    /**
+     * The caller just became the combiner: it holds the clock lock
+     * and already withdrew its own slot and published its own writes.
+     * Its pending slot must be gone (it holds the lock every claimer
+     * needs).
+     */
+    void
+    withdrawOwn(unsigned slot)
+    {
+        bool ok = tryWithdraw(slot);
+        (void)ok;
+        assert(ok && "own slot claimed without the clock lock");
+    }
+
+    struct CombineResult
+    {
+        unsigned joined = 0;
+        unsigned rejected = 0;
+    };
+
+    /**
+     * Claim every pending peer and either publish it into the batch
+     * or reject it (see the file comment for the per-peer decision).
+     * Caller holds the clock lock; @p batchWrites starts as the
+     * combiner's own write summary and accumulates every joined
+     * peer's.
+     */
+    CombineResult
+    combine(TxFilter &batchWrites)
+    {
+        CombineResult r;
+        // Solo fast-out: nothing was pending when we took the lock,
+        // so skip the claim walk (its 64 CASes would otherwise tax
+        // every uncontended commit).
+        if (pending.load(std::memory_order_acquire) == 0)
+            return r;
+        for (unsigned i = 0; i < kSlots; ++i) {
+            Slot &s = slots[i];
+            uint32_t expected = kPending;
+            if (!s.state.compare_exchange_strong(
+                    expected, kClaimed, std::memory_order_acq_rel))
+                continue;
+            pending.fetch_sub(1, std::memory_order_relaxed);
+            const GroupRequest &q = s.req;
+            bool joins = !batchWrites.intersects(*q.readFilter) &&
+                         !batchWrites.intersects(*q.writeFilter) &&
+                         q.validate(q.self);
+            if (!joins) {
+                ++r.rejected;
+                s.state.store(kRejected, std::memory_order_release);
+                continue;
+            }
+            q.publish(q.self);
+            batchWrites.merge(q.writeFilter->words());
+            ++r.joined;
+            s.state.store(kCombined, std::memory_order_release);
+        }
+        return r;
+    }
+
+    /** All slots freed; slot-id assignments survive (test use: the
+     *  explorer resets domains between runs, sessions persist). */
+    void
+    resetForTest()
+    {
+        for (Slot &s : slots)
+            s.state.store(kFree, std::memory_order_relaxed);
+        pending.store(0, std::memory_order_relaxed);
+    }
+};
+
+} // namespace rhtm
+
+#endif // RHTM_CORE_ENGINE_GROUP_COMMIT_H

@@ -129,6 +129,20 @@ struct RetryPolicy
      * throughput collapse).
      */
     bool revertDeadlineUnwindFix = false;
+
+    /**
+     * Revert the timestamp-extension stable-recheck fix (commit-path
+     * front 3, docs/COMMIT_PATH.md): the buggy extension value-checks
+     * the read log and then adopts a RAW clock load as the new
+     * txVersion_ -- without waiting for the lock bit to clear or
+     * re-checking that the clock held still across the value check. A
+     * reader that extends while a writer holds the clock adopts the
+     * LOCKED value; its subsequent reads compare the clock against
+     * that same locked word, sail through mid-writeback, and commit
+     * having observed a torn write set (the ts-extension zombie-read
+     * program catches the resulting non-serializable history).
+     */
+    bool revertTsExtensionFix = false;
 };
 
 /**

@@ -69,6 +69,8 @@ class HybridNOrecSession : public TxSession
         writeDetected_ = false;
         htmLockSet_ = false;
         undo_.clear();
+        readLog_.clear();
+        writeFilter_.clear();
     }
 
     unsigned
@@ -104,6 +106,13 @@ class HybridNOrecSession : public TxSession
     /** First slow-path write: lock clock, raise the HTM lock. */
     void handleFirstWrite();
 
+    /**
+     * Timestamp extension (commit-path front 3): value-validate the
+     * read-phase log and adopt the new snapshot instead of restarting
+     * on a foreign commit. Only called with TmConfig::tsExtension on.
+     */
+    uint64_t extend();
+
     /** Journal-backed in-place write (clock + HTM lock held). */
     void inPlaceWrite(uint64_t *addr, uint64_t value);
 
@@ -118,6 +127,10 @@ class HybridNOrecSession : public TxSession
     bool writeDetected_ = false;
     bool htmLockSet_ = false;
     UndoJournal undo_;
+    //! Read-phase value log, kept only for timestamp extension.
+    ValueReadLog readLog_;
+    //! Write-set summary published to the CommitFilterRing (front 1).
+    TxFilter writeFilter_;
 };
 
 } // namespace rhtm

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/core/engine/deadline.h"
+#include "src/core/engine/group_commit.h"
 
 namespace rhtm
 {
@@ -22,9 +23,11 @@ constexpr unsigned kSerializeAfterRestarts = 64;
 NOrecEagerSession::NOrecEagerSession(TmDomain &domain,
                                      ThreadStats *stats,
                                      unsigned access_penalty,
-                                     TxPersist *persist)
+                                     TxPersist *persist,
+                                     const RetryPolicy *policy)
     : g_(domain.globals), stats_(stats), penalty_(access_penalty),
-      seqlock_(mem_, &domain.globals.clock), persist_(persist)
+      seqlock_(mem_, &domain.globals.clock), persist_(persist),
+      policy_(policy)
 {}
 
 uint64_t
@@ -47,6 +50,16 @@ NOrecEagerSession::begin(TxnHint hint)
 {
     (void)hint;
     undo_.clear();
+    readLog_.clear();
+    writeFilter_.clear();
+    // The eager read log exists only to extend; off both fronts it
+    // stays empty and the classic protocol is byte-for-byte intact.
+    readLog_.setFilterEnabled(commitCfg_.tsExtension &&
+                              commitCfg_.readFilter);
+    if (commitCfg_.filterSaturateForTest) {
+        readLog_.saturateFilterForTest();
+        writeFilter_.saturate();
+    }
     if (serialized_) {
         // Progress escape hatch: a transaction that keeps restarting
         // takes the writer lock up front and runs exclusively.
@@ -73,11 +86,61 @@ NOrecEagerSession::readPhaseRead(void *self, const uint64_t *addr)
     simDelay(s->penalty_);
     ++s->tally_.slowReads;
     uint64_t v = s->mem_.load(addr);
+    if (s->commitCfg_.tsExtension) {
+        // Front 3: instead of the unconditional restart below, keep a
+        // value log and extend the snapshot across foreign commits.
+        while (s->mem_.load(&s->g_.clock) != s->txVersion_) {
+            s->txVersion_ = s->extend();
+            v = s->mem_.load(addr);
+        }
+        s->readLog_.push(addr, v);
+        return v;
+    }
     if (s->mem_.load(&s->g_.clock) != s->txVersion_) {
         // Some writer committed (or is writing): with no read log, the
         // eager design must restart (paper Section 3.1).
         s->restart();
     }
+    return v;
+}
+
+uint64_t
+NOrecEagerSession::extend()
+{
+    if (commitCfg_.readFilter) {
+        uint64_t cur = stableClock();
+        if (cur == txVersion_)
+            return cur; // The mover was a lock that restored; no-op.
+        if (g_.filterRing.coveredDisjoint(txVersion_, cur,
+                                          readLog_.filter())) {
+            // Every commit in (txVersion_, cur] published a write
+            // summary disjoint from our reads: the log still holds by
+            // construction, adopt cur without touching it.
+            if (stats_) {
+                stats_->inc(Counter::kRevalidationsSkipped);
+                stats_->inc(Counter::kTsExtensions);
+            }
+            return cur;
+        }
+    }
+    if (policy_ != nullptr && policy_->revertTsExtensionFix) {
+        // BUG (reverted fix, check-matrix leg): value-check against a
+        // possibly mid-writeback memory image and adopt a raw --
+        // possibly locked -- clock sample. Once txVersion_ equals the
+        // locked value, later reads compare equal and sail past
+        // validation while the writer is still writing: zombie reads.
+        // The correct path below only ever adopts a stable snapshot
+        // that held still across the value walk.
+        if (!readLog_.consistent(mem_))
+            restart();
+        return mem_.load(&g_.clock);
+    }
+    if (stats_)
+        stats_->inc(Counter::kRevalidations);
+    uint64_t v = readLog_.revalidate(mem_, &g_.clock,
+                                     [this] { return stableClock(); });
+    if (stats_)
+        stats_->inc(Counter::kTsExtensions);
     return v;
 }
 
@@ -91,6 +154,8 @@ NOrecEagerSession::readPhaseWrite(void *self, uint64_t *addr,
     s->acquireClockLock();
     s->writeDetected_ = true;
     s->bindDispatch(kWriterDispatch, s);
+    if (s->commitCfg_.readFilter)
+        s->writeFilter_.add(addr);
     s->undo_.push(addr, s->mem_.load(addr));
     if (s->persist_ != nullptr)
         s->persist_->stage(addr, value);
@@ -114,6 +179,8 @@ NOrecEagerSession::writerWrite(void *self, uint64_t *addr,
     auto *s = static_cast<NOrecEagerSession *>(self);
     simDelay(s->penalty_);
     ++s->tally_.slowWrites;
+    if (s->commitCfg_.readFilter)
+        s->writeFilter_.add(addr);
     s->undo_.push(addr, s->mem_.load(addr));
     if (s->persist_ != nullptr)
         s->persist_->stage(addr, value);
@@ -123,8 +190,19 @@ NOrecEagerSession::writerWrite(void *self, uint64_t *addr,
 void
 NOrecEagerSession::acquireClockLock()
 {
-    if (!seqlock_.tryAcquireAt(txVersion_))
-        restart();
+    if (seqlock_.tryAcquireAt(txVersion_))
+        return;
+    if (commitCfg_.tsExtension) {
+        // Front 3 at the upgrade point: the clock moved between our
+        // snapshot and the first write; extend (value-validating the
+        // read log) and retry instead of restarting.
+        for (;;) {
+            txVersion_ = extend();
+            if (seqlock_.tryAcquireAt(txVersion_))
+                return;
+        }
+    }
+    restart();
 }
 
 void
@@ -137,7 +215,10 @@ NOrecEagerSession::commit()
     // write-behind after the release.
     if (persist_ != nullptr)
         persist_->sealStaged();
-    seqlock_.releaseAdvance(txVersion_);
+    seqlock_.releaseAdvance(txVersion_,
+                            commitCfg_.readFilter ? &g_.filterRing
+                                                  : nullptr,
+                            writeFilter_);
     writeDetected_ = false;
     if (persist_ != nullptr)
         persist_->drainAndMark();
@@ -176,8 +257,14 @@ NOrecEagerSession::rollbackWriter()
         return;
     undo_.rollback(mem_);
     // Advance the clock anyway: a concurrent reader may have glimpsed
-    // the undone values, and the bump forces it to restart.
-    seqlock_.releaseAdvance(txVersion_);
+    // the undone values, and the bump forces it to restart. The
+    // published summary covers the undone addresses (they were
+    // written, then written back), so a glimpsing reader can never
+    // pass the disjointness skip.
+    seqlock_.releaseAdvance(txVersion_,
+                            commitCfg_.readFilter ? &g_.filterRing
+                                                  : nullptr,
+                            writeFilter_);
     writeDetected_ = false;
 }
 
@@ -269,6 +356,12 @@ NOrecLazySession::begin(TxnHint hint)
     readLog_.clear();
     writes_.clear();
     clockHeld_ = false;
+    writes_.setMode(commitCfg_.redoIndex, commitCfg_.readFilter);
+    readLog_.setFilterEnabled(commitCfg_.readFilter);
+    if (commitCfg_.filterSaturateForTest) {
+        writes_.saturateFilterForTest();
+        readLog_.saturateFilterForTest();
+    }
     if (serialized_) {
         txVersion_ = seqlock_.acquireBlocking(
             [this] { return stableClock(); },
@@ -288,6 +381,22 @@ NOrecLazySession::begin(TxnHint hint)
 uint64_t
 NOrecLazySession::validate()
 {
+    if (commitCfg_.readFilter) {
+        uint64_t cur = stableClock();
+        if (cur == txVersion_)
+            return cur; // The mover was a lock that restored; no-op.
+        if (g_.filterRing.coveredDisjoint(txVersion_, cur,
+                                          readLog_.filter())) {
+            // Every commit in (txVersion_, cur] published a write
+            // summary disjoint from our read summary: no logged value
+            // can have changed, adopt cur without the value walk.
+            if (stats_)
+                stats_->inc(Counter::kRevalidationsSkipped);
+            return cur;
+        }
+    }
+    if (stats_)
+        stats_->inc(Counter::kRevalidations);
     return readLog_.revalidate(mem_, &g_.clock,
                                [this] { return stableClock(); });
 }
@@ -342,6 +451,14 @@ NOrecLazySession::commit()
         }
         return;
     }
+    // Front 4: eligible writers first try the group arena; a combined
+    // member returns here fully published by someone else's bump.
+    // Durable transactions stay solo (the redo payload must seal under
+    // this thread's own lock hold), as do serialized/irrevocable ones
+    // (they already hold the clock).
+    if (!clockHeld_ && commitCfg_.groupCommit && groupArena_ != nullptr &&
+        persist_ == nullptr && groupCommitPath())
+        return;
     if (!clockHeld_) {
         txVersion_ = seqlock_.acquireValidating(
             txVersion_, [this] { return validate(); });
@@ -356,10 +473,112 @@ NOrecLazySession::commit()
     });
     if (persist_ != nullptr)
         persist_->sealStaged();
-    seqlock_.releaseAdvance(txVersion_);
+    seqlock_.releaseAdvance(txVersion_,
+                            commitCfg_.readFilter ? &g_.filterRing
+                                                  : nullptr,
+                            writes_.filter());
     clockHeld_ = false;
     if (persist_ != nullptr)
         persist_->drainAndMark();
+}
+
+bool
+NOrecLazySession::groupValidate(void *self)
+{
+    // Combiner context: the clock lock is held, memory is quiescent
+    // (modulo the batch's own writes, which are the point).
+    auto *s = static_cast<NOrecLazySession *>(self);
+    return s->readLog_.consistent(s->mem_);
+}
+
+void
+NOrecLazySession::groupPublish(void *self)
+{
+    auto *s = static_cast<NOrecLazySession *>(self);
+    s->writes_.forEach([s](uint64_t *addr, uint64_t value) {
+        s->mem_.store(addr, value);
+    });
+}
+
+bool
+NOrecLazySession::groupCommitPath()
+{
+    if (groupSlot_ == kGroupSlotUnset)
+        groupSlot_ = groupArena_->acquireSlot();
+    if (groupSlot_ < 0)
+        return false; // Arena full: this session commits solo forever.
+    unsigned slot = static_cast<unsigned>(groupSlot_);
+    // Combiner body: the caller holds the clock lock with no request
+    // of its own posted. Write back, fold in pending peers (the
+    // arena's pending hint makes this one load when nobody waits),
+    // and publish the batch with a single advance.
+    auto combinerPublish = [this] {
+        clockHeld_ = true;
+        writes_.forEach([this](uint64_t *addr, uint64_t value) {
+            mem_.store(addr, value);
+        });
+        TxFilter batch = writes_.filter();
+        GroupCommitArena::CombineResult res = groupArena_->combine(batch);
+        if (stats_ && res.joined > 0)
+            stats_->inc(Counter::kGroupCommitLeads);
+        seqlock_.releaseAdvance(txVersion_,
+                                commitCfg_.readFilter ? &g_.filterRing
+                                                      : nullptr,
+                                batch);
+        clockHeld_ = false;
+    };
+    // Uncontended first try: the clock was free, so skip the arena
+    // round-trip entirely (no request copy, no slot CASes) -- solo
+    // commits must not pay for the batching they don't need.
+    if (seqlock_.tryAcquireAt(txVersion_)) {
+        combinerPublish();
+        return true;
+    }
+    GroupRequest req;
+    req.self = this;
+    req.validate = &groupValidate;
+    req.publish = &groupPublish;
+    req.readFilter = &readLog_.filter();
+    req.writeFilter = &writes_.filter();
+    groupArena_->post(slot, req);
+    for (;;) {
+        if (seqlock_.tryAcquireAt(txVersion_)) {
+            // We are the combiner: withdraw our request (we publish
+            // ourselves), write back, then fold in any pending peers.
+            groupArena_->withdrawOwn(slot);
+            combinerPublish();
+            return true;
+        }
+        uint32_t st = groupArena_->stateOf(slot);
+        if (st == GroupCommitArena::kCombined) {
+            groupArena_->reclaim(slot);
+            if (stats_)
+                stats_->inc(Counter::kGroupCommitJoins);
+            return true;
+        }
+        if (st == GroupCommitArena::kRejected) {
+            groupArena_->reclaim(slot);
+            if (stats_)
+                stats_->inc(Counter::kGroupCommitRejects);
+            return false; // Bounce to the solo commit path.
+        }
+        if (!clockIsLocked(mem_.load(&g_.clock)) &&
+            groupArena_->tryWithdraw(slot)) {
+            // The clock moved while unlocked (a combiner finished
+            // without us, or a solo writer committed). The slot is
+            // ours again, so unwinding is safe: poll the deadline and
+            // revalidate -- either may throw -- then repost at the
+            // fresh snapshot.
+            if (deadline_ != nullptr)
+                deadline_->poll();
+            txVersion_ = validate();
+            groupArena_->post(slot, req);
+            continue;
+        }
+        // Pending and claimed-or-locked: a combiner may be deciding
+        // our fate; we must not unwind while it can still publish us.
+        backoff_.pause();
+    }
 }
 
 void

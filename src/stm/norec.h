@@ -53,10 +53,13 @@ class NOrecEagerSession : public TxSession
     /**
      * @param domain Coordination domain (only its clock is used).
      * @param stats Per-thread counters; may be null.
+     * @param policy Reverted-fix gates only (the pure STMs take no
+     *        retry budget from it); may be null.
      */
     NOrecEagerSession(TmDomain &domain, ThreadStats *stats,
                       unsigned access_penalty = 0,
-                      TxPersist *persist = nullptr);
+                      TxPersist *persist = nullptr,
+                      const RetryPolicy *policy = nullptr);
 
     void begin(TxnHint hint) override;
     void commit() override;
@@ -79,6 +82,8 @@ class NOrecEagerSession : public TxSession
         irrevocable_ = false;
         restarts_ = 0;
         undo_.clear();
+        readLog_.clear();
+        writeFilter_.clear();
     }
 
   private:
@@ -99,6 +104,14 @@ class NOrecEagerSession : public TxSession
     /** CAS the clock from txVersion_ to its locked form, or restart. */
     void acquireClockLock();
 
+    /**
+     * Timestamp extension (commit-path front 3): the clock moved under
+     * a read phase; value-validate the read log and adopt the new
+     * snapshot instead of restarting. Restarts if a logged value
+     * changed. Only called with TmConfig::tsExtension on.
+     */
+    uint64_t extend();
+
     /** Undo in-place writes and release the clock (if held). */
     void rollbackWriter();
 
@@ -117,7 +130,13 @@ class NOrecEagerSession : public TxSession
     bool irrevocable_ = false;
     unsigned restarts_ = 0;
     UndoJournal undo_;
+    //! Read-phase value log, kept only for timestamp extension; plays
+    //! no part in the classic restart-on-clock-move protocol.
+    ValueReadLog readLog_;
+    //! Write-set summary published to the CommitFilterRing (front 1).
+    TxFilter writeFilter_;
     TxPersist *persist_; //!< Durable-commit driver; null = off.
+    const RetryPolicy *policy_; //!< Reverted-fix gates; may be null.
 };
 
 /**
@@ -169,9 +188,25 @@ class NOrecLazySession : public TxSession
 
     /**
      * Value-validate the read log at a stable clock; returns the new
-     * snapshot version, or restarts on a changed value.
+     * snapshot version, or restarts on a changed value. With
+     * TmConfig::readFilter on, first consults the CommitFilterRing: if
+     * every commit since txVersion_ published a write summary disjoint
+     * from our read summary, the log is untouched by construction and
+     * the value walk is skipped (commit-path front 1).
      */
     uint64_t validate();
+
+    /**
+     * Group-commit member/combiner path (commit-path front 4). Posts
+     * the write set to the arena and either becomes the combiner
+     * (publishing any pending peers under its single clock bump) or is
+     * published by one. Returns false if the commit should proceed
+     * solo (no slot, or this request was rejected).
+     */
+    bool groupCommitPath();
+
+    static bool groupValidate(void *self);
+    static void groupPublish(void *self);
 
     [[noreturn]] void restart();
 
@@ -190,6 +225,11 @@ class NOrecLazySession : public TxSession
     ValueReadLog readLog_;
     RedoBuffer writes_;
     TxPersist *persist_; //!< Durable-commit driver; null = off.
+    //! Arena slot id: kGroupSlotUnset until first needed, -1 when the
+    //! arena was full (session then always commits solo). Session
+    //! identity -- survives resetForTest on purpose.
+    static constexpr int kGroupSlotUnset = -2;
+    int groupSlot_ = kGroupSlotUnset;
 };
 
 } // namespace rhtm

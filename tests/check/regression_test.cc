@@ -126,5 +126,71 @@ TEST(RegressionTest, KillSwitchStreakBugFailsUnderPctWhenReverted)
         << ok.failure.invariantWhy << ' ' << ok.failure.check.detail;
 }
 
+/**
+ * Schedule-DEPENDENT: only interleavings that park the reader's
+ * extension inside the writer's clock-held writeback window expose the
+ * zombie read (docs/COMMIT_PATH.md front 3). Runs on the eager kinds
+ * the extension ships on -- pure-STM NOrec and the hybrid, which the
+ * program's scripted hardware aborts pin to the same software phase.
+ */
+TEST(RegressionTest, TsExtensionZombieFailsWhenReverted)
+{
+    for (AlgoKind kind : {AlgoKind::kNOrec, AlgoKind::kHybridNOrec}) {
+        Explorer broken(kind, makeTsExtensionProgram(true));
+        ExploreOptions opts;
+        opts.mode = ExploreMode::kRandom;
+        opts.seed = 1;
+        opts.runs = 512;
+        ExploreResult res = broken.explore(opts);
+        ASSERT_TRUE(res.failed)
+            << algoKindName(kind)
+            << ": exploration never parked the reader mid-writeback";
+        EXPECT_FALSE(res.failure.check.ok())
+            << algoKindName(kind)
+            << ": the zombie must fail the history checker";
+        // A real mid-writeback schedule is required, so the minimized
+        // token cannot be empty -- and must still reproduce.
+        EXPECT_FALSE(res.minimizedToken.empty()) << algoKindName(kind);
+        RunOutcome re = broken.replay(res.minimizedToken);
+        EXPECT_TRUE(re.failed())
+            << algoKindName(kind) << ": minimized token no longer fails";
+
+        // The fix survives both the failing schedule and the same
+        // exploration that found it.
+        Explorer fixed(kind, makeTsExtensionProgram(false));
+        RunOutcome fixedRe = fixed.replay(res.minimizedToken);
+        EXPECT_FALSE(fixedRe.failed())
+            << algoKindName(kind) << ": " << fixedRe.invariantWhy << ' '
+            << fixedRe.check.detail;
+        ExploreResult ok = fixed.explore(opts);
+        EXPECT_FALSE(ok.failed)
+            << algoKindName(kind) << ": " << ok.failure.invariantWhy
+            << ' ' << ok.failure.check.detail;
+    }
+}
+
+/**
+ * The saturated-summary pathology: the universal collision must route
+ * every extension through full revalidation (the invariant pins the
+ * skip counter to zero) while the workload keeps committing correctly
+ * on every explored schedule.
+ */
+TEST(RegressionTest, FilterCollisionNeverPassesTheSkip)
+{
+    for (AlgoKind kind :
+         {AlgoKind::kNOrec, AlgoKind::kNOrecLazy, AlgoKind::kHybridNOrec,
+          AlgoKind::kHybridNOrecLazy}) {
+        Explorer ex(kind, makeFilterCollisionProgram());
+        ExploreOptions opts;
+        opts.mode = ExploreMode::kRandom;
+        opts.seed = 3;
+        opts.runs = 256;
+        ExploreResult res = ex.explore(opts);
+        EXPECT_FALSE(res.failed)
+            << algoKindName(kind) << ": " << res.failure.invariantWhy
+            << ' ' << res.failure.check.detail;
+    }
+}
+
 } // namespace
 } // namespace rhtm::check

@@ -32,9 +32,18 @@ struct StmFixture : public ::testing::Test
     alignas(64) uint64_t z = 3;
 };
 
+/** Classic eager NOrec: timestamp extension (front 3) disabled. */
+RuntimeConfig
+classicEagerConfig()
+{
+    RuntimeConfig cfg;
+    cfg.commitPath.tsExtension = false;
+    return cfg;
+}
+
 TEST_F(StmFixture, EagerNOrecReaderRestartsOnAnyCommit)
 {
-    TmRuntime rt(AlgoKind::kNOrec);
+    TmRuntime rt(AlgoKind::kNOrec, classicEagerConfig());
     TxSession &a = rt.registerThread().session();
     TxSession &b = rt.registerThread().session();
 
@@ -47,6 +56,60 @@ TEST_F(StmFixture, EagerNOrecReaderRestartsOnAnyCommit)
     // (paper Section 3.1).
     EXPECT_THROW(a.read(&y), TxRestart);
     a.onRestart();
+}
+
+TEST_F(StmFixture, EagerNOrecReaderExtendsAcrossUnrelatedCommit)
+{
+    // Front 3 (the default): the eager session keeps a value log and
+    // extends its snapshot across a disjoint commit instead of
+    // restarting.
+    TmRuntime rt(AlgoKind::kNOrec);
+    TxSession &a = rt.registerThread().session();
+    TxSession &b = rt.registerThread().session();
+
+    a.begin(TxnHint::kNone);
+    EXPECT_EQ(a.read(&x), 1u);
+
+    writeTxn(b, &z, 30);
+
+    EXPECT_EQ(a.read(&y), 2u) << "extension should absorb the commit";
+    a.commit();
+    a.onComplete();
+}
+
+TEST_F(StmFixture, EagerNOrecReaderStillRestartsOnOverwrite)
+{
+    TmRuntime rt(AlgoKind::kNOrec);
+    TxSession &a = rt.registerThread().session();
+    TxSession &b = rt.registerThread().session();
+
+    a.begin(TxnHint::kNone);
+    EXPECT_EQ(a.read(&x), 1u);
+
+    writeTxn(b, &x, 100); // Overwrites a logged location.
+
+    EXPECT_THROW(a.read(&y), TxRestart);
+    a.onRestart();
+}
+
+TEST_F(StmFixture, EagerNOrecFirstWriteExtendsAcrossUnrelatedCommit)
+{
+    // The extension also applies at the first-write clock acquire: a
+    // foreign disjoint commit between snapshot and first write no
+    // longer forces a restart.
+    TmRuntime rt(AlgoKind::kNOrec);
+    TxSession &a = rt.registerThread().session();
+    TxSession &b = rt.registerThread().session();
+
+    a.begin(TxnHint::kNone);
+    EXPECT_EQ(a.read(&x), 1u);
+
+    writeTxn(b, &z, 30);
+
+    a.write(&y, 20); // Classic eager NOrec would restart here.
+    a.commit();
+    a.onComplete();
+    EXPECT_EQ(y, 20u);
 }
 
 TEST_F(StmFixture, LazyNOrecReaderSurvivesUnrelatedCommit)
@@ -112,7 +175,9 @@ TEST_F(StmFixture, EagerNOrecWritesInPlaceUnderClockLock)
 
 TEST_F(StmFixture, EagerNOrecWriterBlocksOtherWriter)
 {
-    TmRuntime rt(AlgoKind::kNOrec);
+    // Classic protocol: with extension on, b would *wait* for the
+    // locked clock instead of restarting (deadlock single-threaded).
+    TmRuntime rt(AlgoKind::kNOrec, classicEagerConfig());
     TxSession &a = rt.registerThread().session();
     TxSession &b = rt.registerThread().session();
 

@@ -60,6 +60,27 @@ for reg in first-try-budget policy-snapshot deadline-unwind; do
         --regression="$reg" --mode=random --runs=8
 done
 
+echo "== check: commit-path campaign (docs/COMMIT_PATH.md) =="
+# Front 3's extension zombie is schedule-dependent: 512 random walks
+# with this seed park the reader inside the writer's clock-held
+# writeback window on both eager kinds. The reverted fix must FAIL
+# (the history checker sees the impossible read mix) and the shipped
+# fix must survive the same exploration.
+for algo in norec hy-norec; do
+    if build/bench/bench_check --algo="$algo" \
+            --regression=ts-extension --revert \
+            --mode=random --seed=1 --runs=512; then
+        echo "ts-extension did not fail when reverted ($algo)" >&2
+        exit 1
+    fi
+    build/bench/bench_check --algo="$algo" --regression=ts-extension \
+        --mode=random --seed=1 --runs=512
+done
+# Front 1's false-positive extreme: saturated summaries must never
+# pass the disjointness skip, on any kind, while still committing.
+build/bench/bench_check --algo=all --regression=filter-collision \
+    --mode=random --seed=3 --runs=64
+
 echo "== overload: adversary A/B, admission off vs on =="
 # The two pathologies the admission gate must demonstrably bound
 # (docs/OVERLOAD.md): tail collapse with the gate off, bounded p99
@@ -89,6 +110,15 @@ echo "== store: smoke + history check, every AlgoKind =="
 # status asserts it.
 build/bench/bench_store --threads=2 --shards=2 --algos=all \
     --ops=200 --check-ops=120 --saturation=off --seed=1
+
+echo "== store: group-commit history check (lazy slow-path batching) =="
+# Front 4 (docs/COMMIT_PATH.md): opt-in flat-combining commit for the
+# lazy kinds' software writers. The StoreObserver records every
+# committed op with batching ON and the strict-serializability checker
+# must still accept the history; the exit status asserts it.
+build/bench/bench_store --threads=2 --shards=2 \
+    --algos=norec-lazy,hy-norec-lazy --ops=150 --check-ops=150 \
+    --check-threads=4 --saturation=off --group-commit=on --seed=1
 
 echo "== store: saturation sweep, 1 shard vs 4 shards =="
 # Disjoint-key scaling cells. On hosts with >= 4 hardware threads the
@@ -131,6 +161,13 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
     build-tsan/bench/bench_chaos \
         --schedule=stall-serial --seed=1 --seconds=2 --threads=1,4 \
         --algos=rh-norec,hy-norec-lazy --irrevocable-pct=20 --stats
+    echo "== TSan chaos leg: group commit under stall-publisher =="
+    # Front 4 under the sanitizer: combiner/member handoffs, the
+    # cross-thread publish, and the withdraw/repost loop are exactly
+    # the shapes TSan exists to vet.
+    build-tsan/bench/bench_chaos \
+        --schedule=stall-publisher --seed=1 --seconds=2 --threads=1,4 \
+        --algos=norec-lazy,hy-norec-lazy --group-commit=on --stats
 fi
 
 echo "ci gate passed"

@@ -72,6 +72,23 @@ for schedule in $SCHEDULES; do
     done
 done
 
+# Group-commit soak (docs/COMMIT_PATH.md front 4): the lazy kinds'
+# flat-combining commit under the schedule that stretches publish
+# windows -- maximal combiner/member overlap -- plus scripted stalls.
+# Conservation + opacity + quiescence are checked per cell as above.
+echo "== group-commit soak: lazy kinds x seeds {$SEEDS} =="
+for seed in $SEEDS; do
+    echo "-- stall-publisher + group commit seed=$seed"
+    if ! "$BUILD_DIR/bench/bench_chaos" \
+            --schedule=stall-publisher --seed="$seed" \
+            --seconds="$SECONDS_PER_CELL" --threads="$THREADS" \
+            --algos=norec-lazy,hy-norec-lazy \
+            --group-commit=on --stats; then
+        echo "FAILED: group-commit soak seed=$seed" >&2
+        fail=1
+    fi
+done
+
 # Adversarial overload soak under the same sanitizer: the named
 # pathologies drive the admission gate and the deadline unwind from
 # many threads at once while the adversary-storm schedule jitters the

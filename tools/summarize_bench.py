@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
 """Summarize bench_output.txt into per-figure markdown tables.
 
-Usage: tools/summarize_bench.py [bench_output.txt] [--threads=8]
+Usage: tools/summarize_bench.py [bench_output.txt|capture_dir/]
+                                [--threads=8]
 
 For every benchmark in the capture, prints a compact table of
 throughput and the paper's analysis rows at the chosen thread count,
 plus the RH-vs-HY headline ratios.
+
+The path may be a directory of captures: every file in it is parsed
+independently (so a legacy capture without the overload columns can
+sit next to a current one) and the rows are folded into one summary.
 """
 
+import os
 import sys
 from collections import defaultdict
 
@@ -60,6 +66,20 @@ def ns_per_access(row):
 
 
 def parse(path):
+    """Parse one capture file, or fold in every file of a directory.
+
+    The fold-in is per-file: each file's lines are classified against
+    the schema table independently, so mixing captures from different
+    eras in one directory cannot confuse the classification (and a
+    directory path no longer crashes with IsADirectoryError).
+    """
+    if os.path.isdir(path):
+        rows = []
+        for name in sorted(os.listdir(path)):
+            sub = os.path.join(path, name)
+            if os.path.isfile(sub):
+                rows.extend(parse(sub))
+        return rows
     rows = []
     with open(path) as f:
         for line in f:
